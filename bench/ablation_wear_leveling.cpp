@@ -1,0 +1,75 @@
+// Ablation (extension): start-gap wear leveling under the hot-row write
+// pattern that GEMV-like offloads produce.
+//
+// The paper argues its compile-time endurance optimizations are orthogonal
+// to architectural wear leveling (Section V). This bench composes the two:
+// a skewed row-write trace (small stationary tiles always landing on rows
+// 0..k-1, as repeated small GEMV offloads do) is replayed with and without
+// the start-gap remapper, and the resulting wear skew (max / mean cell
+// writes) is compared.
+#include <iostream>
+
+#include "pcm/crossbar.hpp"
+#include "pcm/wear_leveling.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using tdo::support::TextTable;
+  constexpr std::uint32_t kRows = 64;
+  constexpr std::uint32_t kCols = 64;
+  constexpr int kJobs = 4096;
+  constexpr std::uint32_t kHotRows = 8;  // small stationary tiles
+
+  auto run = [&](bool leveled) {
+    tdo::pcm::CrossbarParams params;
+    params.rows = kRows + 1;  // one spare row for the gap
+    params.cols = kCols;
+    tdo::pcm::Crossbar xbar{params};
+    tdo::pcm::StartGapRemapper remap{kRows, /*gap_move_interval=*/16};
+    tdo::support::Rng rng{11};
+    std::vector<std::int8_t> row(kCols);
+
+    for (int job = 0; job < kJobs; ++job) {
+      for (std::uint32_t r = 0; r < kHotRows; ++r) {
+        for (auto& w : row) {
+          w = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+        }
+        const std::uint32_t phys = leveled ? remap.physical_row(r) : r;
+        (void)xbar.write_row(phys, row);
+        if (leveled && remap.record_write()) {
+          // Gap migration costs one extra row write (the displaced row).
+          (void)xbar.write_row(remap.gap_position() == kRows
+                                   ? 0
+                                   : remap.gap_position() + 1,
+                               row);
+        }
+      }
+    }
+    const double total = static_cast<double>(xbar.total_cell_writes());
+    const double mean = total / (static_cast<double>(kRows + 1) * kCols * 2);
+    return std::pair<double, double>(
+        static_cast<double>(xbar.max_cell_writes()), mean);
+  };
+
+  const auto [naive_max, naive_mean] = run(false);
+  const auto [leveled_max, leveled_mean] = run(true);
+
+  TextTable table("Ablation - start-gap wear leveling (hot 8-row trace)");
+  table.set_header({"Config", "Max cell writes", "Mean cell writes",
+                    "Skew (max/mean)"});
+  table.add_row({"no wear leveling", TextTable::fmt(naive_max, 0),
+                 TextTable::fmt(naive_mean, 1),
+                 TextTable::fmt_ratio(naive_max / naive_mean)});
+  table.add_row({"start-gap", TextTable::fmt(leveled_max, 0),
+                 TextTable::fmt(leveled_mean, 1),
+                 TextTable::fmt_ratio(leveled_max / leveled_mean)});
+  table.print(std::cout);
+  std::cout << "Device lifetime is set by the most-worn cell: start-gap cuts "
+               "the wear skew by "
+            << TextTable::fmt_ratio((naive_max / naive_mean) /
+                                    (leveled_max / leveled_mean))
+            << " on this trace, composing with TDO-CIM's compile-time "
+               "write reduction.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Google-benchmark microbenchmarks of the analog-model hot paths: crossbar
+// GEMV evaluation, row programming, and tile quantization. These measure
+// simulator throughput (how fast the model itself runs), which bounds how
+// large the PolyBench presets can be.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cim/cim_tile.hpp"
+#include "pcm/crossbar.hpp"
+#include "support/fixed_point.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+void BM_CrossbarGemv(benchmark::State& state) {
+  const auto rows = static_cast<std::uint32_t>(state.range(0));
+  const auto cols = static_cast<std::uint32_t>(state.range(0));
+  tdo::pcm::CrossbarParams params;
+  params.rows = rows;
+  params.cols = cols;
+  tdo::pcm::Crossbar xbar{params};
+  tdo::support::Rng rng{1};
+  std::vector<std::int8_t> row(cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (auto& w : row) w = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    xbar.write_row(r, row);
+  }
+  std::vector<std::int8_t> input(rows);
+  for (auto& v : input) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar.gemv(input, rows, cols));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_CrossbarGemv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CrossbarRowProgram(benchmark::State& state) {
+  const auto cols = static_cast<std::uint32_t>(state.range(0));
+  tdo::pcm::CrossbarParams params;
+  params.rows = 4;
+  params.cols = cols;
+  tdo::pcm::Crossbar xbar{params};
+  std::vector<std::int8_t> row(cols, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar.write_row(0, row));
+  }
+  state.SetItemsProcessed(state.iterations() * cols);
+}
+BENCHMARK(BM_CrossbarRowProgram)->Arg(64)->Arg(256);
+
+void BM_QuantizeTile(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  tdo::support::Rng rng{2};
+  std::vector<float> values(count);
+  for (auto& v : values) v = rng.uniform_f(-2.0f, 2.0f);
+  const auto scale = tdo::support::QuantScale::for_max_abs(2.0);
+  std::vector<std::int8_t> out(count);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = scale.quantize(values[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_QuantizeTile)->Arg(256)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces Table I: CIM and host system configuration + energy model.
+// Prints the exact constants every other bench charges, straight from the
+// parameter structs (so this table can never drift from the simulation).
+#include <iostream>
+
+#include "cim/accelerator.hpp"
+#include "pcm/energy_model.hpp"
+#include "sim/system.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using tdo::support::TextTable;
+  const tdo::pcm::CimEnergyParams e;
+  const tdo::cim::AcceleratorParams accel;
+  const tdo::sim::SystemParams sys;
+
+  TextTable cim("Table I - CIM parameters");
+  cim.set_header({"CIM Parameter", "Value"});
+  cim.add_row({"PCM crossbar technology",
+               std::to_string(accel.tile.crossbar.rows) + "x" +
+                   std::to_string(accel.tile.crossbar.cols) +
+                   " @8-bit (2x 4-bit IBM PCM columns)"});
+  cim.add_row({"Compute latency / GEMV", e.compute_latency_per_gemv.to_string()});
+  cim.add_row({"Write latency / row", e.write_latency_per_row.to_string()});
+  cim.add_row({"Compute energy / 8-bit MAC", e.compute_per_mac8.to_string()});
+  cim.add_row({"Write energy / 8-bit weight", e.write_per_weight8.to_string()});
+  cim.add_row({"Mixed-signal energy / GEMV", e.mixed_signal_per_gemv.to_string()});
+  cim.add_row({"I/O buffer energy / byte-access",
+               e.buffer_per_byte_access.to_string()});
+  cim.add_row({"Digital logic / GEMV weighted sum",
+               e.digital_weighted_sum_per_gemv.to_string()});
+  cim.add_row({"Digital logic / extra ALU op",
+               e.digital_per_extra_alu_op.to_string()});
+  cim.add_row({"DMA + micro-engine / op", e.dma_engine_per_op.to_string()});
+  cim.add_row({"ADC sharing (columns per ADC)",
+               std::to_string(accel.tile.adc.columns_per_adc)});
+  cim.print(std::cout);
+
+  TextTable host("Table I - Host CPU spec");
+  host.set_header({"Host Parameter", "Value"});
+  host.add_row({"Cores", std::to_string(sys.host.cores) + "x Arm-A7 class @ " +
+                             sys.host.frequency.to_string()});
+  host.add_row({"L1-I / L1-D", std::to_string(sys.l1i.size_bytes / 1024) +
+                                   " KiB / " +
+                                   std::to_string(sys.l1d.size_bytes / 1024) +
+                                   " KiB"});
+  host.add_row({"L2 (shared)", std::to_string(sys.l2.size_bytes / 1024 / 1024) +
+                                   " MiB"});
+  host.add_row({"Energy / instruction (incl. caches)",
+                sys.host.energy_per_inst.to_string()});
+  host.add_row({"Base CPI (in-order, partial dual-issue)",
+                TextTable::fmt(sys.host.base_cpi, 2)});
+  host.add_row({"L2 hit / DRAM latency (cycles)",
+                std::to_string(sys.latencies.l2_hit_cycles) + " / " +
+                    std::to_string(sys.latencies.dram_cycles)});
+  host.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Listing 3 demo: the endurance-aware tiling + interchange transformation.
+//
+// Shows the tiled/interchanged loop nest the compiler derives for an
+// oversized GEMM (Listing 3 of the paper) and compares the crossbar write
+// counts of the reuse-friendly order against the naive order.
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/tiling.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "polybench/harness.hpp"
+
+int main() {
+  const std::string source = R"(
+kernel big_gemm(SIZE = 512) {
+  array float A[SIZE][SIZE];
+  array float B[SIZE][SIZE];
+  array float C[SIZE][SIZE];
+  for (i = 0; i < SIZE; i++)
+    for (j = 0; j < SIZE; j++)
+      for (k = 0; k < SIZE; k++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+)";
+  auto fn = tdo::frontend::parse_kernel(source);
+  if (!fn.is_ok()) {
+    std::cerr << fn.status() << "\n";
+    return 1;
+  }
+
+  const auto detection = tdo::core::detect_kernels(*fn);
+  if (detection.kernels.empty() || !detection.kernels[0].is_gemm()) {
+    std::cerr << "GEMM not detected\n";
+    return 1;
+  }
+  const auto& gemm = detection.kernels[0].gemm();
+  const auto plan = tdo::core::plan_gemm_tiling(
+      gemm, 256, 256, tdo::cim::StationaryOperand::kA);
+  std::cout << "Crossbar: 256x256; operand A is " << gemm.m << "x" << gemm.k
+            << " -> tiling " << (plan.needed ? "required" : "not required")
+            << " (tile_k=" << plan.tile_k << ", tile_cols=" << plan.tile_cols
+            << ")\n\n";
+
+  const auto tiled = tdo::core::make_tiled_view(*fn, gemm, plan);
+  std::cout << "=== Listing 3: tiled + interchanged loop nest ===\n"
+            << tdo::ir::to_source(tiled) << "\n";
+
+  // Compare crossbar writes: reuse-friendly (interchange) vs naive order.
+  tdo::pb::Workload w;
+  w.name = "big_gemm";
+  w.source = source;
+  const std::size_t nn = 512 * 512;
+  w.inputs["A"] = std::vector<float>(nn, 0.25f);
+  w.inputs["B"] = std::vector<float>(nn, -0.5f);
+  w.inputs["C"] = std::vector<float>(nn, 0.0f);
+  w.expected["C"] = std::vector<float>(nn, 0.0f);
+  w.outputs = {};
+  w.tolerance = 1e9;
+
+  for (const bool interchange : {true, false}) {
+    tdo::pb::HarnessOptions options;
+    options.compile.enable_tiling = interchange;
+    const auto report = tdo::pb::run_cim(w, options);
+    if (!report.is_ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    std::cout << (interchange ? "reuse-friendly (Listing 3) order: "
+                              : "naive order (no interchange):    ")
+              << report->cim_writes << " weights written, "
+              << report->runtime.to_string() << "\n";
+  }
+  std::cout << "\nThe interchange programs each stationary A tile exactly "
+               "once; the naive order reprograms it per column chunk.\n";
+  return 0;
+}

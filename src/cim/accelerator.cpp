@@ -1,0 +1,104 @@
+#include "cim/accelerator.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "support/log.hpp"
+
+namespace tdo::cim {
+
+Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
+    : params_{params}, system_{system}, model_{params.energy} {
+  tile_ = std::make_unique<CimTile>(params_.tile);
+  dma_ = std::make_unique<Dma>(params_.dma, system.memory());
+  engine_ = std::make_unique<MicroEngine>(
+      params_.engine, *tile_, *dma_, model_, system.events(),
+      EnergySinks{&e_write_, &e_compute_, &e_mixed_, &e_digital_, &e_buffers_,
+                  &e_dma_});
+
+  const auto attached =
+      system.bus().attach(params_.pmio_base, kPmioWindowBytes, *this);
+  assert(attached.is_ok() && "PMIO window attach failed");
+  (void)attached;
+
+  auto& stats = system.stats();
+  stats.register_counter("cim.jobs", &jobs_);
+  stats.register_energy("cim.energy.write", &e_write_);
+  stats.register_energy("cim.energy.compute", &e_compute_);
+  stats.register_energy("cim.energy.mixed_signal", &e_mixed_);
+  stats.register_energy("cim.energy.digital", &e_digital_);
+  stats.register_energy("cim.energy.buffers", &e_buffers_);
+  stats.register_energy("cim.energy.dma", &e_dma_);
+  dma_->register_stats(stats);
+
+  regs_.set_status(DeviceStatus::kIdle);
+}
+
+support::Status Accelerator::mmio_read(std::uint64_t offset,
+                                       std::span<std::uint8_t> out) {
+  if (offset % kRegStride != 0 || out.size() != kRegStride) {
+    return support::invalid_argument("context registers require aligned 64-bit IO");
+  }
+  const auto index = static_cast<std::uint32_t>(offset / kRegStride);
+  if (index >= kRegCount) return support::out_of_range("register index");
+  const std::uint64_t value = regs_.read(static_cast<Reg>(index));
+  std::memcpy(out.data(), &value, sizeof value);
+  return support::Status::ok();
+}
+
+support::Status Accelerator::mmio_write(std::uint64_t offset,
+                                        std::span<const std::uint8_t> in) {
+  if (offset % kRegStride != 0 || in.size() != kRegStride) {
+    return support::invalid_argument("context registers require aligned 64-bit IO");
+  }
+  const auto index = static_cast<std::uint32_t>(offset / kRegStride);
+  if (index >= kRegCount) return support::out_of_range("register index");
+  std::uint64_t value = 0;
+  std::memcpy(&value, in.data(), sizeof value);
+
+  const Reg reg = static_cast<Reg>(index);
+  if (reg == Reg::kCommand) {
+    if (value == 1) {
+      if (regs_.status() == DeviceStatus::kBusy) {
+        return support::failed_precondition("accelerator busy");
+      }
+      trigger();
+    }
+    return support::Status::ok();
+  }
+  if (reg == Reg::kStatus && regs_.status() != DeviceStatus::kBusy) {
+    // Host may acknowledge DONE/ERROR by resetting to IDLE.
+    regs_.write(Reg::kStatus, value);
+    return support::Status::ok();
+  }
+  if (regs_.status() == DeviceStatus::kBusy) {
+    return support::failed_precondition("context registers locked while busy");
+  }
+  regs_.write(reg, value);
+  return support::Status::ok();
+}
+
+void Accelerator::trigger() {
+  jobs_.add();
+  regs_.set_status(DeviceStatus::kBusy);
+  TDO_LOG(kDebug, "cim.accel") << "job triggered, opcode="
+                               << regs_.read(Reg::kOpcode);
+  last_timeline_ = engine_->launch(regs_);
+}
+
+support::Energy Accelerator::total_energy() const {
+  return e_write_.total() + e_compute_.total() + e_mixed_.total() +
+         e_digital_.total() + e_buffers_.total() + e_dma_.total();
+}
+
+AcceleratorReport Accelerator::report() const {
+  AcceleratorReport rep;
+  rep.jobs = jobs_.value();
+  rep.gemv_ops = tile_->stats().gemv_ops;
+  rep.mac8_ops = tile_->stats().mac8_ops;
+  rep.weight_writes8 = tile_->stats().weight_writes8;
+  rep.total_energy = total_energy();
+  return rep;
+}
+
+}  // namespace tdo::cim

@@ -1,0 +1,90 @@
+// CIM accelerator top level (paper Section II-C/II-D, Figure 2b).
+//
+// A CIM tile, a micro-engine and a DMA unit form a standalone accelerator
+// that attaches to the system bus through a port-mapped IO window exposing
+// its context registers. The host driver writes job parameters, writes 1 to
+// the command register, and polls the status register.
+#pragma once
+
+#include <memory>
+
+#include "cim/cim_tile.hpp"
+#include "cim/context_regs.hpp"
+#include "cim/dma.hpp"
+#include "cim/micro_engine.hpp"
+#include "pcm/energy_model.hpp"
+#include "sim/bus.hpp"
+#include "sim/system.hpp"
+#include "support/stats.hpp"
+
+namespace tdo::cim {
+
+struct AcceleratorParams {
+  TileParams tile;
+  DmaParams dma;
+  MicroEngineParams engine;
+  pcm::CimEnergyParams energy;
+  sim::PhysAddr pmio_base = kDefaultPmioBase;
+};
+
+/// Aggregated accelerator-side statistics for one ROI.
+struct AcceleratorReport {
+  std::uint64_t jobs = 0;
+  std::uint64_t gemv_ops = 0;
+  std::uint64_t mac8_ops = 0;
+  std::uint64_t weight_writes8 = 0;
+  support::Energy total_energy;
+
+  /// The compute-intensity metric of Figure 6 (left):
+  /// Number-of-MAC-operations / Number-of-CIM-writes.
+  [[nodiscard]] double macs_per_cim_write() const {
+    if (weight_writes8 == 0) return 0.0;
+    return static_cast<double>(mac8_ops) / static_cast<double>(weight_writes8);
+  }
+};
+
+class Accelerator final : public sim::BusDevice {
+ public:
+  /// Builds the accelerator and attaches it to `system`'s bus at the PMIO
+  /// window; registers stats into the system registry.
+  Accelerator(AcceleratorParams params, sim::System& system);
+
+  // --- BusDevice ---
+  [[nodiscard]] std::string device_name() const override { return "cim-accelerator"; }
+  support::Status mmio_read(std::uint64_t offset,
+                            std::span<std::uint8_t> out) override;
+  support::Status mmio_write(std::uint64_t offset,
+                             std::span<const std::uint8_t> in) override;
+
+  [[nodiscard]] ContextRegs& regs() { return regs_; }
+  [[nodiscard]] CimTile& tile() { return *tile_; }
+  [[nodiscard]] Dma& dma() { return *dma_; }
+  [[nodiscard]] MicroEngine& engine() { return *engine_; }
+  [[nodiscard]] const AcceleratorParams& params() const { return params_; }
+  [[nodiscard]] const JobTimeline& last_timeline() const { return last_timeline_; }
+
+  [[nodiscard]] support::Energy total_energy() const;
+  [[nodiscard]] AcceleratorReport report() const;
+
+ private:
+  void trigger();
+
+  AcceleratorParams params_;
+  sim::System& system_;
+  pcm::CimEnergyModel model_;
+  ContextRegs regs_;
+  std::unique_ptr<CimTile> tile_;
+  std::unique_ptr<Dma> dma_;
+  std::unique_ptr<MicroEngine> engine_;
+  JobTimeline last_timeline_;
+
+  support::Counter jobs_;
+  support::EnergyAccumulator e_write_;
+  support::EnergyAccumulator e_compute_;
+  support::EnergyAccumulator e_mixed_;
+  support::EnergyAccumulator e_digital_;
+  support::EnergyAccumulator e_buffers_;
+  support::EnergyAccumulator e_dma_;
+};
+
+}  // namespace tdo::cim

@@ -1,0 +1,63 @@
+#include "cim/cim_tile.hpp"
+
+#include <cassert>
+
+namespace tdo::cim {
+
+CimTile::CimTile(TileParams params)
+    : params_{params},
+      crossbar_{params.crossbar},
+      adc_{params.adc, params.crossbar.cols * 2} {}
+
+std::uint64_t CimTile::program_row(std::uint32_t row,
+                                   std::span<const std::int8_t> weights) {
+  // Column buffers stage the weights (one byte each in, Section II-B:
+  // "during write operation, the column buffers contain the data that has to
+  // be written on the crossbar").
+  stats_.buffer_byte_accesses += weights.size();
+  (void)crossbar_.write_row(row, weights);
+  stats_.weight_writes8 += weights.size();
+  stats_.rows_programmed += 1;
+  return weights.size();
+}
+
+void CimTile::program_tile(std::span<const std::int8_t> tile,
+                           std::uint32_t tile_rows, std::uint32_t tile_cols) {
+  assert(tile.size() >= static_cast<std::size_t>(tile_rows) * tile_cols);
+  assert(tile_rows <= rows() && tile_cols <= cols());
+  for (std::uint32_t r = 0; r < tile_rows; ++r) {
+    (void)program_row(r, tile.subspan(static_cast<std::size_t>(r) * tile_cols,
+                                      tile_cols));
+  }
+}
+
+std::vector<std::int32_t> CimTile::gemv(std::span<const std::int8_t> inputs,
+                                        std::uint32_t active_rows,
+                                        std::uint32_t active_cols) {
+  // Row buffers latch the inputs (one byte per active row).
+  stats_.buffer_byte_accesses += active_rows;
+  pcm::GemvResult raw = crossbar_.gemv(inputs, active_rows, active_cols);
+  // Each logical column needs two nibble-column conversions through the
+  // shared ADCs; saturating behaviour is configurable via AdcParams.
+  std::vector<std::int32_t> out(active_cols);
+  for (std::uint32_t c = 0; c < active_cols; ++c) {
+    out[c] = static_cast<std::int32_t>(adc_.convert(raw.acc[c]));
+  }
+  // Results land in the output buffers (4 bytes each).
+  stats_.buffer_byte_accesses += static_cast<std::uint64_t>(active_cols) * 4;
+  stats_.gemv_ops += 1;
+  stats_.mac8_ops += static_cast<std::uint64_t>(active_rows) * active_cols;
+  // Offset-correction arithmetic done digitally per column (2 mul-add).
+  stats_.extra_alu_ops += static_cast<std::uint64_t>(active_cols) * 2;
+  return out;
+}
+
+float CimTile::postprocess(std::int32_t acc, double scale, float alpha,
+                           float beta, float previous) {
+  stats_.extra_alu_ops += 3;  // dequant-mul, alpha-mul, beta-fma
+  const double dequant = static_cast<double>(acc) * scale;
+  return static_cast<float>(static_cast<double>(alpha) * dequant +
+                            static_cast<double>(beta) * previous);
+}
+
+}  // namespace tdo::cim

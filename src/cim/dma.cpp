@@ -1,0 +1,65 @@
+#include "cim/dma.hpp"
+
+namespace tdo::cim {
+
+support::Duration Dma::block_time(std::uint64_t bytes) const {
+  return params_.burst_setup +
+         support::Duration::from_sec(static_cast<double>(bytes) /
+                                     params_.bandwidth_bytes_per_sec);
+}
+
+support::Duration Dma::strided_time(std::uint64_t bytes) const {
+  return params_.burst_setup +
+         support::Duration::from_sec(static_cast<double>(bytes) *
+                                     params_.strided_derate /
+                                     params_.bandwidth_bytes_per_sec);
+}
+
+support::Duration Dma::read_block(sim::PhysAddr src, std::span<std::uint8_t> out) {
+  memory_.read(src, out);
+  bytes_read_.add(out.size());
+  bursts_.add();
+  return block_time(out.size());
+}
+
+support::Duration Dma::write_block(sim::PhysAddr dst,
+                                   std::span<const std::uint8_t> in) {
+  memory_.write(dst, in);
+  bytes_written_.add(in.size());
+  bursts_.add();
+  return block_time(in.size());
+}
+
+support::Duration Dma::read_strided(sim::PhysAddr src, std::uint64_t stride,
+                                    std::uint32_t elem_bytes, std::uint32_t count,
+                                    std::span<std::uint8_t> out) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    memory_.read(src + i * stride,
+                 out.subspan(static_cast<std::size_t>(i) * elem_bytes, elem_bytes));
+  }
+  const std::uint64_t bytes = static_cast<std::uint64_t>(elem_bytes) * count;
+  bytes_read_.add(bytes);
+  bursts_.add();
+  return strided_time(bytes);
+}
+
+support::Duration Dma::write_strided(sim::PhysAddr dst, std::uint64_t stride,
+                                     std::uint32_t elem_bytes, std::uint32_t count,
+                                     std::span<const std::uint8_t> in) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    memory_.write(dst + i * stride,
+                  in.subspan(static_cast<std::size_t>(i) * elem_bytes, elem_bytes));
+  }
+  const std::uint64_t bytes = static_cast<std::uint64_t>(elem_bytes) * count;
+  bytes_written_.add(bytes);
+  bursts_.add();
+  return strided_time(bytes);
+}
+
+void Dma::register_stats(support::StatsRegistry& registry) const {
+  registry.register_counter("cim.dma.bytes_read", &bytes_read_);
+  registry.register_counter("cim.dma.bytes_written", &bytes_written_);
+  registry.register_counter("cim.dma.bursts", &bursts_);
+}
+
+}  // namespace tdo::cim

@@ -1,0 +1,69 @@
+// Accelerator-side DMA unit (paper Section II-C/II-D).
+//
+// "The accelerator, on his part, uses only un-cachable requests for memory
+// access which automatically enforces memory coherence": DMA bypasses the
+// host cache hierarchy and reads/writes SimMemory directly, charging
+// bandwidth-model latency and the Table I DMA energy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pcm/energy_model.hpp"
+#include "sim/sim_memory.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace tdo::cim {
+
+struct DmaParams {
+  /// Effective uncacheable bandwidth to LPDDR3-933 shared memory.
+  double bandwidth_bytes_per_sec = 6.4e9;
+  /// Fixed per-burst setup (command + address phase).
+  support::Duration burst_setup = support::Duration::from_ns(40);
+  /// Strided (gather) transfers move element-by-element bursts; this factor
+  /// derates bandwidth for non-unit-stride access.
+  double strided_derate = 4.0;
+};
+
+class Dma {
+ public:
+  Dma(DmaParams params, sim::SimMemory& memory) : params_{params}, memory_{memory} {}
+
+  /// Contiguous copy device<-memory. Returns transfer duration.
+  support::Duration read_block(sim::PhysAddr src, std::span<std::uint8_t> out);
+
+  /// Contiguous copy memory<-device.
+  support::Duration write_block(sim::PhysAddr dst, std::span<const std::uint8_t> in);
+
+  /// Gather `count` elements of `elem_bytes` starting at `src` with byte
+  /// stride `stride` (used to stream matrix columns).
+  support::Duration read_strided(sim::PhysAddr src, std::uint64_t stride,
+                                 std::uint32_t elem_bytes, std::uint32_t count,
+                                 std::span<std::uint8_t> out);
+
+  /// Scatter (column write-back).
+  support::Duration write_strided(sim::PhysAddr dst, std::uint64_t stride,
+                                  std::uint32_t elem_bytes, std::uint32_t count,
+                                  std::span<const std::uint8_t> in);
+
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_.value(); }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_.value(); }
+  [[nodiscard]] std::uint64_t bursts() const { return bursts_.value(); }
+  [[nodiscard]] const DmaParams& params() const { return params_; }
+
+  void register_stats(support::StatsRegistry& registry) const;
+
+ private:
+  [[nodiscard]] support::Duration block_time(std::uint64_t bytes) const;
+  [[nodiscard]] support::Duration strided_time(std::uint64_t bytes) const;
+
+  DmaParams params_;
+  sim::SimMemory& memory_;
+  support::Counter bytes_read_;
+  support::Counter bytes_written_;
+  support::Counter bursts_;
+};
+
+}  // namespace tdo::cim

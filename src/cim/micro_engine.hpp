@@ -1,0 +1,129 @@
+// Micro-engine of the CIM accelerator (paper Section II-C).
+//
+// "The micro-engine translates the high level-parameters stored in the
+// context registers into a series of circuit-level operations such as loading
+// the data from shared memory to row/column buffers, configuring the mask
+// values, triggering the computation on CIM tile, and writing back the
+// results from the output buffers to the shared memory. Additionally, it
+// manages the control flow involved in decomposing GEMM to a series of GEMVs
+// and supports double buffering for all the registers in the accelerator to
+// hide the data latency of the memory accesses."
+//
+// Timing is computed with an explicit pipeline schedule (fill / compute /
+// store per GEMV, fill / program per crossbar row) and materialized on the
+// system event queue as phase-completion events; the functional work happens
+// eagerly so results are in shared memory when the completion event fires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cim/cim_tile.hpp"
+#include "cim/context_regs.hpp"
+#include "cim/dma.hpp"
+#include "pcm/energy_model.hpp"
+#include "sim/event_queue.hpp"
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace tdo::cim {
+
+/// Per-category energy sinks owned by the accelerator.
+struct EnergySinks {
+  support::EnergyAccumulator* write = nullptr;
+  support::EnergyAccumulator* compute = nullptr;
+  support::EnergyAccumulator* mixed_signal = nullptr;
+  support::EnergyAccumulator* digital = nullptr;
+  support::EnergyAccumulator* buffers = nullptr;
+  support::EnergyAccumulator* dma = nullptr;
+};
+
+/// Timeline of one executed job (for traces, tests and the Fig-2d diagram).
+struct JobTimeline {
+  sim::Tick trigger = 0;
+  sim::Tick weights_programmed = 0;
+  sim::Tick done = 0;
+
+  [[nodiscard]] support::Duration weight_phase() const {
+    return sim::from_ticks(weights_programmed - trigger);
+  }
+  [[nodiscard]] support::Duration stream_phase() const {
+    return sim::from_ticks(done - weights_programmed);
+  }
+  [[nodiscard]] support::Duration total() const {
+    return sim::from_ticks(done - trigger);
+  }
+};
+
+struct MicroEngineParams {
+  /// Context-register decode + control setup before the first DMA.
+  support::Duration job_setup = support::Duration::from_ns(100);
+};
+
+class MicroEngine {
+ public:
+  MicroEngine(MicroEngineParams params, CimTile& tile, Dma& dma,
+              const pcm::CimEnergyModel& model, sim::EventQueue& events,
+              EnergySinks sinks)
+      : params_{params}, tile_{tile}, dma_{dma}, model_{model}, events_{events},
+        sinks_{sinks} {}
+
+  /// Executes the job in `regs`. Performs all functional memory traffic
+  /// immediately, charges energy, computes the pipeline schedule, and
+  /// schedules a completion event that flips kStatus to kDone (or kError).
+  /// Returns the computed timeline.
+  JobTimeline launch(ContextRegs& regs);
+
+  /// Identity of the stationary tile currently programmed (for reuse
+  /// detection within batched jobs and for tests).
+  struct ProgrammedTile {
+    std::uint64_t pa = 0;
+    double scale = 1.0;
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    StationaryOperand layout = StationaryOperand::kB;
+    std::uint64_t ld = 0;
+  };
+  [[nodiscard]] const std::optional<ProgrammedTile>& programmed_tile() const {
+    return programmed_;
+  }
+  /// Invalidate reuse tracking (called when a new non-batched job arrives).
+  void invalidate_tile() { programmed_.reset(); }
+
+ private:
+  struct GemmJob {
+    std::uint64_t m = 0, n = 0, k = 0;
+    std::uint64_t pa_a = 0, pa_b = 0, pa_c = 0;
+    std::uint64_t lda = 0, ldb = 0, ldc = 0;
+    float alpha = 1.0f, beta = 0.0f;
+    double scale_a = 1.0, scale_b = 1.0;
+    StationaryOperand stationary = StationaryOperand::kB;
+    bool double_buffering = true;
+    bool skip_weight_load = false;
+  };
+
+  [[nodiscard]] support::StatusOr<GemmJob> decode(const ContextRegs& regs) const;
+
+  /// Runs one GEMM; returns (weight_phase, stream_phase) durations.
+  struct PhaseTimes {
+    support::Duration weights;
+    support::Duration stream;
+  };
+  [[nodiscard]] support::StatusOr<PhaseTimes> run_gemm(const GemmJob& job);
+
+  /// Loads the stationary operand into the crossbar; returns phase duration.
+  [[nodiscard]] support::Duration load_weights(const GemmJob& job);
+
+  /// Streams the moving operand; returns phase duration.
+  [[nodiscard]] support::Duration stream_vectors(const GemmJob& job);
+
+  MicroEngineParams params_;
+  CimTile& tile_;
+  Dma& dma_;
+  const pcm::CimEnergyModel& model_;
+  sim::EventQueue& events_;
+  EnergySinks sinks_;
+  std::optional<ProgrammedTile> programmed_;
+};
+
+}  // namespace tdo::cim

@@ -1,0 +1,105 @@
+// Kernel detection: Loop Tactics access-relation matchers.
+//
+// Walks the schedule tree of a SCoP and recognizes the computational
+// patterns the CIM accelerator supports (paper Section III-A): GEMM with
+// optional beta-init statement, GEMV in normal and transposed orientation
+// (including multi-statement nests like bicg/gesummv, which decompose into
+// several GEMV kernels plus a residual host epilogue), and 3x3-stencil
+// convolution expressed as a flat coefficient sum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/schedule_tree.hpp"
+#include "ir/program.hpp"
+#include "support/status.hpp"
+
+namespace tdo::core {
+
+/// C[MxN] (+)= alpha * A[MxK] * B[KxN]  with optional beta-scaling init.
+struct GemmKernel {
+  std::string c, a, b;
+  std::int64_t m = 0, n = 0, k = 0;
+  float alpha = 1.0f;
+  float beta = 1.0f;  // 0 when init sets C to zero; 1 when accumulating
+  /// Statement names folded into this kernel (init + update).
+  std::vector<std::string> stmts;
+};
+
+/// y (+)= alpha * op(A[MxN]) * x  — one per accumulation statement.
+struct GemvKernel {
+  bool transpose = false;  // true: y[j] += A[i][j] * x[i]
+  std::string y, a, x;
+  std::int64_t m = 0, n = 0;
+  float alpha = 1.0f;
+  float beta = 1.0f;  // 0 when an init statement zeroes y
+  std::vector<std::string> stmts;
+};
+
+/// out[i][j] = sum_{(di,dj)} coeff * in[i+di][j+dj]  (flat stencil form).
+struct ConvKernel {
+  std::string out, in;
+  std::int64_t out_h = 0, out_w = 0;  // extents of i and j loops
+  std::int64_t in_h = 0, in_w = 0;    // declared input dims
+  std::int64_t i_offset = 0, j_offset = 0;  // input-region origin
+  std::int64_t out_i0 = 0, out_j0 = 0;      // output-region origin
+  /// Coefficients keyed by (di, dj) offsets relative to (i, j) iteration,
+  /// normalized so the minimum offset is 0.
+  std::map<std::pair<std::int64_t, std::int64_t>, float> coeffs;
+  std::int64_t taps_h = 0, taps_w = 0;  // kernel window extents
+  std::vector<std::string> stmts;
+};
+
+using KernelVariant = std::variant<GemmKernel, GemvKernel, ConvKernel>;
+
+/// One detected kernel, anchored at a top-level IR node.
+struct DetectedKernel {
+  std::size_t top_level_index = 0;  // index into Function::body
+  KernelVariant kernel;
+
+  [[nodiscard]] bool is_gemm() const {
+    return std::holds_alternative<GemmKernel>(kernel);
+  }
+  [[nodiscard]] bool is_gemv() const {
+    return std::holds_alternative<GemvKernel>(kernel);
+  }
+  [[nodiscard]] bool is_conv() const {
+    return std::holds_alternative<ConvKernel>(kernel);
+  }
+  [[nodiscard]] const GemmKernel& gemm() const {
+    return std::get<GemmKernel>(kernel);
+  }
+  [[nodiscard]] const GemvKernel& gemv() const {
+    return std::get<GemvKernel>(kernel);
+  }
+  [[nodiscard]] const ConvKernel& conv() const {
+    return std::get<ConvKernel>(kernel);
+  }
+
+  /// Static compute-intensity estimate: MAC operations per crossbar weight
+  /// write (Figure 6's metric), used by the selective offload policy.
+  [[nodiscard]] double macs_per_write() const;
+
+  [[nodiscard]] std::string description() const;
+};
+
+/// Result of detection over one function.
+struct DetectionResult {
+  std::vector<DetectedKernel> kernels;
+  /// Statement names claimed by some kernel; the rest form host residuals.
+  std::set<std::string> claimed_stmts;
+  /// Top-level body indices that contain at least one kernel.
+  std::set<std::size_t> kernel_nests;
+};
+
+/// Runs SCoP validation + pattern detection. Functions containing non-affine
+/// accesses in a nest make that nest undetectable (it stays on the host).
+[[nodiscard]] DetectionResult detect_kernels(const ir::Function& fn);
+
+}  // namespace tdo::core

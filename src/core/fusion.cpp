@@ -1,0 +1,88 @@
+#include "core/fusion.hpp"
+
+namespace tdo::core {
+
+bool kernels_independent(const GemmKernel& x, const GemmKernel& y) {
+  // Y must not read from or write to any output of X.
+  if (y.a == x.c || y.b == x.c || y.c == x.c) return false;
+  // Y must not write to any input of X.
+  if (y.c == x.a || y.c == x.b) return false;
+  return true;
+}
+
+namespace {
+
+[[nodiscard]] bool same_shape(const GemmKernel& x, const GemmKernel& y) {
+  return x.m == y.m && x.n == y.n && x.k == y.k && x.alpha == y.alpha &&
+         x.beta == y.beta;
+}
+
+void finalize_group(const DetectionResult& detection, FusionGroup& group,
+                    std::vector<FusionGroup>& out) {
+  if (group.members.size() < 2) {
+    group.members.clear();
+    return;
+  }
+  // Shared-operand detection: prefer a shared A (stationary A, stream B/E —
+  // exactly Listing 2), then a shared B.
+  const GemmKernel& first = detection.kernels[group.members[0]].gemm();
+  bool share_a = true;
+  bool share_b = true;
+  for (const std::size_t idx : group.members) {
+    const GemmKernel& g = detection.kernels[idx].gemm();
+    share_a = share_a && g.a == first.a;
+    share_b = share_b && g.b == first.b;
+  }
+  if (share_a) {
+    group.stationary = cim::StationaryOperand::kA;
+    group.shared_operand = first.a;
+  } else if (share_b) {
+    group.stationary = cim::StationaryOperand::kB;
+    group.shared_operand = first.b;
+  } else {
+    group.stationary = cim::StationaryOperand::kB;
+    group.shared_operand.clear();
+  }
+  out.push_back(group);
+  group.members.clear();
+}
+
+}  // namespace
+
+std::vector<FusionGroup> find_fusion_groups(const DetectionResult& detection) {
+  std::vector<FusionGroup> groups;
+  FusionGroup current;
+
+  for (std::size_t i = 0; i < detection.kernels.size(); ++i) {
+    const DetectedKernel& dk = detection.kernels[i];
+    if (!dk.is_gemm()) {
+      finalize_group(detection, current, groups);
+      continue;
+    }
+    if (current.members.empty()) {
+      current.members.push_back(i);
+      continue;
+    }
+    const DetectedKernel& prev = detection.kernels[current.members.back()];
+    const bool adjacent =
+        dk.top_level_index == prev.top_level_index + 1;
+    bool independent = same_shape(prev.gemm(), dk.gemm());
+    // Pairwise independence against every member of the group: batching
+    // executes them as one job, so all orderings must be safe.
+    for (const std::size_t idx : current.members) {
+      independent = independent &&
+                    kernels_independent(detection.kernels[idx].gemm(), dk.gemm()) &&
+                    kernels_independent(dk.gemm(), detection.kernels[idx].gemm());
+    }
+    if (adjacent && independent) {
+      current.members.push_back(i);
+    } else {
+      finalize_group(detection, current, groups);
+      current.members.push_back(i);
+    }
+  }
+  finalize_group(detection, current, groups);
+  return groups;
+}
+
+}  // namespace tdo::core

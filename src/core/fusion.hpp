@@ -1,0 +1,39 @@
+// Kernel fusion pass (paper Section III-B, "Revisited Loop Fusion").
+//
+// "Consider two consecutive kernels X and Y, with Y following X directly. We
+// fuse X and Y if both kernels have the same access patterns (i.e., both are
+// GEMM kernels) and are independent. Two kernels are independent if Y doesn't
+// read from or write to any output of X, and Y does not write to any input
+// of X."
+//
+// A fused group lowers to one polly_cimBlasGemmBatched call; when the group
+// shares an input operand the batched job keeps it stationary in the
+// crossbar, writing it once instead of once per kernel — the endurance
+// "smart mapping" of Figure 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cim/context_regs.hpp"
+#include "core/detect.hpp"
+
+namespace tdo::core {
+
+struct FusionGroup {
+  /// Indices into DetectionResult::kernels, in program order (size >= 2).
+  std::vector<std::size_t> members;
+  cim::StationaryOperand stationary = cim::StationaryOperand::kB;
+  /// Name of the shared stationary operand ("" when none is shared and the
+  /// batching only saves runtime-call overhead).
+  std::string shared_operand;
+};
+
+/// True when GEMM kernels X then Y may be reordered into one batch.
+[[nodiscard]] bool kernels_independent(const GemmKernel& x, const GemmKernel& y);
+
+/// Finds fusable runs of adjacent GEMM kernels.
+[[nodiscard]] std::vector<FusionGroup> find_fusion_groups(
+    const DetectionResult& detection);
+
+}  // namespace tdo::core

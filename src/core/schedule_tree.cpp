@@ -1,0 +1,123 @@
+#include "core/schedule_tree.hpp"
+
+#include <sstream>
+
+namespace tdo::core {
+
+namespace {
+
+ScheduleNode build_node(const ir::Node& node);
+
+ScheduleNode build_body(const std::vector<ir::Node>& body) {
+  if (body.size() == 1) return build_node(body.front());
+  ScheduleNode seq;
+  seq.kind = ScheduleNodeKind::kSequence;
+  seq.children.reserve(body.size());
+  for (const ir::Node& n : body) seq.children.push_back(build_node(n));
+  return seq;
+}
+
+ScheduleNode build_node(const ir::Node& node) {
+  if (node.is_loop()) {
+    ScheduleNode band;
+    band.kind = ScheduleNodeKind::kBand;
+    band.loop = &node.loop();
+    band.children.push_back(build_body(node.loop().body));
+    return band;
+  }
+  ScheduleNode leaf_node;
+  leaf_node.kind = ScheduleNodeKind::kLeaf;
+  leaf_node.stmt = &node.stmt();
+  return leaf_node;
+}
+
+}  // namespace
+
+ScheduleNode build_schedule_tree(const ir::Function& fn) {
+  return build_body(fn.body);
+}
+
+std::string ScheduleNode::to_string(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case ScheduleNodeKind::kBand:
+      os << pad << "band(" << loop->iv << " : " << loop->lower.to_string()
+         << ".." << loop->upper.to_string() << ")\n";
+      break;
+    case ScheduleNodeKind::kSequence:
+      os << pad << "sequence\n";
+      break;
+    case ScheduleNodeKind::kLeaf:
+      os << pad << "leaf(" << stmt->name << ")\n";
+      break;
+    case ScheduleNodeKind::kMark:
+      os << pad << "mark(" << mark << ")\n";
+      break;
+  }
+  for (const ScheduleNode& child : children) os << child.to_string(indent + 1);
+  return os.str();
+}
+
+Matcher band(Matcher child) {
+  return Matcher{[child = std::move(child)](const ScheduleNode& node,
+                                            Captures& captures) {
+    return node.kind == ScheduleNodeKind::kBand && node.children.size() == 1 &&
+           child.matches(node.children.front(), captures);
+  }};
+}
+
+Matcher band(std::string capture, Matcher child) {
+  return Matcher{[capture = std::move(capture), child = std::move(child)](
+                     const ScheduleNode& node, Captures& captures) {
+    if (node.kind != ScheduleNodeKind::kBand || node.children.size() != 1 ||
+        !child.matches(node.children.front(), captures)) {
+      return false;
+    }
+    captures[capture] = &node;
+    return true;
+  }};
+}
+
+Matcher sequence(std::vector<Matcher> children) {
+  return Matcher{[children = std::move(children)](const ScheduleNode& node,
+                                                  Captures& captures) {
+    if (node.kind != ScheduleNodeKind::kSequence ||
+        node.children.size() != children.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (!children[i].matches(node.children[i], captures)) return false;
+    }
+    return true;
+  }};
+}
+
+Matcher leaf() {
+  return Matcher{[](const ScheduleNode& node, Captures&) {
+    return node.kind == ScheduleNodeKind::kLeaf;
+  }};
+}
+
+Matcher leaf(std::string capture) {
+  return Matcher{[capture = std::move(capture)](const ScheduleNode& node,
+                                                Captures& captures) {
+    if (node.kind != ScheduleNodeKind::kLeaf) return false;
+    captures[capture] = &node;
+    return true;
+  }};
+}
+
+Matcher any() {
+  return Matcher{[](const ScheduleNode&, Captures&) { return true; }};
+}
+
+Matcher any(std::string capture) {
+  return Matcher{[capture = std::move(capture)](const ScheduleNode& node,
+                                                Captures& captures) {
+    captures[capture] = &node;
+    return true;
+  }};
+}
+
+}  // namespace tdo::core

@@ -1,0 +1,78 @@
+// Schedule trees + declarative tree matchers (Loop Tactics).
+//
+// Polly represents each detected SCoP's execution strategy as a schedule
+// tree; Loop Tactics matches computational patterns with declarative tree
+// matchers and rewrites the tree (paper Section III, refs [18][19][21]).
+// Our schedule tree is a structural view over the loop-nest IR: band nodes
+// wrap loops, sequence nodes order siblings, leaves carry statements, and
+// mark nodes carry pass annotations. Matchers are the same combinator style
+// as Loop Tactics' `band(band(leaf()))`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace tdo::core {
+
+enum class ScheduleNodeKind { kBand, kSequence, kLeaf, kMark };
+
+/// One schedule-tree node. Band/leaf nodes reference (do not own) IR nodes
+/// of the function the tree was built from; the function must stay alive and
+/// unmodified while the tree is in use.
+struct ScheduleNode {
+  ScheduleNodeKind kind = ScheduleNodeKind::kLeaf;
+  const ir::Loop* loop = nullptr;  // kBand
+  const ir::Stmt* stmt = nullptr;  // kLeaf
+  std::string mark;                // kMark
+  std::vector<ScheduleNode> children;
+
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+};
+
+/// Builds the schedule tree of a function body (root is a sequence when the
+/// body has several top-level nodes).
+[[nodiscard]] ScheduleNode build_schedule_tree(const ir::Function& fn);
+
+// ---------------------------------------------------------------------------
+// Declarative matchers (Loop Tactics style)
+// ---------------------------------------------------------------------------
+
+/// Captured nodes by name after a successful match.
+using Captures = std::map<std::string, const ScheduleNode*>;
+
+/// A composable structural predicate over schedule trees.
+class Matcher {
+ public:
+  using Fn = std::function<bool(const ScheduleNode&, Captures&)>;
+
+  explicit Matcher(Fn fn) : fn_{std::move(fn)} {}
+
+  [[nodiscard]] bool matches(const ScheduleNode& node, Captures& captures) const {
+    return fn_(node, captures);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// band(child): matches a band node whose only child matches `child`.
+[[nodiscard]] Matcher band(Matcher child);
+/// band("name", child): same, capturing the band node.
+[[nodiscard]] Matcher band(std::string capture, Matcher child);
+/// sequence(children...): matches a sequence node with exactly these children.
+[[nodiscard]] Matcher sequence(std::vector<Matcher> children);
+/// leaf(): matches any statement leaf.
+[[nodiscard]] Matcher leaf();
+/// leaf("name"): captures the leaf.
+[[nodiscard]] Matcher leaf(std::string capture);
+/// any(): matches anything (wildcard).
+[[nodiscard]] Matcher any();
+/// any("name"): wildcard with capture.
+[[nodiscard]] Matcher any(std::string capture);
+
+}  // namespace tdo::core

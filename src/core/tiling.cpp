@@ -1,0 +1,71 @@
+#include "core/tiling.hpp"
+
+#include "ir/builder.hpp"
+
+namespace tdo::core {
+
+TilePlan plan_gemm_tiling(const GemmKernel& kernel, std::uint32_t crossbar_rows,
+                          std::uint32_t crossbar_cols,
+                          cim::StationaryOperand stationary) {
+  const std::int64_t cols_extent =
+      stationary == cim::StationaryOperand::kA ? kernel.m : kernel.n;
+  TilePlan plan;
+  plan.tile_k = std::min<std::int64_t>(kernel.k, crossbar_rows);
+  plan.tile_cols = std::min<std::int64_t>(cols_extent, crossbar_cols);
+  plan.needed =
+      kernel.k > crossbar_rows || cols_extent > crossbar_cols;
+  return plan;
+}
+
+ir::Function make_tiled_view(const ir::Function& fn, const GemmKernel& kernel,
+                             const TilePlan& plan) {
+  using namespace ir;  // NOLINT: builder DSL
+
+  Function out;
+  out.name = fn.name + "_tiled";
+  out.arrays = fn.arrays;
+  out.scalars = fn.scalars;
+
+  const std::int64_t tm = plan.tile_cols;
+  const std::int64_t tk = plan.tile_k;
+  const std::int64_t tn = plan.tile_cols;
+
+  // Optional beta-init hoisted in front: C[i][j] = beta * C[i][j].
+  if (kernel.beta != 1.0f) {
+    ExprPtr init_rhs =
+        kernel.beta == 0.0f
+            ? make_const(0.0)
+            : mul(make_const(kernel.beta),
+                  make_load(kernel.c, {iv("i"), iv("j")}));
+    out.body.push_back(make_loop(
+        "i", kernel.m,
+        {make_loop("j", kernel.n,
+                   {make_assign(ref(kernel.c, {iv("i"), iv("j")}), init_rhs)})}));
+  }
+
+  // Listing 3: tile loops ii, kk, jj (note the kk/jj interchange), then
+  // point loops i, j, k over min-clamped tile extents.
+  ExprPtr update = mul(mul(make_const(kernel.alpha),
+                           make_load(kernel.a, {iv("i"), iv("k")})),
+                       make_load(kernel.b, {iv("k"), iv("j")}));
+  Node point_k = make_loop(
+      "k", iv("kk"), Bound::min_of(iv("kk") + cst(tk), cst(kernel.k)), 1,
+      {make_accumulate(ref(kernel.c, {iv("i"), iv("j")}), update)});
+  Node point_j = make_loop(
+      "j", iv("jj"), Bound::min_of(iv("jj") + cst(tn), cst(kernel.n)), 1,
+      {std::move(point_k)});
+  Node point_i = make_loop(
+      "i", iv("ii"), Bound::min_of(iv("ii") + cst(tm), cst(kernel.m)), 1,
+      {std::move(point_j)});
+  Node tile_jj = make_loop("jj", cst(0), Bound::of(cst(kernel.n)), tn,
+                           {std::move(point_i)});
+  Node tile_kk = make_loop("kk", cst(0), Bound::of(cst(kernel.k)), tk,
+                           {std::move(tile_jj)});
+  Node tile_ii = make_loop("ii", cst(0), Bound::of(cst(kernel.m)), tm,
+                           {std::move(tile_kk)});
+  out.body.push_back(std::move(tile_ii));
+  out.renumber_statements();
+  return out;
+}
+
+}  // namespace tdo::core

@@ -1,0 +1,43 @@
+// CIM tiling pass (paper Section III-B, "Revisited Tiling Transformation",
+// Listing 3).
+//
+// When a stationary operand does not fit the crossbar, the kernel is split
+// into tiles that do. The interchange of the jj/kk tile loops makes
+// consecutive point-loop executions reuse the same stationary tile, so each
+// crossbar image is programmed exactly once (endurance). The offload pass
+// consumes the TilePlan; the tiled IR view exists so tools can display the
+// Listing-3 shape and tests can check host-side equivalence.
+#pragma once
+
+#include <cstdint>
+
+#include "cim/context_regs.hpp"
+#include "core/detect.hpp"
+#include "ir/program.hpp"
+
+namespace tdo::core {
+
+struct TilePlan {
+  bool needed = false;
+  /// Tile extent along the crossbar-row (reduction, k) dimension.
+  std::int64_t tile_k = 0;
+  /// Tile extent along the crossbar-column dimension (m for stationary A,
+  /// n for stationary B).
+  std::int64_t tile_cols = 0;
+};
+
+/// Plans tiling of `kernel` for a rows x cols crossbar with the given
+/// stationary operand.
+[[nodiscard]] TilePlan plan_gemm_tiling(const GemmKernel& kernel,
+                                        std::uint32_t crossbar_rows,
+                                        std::uint32_t crossbar_cols,
+                                        cim::StationaryOperand stationary);
+
+/// Builds the Listing-3 tiled + interchanged loop nest for a GEMM kernel
+/// (pure accumulation form; any beta-init statement is hoisted into its own
+/// ii/jj nest in front). The result is semantically equal to the original.
+[[nodiscard]] ir::Function make_tiled_view(const ir::Function& fn,
+                                           const GemmKernel& kernel,
+                                           const TilePlan& plan);
+
+}  // namespace tdo::core

@@ -1,0 +1,443 @@
+#include "exec/interpreter.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "support/log.hpp"
+
+namespace tdo::exec {
+
+using support::Status;
+using support::StatusOr;
+
+// ---------------------------------------------------------------------------
+// Prepared executable form
+// ---------------------------------------------------------------------------
+
+struct Interpreter::PreparedExpr {
+  enum class Kind { kLoad, kConst, kBin };
+  Kind kind = Kind::kConst;
+  // kLoad
+  const ArrayInfo* array = nullptr;
+  PreparedAffine offset;
+  // kConst (also used for scalar params, resolved at prepare time)
+  double value = 0.0;
+  // kBin
+  ir::BinOpKind op = ir::BinOpKind::kAdd;
+  std::unique_ptr<PreparedExpr> lhs;
+  std::unique_ptr<PreparedExpr> rhs;
+};
+
+struct Interpreter::PreparedStmt {
+  const ArrayInfo* array = nullptr;
+  PreparedAffine offset;
+  bool accumulate = false;
+  /// lhs address is invariant in the innermost enclosing loop: -O3 keeps the
+  /// accumulator in a register, so no per-iteration lhs load/store occurs.
+  bool lhs_promoted = false;
+  std::unique_ptr<PreparedExpr> rhs;
+  // Static per-execution instruction counts.
+  std::uint32_t fp_ops = 0;
+  std::uint32_t addr_int_ops = 0;
+};
+
+struct Interpreter::PreparedLoop {
+  int slot = 0;
+  PreparedAffine lower;
+  PreparedBound upper;
+  std::int64_t step = 1;
+  std::vector<PreparedNode> body;
+};
+
+struct Interpreter::PreparedNode {
+  std::variant<PreparedLoop, PreparedStmt> value;
+};
+
+Interpreter::Interpreter(sim::System& system, rt::CimRuntime* runtime,
+                         CostModelParams cost)
+    : system_{system}, runtime_{runtime}, cost_{cost} {}
+
+Interpreter::ArrayInfo* Interpreter::find_array(const std::string& name) {
+  const auto it = arrays_.find(name);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+const Interpreter::ArrayInfo* Interpreter::find_array(
+    const std::string& name) const {
+  const auto it = arrays_.find(name);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+Status Interpreter::prepare(const Program& program) {
+  if (prepared_) return Status::ok();
+  for (const ir::ArrayDecl& decl : program.arrays) {
+    auto va = system_.mmu().allocate(static_cast<std::uint64_t>(decl.bytes()));
+    if (!va.is_ok()) return va.status();
+    arrays_[decl.name] = ArrayInfo{decl, *va, 0};
+  }
+  for (const ir::ScalarDecl& s : program.scalars) scalars_[s.name] = s.value;
+  prepared_ = true;
+  return Status::ok();
+}
+
+Status Interpreter::set_array(const std::string& name,
+                              std::span<const float> data) {
+  const ArrayInfo* info = find_array(name);
+  if (info == nullptr) return support::not_found("unknown array " + name);
+  if (static_cast<std::int64_t>(data.size()) != info->decl.element_count()) {
+    return support::invalid_argument("size mismatch setting " + name);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto pa = system_.mmu().translate(info->host_va + i * 4);
+    if (!pa.is_ok()) return pa.status();
+    system_.memory().write_scalar<float>(*pa, data[i]);
+  }
+  return Status::ok();
+}
+
+StatusOr<std::vector<float>> Interpreter::get_array(const std::string& name) {
+  const ArrayInfo* info = find_array(name);
+  if (info == nullptr) return support::not_found("unknown array " + name);
+  std::vector<float> out(static_cast<std::size_t>(info->decl.element_count()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    auto pa = system_.mmu().translate(info->host_va + i * 4);
+    if (!pa.is_ok()) return pa.status();
+    out[i] = system_.memory().read_scalar<float>(*pa);
+  }
+  return out;
+}
+
+StatusOr<sim::VirtAddr> Interpreter::host_address(const std::string& name) const {
+  const ArrayInfo* info = find_array(name);
+  if (info == nullptr) return support::not_found("unknown array " + name);
+  return info->host_va;
+}
+
+StatusOr<sim::VirtAddr> Interpreter::dev_operand(const OperandRef& op,
+                                                 bool whole) {
+  const ArrayInfo* info = find_array(op.array);
+  if (info == nullptr) return support::not_found("unknown array " + op.array);
+  if (info->dev_va == 0) {
+    return support::failed_precondition("array " + op.array +
+                                        " has no device buffer");
+  }
+  if (whole) return info->dev_va;
+  return info->dev_va + (op.row_offset * op.ld + op.col_offset) * 4;
+}
+
+Status Interpreter::run(const Program& program) {
+  TDO_RETURN_IF_ERROR(prepare(program));
+  for (const ProgramItem& item : program.items) {
+    TDO_RETURN_IF_ERROR(exec_item(item));
+  }
+  return Status::ok();
+}
+
+Status Interpreter::exec_item(const ProgramItem& item) {
+  if (const auto* nest = std::get_if<HostNest>(&item)) {
+    return exec_nest(nest->body);
+  }
+  if (runtime_ == nullptr) {
+    return support::failed_precondition(
+        "program contains CIM runtime calls but no runtime is attached");
+  }
+  if (const auto* init = std::get_if<CimInitOp>(&item)) {
+    return runtime_->init(init->device);
+  }
+  if (const auto* malloc_op = std::get_if<CimMallocOp>(&item)) {
+    ArrayInfo* info = find_array(malloc_op->array);
+    if (info == nullptr) return support::not_found(malloc_op->array);
+    auto va =
+        runtime_->malloc_device(static_cast<std::uint64_t>(info->decl.bytes()));
+    if (!va.is_ok()) return va.status();
+    info->dev_va = *va;
+    return Status::ok();
+  }
+  if (const auto* h2d = std::get_if<CimHostToDevOp>(&item)) {
+    ArrayInfo* info = find_array(h2d->array);
+    if (info == nullptr) return support::not_found(h2d->array);
+    return runtime_->host_to_dev(info->dev_va, info->host_va,
+                                 static_cast<std::uint64_t>(info->decl.bytes()));
+  }
+  if (const auto* d2h = std::get_if<CimDevToHostOp>(&item)) {
+    ArrayInfo* info = find_array(d2h->array);
+    if (info == nullptr) return support::not_found(d2h->array);
+    return runtime_->dev_to_host(info->host_va, info->dev_va,
+                                 static_cast<std::uint64_t>(info->decl.bytes()));
+  }
+  if (const auto* free_op = std::get_if<CimFreeOp>(&item)) {
+    ArrayInfo* info = find_array(free_op->array);
+    if (info == nullptr) return support::not_found(free_op->array);
+    const Status s = runtime_->free_device(info->dev_va);
+    info->dev_va = 0;
+    return s;
+  }
+  if (const auto* gemm = std::get_if<CimGemmOp>(&item)) {
+    auto a = dev_operand(gemm->a);
+    if (!a.is_ok()) return a.status();
+    auto b = dev_operand(gemm->b);
+    if (!b.is_ok()) return b.status();
+    auto c = dev_operand(gemm->c);
+    if (!c.is_ok()) return c.status();
+    return runtime_->sgemm_with_stationary(gemm->m, gemm->n, gemm->k,
+                                           gemm->alpha, *a, gemm->a.ld, *b,
+                                           gemm->b.ld, gemm->beta, *c,
+                                           gemm->c.ld, gemm->stationary);
+  }
+  if (const auto* gemv = std::get_if<CimGemvOp>(&item)) {
+    auto a = dev_operand(gemv->a);
+    if (!a.is_ok()) return a.status();
+    const ArrayInfo* x = find_array(gemv->x);
+    const ArrayInfo* y = find_array(gemv->y);
+    if (x == nullptr || y == nullptr) return support::not_found("gemv vectors");
+    if (x->dev_va == 0 || y->dev_va == 0) {
+      return support::failed_precondition("gemv vectors not on device");
+    }
+    return runtime_->sgemv(gemv->transpose, gemv->m, gemv->n, gemv->alpha, *a,
+                           gemv->a.ld, x->dev_va, gemv->beta, y->dev_va);
+  }
+  if (const auto* batched = std::get_if<CimGemmBatchedOp>(&item)) {
+    std::vector<rt::GemmBatchItem> items(batched->a.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      auto a = dev_operand(batched->a[i]);
+      if (!a.is_ok()) return a.status();
+      auto b = dev_operand(batched->b[i]);
+      if (!b.is_ok()) return b.status();
+      auto c = dev_operand(batched->c[i]);
+      if (!c.is_ok()) return c.status();
+      items[i] = rt::GemmBatchItem{*a, *b, *c};
+    }
+    return runtime_->sgemm_batched(batched->m, batched->n, batched->k,
+                                   batched->alpha, items, batched->lda,
+                                   batched->ldb, batched->beta, batched->ldc,
+                                   batched->stationary);
+  }
+  return support::unimplemented("unknown program item");
+}
+
+// ---------------------------------------------------------------------------
+// Host nest preparation + execution
+// ---------------------------------------------------------------------------
+
+Status Interpreter::exec_nest(const std::vector<ir::Node>& body) {
+  // --- prepare: resolve names to slots/addresses once ---
+  struct PrepareContext {
+    std::map<std::string, int> slots;
+  } ctx;
+
+  std::function<Status(const ir::AffineExpr&, PreparedAffine*)> prep_affine =
+      [&](const ir::AffineExpr& e, PreparedAffine* out) -> Status {
+    out->constant = e.constant_term();
+    out->terms.clear();
+    for (const auto& [name, coeff] : e.coeffs()) {
+      const auto it = ctx.slots.find(name);
+      if (it == ctx.slots.end()) {
+        return support::internal_error("unbound iv " + name);
+      }
+      out->terms.emplace_back(it->second, coeff);
+    }
+    return Status::ok();
+  };
+
+  auto prep_access = [&](const std::string& array,
+                         const std::vector<ir::AffineExpr>& subs,
+                         const ArrayInfo** info_out,
+                         PreparedAffine* offset) -> Status {
+    const ArrayInfo* info = find_array(array);
+    if (info == nullptr) return support::not_found("array " + array);
+    *info_out = info;
+    // offset = sum_d subs[d] * stride_d with row-major strides.
+    ir::AffineExpr flat;
+    std::int64_t stride = 1;
+    for (std::size_t d = info->decl.dims.size(); d-- > 0;) {
+      flat += subs[d] * stride;
+      stride *= info->decl.dims[d];
+    }
+    return prep_affine(flat, offset);
+  };
+
+  std::function<StatusOr<std::unique_ptr<PreparedExpr>>(const ir::ExprPtr&,
+                                                        std::uint32_t*,
+                                                        std::uint32_t*)>
+      prep_expr = [&](const ir::ExprPtr& e, std::uint32_t* fp_ops,
+                      std::uint32_t* loads)
+      -> StatusOr<std::unique_ptr<PreparedExpr>> {
+    auto out = std::make_unique<PreparedExpr>();
+    if (const auto* load = std::get_if<ir::LoadExpr>(&e->node)) {
+      out->kind = PreparedExpr::Kind::kLoad;
+      TDO_RETURN_IF_ERROR(
+          prep_access(load->array, load->subscripts, &out->array, &out->offset));
+      ++*loads;
+      return out;
+    }
+    if (const auto* c = std::get_if<ir::ConstExpr>(&e->node)) {
+      out->kind = PreparedExpr::Kind::kConst;
+      out->value = c->value;
+      return out;
+    }
+    if (const auto* p = std::get_if<ir::ParamExpr>(&e->node)) {
+      const auto it = scalars_.find(p->name);
+      if (it == scalars_.end()) return support::not_found("scalar " + p->name);
+      out->kind = PreparedExpr::Kind::kConst;
+      out->value = it->second;
+      return out;
+    }
+    if (const auto* bin = std::get_if<ir::BinExpr>(&e->node)) {
+      out->kind = PreparedExpr::Kind::kBin;
+      out->op = bin->op;
+      auto lhs = prep_expr(bin->lhs, fp_ops, loads);
+      if (!lhs.is_ok()) return lhs.status();
+      auto rhs = prep_expr(bin->rhs, fp_ops, loads);
+      if (!rhs.is_ok()) return rhs.status();
+      out->lhs = std::move(lhs).value();
+      out->rhs = std::move(rhs).value();
+      ++*fp_ops;
+      return out;
+    }
+    return support::unimplemented(
+        "non-affine expression reached the interpreter");
+  };
+
+  std::function<StatusOr<std::vector<PreparedNode>>(const std::vector<ir::Node>&,
+                                                    int)>
+      prep_body = [&](const std::vector<ir::Node>& nodes,
+                      int depth) -> StatusOr<std::vector<PreparedNode>> {
+    std::vector<PreparedNode> out;
+    out.reserve(nodes.size());
+    for (const ir::Node& node : nodes) {
+      if (node.is_loop()) {
+        const ir::Loop& loop = node.loop();
+        if (depth >= 30) {
+          return support::invalid_argument("loop nest deeper than 30");
+        }
+        PreparedLoop prepared;
+        prepared.slot = depth;
+        TDO_RETURN_IF_ERROR(prep_affine(loop.lower, &prepared.lower));
+        ctx.slots[loop.iv] = depth;
+        TDO_RETURN_IF_ERROR(prep_affine(loop.upper.expr, &prepared.upper.expr));
+        if (loop.upper.min_with.has_value()) {
+          prepared.upper.has_min = true;
+          TDO_RETURN_IF_ERROR(
+              prep_affine(*loop.upper.min_with, &prepared.upper.min_with));
+        }
+        prepared.step = loop.step;
+        auto body_nodes = prep_body(loop.body, depth + 1);
+        if (!body_nodes.is_ok()) return body_nodes.status();
+        prepared.body = std::move(body_nodes).value();
+        ctx.slots.erase(loop.iv);
+        PreparedNode pn;
+        pn.value = std::move(prepared);
+        out.push_back(std::move(pn));
+      } else {
+        const ir::Stmt& stmt = node.stmt();
+        PreparedStmt prepared;
+        prepared.accumulate = stmt.accumulate;
+        TDO_RETURN_IF_ERROR(prep_access(stmt.lhs.array, stmt.lhs.subscripts,
+                                        &prepared.array, &prepared.offset));
+        std::uint32_t loads = 0;
+        auto rhs = prep_expr(stmt.rhs, &prepared.fp_ops, &loads);
+        if (!rhs.is_ok()) return rhs.status();
+        prepared.rhs = std::move(rhs).value();
+        if (stmt.accumulate) ++prepared.fp_ops;  // the += add
+        if (cost_.promote_accumulators && stmt.accumulate && depth > 0) {
+          const int innermost_slot = depth - 1;
+          prepared.lhs_promoted = true;
+          for (const auto& [slot, coeff] : prepared.offset.terms) {
+            if (slot == innermost_slot && coeff != 0) {
+              prepared.lhs_promoted = false;
+            }
+          }
+        }
+        const std::uint32_t lhs_accesses = prepared.lhs_promoted ? 0 : 1;
+        prepared.addr_int_ops = (loads + lhs_accesses) * cost_.int_ops_per_access;
+        PreparedNode pn;
+        pn.value = std::move(prepared);
+        out.push_back(std::move(pn));
+      }
+    }
+    return out;
+  };
+
+  auto prepared = prep_body(body, 0);
+  if (!prepared.is_ok()) return prepared.status();
+
+  // --- execute ---
+  auto& cpu = system_.cpu();
+  auto& mmu = system_.mmu();
+  auto& mem = system_.memory();
+  std::vector<std::int64_t> env(32, 0);
+
+  std::function<double(const PreparedExpr&)> eval =
+      [&](const PreparedExpr& e) -> double {
+    switch (e.kind) {
+      case PreparedExpr::Kind::kConst:
+        return e.value;
+      case PreparedExpr::Kind::kLoad: {
+        const std::int64_t off = e.offset.eval(env);
+        const auto pa = mmu.translate(e.array->host_va +
+                                      static_cast<std::uint64_t>(off) * 4);
+        assert(pa.is_ok());
+        cpu.load(*pa);
+        return static_cast<double>(mem.read_scalar<float>(*pa));
+      }
+      case PreparedExpr::Kind::kBin: {
+        const double l = eval(*e.lhs);
+        const double r = eval(*e.rhs);
+        switch (e.op) {
+          case ir::BinOpKind::kAdd: return l + r;
+          case ir::BinOpKind::kSub: return l - r;
+          case ir::BinOpKind::kMul: return l * r;
+          case ir::BinOpKind::kDiv: return l / r;
+        }
+        return 0.0;
+      }
+    }
+    return 0.0;
+  };
+
+  std::function<Status(const std::vector<PreparedNode>&)> run_nodes =
+      [&](const std::vector<PreparedNode>& nodes) -> Status {
+    for (const PreparedNode& node : nodes) {
+      if (const auto* loop = std::get_if<PreparedLoop>(&node.value)) {
+        const std::int64_t lo = loop->lower.eval(env);
+        std::uint32_t unroll_phase = 0;
+        for (std::int64_t i = lo;; i += loop->step) {
+          std::int64_t hi = loop->upper.expr.eval(env);
+          if (loop->upper.has_min) {
+            hi = std::min(hi, loop->upper.min_with.eval(env));
+          }
+          if (i >= hi) break;
+          env[static_cast<std::size_t>(loop->slot)] = i;
+          // Loop bookkeeping amortizes across the unroll factor at -O3.
+          if (unroll_phase == 0) {
+            cpu.issue(sim::InstBundle{.int_alu = cost_.loop_int_ops,
+                                      .branches = cost_.loop_branches});
+          }
+          if (++unroll_phase >= cost_.unroll_factor) unroll_phase = 0;
+          TDO_RETURN_IF_ERROR(run_nodes(loop->body));
+        }
+      } else {
+        const auto& stmt = std::get<PreparedStmt>(node.value);
+        ++stmts_executed_;
+        double value = eval(*stmt.rhs);
+        const std::int64_t off = stmt.offset.eval(env);
+        const auto pa = mmu.translate(stmt.array->host_va +
+                                      static_cast<std::uint64_t>(off) * 4);
+        if (!pa.is_ok()) return pa.status();
+        if (stmt.accumulate) {
+          if (!stmt.lhs_promoted) cpu.load(*pa);
+          value += static_cast<double>(mem.read_scalar<float>(*pa));
+        }
+        mem.write_scalar<float>(*pa, static_cast<float>(value));
+        if (!stmt.lhs_promoted) cpu.store(*pa);
+        cpu.issue(sim::InstBundle{.int_alu = stmt.addr_int_ops,
+                                  .fp_ops = stmt.fp_ops});
+      }
+    }
+    return Status::ok();
+  };
+
+  return run_nodes(*prepared);
+}
+
+}  // namespace tdo::exec

@@ -1,0 +1,91 @@
+#include "exec/program.hpp"
+
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace tdo::exec {
+
+namespace {
+
+void print_operand(std::ostringstream& os, const OperandRef& op) {
+  os << "cim_" << op.array;
+  if (op.row_offset != 0 || op.col_offset != 0) {
+    os << " + (" << op.row_offset << "*" << op.ld << " + " << op.col_offset
+       << ")";
+  }
+}
+
+}  // namespace
+
+std::string Program::to_source() const {
+  std::ostringstream os;
+  os << "// program " << name << " (lowered)\n";
+  for (const ProgramItem& item : items) {
+    if (const auto* nest = std::get_if<HostNest>(&item)) {
+      os << ir::to_source(nest->body, 0);
+    } else if (const auto* init = std::get_if<CimInitOp>(&item)) {
+      os << "polly_cimInit(" << init->device << ");\n";
+    } else if (const auto* malloc_op = std::get_if<CimMallocOp>(&item)) {
+      os << "polly_cimMalloc((void**)&cim_" << malloc_op->array << ", sizeof("
+         << malloc_op->array << "));\n";
+    } else if (const auto* h2d = std::get_if<CimHostToDevOp>(&item)) {
+      os << "polly_cimHostToDev(cim_" << h2d->array << ", " << h2d->array
+         << ", sizeof(" << h2d->array << "));\n";
+    } else if (const auto* d2h = std::get_if<CimDevToHostOp>(&item)) {
+      os << "polly_cimDevToHost(" << d2h->array << ", cim_" << d2h->array
+         << ", sizeof(" << d2h->array << "));\n";
+    } else if (const auto* free_op = std::get_if<CimFreeOp>(&item)) {
+      os << "polly_cimFree(cim_" << free_op->array << ");\n";
+    } else if (const auto* gemm = std::get_if<CimGemmOp>(&item)) {
+      os << "polly_cimBlasSGemm(0, 0, " << gemm->m << ", " << gemm->n << ", "
+         << gemm->k << ", &alpha /*" << gemm->alpha << "*/, ";
+      print_operand(os, gemm->a);
+      os << ", " << gemm->a.ld << ", ";
+      print_operand(os, gemm->b);
+      os << ", " << gemm->b.ld << ", &beta /*" << gemm->beta << "*/, ";
+      print_operand(os, gemm->c);
+      os << ", " << gemm->c.ld << ");\n";
+    } else if (const auto* gemv = std::get_if<CimGemvOp>(&item)) {
+      os << "polly_cimBlasSGemv(" << (gemv->transpose ? 1 : 0) << ", "
+         << gemv->m << ", " << gemv->n << ", &alpha /*" << gemv->alpha
+         << "*/, ";
+      print_operand(os, gemv->a);
+      os << ", " << gemv->a.ld << ", cim_" << gemv->x << ", &beta /*"
+         << gemv->beta << "*/, cim_" << gemv->y << ");\n";
+    } else if (const auto* batched = std::get_if<CimGemmBatchedOp>(&item)) {
+      os << "polly_cimBlasGemmBatched(" << batched->m << ", " << batched->n
+         << ", " << batched->k << ", &alpha /*" << batched->alpha << "*/, {";
+      for (std::size_t i = 0; i < batched->a.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_operand(os, batched->a[i]);
+      }
+      os << "}, " << batched->lda << ", {";
+      for (std::size_t i = 0; i < batched->b.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_operand(os, batched->b[i]);
+      }
+      os << "}, " << batched->ldb << ", &beta /*" << batched->beta << "*/, {";
+      for (std::size_t i = 0; i < batched->c.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_operand(os, batched->c[i]);
+      }
+      os << "}, " << batched->ldc << ", /*batch=*/" << batched->a.size()
+         << ", /*stationary=*/"
+         << (batched->stationary == cim::StationaryOperand::kA ? "A" : "B")
+         << ");\n";
+    }
+  }
+  return os.str();
+}
+
+Program host_only_program(const ir::Function& fn) {
+  Program program;
+  program.name = fn.name;
+  program.arrays = fn.arrays;
+  program.scalars = fn.scalars;
+  program.items.push_back(HostNest{fn.body});
+  return program;
+}
+
+}  // namespace tdo::exec

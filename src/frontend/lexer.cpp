@@ -1,0 +1,170 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace tdo::frontend {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kKernel: return "'kernel'";
+    case TokenKind::kArray: return "'array'";
+    case TokenKind::kFloat: return "'float'";
+    case TokenKind::kInt: return "'int'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+support::StatusOr<std::vector<Token>> tokenize(const std::string& source) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"kernel", TokenKind::kKernel}, {"array", TokenKind::kArray},
+      {"float", TokenKind::kFloat},   {"int", TokenKind::kInt},
+      {"for", TokenKind::kFor},
+  };
+
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto push = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++column;
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) != 0 ||
+              source[j] == '_')) {
+        ++j;
+      }
+      std::string word = source.substr(i, j - i);
+      const auto kw = kKeywords.find(word);
+      push(kw != kKeywords.end() ? kw->second : TokenKind::kIdent, word);
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[j])) != 0 ||
+              source[j] == '.' || source[j] == 'e' || source[j] == 'E' ||
+              ((source[j] == '+' || source[j] == '-') && j > i &&
+               (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        if (source[j] == '.' || source[j] == 'e' || source[j] == 'E') {
+          is_float = true;
+        }
+        ++j;
+      }
+      // Trailing f suffix.
+      if (j < source.size() && (source[j] == 'f' || source[j] == 'F')) {
+        is_float = true;
+        ++j;
+      }
+      std::string text = source.substr(i, j - i);
+      Token t;
+      t.line = line;
+      t.column = column;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kFloatLit;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = TokenKind::kIntLit;
+        t.int_value = std::stoll(text);
+        t.float_value = static_cast<double>(t.int_value);
+      }
+      tokens.push_back(std::move(t));
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    auto two = [&](char next) {
+      return i + 1 < source.size() && source[i + 1] == next;
+    };
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); break;
+      case ')': push(TokenKind::kRParen, ")"); break;
+      case '{': push(TokenKind::kLBrace, "{"); break;
+      case '}': push(TokenKind::kRBrace, "}"); break;
+      case '[': push(TokenKind::kLBracket, "["); break;
+      case ']': push(TokenKind::kRBracket, "]"); break;
+      case ';': push(TokenKind::kSemicolon, ";"); break;
+      case ',': push(TokenKind::kComma, ","); break;
+      case '<': push(TokenKind::kLess, "<"); break;
+      case '*': push(TokenKind::kStar, "*"); break;
+      case '/': push(TokenKind::kSlash, "/"); break;
+      case '=': push(TokenKind::kAssign, "="); break;
+      case '-': push(TokenKind::kMinus, "-"); break;
+      case '+':
+        if (two('+')) {
+          push(TokenKind::kPlusPlus, "++");
+          ++i;
+          ++column;
+        } else if (two('=')) {
+          push(TokenKind::kPlusAssign, "+=");
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::kPlus, "+");
+        }
+        break;
+      default:
+        return support::invalid_argument(
+            "unexpected character '" + std::string(1, c) + "' at line " +
+            std::to_string(line) + ":" + std::to_string(column));
+    }
+    ++i;
+    ++column;
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace tdo::frontend

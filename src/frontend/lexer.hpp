@@ -1,0 +1,47 @@
+// Lexer for the restricted C kernel language (the front-end of Figure 4).
+//
+// The accepted language is the subset of C that PolyBench kernels are
+// written in: `kernel` functions with integer/float parameters, `array`
+// declarations, affine `for` nests and assignment statements. See
+// frontend/parser.hpp for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace tdo::frontend {
+
+enum class TokenKind {
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // keywords
+  kKernel, kArray, kFloat, kInt, kFor,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemicolon, kComma,
+  // operators
+  kAssign, kPlusAssign, kPlus, kMinus, kStar, kSlash, kLess, kPlusPlus,
+  kEof,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`; returns all tokens ending with kEof, or a Status
+/// pointing at the first bad character.
+[[nodiscard]] support::StatusOr<std::vector<Token>> tokenize(
+    const std::string& source);
+
+}  // namespace tdo::frontend

@@ -1,0 +1,424 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "frontend/lexer.hpp"
+#include "ir/builder.hpp"
+
+namespace tdo::frontend {
+
+namespace {
+
+using ir::AffineExpr;
+using ir::Bound;
+using support::Status;
+using support::StatusOr;
+
+/// Parser state: token cursor + symbol tables.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_{std::move(tokens)} {}
+
+  StatusOr<ir::Function> parse();
+
+ private:
+  // --- cursor helpers ---
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] const Token& peek2() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  [[nodiscard]] Status error(const std::string& message) const {
+    return support::invalid_argument(message + " at line " +
+                                     std::to_string(peek().line) + ":" +
+                                     std::to_string(peek().column) +
+                                     " (got " + to_string(peek().kind) + ")");
+  }
+  Status expect(TokenKind kind, const char* what) {
+    if (match(kind)) return Status::ok();
+    return error(std::string("expected ") + what);
+  }
+
+  // --- symbol tables ---
+  [[nodiscard]] bool is_int_param(const std::string& name) const {
+    return int_params_.contains(name);
+  }
+  [[nodiscard]] bool is_scalar(const std::string& name) const {
+    for (const auto& s : fn_.scalars) {
+      if (s.name == name) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool is_array(const std::string& name) const {
+    return fn_.find_array(name) != nullptr;
+  }
+  [[nodiscard]] bool is_iv(const std::string& name) const {
+    return ivs_.contains(name);
+  }
+
+  // --- grammar rules ---
+  Status parse_params();
+  Status parse_array_decl();
+  StatusOr<ir::Node> parse_statement();
+  StatusOr<ir::Node> parse_for();
+  StatusOr<ir::Node> parse_assign();
+  StatusOr<std::vector<ir::Node>> parse_block_or_single();
+
+  /// Affine index expression (loop bounds and subscripts).
+  StatusOr<AffineExpr> parse_index_expr();
+  StatusOr<AffineExpr> parse_index_term();
+  StatusOr<AffineExpr> parse_index_factor();
+
+  /// General float-valued expression.
+  StatusOr<ir::ExprPtr> parse_expr();
+  StatusOr<ir::ExprPtr> parse_term();
+  StatusOr<ir::ExprPtr> parse_factor();
+
+  /// Subscript list for `array`; non-affine reads poison, writes error.
+  StatusOr<std::vector<AffineExpr>> parse_subscripts(const std::string& array,
+                                                     bool is_write,
+                                                     bool* poisoned);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ir::Function fn_;
+  std::map<std::string, std::int64_t> int_params_;
+  std::set<std::string> ivs_;
+  int stmt_counter_ = 0;
+};
+
+Status Parser::parse_params() {
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('"));
+  if (match(TokenKind::kRParen)) return Status::ok();
+  do {
+    if (!check(TokenKind::kIdent)) return error("expected parameter name");
+    const std::string name = advance().text;
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kAssign, "'='"));
+    const bool negative = match(TokenKind::kMinus);
+    if (check(TokenKind::kIntLit)) {
+      const Token& t = advance();
+      int_params_[name] = negative ? -t.int_value : t.int_value;
+    } else if (check(TokenKind::kFloatLit)) {
+      const Token& t = advance();
+      fn_.scalars.push_back(
+          ir::ScalarDecl{name, negative ? -t.float_value : t.float_value});
+    } else {
+      return error("expected numeric parameter value");
+    }
+  } while (match(TokenKind::kComma));
+  return expect(TokenKind::kRParen, "')'");
+}
+
+Status Parser::parse_array_decl() {
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kFloat, "'float'"));
+  if (!check(TokenKind::kIdent)) return error("expected array name");
+  ir::ArrayDecl decl;
+  decl.name = advance().text;
+  while (match(TokenKind::kLBracket)) {
+    auto dim = parse_index_expr();
+    if (!dim.is_ok()) return dim.status();
+    if (!dim->is_constant()) {
+      return error("array dimension must be a compile-time constant");
+    }
+    decl.dims.push_back(dim->constant_term());
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'"));
+  }
+  if (decl.dims.empty()) return error("array needs at least one dimension");
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'"));
+  fn_.arrays.push_back(std::move(decl));
+  return Status::ok();
+}
+
+StatusOr<AffineExpr> Parser::parse_index_factor() {
+  if (check(TokenKind::kIntLit)) {
+    return AffineExpr::constant(advance().int_value);
+  }
+  if (check(TokenKind::kIdent)) {
+    const std::string name = advance().text;
+    if (is_int_param(name)) return AffineExpr::constant(int_params_.at(name));
+    if (is_iv(name)) return AffineExpr::var(name);
+    return support::invalid_argument("unknown integer symbol '" + name +
+                                     "' in index expression");
+  }
+  if (match(TokenKind::kMinus)) {
+    auto inner = parse_index_factor();
+    if (!inner.is_ok()) return inner;
+    return *inner * -1;
+  }
+  if (match(TokenKind::kLParen)) {
+    auto inner = parse_index_expr();
+    if (!inner.is_ok()) return inner;
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'"));
+    return inner;
+  }
+  return error("expected index expression");
+}
+
+StatusOr<AffineExpr> Parser::parse_index_term() {
+  auto lhs = parse_index_factor();
+  if (!lhs.is_ok()) return lhs;
+  while (check(TokenKind::kStar)) {
+    advance();
+    auto rhs = parse_index_factor();
+    if (!rhs.is_ok()) return rhs;
+    // Affine multiplication: at least one side must be constant.
+    if (lhs->is_constant()) {
+      lhs = *rhs * lhs->constant_term();
+    } else if (rhs->is_constant()) {
+      lhs = *lhs * rhs->constant_term();
+    } else {
+      return support::invalid_argument(
+          "non-affine index expression (product of variables)");
+    }
+  }
+  return lhs;
+}
+
+StatusOr<AffineExpr> Parser::parse_index_expr() {
+  auto lhs = parse_index_term();
+  if (!lhs.is_ok()) return lhs;
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    const bool is_plus = advance().kind == TokenKind::kPlus;
+    auto rhs = parse_index_term();
+    if (!rhs.is_ok()) return rhs;
+    lhs = is_plus ? (*lhs + *rhs) : (*lhs - *rhs);
+  }
+  return lhs;
+}
+
+StatusOr<std::vector<AffineExpr>> Parser::parse_subscripts(
+    const std::string& array, bool is_write, bool* poisoned) {
+  std::vector<AffineExpr> subs;
+  while (match(TokenKind::kLBracket)) {
+    const std::size_t rewind = pos_;
+    auto sub = parse_index_expr();
+    if (!sub.is_ok()) {
+      if (is_write) {
+        return support::invalid_argument("non-affine write subscript on " +
+                                         array + ": " + sub.status().message());
+      }
+      // Skip tokens to the matching ']' and poison the load.
+      pos_ = rewind;
+      int depth = 1;
+      while (depth > 0 && !check(TokenKind::kEof)) {
+        if (check(TokenKind::kLBracket)) ++depth;
+        if (check(TokenKind::kRBracket)) --depth;
+        if (depth > 0) advance();
+      }
+      if (poisoned != nullptr) *poisoned = true;
+      subs.push_back(AffineExpr::constant(0));
+      TDO_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'"));
+      continue;
+    }
+    subs.push_back(*sub);
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'"));
+  }
+  return subs;
+}
+
+StatusOr<ir::ExprPtr> Parser::parse_factor() {
+  if (check(TokenKind::kFloatLit) || check(TokenKind::kIntLit)) {
+    return ir::make_const(advance().float_value);
+  }
+  if (match(TokenKind::kMinus)) {
+    auto inner = parse_factor();
+    if (!inner.is_ok()) return inner;
+    return ir::sub(ir::make_const(0.0), *inner);
+  }
+  if (match(TokenKind::kLParen)) {
+    auto inner = parse_expr();
+    if (!inner.is_ok()) return inner;
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'"));
+    return inner;
+  }
+  if (check(TokenKind::kIdent)) {
+    const std::string name = advance().text;
+    if (is_array(name)) {
+      bool poisoned = false;
+      auto subs = parse_subscripts(name, /*is_write=*/false, &poisoned);
+      if (!subs.is_ok()) return subs.status();
+      if (poisoned) {
+        return ir::make_non_affine("non-affine subscript on " + name);
+      }
+      if (subs->size() != fn_.find_array(name)->dims.size()) {
+        return error("subscript arity mismatch on " + name);
+      }
+      return ir::make_load(name, *std::move(subs));
+    }
+    if (is_scalar(name)) return ir::make_param(name);
+    if (is_int_param(name)) {
+      return ir::make_const(static_cast<double>(int_params_.at(name)));
+    }
+    return error("unknown symbol '" + name + "'");
+  }
+  return error("expected expression");
+}
+
+StatusOr<ir::ExprPtr> Parser::parse_term() {
+  auto lhs = parse_factor();
+  if (!lhs.is_ok()) return lhs;
+  while (check(TokenKind::kStar) || check(TokenKind::kSlash)) {
+    const auto op = advance().kind == TokenKind::kStar ? ir::BinOpKind::kMul
+                                                       : ir::BinOpKind::kDiv;
+    auto rhs = parse_factor();
+    if (!rhs.is_ok()) return rhs;
+    lhs = ir::make_binop(op, *lhs, *rhs);
+  }
+  return lhs;
+}
+
+StatusOr<ir::ExprPtr> Parser::parse_expr() {
+  auto lhs = parse_term();
+  if (!lhs.is_ok()) return lhs;
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    const auto op = advance().kind == TokenKind::kPlus ? ir::BinOpKind::kAdd
+                                                       : ir::BinOpKind::kSub;
+    auto rhs = parse_term();
+    if (!rhs.is_ok()) return rhs;
+    lhs = ir::make_binop(op, *lhs, *rhs);
+  }
+  return lhs;
+}
+
+StatusOr<ir::Node> Parser::parse_assign() {
+  if (!check(TokenKind::kIdent)) return error("expected statement");
+  const std::string array = advance().text;
+  if (!is_array(array)) return error("assignment to non-array '" + array + "'");
+  auto subs = parse_subscripts(array, /*is_write=*/true, nullptr);
+  if (!subs.is_ok()) return subs.status();
+  if (subs->size() != fn_.find_array(array)->dims.size()) {
+    return error("subscript arity mismatch on " + array);
+  }
+
+  bool accumulate = false;
+  if (match(TokenKind::kPlusAssign)) {
+    accumulate = true;
+  } else {
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kAssign, "'=' or '+='"));
+  }
+  auto rhs = parse_expr();
+  if (!rhs.is_ok()) return rhs.status();
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'"));
+
+  ir::Stmt stmt;
+  stmt.name = "S" + std::to_string(stmt_counter_++);
+  stmt.lhs = ir::AccessRef{array, *std::move(subs)};
+  stmt.accumulate = accumulate;
+  stmt.rhs = *std::move(rhs);
+  return ir::Node{std::move(stmt)};
+}
+
+StatusOr<std::vector<ir::Node>> Parser::parse_block_or_single() {
+  std::vector<ir::Node> body;
+  if (match(TokenKind::kLBrace)) {
+    while (!check(TokenKind::kRBrace)) {
+      auto stmt = parse_statement();
+      if (!stmt.is_ok()) return stmt.status();
+      body.push_back(*std::move(stmt));
+    }
+    TDO_RETURN_IF_ERROR(expect(TokenKind::kRBrace, "'}'"));
+    return body;
+  }
+  auto stmt = parse_statement();
+  if (!stmt.is_ok()) return stmt.status();
+  body.push_back(*std::move(stmt));
+  return body;
+}
+
+StatusOr<ir::Node> Parser::parse_for() {
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kFor, "'for'"));
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('"));
+  (void)match(TokenKind::kInt);
+  if (!check(TokenKind::kIdent)) return error("expected induction variable");
+  const std::string iv = advance().text;
+  if (is_iv(iv) || is_array(iv) || is_scalar(iv) || is_int_param(iv)) {
+    return error("induction variable '" + iv + "' shadows another symbol");
+  }
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kAssign, "'='"));
+  auto lower = parse_index_expr();
+  if (!lower.is_ok()) return lower.status();
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'"));
+
+  if (!check(TokenKind::kIdent) || peek().text != iv) {
+    return error("loop condition must test '" + iv + "'");
+  }
+  advance();
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kLess, "'<'"));
+  auto upper = parse_index_expr();
+  if (!upper.is_ok()) return upper.status();
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'"));
+
+  std::int64_t step = 1;
+  if (match(TokenKind::kPlusPlus)) {  // ++i
+    if (!check(TokenKind::kIdent) || advance().text != iv) {
+      return error("loop increment must update '" + iv + "'");
+    }
+  } else {
+    if (!check(TokenKind::kIdent) || peek().text != iv) {
+      return error("loop increment must update '" + iv + "'");
+    }
+    advance();
+    if (match(TokenKind::kPlusPlus)) {  // i++
+      step = 1;
+    } else if (match(TokenKind::kPlusAssign)) {  // i += c
+      if (!check(TokenKind::kIntLit)) return error("expected constant step");
+      step = advance().int_value;
+      if (step <= 0) return error("loop step must be positive");
+    } else {
+      return error("expected '++' or '+='");
+    }
+  }
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'"));
+
+  ivs_.insert(iv);
+  auto body = parse_block_or_single();
+  ivs_.erase(iv);
+  if (!body.is_ok()) return body.status();
+
+  return ir::make_loop(iv, *std::move(lower), Bound::of(*std::move(upper)),
+                       step, *std::move(body));
+}
+
+StatusOr<ir::Node> Parser::parse_statement() {
+  if (check(TokenKind::kFor)) return parse_for();
+  return parse_assign();
+}
+
+StatusOr<ir::Function> Parser::parse() {
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kKernel, "'kernel'"));
+  if (!check(TokenKind::kIdent)) return error("expected kernel name");
+  fn_.name = advance().text;
+  TDO_RETURN_IF_ERROR(parse_params());
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kLBrace, "'{'"));
+  while (!check(TokenKind::kRBrace)) {
+    if (match(TokenKind::kArray)) {
+      TDO_RETURN_IF_ERROR(parse_array_decl());
+    } else {
+      auto node = parse_statement();
+      if (!node.is_ok()) return node.status();
+      fn_.body.push_back(*std::move(node));
+    }
+  }
+  TDO_RETURN_IF_ERROR(expect(TokenKind::kRBrace, "'}'"));
+  TDO_RETURN_IF_ERROR(fn_.validate());
+  return std::move(fn_);
+}
+
+}  // namespace
+
+support::StatusOr<ir::Function> parse_kernel(const std::string& source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  Parser parser{*std::move(tokens)};
+  return parser.parse();
+}
+
+}  // namespace tdo::frontend

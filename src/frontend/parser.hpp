@@ -1,0 +1,38 @@
+// Recursive-descent parser for the restricted C kernel language.
+//
+// Grammar (EBNF):
+//   kernel      := 'kernel' IDENT '(' [param {',' param}] ')' '{' item* '}'
+//   param       := IDENT '=' (INT | FLOAT)
+//   item        := arrayDecl | statement
+//   arrayDecl   := 'array' 'float' IDENT ('[' dimExpr ']')+ ';'
+//   statement   := forLoop | assign
+//   forLoop     := 'for' '(' ['int'] IDENT '=' idxExpr ';'
+//                  IDENT '<' idxExpr ';' step ')' (block | statement)
+//   step        := IDENT '++' | '++' IDENT | IDENT '+=' INT
+//   block       := '{' statement* '}'
+//   assign      := access ('=' | '+=') expr ';'
+//   access      := IDENT ('[' idxExpr ']')*
+//   expr        := term  (('+'|'-') term)*
+//   term        := factor (('*'|'/') factor)*
+//   factor      := FLOAT | INT | access | IDENT | '(' expr ')' | '-' factor
+//
+// Integer parameters are substituted at parse time (PolyBench-style fixed
+// problem sizes); float parameters become ScalarDecls. Subscript expressions
+// must be affine in the enclosing induction variables; a non-affine *read*
+// subscript degrades the load to a NonAffineExpr poison node (so SCoP
+// detection rejects the nest, as Polly would), while a non-affine *write* is
+// a hard parse error.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+#include "support/status.hpp"
+
+namespace tdo::frontend {
+
+/// Parses one kernel definition into an IR function.
+[[nodiscard]] support::StatusOr<ir::Function> parse_kernel(
+    const std::string& source);
+
+}  // namespace tdo::frontend

@@ -1,0 +1,91 @@
+#include "ir/affine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdo::ir {
+
+std::int64_t AffineExpr::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  std::int64_t value = constant_;
+  for (const auto& [name, coeff] : coeffs_) {
+    const auto it = env.find(name);
+    if (it != env.end()) value += coeff * it->second;
+  }
+  return value;
+}
+
+AffineExpr AffineExpr::substitute(const std::string& name,
+                                  const AffineExpr& replacement) const {
+  const std::int64_t k = coeff(name);
+  if (k == 0) return *this;
+  AffineExpr out = *this;
+  out.coeffs_.erase(name);
+  out += replacement * k;
+  return out;
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& other) {
+  constant_ += other.constant_;
+  for (const auto& [name, coeff] : other.coeffs_) {
+    const std::int64_t merged = coeffs_[name] + coeff;
+    if (merged == 0) {
+      coeffs_.erase(name);
+    } else {
+      coeffs_[name] = merged;
+    }
+  }
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& other) {
+  *this += other * -1;
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator*=(std::int64_t k) {
+  if (k == 0) {
+    coeffs_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  constant_ *= k;
+  for (auto& [_, coeff] : coeffs_) coeff *= k;
+  return *this;
+}
+
+std::string AffineExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, coeff] : coeffs_) {
+    if (!first) os << (coeff >= 0 ? " + " : " - ");
+    const std::int64_t mag = first ? coeff : std::abs(coeff);
+    if (mag == 1) {
+      os << name;
+    } else if (mag == -1) {
+      os << "-" << name;
+    } else {
+      os << mag << "*" << name;
+    }
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (!first) os << (constant_ >= 0 ? " + " : " - ");
+    os << (first ? constant_ : std::abs(constant_));
+  }
+  return os.str();
+}
+
+std::int64_t Bound::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  const std::int64_t a = expr.evaluate(env);
+  if (!min_with) return a;
+  return std::min(a, min_with->evaluate(env));
+}
+
+std::string Bound::to_string() const {
+  if (!min_with) return expr.to_string();
+  return "min(" + expr.to_string() + ", " + min_with->to_string() + ")";
+}
+
+}  // namespace tdo::ir

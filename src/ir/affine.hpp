@@ -1,0 +1,117 @@
+// Affine expressions over loop induction variables.
+//
+// This is the quasi-affine fragment Polly's SCoP model is built on: every
+// loop bound and every array subscript in a detectable kernel must be of the
+// form  c0 + c1*i1 + ... + cn*in  with integer constants and enclosing-loop
+// induction variables. Anything else makes the enclosing region non-affine
+// and thus invisible to the detection passes (exactly like Polly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tdo::ir {
+
+/// c0 + sum(coeff[v] * v) with v ranging over induction-variable names.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  explicit AffineExpr(std::int64_t constant) : constant_{constant} {}
+
+  [[nodiscard]] static AffineExpr constant(std::int64_t c) { return AffineExpr{c}; }
+  [[nodiscard]] static AffineExpr var(const std::string& name,
+                                      std::int64_t coeff = 1) {
+    AffineExpr e;
+    if (coeff != 0) e.coeffs_[name] = coeff;
+    return e;
+  }
+
+  [[nodiscard]] std::int64_t constant_term() const { return constant_; }
+  [[nodiscard]] std::int64_t coeff(const std::string& name) const {
+    const auto it = coeffs_.find(name);
+    return it == coeffs_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& coeffs() const {
+    return coeffs_;
+  }
+
+  [[nodiscard]] bool is_constant() const { return coeffs_.empty(); }
+  /// True when this is exactly one variable with coefficient 1 and no offset.
+  [[nodiscard]] bool is_single_var() const {
+    return constant_ == 0 && coeffs_.size() == 1 &&
+           coeffs_.begin()->second == 1;
+  }
+  /// Name of the single variable (requires at least one term).
+  [[nodiscard]] std::optional<std::string> single_var() const {
+    if (coeffs_.size() != 1 || coeffs_.begin()->second != 1 || constant_ != 0) {
+      return std::nullopt;
+    }
+    return coeffs_.begin()->first;
+  }
+  /// True when the expression mentions `name`.
+  [[nodiscard]] bool uses(const std::string& name) const {
+    return coeff(name) != 0;
+  }
+
+  /// Evaluates under an environment mapping iv names to values; missing
+  /// variables evaluate as 0.
+  [[nodiscard]] std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+
+  /// Substitutes variable `name` with `replacement` (affine composition).
+  [[nodiscard]] AffineExpr substitute(const std::string& name,
+                                      const AffineExpr& replacement) const;
+
+  AffineExpr& operator+=(const AffineExpr& other);
+  AffineExpr& operator-=(const AffineExpr& other);
+  AffineExpr& operator*=(std::int64_t k);
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) {
+    a += b;
+    return a;
+  }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) {
+    a -= b;
+    return a;
+  }
+  friend AffineExpr operator*(AffineExpr a, std::int64_t k) {
+    a *= k;
+    return a;
+  }
+  friend bool operator==(const AffineExpr& a, const AffineExpr& b) {
+    return a.constant_ == b.constant_ && a.coeffs_ == b.coeffs_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t constant_ = 0;
+  std::map<std::string, std::int64_t> coeffs_;  // name -> coefficient
+};
+
+/// Loop bound: an affine expression, optionally clamped by a second one
+/// (min(a, b)), which is what tail tiles produced by tiling need.
+struct Bound {
+  AffineExpr expr;
+  std::optional<AffineExpr> min_with;
+
+  [[nodiscard]] static Bound of(AffineExpr e) { return Bound{std::move(e), {}}; }
+  [[nodiscard]] static Bound min_of(AffineExpr a, AffineExpr b) {
+    return Bound{std::move(a), std::move(b)};
+  }
+
+  [[nodiscard]] std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_constant() const {
+    return expr.is_constant() && (!min_with || min_with->is_constant());
+  }
+
+  friend bool operator==(const Bound& a, const Bound& b) {
+    return a.expr == b.expr && a.min_with == b.min_with;
+  }
+};
+
+}  // namespace tdo::ir

@@ -1,0 +1,53 @@
+#include "ir/builder.hpp"
+
+namespace tdo::ir {
+
+Node make_loop(std::string iv_name, std::int64_t extent, std::vector<Node> body) {
+  return make_loop(std::move(iv_name), cst(0), Bound::of(cst(extent)), 1,
+                   std::move(body));
+}
+
+Node make_loop(std::string iv_name, AffineExpr lower, Bound upper,
+               std::int64_t step, std::vector<Node> body) {
+  Loop loop;
+  loop.iv = std::move(iv_name);
+  loop.lower = std::move(lower);
+  loop.upper = std::move(upper);
+  loop.step = step;
+  loop.body = std::move(body);
+  return Node{std::move(loop)};
+}
+
+Node make_assign(AccessRef lhs, ExprPtr rhs) {
+  Stmt stmt;
+  stmt.lhs = std::move(lhs);
+  stmt.accumulate = false;
+  stmt.rhs = std::move(rhs);
+  return Node{std::move(stmt)};
+}
+
+Node make_accumulate(AccessRef lhs, ExprPtr rhs) {
+  Stmt stmt;
+  stmt.lhs = std::move(lhs);
+  stmt.accumulate = true;
+  stmt.rhs = std::move(rhs);
+  return Node{std::move(stmt)};
+}
+
+AccessRef ref(std::string array, std::vector<AffineExpr> subs) {
+  return AccessRef{std::move(array), std::move(subs)};
+}
+
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return make_binop(BinOpKind::kMul, std::move(a), std::move(b));
+}
+
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  return make_binop(BinOpKind::kAdd, std::move(a), std::move(b));
+}
+
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return make_binop(BinOpKind::kSub, std::move(a), std::move(b));
+}
+
+}  // namespace tdo::ir

@@ -1,0 +1,46 @@
+// Fluent construction helpers for IR functions.
+//
+// Tests and the PolyBench kernel library build loop nests either through the
+// front-end (from C text) or through this builder; both paths produce
+// identical IR, which the front-end tests assert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace tdo::ir {
+
+/// Shorthand: affine expression naming a loop iv.
+[[nodiscard]] inline AffineExpr iv(const std::string& name) {
+  return AffineExpr::var(name);
+}
+/// Shorthand: constant affine expression.
+[[nodiscard]] inline AffineExpr cst(std::int64_t value) {
+  return AffineExpr::constant(value);
+}
+
+/// Builds `for (iv = 0; iv < extent; ++iv) body`.
+[[nodiscard]] Node make_loop(std::string iv_name, std::int64_t extent,
+                             std::vector<Node> body);
+
+/// Builds a general loop.
+[[nodiscard]] Node make_loop(std::string iv_name, AffineExpr lower, Bound upper,
+                             std::int64_t step, std::vector<Node> body);
+
+/// Builds an assignment statement node.
+[[nodiscard]] Node make_assign(AccessRef lhs, ExprPtr rhs);
+
+/// Builds an accumulation (`+=`) statement node.
+[[nodiscard]] Node make_accumulate(AccessRef lhs, ExprPtr rhs);
+
+/// Access shorthand: ref("C", {iv("i"), iv("j")}).
+[[nodiscard]] AccessRef ref(std::string array, std::vector<AffineExpr> subs);
+
+/// Expression product / sum chains.
+[[nodiscard]] ExprPtr mul(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr add(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr sub(ExprPtr a, ExprPtr b);
+
+}  // namespace tdo::ir

@@ -1,0 +1,160 @@
+// Loop-nest intermediate representation.
+//
+// The role LLVM-IR + Polly's SCoP abstraction play in the paper is filled by
+// this IR: functions contain (possibly imperfect) loop nests over affine
+// bounds whose statements read/write arrays through affine subscripts.
+// The front-end lowers restricted C into it; the core passes analyze and
+// rewrite it; the exec interpreter runs it against the simulated host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "support/status.hpp"
+
+namespace tdo::ir {
+
+enum class BinOpKind { kAdd, kSub, kMul, kDiv };
+
+[[nodiscard]] const char* to_string(BinOpKind op);
+
+struct Expr;
+/// Expression trees are immutable and shared (SCEV-style): rewrites build
+/// new trees instead of mutating, so subtrees can be reused freely.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Array read with affine subscripts, e.g. A[i][k].
+struct LoadExpr {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+};
+
+/// Floating-point literal.
+struct ConstExpr {
+  double value = 0.0;
+};
+
+/// Scalar kernel parameter (alpha, beta, ...) with its bound value.
+struct ParamExpr {
+  std::string name;
+};
+
+/// Binary arithmetic.
+struct BinExpr {
+  BinOpKind op = BinOpKind::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// Non-affine subscript marker: produced by the front-end when a subscript
+/// is not affine (e.g. A[i*i]); poisons SCoP detection like Polly's
+// "non-affine access" rejection.
+struct NonAffineExpr {
+  std::string reason;
+};
+
+struct Expr {
+  std::variant<LoadExpr, ConstExpr, ParamExpr, BinExpr, NonAffineExpr> node;
+};
+
+[[nodiscard]] ExprPtr make_load(std::string array,
+                                std::vector<AffineExpr> subscripts);
+[[nodiscard]] ExprPtr make_const(double value);
+[[nodiscard]] ExprPtr make_param(std::string name);
+[[nodiscard]] ExprPtr make_binop(BinOpKind op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr make_non_affine(std::string reason);
+
+/// Array element written by a statement.
+struct AccessRef {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+};
+
+/// One assignment statement:  lhs = rhs   or   lhs += rhs.
+struct Stmt {
+  std::string name;  // S0, S1, ... unique within the function
+  AccessRef lhs;
+  bool accumulate = false;  // true for +=
+  ExprPtr rhs;
+};
+
+struct Loop;
+
+/// A body element: nested loop or statement.
+struct Node;
+
+struct Loop {
+  std::string iv;
+  AffineExpr lower;  // inclusive
+  Bound upper;       // exclusive
+  std::int64_t step = 1;
+  std::vector<Node> body;
+};
+
+struct Node {
+  std::variant<Loop, Stmt> value;
+
+  [[nodiscard]] bool is_loop() const { return std::holds_alternative<Loop>(value); }
+  [[nodiscard]] bool is_stmt() const { return std::holds_alternative<Stmt>(value); }
+  [[nodiscard]] const Loop& loop() const { return std::get<Loop>(value); }
+  [[nodiscard]] Loop& loop() { return std::get<Loop>(value); }
+  [[nodiscard]] const Stmt& stmt() const { return std::get<Stmt>(value); }
+  [[nodiscard]] Stmt& stmt() { return std::get<Stmt>(value); }
+};
+
+/// Declared array: name + constant dimensions (elements are float).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::int64_t> dims;
+
+  [[nodiscard]] std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const auto d : dims) n *= d;
+    return n;
+  }
+  [[nodiscard]] std::int64_t bytes() const { return element_count() * 4; }
+};
+
+/// Scalar parameter with its compile-time value (PolyBench alpha/beta).
+struct ScalarDecl {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A compilable function: declarations + a loop-nest body.
+struct Function {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<Node> body;
+
+  [[nodiscard]] const ArrayDecl* find_array(const std::string& array_name) const;
+  [[nodiscard]] const ScalarDecl* find_scalar(const std::string& scalar_name) const;
+  [[nodiscard]] double scalar_value(const std::string& scalar_name,
+                                    double fallback = 0.0) const;
+
+  /// Assigns fresh statement names S0.. in pre-order (used after rewrites).
+  void renumber_statements();
+
+  /// Structural sanity checks: declared arrays, subscript arity, iv scoping.
+  [[nodiscard]] support::Status validate() const;
+};
+
+/// Visits every statement in pre-order.
+void for_each_stmt(const std::vector<Node>& body,
+                   const std::function<void(const Stmt&)>& fn);
+
+/// Collects all loads in an expression tree (pre-order).
+void collect_loads(const ExprPtr& expr, std::vector<const LoadExpr*>& out);
+
+/// True when expression contains a NonAffineExpr node.
+[[nodiscard]] bool has_non_affine(const ExprPtr& expr);
+
+}  // namespace tdo::ir

@@ -1,0 +1,22 @@
+#include "pcm/adc.hpp"
+
+#include <algorithm>
+
+namespace tdo::pcm {
+
+std::int64_t AdcArray::convert(std::int64_t raw) {
+  ++conversions_;
+  if (!params_.saturate) return raw;
+  const std::int64_t max_code = (std::int64_t{1} << params_.bits) - 1;
+  if (raw > max_code) {
+    ++saturations_;
+    return max_code;
+  }
+  if (raw < 0) {
+    ++saturations_;
+    return 0;
+  }
+  return raw;
+}
+
+}  // namespace tdo::pcm

@@ -1,0 +1,133 @@
+#include "pcm/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/fixed_point.hpp"
+
+namespace tdo::pcm {
+
+namespace {
+/// Unsigned offset-binary image of a signed 8-bit value.
+[[nodiscard]] constexpr std::uint8_t to_offset(std::int8_t v) {
+  return static_cast<std::uint8_t>(static_cast<int>(v) + 128);
+}
+[[nodiscard]] constexpr std::int8_t from_offset(std::uint8_t u) {
+  return static_cast<std::int8_t>(static_cast<int>(u) - 128);
+}
+}  // namespace
+
+Crossbar::Crossbar(CrossbarParams params)
+    : params_{params}, phys_cols_{params.cols * 2} {
+  cells_.assign(static_cast<std::size_t>(params_.rows) * phys_cols_,
+                PcmCell{params_.cell});
+  column_weight_sums_.assign(params_.cols, 0);
+}
+
+std::uint64_t Crossbar::write_row(std::uint32_t row,
+                                  std::span<const std::int8_t> weights,
+                                  bool clear_tail) {
+  assert(row < params_.rows);
+  assert(weights.size() <= params_.cols);
+  const std::uint32_t end =
+      clear_tail ? params_.cols : static_cast<std::uint32_t>(weights.size());
+  std::uint64_t writes = 0;
+  for (std::uint32_t c = 0; c < end; ++c) {
+    const std::int8_t w = c < weights.size() ? weights[c] : std::int8_t{0};
+    const std::uint8_t u = to_offset(w);
+    // Maintain the per-column unsigned sum for offset correction.
+    const std::uint8_t old_u = to_offset(weight_at(row, c));
+    column_weight_sums_[c] += static_cast<std::int64_t>(u) - old_u;
+    cell(row, 2 * c).program(static_cast<std::uint8_t>(u >> 4));
+    cell(row, 2 * c + 1).program(static_cast<std::uint8_t>(u & 0xF));
+    writes += 2;
+  }
+  total_cell_writes_ += writes;
+  return writes;
+}
+
+GemvResult Crossbar::gemv(std::span<const std::int8_t> inputs,
+                          std::uint32_t active_rows, std::uint32_t active_cols,
+                          support::Rng* rng) const {
+  assert(active_rows <= params_.rows);
+  assert(active_cols <= params_.cols);
+  assert(inputs.size() >= active_rows);
+
+  // Input offset sum, computed by the digital logic at the row buffers.
+  std::int64_t input_sum_u = 0;
+  for (std::uint32_t r = 0; r < active_rows; ++r) {
+    input_sum_u += to_offset(inputs[r]);
+  }
+
+  GemvResult result;
+  result.acc.assign(active_cols, 0);
+
+  const bool noisy = rng != nullptr && params_.cell.read_noise_sigma > 0.0;
+  const double g_min = params_.cell.g_min_siemens;
+  const double g_span = params_.cell.g_max_siemens - g_min;
+  const double level_max = 15.0;
+
+  for (std::uint32_t c = 0; c < active_cols; ++c) {
+    std::int64_t acc_u;  // sum over rows of in_u * w_u for this column
+    if (!noisy) {
+      // Exact digital-equivalent evaluation of the two nibble columns.
+      std::int64_t msb_sum = 0;
+      std::int64_t lsb_sum = 0;
+      for (std::uint32_t r = 0; r < active_rows; ++r) {
+        const auto in_u = static_cast<std::int64_t>(to_offset(inputs[r]));
+        msb_sum += in_u * cell(r, 2 * c).level();
+        lsb_sum += in_u * cell(r, 2 * c + 1).level();
+      }
+      acc_u = 16 * msb_sum + lsb_sum;  // digital weighted sum (Section II-B)
+    } else {
+      // Analog path: currents through noisy conductances, converted back to
+      // level units before the weighted sum, mimicking per-column ADCs.
+      double msb_current = 0.0;
+      double lsb_current = 0.0;
+      for (std::uint32_t r = 0; r < active_rows; ++r) {
+        const auto in_u = static_cast<double>(to_offset(inputs[r]));
+        msb_current += in_u * (cell(r, 2 * c).conductance(rng) - g_min);
+        lsb_current += in_u * (cell(r, 2 * c + 1).conductance(rng) - g_min);
+      }
+      const double to_levels = level_max / g_span;
+      acc_u = 16 * static_cast<std::int64_t>(std::llround(msb_current * to_levels)) +
+              static_cast<std::int64_t>(std::llround(lsb_current * to_levels));
+    }
+    // Offset correction: sum (in_u - 128)(w_u - 128)
+    //   = sum in_u*w_u - 128*sum(in_u) - 128*sum(w_u over active rows) + 128^2*n.
+    // column_weight_sums_ covers all rows; inactive rows hold offset-zero
+    // (u=128) only if programmed; to stay exact we recompute the active-row
+    // weight sum digitally — this is the "mask register" role of the
+    // row buffers (Section II-B).
+    std::int64_t weight_sum_u = 0;
+    for (std::uint32_t r = 0; r < active_rows; ++r) {
+      weight_sum_u += to_offset(weight_at(r, c));
+    }
+    const std::int64_t n = active_rows;
+    const std::int64_t corrected =
+        acc_u - 128 * input_sum_u - 128 * weight_sum_u + 128LL * 128LL * n;
+    result.acc[c] = static_cast<std::int32_t>(corrected);
+  }
+  return result;
+}
+
+std::int8_t Crossbar::weight_at(std::uint32_t row, std::uint32_t col) const {
+  const std::uint8_t u = static_cast<std::uint8_t>(
+      (cell(row, 2 * col).level() << 4) | cell(row, 2 * col + 1).level());
+  return from_offset(u);
+}
+
+std::uint64_t Crossbar::max_cell_writes() const {
+  std::uint64_t max_writes = 0;
+  for (const PcmCell& c : cells_) max_writes = std::max(max_writes, c.writes());
+  return max_writes;
+}
+
+std::uint64_t Crossbar::worn_cells() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(cells_.begin(), cells_.end(),
+                    [](const PcmCell& c) { return c.worn_out(); }));
+}
+
+}  // namespace tdo::pcm

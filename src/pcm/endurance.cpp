@@ -1,0 +1,25 @@
+#include "pcm/endurance.hpp"
+
+namespace tdo::pcm {
+
+double system_lifetime_years(std::uint64_t cell_endurance_writes,
+                             std::uint64_t crossbar_bytes,
+                             const WriteTraffic& traffic) {
+  const double bw = traffic.bytes_per_second();
+  if (bw <= 0.0) return 0.0;
+  const double seconds = static_cast<double>(cell_endurance_writes) *
+                         static_cast<double>(crossbar_bytes) / bw;
+  return seconds / kSecondsPerYear;
+}
+
+double system_lifetime_years_from_bw(std::uint64_t cell_endurance_writes,
+                                     std::uint64_t crossbar_bytes,
+                                     double write_traffic_gb_per_s) {
+  if (write_traffic_gb_per_s <= 0.0) return 0.0;
+  const double seconds = static_cast<double>(cell_endurance_writes) *
+                         static_cast<double>(crossbar_bytes) /
+                         (write_traffic_gb_per_s * 1e9);
+  return seconds / kSecondsPerYear;
+}
+
+}  // namespace tdo::pcm

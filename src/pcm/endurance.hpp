@@ -1,0 +1,42 @@
+// PCM endurance / system lifetime model — Equation (1) of the paper:
+//
+//     SystemLifeTime = CellEndurance * S / B
+//
+// with S the crossbar size (bytes) and B the write traffic (bytes/s) of the
+// kernel, assuming writes localized uniformly across the crossbar. Figure 5
+// sweeps CellEndurance over 10..40 million writes and compares the naive
+// mapping against TDO-CIM's fusion-aware "smart" mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace tdo::pcm {
+
+/// Aggregate write-traffic observation for one kernel execution.
+struct WriteTraffic {
+  std::uint64_t bytes_written = 0;       // total bytes programmed to crossbar
+  support::Duration execution_time;      // kernel wall time
+
+  /// Write bandwidth B in bytes/second.
+  [[nodiscard]] double bytes_per_second() const {
+    const double secs = execution_time.seconds();
+    if (secs <= 0.0) return 0.0;
+    return static_cast<double>(bytes_written) / secs;
+  }
+};
+
+/// Expected system lifetime in years, Eq. (1).
+[[nodiscard]] double system_lifetime_years(std::uint64_t cell_endurance_writes,
+                                           std::uint64_t crossbar_bytes,
+                                           const WriteTraffic& traffic);
+
+/// Same equation with bandwidth given directly in GB/s (the paper's units).
+[[nodiscard]] double system_lifetime_years_from_bw(
+    std::uint64_t cell_endurance_writes, std::uint64_t crossbar_bytes,
+    double write_traffic_gb_per_s);
+
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+}  // namespace tdo::pcm

@@ -1,0 +1,75 @@
+// Energy / latency model of the CIM accelerator — the "CIM Parameter" half
+// of the paper's Table I, centralized so every component and every bench
+// charges identical constants.
+//
+// Interpretation choices (documented in DESIGN.md Section 4):
+//  * compute latency 1 us  = one full crossbar GEMV evaluation;
+//  * write latency 2.5 us  = one row-parallel programming step (256 8-bit
+//    weights programmed concurrently; rows programmed sequentially);
+//  * compute energy 200 fJ per 8-bit MAC (two 4-bit cells);
+//  * write energy 200 pJ per 8-bit weight (two 4-bit cells);
+//  * mixed-signal (DAC + S&H + ADC) 3.9 nJ per GEMV;
+//  * digital logic 40 pJ per GEMV weighted-sum + 2.11 pJ per extra ALU op;
+//  * row/column/output buffers 5.4 pJ per byte access;
+//  * DMA + micro-engine 0.78 nJ per offloaded operation chunk.
+#pragma once
+
+#include <cstdint>
+
+#include "support/units.hpp"
+
+namespace tdo::pcm {
+
+struct CimEnergyParams {
+  support::Energy compute_per_mac8 = support::Energy::from_fj(200);
+  support::Energy write_per_weight8 = support::Energy::from_pj(200);
+  support::Energy mixed_signal_per_gemv = support::Energy::from_nj(3.9);
+  support::Energy digital_weighted_sum_per_gemv = support::Energy::from_pj(40);
+  support::Energy digital_per_extra_alu_op = support::Energy::from_pj(2.11);
+  support::Energy buffer_per_byte_access = support::Energy::from_pj(5.4);
+  support::Energy dma_engine_per_op = support::Energy::from_nj(0.78);
+
+  support::Duration compute_latency_per_gemv = support::Duration::from_us(1.0);
+  support::Duration write_latency_per_row = support::Duration::from_us(2.5);
+};
+
+/// Stateless calculator over the Table I constants.
+class CimEnergyModel {
+ public:
+  explicit CimEnergyModel(CimEnergyParams params = {}) : params_{params} {}
+
+  [[nodiscard]] const CimEnergyParams& params() const { return params_; }
+
+  [[nodiscard]] support::Energy compute_energy(std::uint64_t mac8_ops) const {
+    return params_.compute_per_mac8 * static_cast<double>(mac8_ops);
+  }
+  [[nodiscard]] support::Energy write_energy(std::uint64_t weights8) const {
+    return params_.write_per_weight8 * static_cast<double>(weights8);
+  }
+  [[nodiscard]] support::Energy mixed_signal_energy(std::uint64_t gemvs) const {
+    return params_.mixed_signal_per_gemv * static_cast<double>(gemvs);
+  }
+  [[nodiscard]] support::Energy digital_energy(std::uint64_t gemvs,
+                                               std::uint64_t extra_alu_ops) const {
+    return params_.digital_weighted_sum_per_gemv * static_cast<double>(gemvs) +
+           params_.digital_per_extra_alu_op * static_cast<double>(extra_alu_ops);
+  }
+  [[nodiscard]] support::Energy buffer_energy(std::uint64_t byte_accesses) const {
+    return params_.buffer_per_byte_access * static_cast<double>(byte_accesses);
+  }
+  [[nodiscard]] support::Energy dma_energy(std::uint64_t ops) const {
+    return params_.dma_engine_per_op * static_cast<double>(ops);
+  }
+
+  [[nodiscard]] support::Duration compute_latency(std::uint64_t gemvs) const {
+    return params_.compute_latency_per_gemv * static_cast<double>(gemvs);
+  }
+  [[nodiscard]] support::Duration write_latency(std::uint64_t rows) const {
+    return params_.write_latency_per_row * static_cast<double>(rows);
+  }
+
+ private:
+  CimEnergyParams params_;
+};
+
+}  // namespace tdo::pcm

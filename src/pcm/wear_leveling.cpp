@@ -1,0 +1,36 @@
+#include "pcm/wear_leveling.hpp"
+
+#include <cassert>
+
+namespace tdo::pcm {
+
+StartGapRemapper::StartGapRemapper(std::uint32_t rows,
+                                   std::uint32_t gap_move_interval)
+    : rows_{rows}, interval_{gap_move_interval}, gap_{rows}, start_{0} {
+  assert(rows > 0 && gap_move_interval > 0);
+}
+
+std::uint32_t StartGapRemapper::physical_row(std::uint32_t logical_row) const {
+  assert(logical_row < rows_);
+  // Qureshi et al.: PA = (LA + Start) mod N, then skip over the gap slot.
+  const std::uint32_t slot = (logical_row + start_) % rows_;
+  return slot >= gap_ ? slot + 1 : slot;
+}
+
+bool StartGapRemapper::record_write() {
+  if (++writes_since_move_ < interval_) return false;
+  writes_since_move_ = 0;
+  ++gap_moves_;
+  // Move the gap one slot toward lower indices; when it would leave the
+  // array the mapping has rotated by one full position: Start advances and
+  // the gap re-enters at the top (one row migration either way).
+  if (gap_ == 0) {
+    gap_ = rows_;
+    start_ = (start_ + 1) % rows_;
+  } else {
+    --gap_;
+  }
+  return true;
+}
+
+}  // namespace tdo::pcm

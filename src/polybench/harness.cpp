@@ -1,0 +1,107 @@
+#include "polybench/harness.hpp"
+
+#include <cmath>
+
+#include "cim/accelerator.hpp"
+#include "exec/interpreter.hpp"
+#include "frontend/parser.hpp"
+#include "sim/system.hpp"
+#include "support/log.hpp"
+
+namespace tdo::pb {
+
+namespace {
+
+using support::Status;
+using support::StatusOr;
+
+/// Validates every output array of the workload; returns max abs error.
+StatusOr<double> validate(exec::Interpreter& interp, const Workload& workload) {
+  double max_err = 0.0;
+  for (const std::string& name : workload.outputs) {
+    auto got = interp.get_array(name);
+    if (!got.is_ok()) return got.status();
+    const auto& expected = workload.expected.at(name);
+    if (got->size() != expected.size()) {
+      return support::internal_error("output size mismatch on " + name);
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      max_err = std::max(
+          max_err, static_cast<double>(std::fabs((*got)[i] - expected[i])));
+    }
+  }
+  return max_err;
+}
+
+StatusOr<RunReport> run_program(const Workload& workload,
+                                const exec::Program& program, bool use_cim,
+                                const rt::RuntimeConfig& rt_config,
+                                const cim::AcceleratorParams& accel_params) {
+  sim::System system;
+  cim::Accelerator accel{accel_params, system};
+  rt::CimRuntime runtime{rt_config, system, accel};
+
+  exec::Interpreter interp{system, use_cim ? &runtime : nullptr};
+  TDO_RETURN_IF_ERROR(interp.prepare(program));
+  for (const auto& [name, data] : workload.inputs) {
+    TDO_RETURN_IF_ERROR(interp.set_array(name, data));
+  }
+
+  // ROI begin (the paper inserts ROI markers around the kernel in gem5).
+  const auto before = system.snapshot();
+  const auto t0 = system.global_time();
+  TDO_RETURN_IF_ERROR(interp.run(program));
+  const auto t1 = system.global_time();
+  const auto delta = system.snapshot().delta_since(before);
+  // ROI end.
+
+  RunReport report;
+  report.kernel = workload.name;
+  report.used_cim = use_cim;
+  report.runtime = t1 - t0;
+  report.host_instructions = delta.counter_or("host.instructions");
+  report.host_energy = delta.energy_or("host.energy");
+  report.accel_energy =
+      delta.energy_or("cim.energy.write") + delta.energy_or("cim.energy.compute") +
+      delta.energy_or("cim.energy.mixed_signal") +
+      delta.energy_or("cim.energy.digital") +
+      delta.energy_or("cim.energy.buffers") + delta.energy_or("cim.energy.dma");
+  report.total_energy = report.host_energy + report.accel_energy;
+  const auto accel_report = accel.report();
+  report.mac_ops = accel_report.mac8_ops;
+  report.cim_writes = accel_report.weight_writes8;
+  report.macs_per_cim_write = accel_report.macs_per_cim_write();
+
+  auto err = validate(interp, workload);
+  if (!err.is_ok()) return err.status();
+  report.max_abs_error = *err;
+  report.correct = *err <= workload.tolerance;
+  if (!report.correct) {
+    TDO_LOG(kWarn, "harness") << workload.name << " validation failed: err "
+                              << *err << " > tol " << workload.tolerance;
+  }
+  return report;
+}
+
+}  // namespace
+
+StatusOr<RunReport> run_host(const Workload& workload) {
+  auto fn = frontend::parse_kernel(workload.source);
+  if (!fn.is_ok()) return fn.status();
+  const exec::Program program = exec::host_only_program(*fn);
+  return run_program(workload, program, /*use_cim=*/false, rt::RuntimeConfig{},
+                     cim::AcceleratorParams{});
+}
+
+StatusOr<RunReport> run_cim(const Workload& workload,
+                            const HarnessOptions& options) {
+  auto fn = frontend::parse_kernel(workload.source);
+  if (!fn.is_ok()) return fn.status();
+  core::CompileResult compiled = core::compile(*fn, options.compile);
+  auto report = run_program(workload, compiled.cim_program, /*use_cim=*/true,
+                            options.runtime, options.accelerator);
+  if (report.is_ok()) report->any_offloaded = compiled.any_offloaded();
+  return report;
+}
+
+}  // namespace tdo::pb

@@ -1,0 +1,56 @@
+// Evaluation harness (paper Section IV).
+//
+// Builds a fresh emulated platform per run, parses the workload's C source
+// through the front-end, compiles it with or without Loop Tactics (the two
+// compilation strings of the paper: `-O3` vs `-O3 -enable-loop-tactics`),
+// executes it with ROI-marker stats deltas, validates results against the
+// native reference, and reports the Figure-6 metrics.
+#pragma once
+
+#include <string>
+
+#include "cim/accelerator.hpp"
+#include "core/pipeline.hpp"
+#include "polybench/workloads.hpp"
+#include "runtime/cim_blas.hpp"
+#include "support/status.hpp"
+#include "support/units.hpp"
+
+namespace tdo::pb {
+
+struct RunReport {
+  std::string kernel;
+  bool used_cim = false;
+  bool any_offloaded = false;
+
+  support::Energy total_energy;       // host + accelerator inside the ROI
+  support::Energy host_energy;        // host share (driver included)
+  support::Energy accel_energy;       // accelerator share
+  support::Duration runtime;          // ROI wall time
+  std::uint64_t host_instructions = 0;
+  std::uint64_t mac_ops = 0;          // accelerator MACs (CIM runs)
+  std::uint64_t cim_writes = 0;       // 8-bit weights programmed
+  double macs_per_cim_write = 0.0;    // Figure 6 (left) secondary axis
+
+  bool correct = false;
+  double max_abs_error = 0.0;
+
+  [[nodiscard]] double edp() const {
+    return support::energy_delay_product(total_energy, runtime);
+  }
+};
+
+struct HarnessOptions {
+  core::CompileOptions compile;
+  rt::RuntimeConfig runtime;
+  cim::AcceleratorParams accelerator;
+};
+
+/// Runs the workload on the plain host (the Arm-A7 reference bar).
+[[nodiscard]] support::StatusOr<RunReport> run_host(const Workload& workload);
+
+/// Runs the workload through the full TDO-CIM flow (host + CIM bar).
+[[nodiscard]] support::StatusOr<RunReport> run_cim(const Workload& workload,
+                                                   const HarnessOptions& options = {});
+
+}  // namespace tdo::pb

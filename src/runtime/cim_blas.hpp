@@ -1,0 +1,153 @@
+// User-space CIM runtime library (paper Section III, Figure 3/4, Listing 1).
+//
+// "A lightweight runtime library that provides optimized performance and
+// memory usage for the CIM device. The library has been designed to be used
+// directly by the application programmer, or an optimizer (i.e., Loop
+// Tactics). It exposes a host-callable C API, similar to what cuBLAS or MKL
+// offers."
+//
+// Class-based core; see cim_api.hpp for the polly_cim* C-style facade that
+// generated code calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cim/accelerator.hpp"
+#include "runtime/driver.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+
+namespace tdo::rt {
+
+/// How quantization scales are obtained before offloading.
+enum class ScaleMode {
+  /// Host scans the operands for max|x| (charged to the host cost model).
+  kHostScan,
+  /// Assume a static data range (free, but may clip).
+  kStatic,
+};
+
+struct RuntimeConfig {
+  bool double_buffering = true;
+  ScaleMode scale_mode = ScaleMode::kHostScan;
+  double static_max_abs = 1.0;
+  /// Default stationary operand for plain GEMM calls. The paper's naive
+  /// mapping keeps B stationary and streams A (Section III-B).
+  cim::StationaryOperand default_stationary = cim::StationaryOperand::kB;
+  DriverParams driver;
+};
+
+/// Aggregate host-side costs attributable to the runtime (for reporting).
+struct RuntimeStats {
+  std::uint64_t offload_calls = 0;
+  std::uint64_t tile_jobs = 0;
+  std::uint64_t batched_calls = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t scale_scans = 0;
+};
+
+/// One GEMM in a batched call (virtual addresses; dims shared by the batch).
+struct GemmBatchItem {
+  sim::VirtAddr a = 0;
+  sim::VirtAddr b = 0;
+  sim::VirtAddr c = 0;
+};
+
+class CimRuntime {
+ public:
+  CimRuntime(RuntimeConfig config, sim::System& system, cim::Accelerator& accel);
+
+  /// polly_cimInit: device discovery + reset.
+  support::Status init(int device_index);
+
+  /// polly_cimMalloc / polly_cimFree: physically-contiguous device buffers.
+  [[nodiscard]] support::StatusOr<sim::VirtAddr> malloc_device(std::uint64_t bytes);
+  support::Status free_device(sim::VirtAddr va);
+
+  /// polly_cimHostToDev / polly_cimDevToHost: host-performed copies through
+  /// the cache hierarchy (CMA buffers are mapped cacheable on the host).
+  support::Status host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
+                              std::uint64_t bytes);
+  support::Status dev_to_host(sim::VirtAddr dst, sim::VirtAddr src,
+                              std::uint64_t bytes);
+
+  /// polly_cimBlasSGemm: C = alpha*A*B + beta*C (row-major, no transposes).
+  /// Oversized operands are tiled internally to the crossbar geometry.
+  support::Status sgemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                        float alpha, sim::VirtAddr a, std::uint64_t lda,
+                        sim::VirtAddr b, std::uint64_t ldb, float beta,
+                        sim::VirtAddr c, std::uint64_t ldc);
+  support::Status sgemm_with_stationary(std::uint64_t m, std::uint64_t n,
+                                        std::uint64_t k, float alpha,
+                                        sim::VirtAddr a, std::uint64_t lda,
+                                        sim::VirtAddr b, std::uint64_t ldb,
+                                        float beta, sim::VirtAddr c,
+                                        std::uint64_t ldc,
+                                        cim::StationaryOperand stationary);
+
+  /// polly_cimBlasSGemv: y = alpha*op(A)*x + beta*y  (A is m x n row-major).
+  support::Status sgemv(bool transpose, std::uint64_t m, std::uint64_t n,
+                        float alpha, sim::VirtAddr a, std::uint64_t lda,
+                        sim::VirtAddr x, float beta, sim::VirtAddr y);
+
+  /// polly_cimBlasGemmBatched: same-shape GEMMs executed as one job; when
+  /// the stationary operand is shared between consecutive items the crossbar
+  /// image is reused — the paper's endurance-aware "smart mapping".
+  support::Status sgemm_batched(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                                float alpha, std::span<const GemmBatchItem> items,
+                                std::uint64_t lda, std::uint64_t ldb, float beta,
+                                std::uint64_t ldc,
+                                cim::StationaryOperand stationary);
+
+  [[nodiscard]] CimDriver& driver() { return *driver_; }
+  [[nodiscard]] cim::Accelerator& accelerator() { return accel_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+ private:
+  /// Max|x| over an `count`-element float region at `va` with row pitch
+  /// `ld` and row length `row_len` (host scan, charged).
+  [[nodiscard]] support::StatusOr<double> operand_max_abs(sim::VirtAddr va,
+                                                          std::uint64_t rows,
+                                                          std::uint64_t row_len,
+                                                          std::uint64_t ld);
+
+  /// Builds the shared register image for a (tile) job.
+  [[nodiscard]] cim::ContextRegs make_job_image(
+      std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha, float beta,
+      sim::PhysAddr pa_a, std::uint64_t lda, sim::PhysAddr pa_b, std::uint64_t ldb,
+      sim::PhysAddr pa_c, std::uint64_t ldc, double scale_a, double scale_b,
+      cim::StationaryOperand stationary, bool skip_weight_load) const;
+
+  /// Submits one job image and waits for completion.
+  support::Status run_job(const cim::ContextRegs& image);
+
+  /// Reads a float element (functional, no host charge — engine-side use).
+  [[nodiscard]] support::StatusOr<sim::PhysAddr> translate_checked(
+      sim::VirtAddr va, std::uint64_t bytes) const;
+
+  /// Cached operand ranges: rescanning an unchanged buffer on every call
+  /// would charge the host for work a real runtime memoizes.
+  struct ScaleKey {
+    sim::VirtAddr va;
+    std::uint64_t rows, row_len, ld;
+    auto operator<=>(const ScaleKey&) const = default;
+  };
+  void invalidate_scales(sim::VirtAddr va, std::uint64_t bytes);
+
+  RuntimeConfig config_;
+  sim::System& system_;
+  cim::Accelerator& accel_;
+  std::unique_ptr<CimDriver> driver_;
+  std::vector<DeviceBuffer> buffers_;
+  std::map<ScaleKey, double> scale_cache_;
+  RuntimeStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace tdo::rt

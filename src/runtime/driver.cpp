@@ -1,0 +1,117 @@
+#include "runtime/driver.hpp"
+
+#include "cim/accelerator.hpp"
+#include "support/log.hpp"
+
+namespace tdo::rt {
+
+CimDriver::CimDriver(DriverParams params, sim::System& system,
+                     cim::Accelerator& accel)
+    : params_{params}, system_{system}, accel_{accel},
+      cma_{system.mmu().cma_region()} {
+  system.stats().register_counter("driver.ioctls", &ioctls_);
+  system.stats().register_counter("driver.cache_flushes", &flushes_);
+}
+
+void CimDriver::charge_syscall() {
+  ioctls_.add();
+  system_.cpu().charge_instructions(params_.syscall_instructions);
+}
+
+void CimDriver::charge_mmio_access() {
+  system_.cpu().charge_instructions(params_.mmio_instructions);
+  system_.cpu().charge_cycles(params_.mmio_cycles);
+}
+
+support::Status CimDriver::write_reg(cim::Reg reg, std::uint64_t value) {
+  charge_mmio_access();
+  return system_.bus().write_scalar<std::uint64_t>(
+      accel_.params().pmio_base + cim::reg_offset(reg), value);
+}
+
+support::StatusOr<std::uint64_t> CimDriver::read_reg(cim::Reg reg) {
+  charge_mmio_access();
+  return system_.bus().read_scalar<std::uint64_t>(accel_.params().pmio_base +
+                                                  cim::reg_offset(reg));
+}
+
+support::StatusOr<DeviceBuffer> CimDriver::alloc_buffer(std::uint64_t bytes) {
+  charge_syscall();
+  auto pa = cma_.allocate(bytes);
+  if (!pa.is_ok()) return pa.status();
+  auto va = system_.mmu().map_physical(*pa, bytes);
+  if (!va.is_ok()) {
+    (void)cma_.release(*pa);
+    return va.status();
+  }
+  // Page-table population cost, proportional to the mapping size.
+  system_.cpu().charge_instructions(16 * (bytes / sim::kPageSize + 1));
+  TDO_LOG(kDebug, "driver") << "CMA alloc " << bytes << "B at PA 0x" << std::hex
+                            << *pa;
+  return DeviceBuffer{*va, *pa, bytes};
+}
+
+support::Status CimDriver::free_buffer(const DeviceBuffer& buffer) {
+  charge_syscall();
+  TDO_RETURN_IF_ERROR(system_.mmu().release(buffer.va, buffer.bytes));
+  return cma_.release(buffer.pa);
+}
+
+support::Status CimDriver::submit(const cim::ContextRegs& image) {
+  charge_syscall();
+
+  // Coherence: clean the host data caches so the accelerator's uncacheable
+  // reads observe the latest data (Section II-E). A full clean is what the
+  // reference driver does; the cost model charges the loop instructions and
+  // the write-back traffic is counted by the cache model.
+  const std::uint64_t dirty_lines = system_.caches().flush_data_caches();
+  flushes_.add();
+  const std::uint64_t touched_lines =
+      system_.caches().l1d().params().size_bytes / 64 +
+      system_.caches().l2().params().size_bytes / 64;
+  system_.cpu().charge_instructions(params_.flush_instructions_per_line *
+                                    touched_lines);
+  // Write-back drain time: dirty lines leave at DRAM bandwidth; the CPU
+  // stalls on the barrier that ends the clean sequence.
+  system_.cpu().charge_cycles(dirty_lines * 4);
+
+  // Program every context register, then hit the command register.
+  for (std::uint32_t i = 0; i < cim::kRegCount; ++i) {
+    const auto reg = static_cast<cim::Reg>(i);
+    if (reg == cim::Reg::kCommand || reg == cim::Reg::kStatus ||
+        reg == cim::Reg::kResult) {
+      continue;
+    }
+    TDO_RETURN_IF_ERROR(write_reg(reg, image.read(reg)));
+  }
+
+  // The accelerator timeline starts no earlier than the host's current time.
+  system_.sync_event_clock_to_host();
+  return write_reg(cim::Reg::kCommand, 1);
+}
+
+support::StatusOr<cim::DeviceStatus> CimDriver::wait() {
+  charge_syscall();
+  // Drain the accelerator's event schedule to find completion time, then
+  // charge the host for spinning until that moment ("The host can either
+  // wait on spinlock or continue with other tasks", Section II-E).
+  const sim::Tick done = system_.events().run_to_completion();
+  (void)system_.cpu().spin_until(done, params_.poll_period_cycles);
+
+  auto status = read_reg(cim::Reg::kStatus);
+  if (!status.is_ok()) return status.status();
+  const auto device_status = static_cast<cim::DeviceStatus>(*status);
+  if (device_status == cim::DeviceStatus::kDone ||
+      device_status == cim::DeviceStatus::kError) {
+    // Acknowledge: return the device to IDLE for the next job.
+    TDO_RETURN_IF_ERROR(write_reg(
+        cim::Reg::kStatus, static_cast<std::uint64_t>(cim::DeviceStatus::kIdle)));
+  }
+  return device_status;
+}
+
+support::StatusOr<sim::PhysAddr> CimDriver::translate(sim::VirtAddr va) const {
+  return system_.mmu().translate(va);
+}
+
+}  // namespace tdo::rt

@@ -1,0 +1,86 @@
+// Kernel-space CIM driver emulation (paper Section II-E, Figure 3).
+//
+// "At the lowest level of the stack, the kernel-space CIM driver reads and
+// writes to the context registers of the accelerator through a ioctl system
+// call. Besides, the driver translates the virtual address used by the host
+// processor to a physical address ... To enforce memory coherence in the
+// shared memory region, the kernel driver triggers a cache flush on the host
+// side before invoking the accelerator."
+//
+// Every entry point charges realistic host-side costs (syscall round trip,
+// register MMIO, per-line flush work) to the host CPU model — this overhead
+// is exactly what makes low-intensity GEMV-like kernels lose in Figure 6.
+#pragma once
+
+#include <cstdint>
+
+#include "cim/accelerator.hpp"
+#include "cim/context_regs.hpp"
+#include "runtime/cma.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+
+namespace tdo::rt {
+
+struct DriverParams {
+  /// Instructions for one ioctl round trip (user->kernel->user).
+  std::uint64_t syscall_instructions = 800;
+  /// Instructions per 64-byte line for a VA-range cache clean loop.
+  std::uint64_t flush_instructions_per_line = 2;
+  /// Instructions per uncached context-register access.
+  std::uint64_t mmio_instructions = 6;
+  /// Extra bus cycles per uncached context-register access.
+  std::uint64_t mmio_cycles = 24;
+  /// Spin-poll period while waiting for completion (cycles).
+  std::uint64_t poll_period_cycles = 64;
+};
+
+/// A device buffer handed out by the driver: contiguous physical backing
+/// plus the user-space mapping.
+struct DeviceBuffer {
+  sim::VirtAddr va = 0;
+  sim::PhysAddr pa = 0;
+  std::uint64_t bytes = 0;
+};
+
+class CimDriver {
+ public:
+  CimDriver(DriverParams params, sim::System& system, cim::Accelerator& accel);
+
+  /// ioctl(CIM_ALLOC): CMA allocation + user mapping.
+  [[nodiscard]] support::StatusOr<DeviceBuffer> alloc_buffer(std::uint64_t bytes);
+
+  /// ioctl(CIM_FREE).
+  support::Status free_buffer(const DeviceBuffer& buffer);
+
+  /// ioctl(CIM_SUBMIT): flushes the host caches, writes the prepared
+  /// context-register image, and triggers the micro-engine.
+  support::Status submit(const cim::ContextRegs& image);
+
+  /// ioctl(CIM_WAIT): spin-waits on the status register until DONE/ERROR.
+  [[nodiscard]] support::StatusOr<cim::DeviceStatus> wait();
+
+  /// Translates a user VA to a physical address (kernel page-table walk).
+  [[nodiscard]] support::StatusOr<sim::PhysAddr> translate(sim::VirtAddr va) const;
+
+  [[nodiscard]] CmaAllocator& cma() { return cma_; }
+  [[nodiscard]] const DriverParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t ioctl_count() const { return ioctls_.value(); }
+  [[nodiscard]] std::uint64_t flush_count() const { return flushes_.value(); }
+
+ private:
+  void charge_syscall();
+  void charge_mmio_access();
+  /// Writes one 64-bit register through the PMIO window.
+  support::Status write_reg(cim::Reg reg, std::uint64_t value);
+  [[nodiscard]] support::StatusOr<std::uint64_t> read_reg(cim::Reg reg);
+
+  DriverParams params_;
+  sim::System& system_;
+  cim::Accelerator& accel_;
+  CmaAllocator cma_;
+  support::Counter ioctls_;
+  support::Counter flushes_;
+};
+
+}  // namespace tdo::rt

@@ -1,0 +1,50 @@
+#include "sim/bus.hpp"
+
+namespace tdo::sim {
+
+support::Status Bus::attach(PhysAddr base, std::uint64_t size, BusDevice& device) {
+  if (base < memory_.size()) {
+    return support::invalid_argument("device window overlaps DRAM: " +
+                                     device.device_name());
+  }
+  for (const Window& w : windows_) {
+    const bool disjoint = base + size <= w.base || w.base + w.size <= base;
+    if (!disjoint) {
+      return support::invalid_argument("device window overlaps " +
+                                       w.device->device_name());
+    }
+  }
+  windows_.push_back(Window{base, size, &device});
+  return support::Status::ok();
+}
+
+Bus::Window* Bus::window_for(PhysAddr addr, std::uint64_t bytes) {
+  for (Window& w : windows_) {
+    if (addr >= w.base && addr + bytes <= w.base + w.size) return &w;
+  }
+  return nullptr;
+}
+
+support::Status Bus::read(PhysAddr addr, std::span<std::uint8_t> out) {
+  if (addr + out.size() <= memory_.size()) {
+    memory_.read(addr, out);
+    return support::Status::ok();
+  }
+  if (Window* w = window_for(addr, out.size())) {
+    return w->device->mmio_read(addr - w->base, out);
+  }
+  return support::out_of_range("bus read from unmapped physical address");
+}
+
+support::Status Bus::write(PhysAddr addr, std::span<const std::uint8_t> in) {
+  if (addr + in.size() <= memory_.size()) {
+    memory_.write(addr, in);
+    return support::Status::ok();
+  }
+  if (Window* w = window_for(addr, in.size())) {
+    return w->device->mmio_write(addr - w->base, in);
+  }
+  return support::out_of_range("bus write to unmapped physical address");
+}
+
+}  // namespace tdo::sim

@@ -1,0 +1,75 @@
+// System bus with memory-mapped device routing.
+//
+// The emulated system (paper Fig. 2a) connects host, main memory and the CIM
+// accelerator through a bus. Devices claim physical address windows; the
+// accelerator claims its port-mapped IO (PMIO) window for context registers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/sim_memory.hpp"
+#include "support/status.hpp"
+
+namespace tdo::sim {
+
+/// A device visible on the bus at a physical address window.
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+
+  [[nodiscard]] virtual std::string device_name() const = 0;
+  /// Reads `out.size()` bytes at window-relative `offset`.
+  virtual support::Status mmio_read(std::uint64_t offset,
+                                    std::span<std::uint8_t> out) = 0;
+  /// Writes `in.size()` bytes at window-relative `offset`.
+  virtual support::Status mmio_write(std::uint64_t offset,
+                                     std::span<const std::uint8_t> in) = 0;
+};
+
+/// Routes physical accesses to main memory or to device windows.
+class Bus {
+ public:
+  explicit Bus(SimMemory& memory) : memory_{memory} {}
+
+  /// Registers `device` at [base, base+size). Windows must not overlap DRAM
+  /// (i.e. base must be >= memory size) nor each other.
+  support::Status attach(PhysAddr base, std::uint64_t size, BusDevice& device);
+
+  support::Status read(PhysAddr addr, std::span<std::uint8_t> out);
+  support::Status write(PhysAddr addr, std::span<const std::uint8_t> in);
+
+  template <typename T>
+  [[nodiscard]] support::StatusOr<T> read_scalar(PhysAddr addr) {
+    std::array<std::uint8_t, sizeof(T)> buf{};
+    TDO_RETURN_IF_ERROR(read(addr, buf));
+    T value;
+    std::memcpy(&value, buf.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  support::Status write_scalar(PhysAddr addr, T value) {
+    std::array<std::uint8_t, sizeof(T)> buf;
+    std::memcpy(buf.data(), &value, sizeof(T));
+    return write(addr, buf);
+  }
+
+  [[nodiscard]] SimMemory& memory() { return memory_; }
+
+ private:
+  struct Window {
+    PhysAddr base;
+    std::uint64_t size;
+    BusDevice* device;
+  };
+
+  [[nodiscard]] Window* window_for(PhysAddr addr, std::uint64_t bytes);
+
+  SimMemory& memory_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace tdo::sim

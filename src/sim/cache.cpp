@@ -1,0 +1,159 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace tdo::sim {
+
+Cache::Cache(CacheParams params) : params_{std::move(params)} {
+  assert(std::has_single_bit(params_.line_bytes));
+  assert(params_.size_bytes % (static_cast<std::uint64_t>(params_.line_bytes) *
+                               params_.ways) ==
+         0);
+  num_sets_ = static_cast<std::uint32_t>(
+      params_.size_bytes / (static_cast<std::uint64_t>(params_.line_bytes) *
+                            params_.ways));
+  assert(std::has_single_bit(num_sets_));
+  lines_.resize(static_cast<std::size_t>(num_sets_) * params_.ways);
+}
+
+std::uint64_t Cache::set_index(PhysAddr addr) const {
+  return (addr / params_.line_bytes) & (num_sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(PhysAddr addr) const {
+  return (addr / params_.line_bytes) / num_sets_;
+}
+
+CacheOutcome Cache::access(PhysAddr addr, bool is_write, bool* evicted_dirty) {
+  if (evicted_dirty != nullptr) *evicted_dirty = false;
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* begin = &lines_[set * params_.ways];
+
+  Line* victim = begin;
+  for (std::uint32_t w = 0; w < params_.ways; ++w) {
+    Line& line = begin[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = ++stamp_;
+      line.dirty = line.dirty || is_write;
+      hits_.add();
+      return CacheOutcome::kHit;
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an invalid way
+    } else if (victim->valid && line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+
+  misses_.add();
+  if (victim->valid && victim->dirty) {
+    writebacks_.add();
+    if (evicted_dirty != nullptr) *evicted_dirty = true;
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru_stamp = ++stamp_;
+  return CacheOutcome::kMiss;
+}
+
+std::uint64_t Cache::flush_all() {
+  std::uint64_t dirty = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++dirty;
+    line.valid = false;
+    line.dirty = false;
+  }
+  flushes_.add();
+  writebacks_.add(dirty);
+  return dirty;
+}
+
+std::uint64_t Cache::flush_range(PhysAddr addr, std::uint64_t bytes) {
+  std::uint64_t dirty = 0;
+  const PhysAddr first_line = addr / params_.line_bytes;
+  const PhysAddr last_line = (addr + bytes + params_.line_bytes - 1) / params_.line_bytes;
+  for (PhysAddr lineno = first_line; lineno < last_line; ++lineno) {
+    const PhysAddr line_addr = lineno * params_.line_bytes;
+    const std::uint64_t set = set_index(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    Line* begin = &lines_[set * params_.ways];
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+      Line& line = begin[w];
+      if (line.valid && line.tag == tag) {
+        if (line.dirty) ++dirty;
+        line.valid = false;
+        line.dirty = false;
+      }
+    }
+  }
+  flushes_.add();
+  writebacks_.add(dirty);
+  return dirty;
+}
+
+void Cache::register_stats(support::StatsRegistry& registry) const {
+  registry.register_counter(params_.name + ".hits", &hits_);
+  registry.register_counter(params_.name + ".misses", &misses_);
+  registry.register_counter(params_.name + ".writebacks", &writebacks_);
+  registry.register_counter(params_.name + ".flushes", &flushes_);
+}
+
+CacheHierarchy::CacheHierarchy(CacheParams l1i, CacheParams l1d, CacheParams l2,
+                               Latencies latencies)
+    : l1i_{std::move(l1i)}, l1d_{std::move(l1d)}, l2_{std::move(l2)},
+      latencies_{latencies} {}
+
+std::uint64_t CacheHierarchy::data_access(PhysAddr addr, bool is_write) {
+  bool dirty_victim = false;
+  if (l1d_.access(addr, is_write, &dirty_victim) == CacheOutcome::kHit) {
+    return 0;
+  }
+  // L1 victim write-back installs into L2 (traffic only, no extra stall:
+  // write-back buffers hide it from the load path).
+  if (dirty_victim) {
+    bool l2_victim = false;
+    (void)l2_.access(addr, /*is_write=*/true, &l2_victim);
+    if (l2_victim) dram_accesses_.add();
+  }
+  bool l2_dirty_victim = false;
+  if (l2_.access(addr, /*is_write=*/false, &l2_dirty_victim) == CacheOutcome::kHit) {
+    return latencies_.l2_hit_cycles;
+  }
+  if (l2_dirty_victim) dram_accesses_.add();
+  dram_accesses_.add();
+  return latencies_.l2_hit_cycles + latencies_.dram_cycles;
+}
+
+std::uint64_t CacheHierarchy::inst_fetch(PhysAddr addr) {
+  bool dirty_victim = false;
+  if (l1i_.access(addr, /*is_write=*/false, &dirty_victim) == CacheOutcome::kHit) {
+    return 0;
+  }
+  bool l2_dirty_victim = false;
+  if (l2_.access(addr, /*is_write=*/false, &l2_dirty_victim) == CacheOutcome::kHit) {
+    return latencies_.l2_hit_cycles;
+  }
+  if (l2_dirty_victim) dram_accesses_.add();
+  dram_accesses_.add();
+  return latencies_.l2_hit_cycles + latencies_.dram_cycles;
+}
+
+std::uint64_t CacheHierarchy::flush_data_caches() {
+  return l1d_.flush_all() + l2_.flush_all();
+}
+
+std::uint64_t CacheHierarchy::flush_data_range(PhysAddr addr, std::uint64_t bytes) {
+  return l1d_.flush_range(addr, bytes) + l2_.flush_range(addr, bytes);
+}
+
+void CacheHierarchy::register_stats(support::StatsRegistry& registry) const {
+  l1i_.register_stats(registry);
+  l1d_.register_stats(registry);
+  l2_.register_stats(registry);
+  registry.register_counter("mem.dram_accesses", &dram_accesses_);
+}
+
+}  // namespace tdo::sim

@@ -1,0 +1,115 @@
+// Set-associative write-back cache model (timing + traffic only).
+//
+// Matches the host configuration in Table I: split 32 KiB L1 I/D and a
+// shared 2 MiB L2. Data values are not cached — the functional state lives in
+// SimMemory — the model tracks hits, misses, write-backs and flushes so that
+// host cycle counts reflect each kernel's memory-boundedness, which is what
+// separates GEMV-like from GEMM-like kernels in Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_memory.hpp"
+#include "support/stats.hpp"
+
+namespace tdo::sim {
+
+struct CacheParams {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+};
+
+/// Result of a single lookup.
+enum class CacheOutcome { kHit, kMiss };
+
+/// One level of cache. Composable: the owner decides what to do on a miss.
+class Cache {
+ public:
+  explicit Cache(CacheParams params);
+
+  /// Looks up `addr`; on miss installs the line (write-allocate) and reports
+  /// whether a dirty victim was evicted through `evicted_dirty`.
+  CacheOutcome access(PhysAddr addr, bool is_write, bool* evicted_dirty);
+
+  /// Invalidates the whole cache, counting dirty lines written back.
+  /// Returns the number of dirty lines flushed.
+  std::uint64_t flush_all();
+
+  /// Invalidates any line overlapping [addr, addr+bytes); returns dirty count.
+  std::uint64_t flush_range(PhysAddr addr, std::uint64_t bytes);
+
+  [[nodiscard]] const CacheParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.value(); }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_.value(); }
+
+  void register_stats(support::StatsRegistry& registry) const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru_stamp = 0;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(PhysAddr addr) const;
+  [[nodiscard]] std::uint64_t tag_of(PhysAddr addr) const;
+
+  CacheParams params_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, row-major by set
+  std::uint64_t stamp_ = 0;
+
+  support::Counter hits_;
+  support::Counter misses_;
+  support::Counter writebacks_;
+  support::Counter flushes_;
+};
+
+/// Two-level hierarchy front-end used by the host CPU cost model: charges
+/// per-level latencies and returns total stall cycles for an access.
+class CacheHierarchy {
+ public:
+  struct Latencies {
+    // Extra cycles beyond a pipelined L1 hit.
+    std::uint32_t l2_hit_cycles = 8;
+    std::uint32_t dram_cycles = 90;  // LPDDR3-933 round trip at 1.2 GHz
+  };
+
+  CacheHierarchy(CacheParams l1i, CacheParams l1d, CacheParams l2,
+                 Latencies latencies);
+
+  /// Data access; returns stall cycles.
+  [[nodiscard]] std::uint64_t data_access(PhysAddr addr, bool is_write);
+
+  /// Instruction fetch; returns stall cycles.
+  [[nodiscard]] std::uint64_t inst_fetch(PhysAddr addr);
+
+  /// Flush both data levels (driver coherence protocol, Section II-E).
+  /// Returns total dirty lines written back to memory.
+  std::uint64_t flush_data_caches();
+  std::uint64_t flush_data_range(PhysAddr addr, std::uint64_t bytes);
+
+  [[nodiscard]] Cache& l1d() { return l1d_; }
+  [[nodiscard]] Cache& l1i() { return l1i_; }
+  [[nodiscard]] Cache& l2() { return l2_; }
+  [[nodiscard]] const Latencies& latencies() const { return latencies_; }
+
+  [[nodiscard]] std::uint64_t dram_accesses() const { return dram_accesses_.value(); }
+
+  void register_stats(support::StatsRegistry& registry) const;
+
+ private:
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Latencies latencies_;
+  support::Counter dram_accesses_;
+};
+
+}  // namespace tdo::sim

@@ -1,0 +1,110 @@
+#include "sim/mmu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdo::sim {
+
+namespace {
+[[nodiscard]] std::uint64_t pages_needed(std::uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+}  // namespace
+
+Mmu::Mmu(std::uint64_t phys_bytes, std::uint64_t cma_bytes) {
+  assert(cma_bytes < phys_bytes);
+  assert(phys_bytes % kPageSize == 0 && cma_bytes % kPageSize == 0);
+  cma_ = CmaRegion{phys_bytes - cma_bytes, cma_bytes};
+  const std::uint64_t frames = cma_.base / kPageSize;
+  free_frames_.reserve(frames);
+  // Hand out low frames first: push high addresses first so pop_back yields
+  // ascending addresses, which makes tests deterministic.
+  for (std::uint64_t f = frames; f-- > 0;) {
+    free_frames_.push_back(f * kPageSize);
+  }
+}
+
+support::StatusOr<PhysAddr> Mmu::take_frame() {
+  if (free_frames_.empty()) {
+    return support::resource_exhausted("out of physical frames");
+  }
+  const PhysAddr frame = free_frames_.back();
+  free_frames_.pop_back();
+  return frame;
+}
+
+support::StatusOr<VirtAddr> Mmu::allocate(std::uint64_t bytes) {
+  if (bytes == 0) return support::invalid_argument("allocate of zero bytes");
+  const std::uint64_t n = pages_needed(bytes);
+  const VirtAddr base = next_va_;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto frame = take_frame();
+    if (!frame.is_ok()) {
+      // Roll back partially installed mappings.
+      for (std::uint64_t j = 0; j < i; ++j) {
+        const auto it = table_.find(page_of(base) + j);
+        free_frames_.push_back(it->second);
+        table_.erase(it);
+      }
+      return frame.status();
+    }
+    table_[page_of(base) + i] = *frame;
+  }
+  next_va_ = base + n * kPageSize;
+  return base;
+}
+
+support::StatusOr<VirtAddr> Mmu::map_physical(PhysAddr pa, std::uint64_t bytes) {
+  if (bytes == 0) return support::invalid_argument("map_physical of zero bytes");
+  if (page_offset(pa) != 0) {
+    return support::invalid_argument("map_physical requires page-aligned PA");
+  }
+  const std::uint64_t n = pages_needed(bytes);
+  const VirtAddr base = next_va_;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    table_[page_of(base) + i] = pa + i * kPageSize;
+  }
+  next_va_ = base + n * kPageSize;
+  return base;
+}
+
+support::Status Mmu::release(VirtAddr va, std::uint64_t bytes) {
+  if (page_offset(va) != 0) {
+    return support::invalid_argument("release requires page-aligned VA");
+  }
+  const std::uint64_t n = pages_needed(bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto it = table_.find(page_of(va) + i);
+    if (it == table_.end()) {
+      return support::not_found("release of unmapped page");
+    }
+    // Only frames below the CMA region belong to the general allocator; CMA
+    // frames are returned through the CMA allocator instead.
+    if (it->second < cma_.base) free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return support::Status::ok();
+}
+
+support::StatusOr<PhysAddr> Mmu::translate(VirtAddr va) const {
+  const auto it = table_.find(page_of(va));
+  if (it == table_.end()) {
+    return support::not_found("unmapped virtual address");
+  }
+  return it->second + page_offset(va);
+}
+
+bool Mmu::is_contiguous(VirtAddr va, std::uint64_t bytes) const {
+  if (bytes == 0) return true;
+  const auto first = translate(va);
+  if (!first.is_ok()) return false;
+  const std::uint64_t n = pages_needed(page_offset(va) + bytes);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const auto pa = translate(page_base(va) + i * kPageSize);
+    if (!pa.is_ok()) return false;
+    if (*pa != page_base(*first) + i * kPageSize) return false;
+  }
+  return true;
+}
+
+}  // namespace tdo::sim

@@ -1,0 +1,77 @@
+// Symmetric linear quantization helpers used by the CIM datapath.
+//
+// The accelerator stores weights as 8-bit values split across two 4-bit PCM
+// columns and digitizes activations to 8 bits at the row buffers (Section
+// II-B / IV-a of the paper). These helpers centralize the scale math so the
+// crossbar model, the runtime and the error-bound tests agree exactly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace tdo::support {
+
+/// Symmetric int8 quantization parameters: real = scale * q, q in [-127,127].
+struct QuantScale {
+  double scale = 1.0;
+
+  [[nodiscard]] static QuantScale for_max_abs(double max_abs) {
+    // Guard against all-zero tensors: any scale works, 1.0 keeps math exact.
+    if (max_abs <= 0.0) return {1.0};
+    return {max_abs / 127.0};
+  }
+
+  [[nodiscard]] std::int8_t quantize(double real) const {
+    const double q = std::nearbyint(real / scale);
+    return static_cast<std::int8_t>(std::clamp(q, -127.0, 127.0));
+  }
+
+  [[nodiscard]] double dequantize(std::int64_t q) const {
+    return static_cast<double>(q) * scale;
+  }
+};
+
+/// Largest |x| over a span (0 for empty spans).
+[[nodiscard]] inline double max_abs(std::span<const float> values) {
+  double m = 0.0;
+  for (const float v : values) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+/// Splits a signed 8-bit weight into (msb, lsb) 4-bit magnitudes plus a sign,
+/// matching the two-column crossbar layout: |w| = 16*msb + lsb, both in 0..15.
+struct NibblePair {
+  std::uint8_t msb = 0;
+  std::uint8_t lsb = 0;
+  std::int8_t sign = 1;  // +1 or -1
+};
+
+[[nodiscard]] inline NibblePair split_nibbles(std::int8_t w) {
+  NibblePair out;
+  const int magnitude = std::abs(static_cast<int>(w));
+  out.sign = (w < 0) ? -1 : 1;
+  out.msb = static_cast<std::uint8_t>(magnitude >> 4);
+  out.lsb = static_cast<std::uint8_t>(magnitude & 0xF);
+  return out;
+}
+
+[[nodiscard]] inline std::int8_t join_nibbles(const NibblePair& p) {
+  const int magnitude = (static_cast<int>(p.msb) << 4) | static_cast<int>(p.lsb);
+  return static_cast<std::int8_t>(p.sign * magnitude);
+}
+
+/// Analytic worst-case absolute error of a quantized dot product of length n:
+/// |sum a_i b_i - s_a s_b sum qa_i qb_i| <= n * (|a|max * eb + |b|max * ea + ea*eb)
+/// with ea = s_a/2, eb = s_b/2 the max rounding errors.
+[[nodiscard]] inline double dot_quant_error_bound(double max_abs_a, double max_abs_b,
+                                                  std::size_t n) {
+  const double sa = QuantScale::for_max_abs(max_abs_a).scale;
+  const double sb = QuantScale::for_max_abs(max_abs_b).scale;
+  const double ea = sa * 0.5;
+  const double eb = sb * 0.5;
+  return static_cast<double>(n) * (max_abs_a * eb + max_abs_b * ea + ea * eb);
+}
+
+}  // namespace tdo::support

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// Simulation components log through a single global sink so benches can mute
+// everything below Warn while tests can raise verbosity per-case.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tdo::support {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one formatted line (used by the TDO_LOG macro; rarely called raw).
+void log_message(LogLevel level, const char* component, const std::string& text);
+
+namespace detail {
+/// Stream-collects one log statement, emitting on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_{level}, component_{component} {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tdo::support
+
+/// Usage: TDO_LOG(kInfo, "cim") << "wrote " << n << " cells";
+#define TDO_LOG(level, component)                                        \
+  if (::tdo::support::LogLevel::level < ::tdo::support::log_level()) {  \
+  } else                                                                 \
+    ::tdo::support::detail::LogLine(::tdo::support::LogLevel::level, component)

@@ -1,0 +1,67 @@
+#include "support/stats.hpp"
+
+#include <iomanip>
+
+namespace tdo::support {
+
+StatsSnapshot StatsSnapshot::delta_since(const StatsSnapshot& earlier) const {
+  StatsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[name] = value - before;
+  }
+  for (const auto& [name, value] : energies_pj) {
+    const auto it = earlier.energies_pj.find(name);
+    const double before = it == earlier.energies_pj.end() ? 0.0 : it->second;
+    out.energies_pj[name] = value - before;
+  }
+  return out;
+}
+
+std::uint64_t StatsSnapshot::counter_or(const std::string& name,
+                                        std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+Energy StatsSnapshot::energy_or(const std::string& name, Energy fallback) const {
+  const auto it = energies_pj.find(name);
+  return it == energies_pj.end() ? fallback : Energy::from_pj(it->second);
+}
+
+void StatsRegistry::register_counter(std::string name, const Counter* counter) {
+  counters_.emplace_back(std::move(name), counter);
+}
+
+void StatsRegistry::register_energy(std::string name,
+                                    const EnergyAccumulator* energy) {
+  energies_.emplace_back(std::move(name), energy);
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, energy] : energies_) {
+    snap.energies_pj[name] = energy->total().picojoules();
+  }
+  return snap;
+}
+
+void StatsRegistry::dump(std::ostream& os) const {
+  for (const auto& [name, counter] : counters_) {
+    os << std::left << std::setw(42) << name << counter->value() << '\n';
+  }
+  for (const auto& [name, energy] : energies_) {
+    os << std::left << std::setw(42) << name << energy->total().to_string() << '\n';
+  }
+}
+
+std::vector<std::string> StatsRegistry::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tdo::support

@@ -1,0 +1,73 @@
+// Hierarchically-named statistics, mirroring gem5's stats system in miniature.
+//
+// Every simulated component owns counters registered into a StatsRegistry;
+// the evaluation harness snapshots registries around ROI markers, exactly the
+// way the paper profiles "dynamic instruction count and run-time ... in Gem5
+// by inserting ROI markers" (Section IV-a).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace tdo::support {
+
+/// Monotonically increasing event count (instructions, cache misses, writes).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  void reset() { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulated energy attributable to one component.
+class EnergyAccumulator {
+ public:
+  void add(Energy e) { total_ += e; }
+  void reset() { total_ = Energy::zero(); }
+  [[nodiscard]] Energy total() const { return total_; }
+
+ private:
+  Energy total_;
+};
+
+/// A named snapshot of every counter/energy in a registry.
+struct StatsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> energies_pj;
+
+  /// Per-entry difference `this - earlier` (for ROI deltas).
+  [[nodiscard]] StatsSnapshot delta_since(const StatsSnapshot& earlier) const;
+
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const;
+  [[nodiscard]] Energy energy_or(const std::string& name,
+                                 Energy fallback = Energy::zero()) const;
+};
+
+/// Registry of named stats. Components register members at construction; the
+/// registry does not own them, so registrants must outlive it or deregister.
+class StatsRegistry {
+ public:
+  void register_counter(std::string name, const Counter* counter);
+  void register_energy(std::string name, const EnergyAccumulator* energy);
+
+  [[nodiscard]] StatsSnapshot snapshot() const;
+  void dump(std::ostream& os) const;
+
+  /// Names in registration order (stable output for tests and reports).
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+
+ private:
+  std::vector<std::pair<std::string, const Counter*>> counters_;
+  std::vector<std::pair<std::string, const EnergyAccumulator*>> energies_;
+};
+
+}  // namespace tdo::support

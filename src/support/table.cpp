@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tdo::support {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  assert(rows_.empty() && "header must precede rows");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert((header_.empty() || row.size() == header_.size()) &&
+         "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision + 3, value);
+  // %g with generous precision, then trim: use fixed precision for readability
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::fmt_ratio(double value) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0fx", value);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1fx", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fx", value);
+  }
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 3;
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i] + 3; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+}  // namespace tdo::support

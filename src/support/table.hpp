@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every figure/table reproduction prints its rows through this class so the
+// bench output is uniform and machine-greppable.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdo::support {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_{std::move(title)} {}
+
+  /// Sets the header; must be called before the first add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric/text rows.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_ratio(double value);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdo::support

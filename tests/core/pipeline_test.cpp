@@ -1,0 +1,187 @@
+// End-to-end compiler tests: detection, fusion, tiling, offload codegen and
+// full execution on the simulated platform for every PolyBench workload.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "polybench/harness.hpp"
+#include "polybench/workloads.hpp"
+
+namespace tdo::core {
+namespace {
+
+[[nodiscard]] ir::Function parse_or_die(const std::string& source) {
+  auto fn = frontend::parse_kernel(source);
+  EXPECT_TRUE(fn.is_ok()) << fn.status().to_string();
+  return *std::move(fn);
+}
+
+TEST(DetectTest, RecognizesGemmWithBetaInit) {
+  const auto fn = parse_or_die(pb::make_gemm(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 1u);
+  ASSERT_TRUE(detection.kernels[0].is_gemm());
+  const GemmKernel& g = detection.kernels[0].gemm();
+  EXPECT_EQ(g.c, "C");
+  EXPECT_EQ(g.a, "A");
+  EXPECT_EQ(g.b, "B");
+  EXPECT_FLOAT_EQ(g.alpha, 1.5f);
+  EXPECT_FLOAT_EQ(g.beta, 1.2f);
+  EXPECT_EQ(g.m, 48);
+  EXPECT_EQ(g.stmts.size(), 2u);  // init + update
+}
+
+TEST(DetectTest, Recognizes2mmAsTwoDependentGemms) {
+  const auto fn = parse_or_die(pb::make_2mm(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 2u);
+  EXPECT_TRUE(detection.kernels[0].is_gemm());
+  EXPECT_TRUE(detection.kernels[1].is_gemm());
+  EXPECT_FLOAT_EQ(detection.kernels[0].gemm().beta, 0.0f);  // tmp zeroed
+  // 2mm's second GEMM reads tmp: no fusion group may form.
+  EXPECT_TRUE(find_fusion_groups(detection).empty());
+}
+
+TEST(DetectTest, Recognizes3mmAndFusesIndependentPair) {
+  const auto fn = parse_or_die(pb::make_3mm(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 3u);
+  const auto groups = find_fusion_groups(detection);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 2u);  // E=A*B and F=C*D
+}
+
+TEST(DetectTest, RecognizesGemvKernelsInMvt) {
+  const auto fn = parse_or_die(pb::make_mvt(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 2u);
+  ASSERT_TRUE(detection.kernels[0].is_gemv());
+  ASSERT_TRUE(detection.kernels[1].is_gemv());
+  EXPECT_FALSE(detection.kernels[0].gemv().transpose);
+  EXPECT_TRUE(detection.kernels[1].gemv().transpose);
+  // Accumulating GEMVs keep beta = 1.
+  EXPECT_FLOAT_EQ(detection.kernels[0].gemv().beta, 1.0f);
+}
+
+TEST(DetectTest, RecognizesBicgPairWithFoldedInit) {
+  const auto fn = parse_or_die(pb::make_bicg(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 2u);
+  // q[i] = 0 folds into the non-transposed kernel's beta.
+  bool saw_beta0 = false;
+  bool saw_transpose = false;
+  for (const auto& dk : detection.kernels) {
+    ASSERT_TRUE(dk.is_gemv());
+    if (dk.gemv().beta == 0.0f) saw_beta0 = true;
+    if (dk.gemv().transpose) saw_transpose = true;
+  }
+  EXPECT_TRUE(saw_beta0);
+  EXPECT_TRUE(saw_transpose);
+}
+
+TEST(DetectTest, RecognizesConvStencil) {
+  const auto fn = parse_or_die(pb::make_conv(pb::Preset::kTest).source);
+  const DetectionResult detection = detect_kernels(fn);
+  ASSERT_EQ(detection.kernels.size(), 1u);
+  ASSERT_TRUE(detection.kernels[0].is_conv());
+  const ConvKernel& c = detection.kernels[0].conv();
+  EXPECT_EQ(c.taps_h, 3);
+  EXPECT_EQ(c.taps_w, 3);
+  EXPECT_EQ(c.coeffs.size(), 9u);
+  EXPECT_FLOAT_EQ(c.coeffs.at({1, 1}), 0.6f);
+}
+
+TEST(DetectTest, NonAffineAccessBlocksDetection) {
+  const auto fn = parse_or_die(R"(
+kernel weird(N = 8) {
+  array float A[N][N];
+  array float y[N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      y[i] += A[i * j][j] * A[i][j];
+}
+)");
+  const DetectionResult detection = detect_kernels(fn);
+  EXPECT_TRUE(detection.kernels.empty());
+}
+
+TEST(DetectTest, MacsPerWriteSeparatesGemmFromGemv) {
+  const auto gemm_fn = parse_or_die(pb::make_gemm(pb::Preset::kTest).source);
+  const auto mvt_fn = parse_or_die(pb::make_mvt(pb::Preset::kTest).source);
+  const auto gemm_det = detect_kernels(gemm_fn);
+  const auto mvt_det = detect_kernels(mvt_fn);
+  EXPECT_GT(gemm_det.kernels[0].macs_per_write(), 16.0);
+  EXPECT_DOUBLE_EQ(mvt_det.kernels[0].macs_per_write(), 1.0);
+}
+
+TEST(PipelineTest, SelectivePolicyKeepsGemvOnHost) {
+  const auto fn = parse_or_die(pb::make_mvt(pb::Preset::kTest).source);
+  CompileOptions options;
+  options.policy = OffloadPolicy::kSelective;
+  const CompileResult result = compile(fn, options);
+  EXPECT_FALSE(result.any_offloaded());
+  // Program must degenerate to pure host nests.
+  for (const auto& item : result.cim_program.items) {
+    EXPECT_TRUE(std::holds_alternative<exec::HostNest>(item));
+  }
+}
+
+TEST(PipelineTest, GeneratedProgramContainsListing1Calls) {
+  const auto fn = parse_or_die(pb::make_gemm(pb::Preset::kTest).source);
+  const CompileResult result = compile(fn);
+  const std::string source = result.cim_program.to_source();
+  EXPECT_NE(source.find("polly_cimInit(0)"), std::string::npos);
+  EXPECT_NE(source.find("polly_cimMalloc"), std::string::npos);
+  EXPECT_NE(source.find("polly_cimBlasSGemm"), std::string::npos);
+  EXPECT_NE(source.find("polly_cimDevToHost"), std::string::npos);
+  EXPECT_NE(source.find("polly_cimFree"), std::string::npos);
+}
+
+TEST(PipelineTest, FusionEmitsBatchedCall) {
+  const auto fn = parse_or_die(pb::make_3mm(pb::Preset::kTest).source);
+  const CompileResult result = compile(fn);
+  const std::string source = result.cim_program.to_source();
+  EXPECT_NE(source.find("polly_cimBlasGemmBatched"), std::string::npos);
+}
+
+TEST(PipelineTest, ScheduleTreeDumpShowsBands) {
+  const auto fn = parse_or_die(pb::make_gemm(pb::Preset::kTest).source);
+  const CompileResult result = compile(fn);
+  EXPECT_NE(result.schedule_tree_dump.find("band(i"), std::string::npos);
+  EXPECT_NE(result.schedule_tree_dump.find("band(k"), std::string::npos);
+  EXPECT_NE(result.schedule_tree_dump.find("leaf("), std::string::npos);
+}
+
+class WorkloadEndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadEndToEnd, HostRunMatchesReference) {
+  auto workload = pb::make_workload(GetParam(), pb::Preset::kTest);
+  ASSERT_TRUE(workload.is_ok());
+  auto report = pb::run_host(*workload);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  // Host float execution is near-exact vs the double reference.
+  EXPECT_LT(report->max_abs_error, 1e-2) << "host run diverged";
+  EXPECT_GT(report->host_instructions, 0u);
+  EXPECT_GT(report->total_energy.picojoules(), 0.0);
+}
+
+TEST_P(WorkloadEndToEnd, CimRunIsCorrectWithinQuantizationBound) {
+  auto workload = pb::make_workload(GetParam(), pb::Preset::kTest);
+  ASSERT_TRUE(workload.is_ok());
+  auto report = pb::run_cim(*workload);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->any_offloaded) << "nothing was offloaded";
+  EXPECT_TRUE(report->correct)
+      << "error " << report->max_abs_error << " tolerance "
+      << workload->tolerance;
+  EXPECT_GT(report->cim_writes, 0u);
+  EXPECT_GT(report->mac_ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadEndToEnd,
+                         ::testing::ValuesIn(pb::kernel_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace tdo::core

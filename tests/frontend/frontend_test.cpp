@@ -1,0 +1,184 @@
+// Front-end tests: lexing, parsing, affine checking, error reporting, and
+// printer round-trip sanity.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace tdo::frontend {
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = tokenize("for (i = 0; i < 10; i++) C[i] += 2.5 * x;");
+  ASSERT_TRUE(tokens.is_ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFor);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, HandlesCommentsAndFloatForms) {
+  auto tokens = tokenize("1.5 2e3 7f // comment\n42");
+  ASSERT_TRUE(tokens.is_ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 2000.0);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloatLit);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIntLit);
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(tokenize("a @ b").is_ok());
+}
+
+TEST(ParserTest, ParsesMinimalKernel) {
+  auto fn = parse_kernel(R"(
+kernel copy(N = 4) {
+  array float A[N];
+  array float B[N];
+  for (i = 0; i < N; i++)
+    B[i] = A[i];
+}
+)");
+  ASSERT_TRUE(fn.is_ok()) << fn.status().to_string();
+  EXPECT_EQ(fn->name, "copy");
+  ASSERT_EQ(fn->arrays.size(), 2u);
+  EXPECT_EQ(fn->arrays[0].dims[0], 4);
+  ASSERT_EQ(fn->body.size(), 1u);
+  EXPECT_TRUE(fn->body[0].is_loop());
+}
+
+TEST(ParserTest, IntParamsFoldIntoBoundsAndDims) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 8, M = 3) {
+  array float A[N + M][2 * N];
+  for (i = 0; i < N - 1; i++)
+    A[i][i + M] = 1.0;
+}
+)");
+  ASSERT_TRUE(fn.is_ok()) << fn.status().to_string();
+  EXPECT_EQ(fn->arrays[0].dims[0], 11);
+  EXPECT_EQ(fn->arrays[0].dims[1], 16);
+  const auto& loop = fn->body[0].loop();
+  EXPECT_EQ(loop.upper.expr.constant_term(), 7);
+}
+
+TEST(ParserTest, FloatParamsBecomeScalars) {
+  auto fn = parse_kernel(R"(
+kernel k(alpha = 1.25, N = 2) {
+  array float A[N];
+  for (i = 0; i < N; i++)
+    A[i] = alpha * A[i];
+}
+)");
+  ASSERT_TRUE(fn.is_ok());
+  ASSERT_EQ(fn->scalars.size(), 1u);
+  EXPECT_DOUBLE_EQ(fn->scalars[0].value, 1.25);
+}
+
+TEST(ParserTest, AffineSubscriptsWithConstantsParse) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 8) {
+  array float A[N][N];
+  array float B[N][N];
+  for (i = 0; i < N - 2; i++)
+    for (j = 0; j < N - 2; j++)
+      B[i][j] = A[i + 2][2 * j + 1];
+}
+)");
+  ASSERT_TRUE(fn.is_ok()) << fn.status().to_string();
+}
+
+TEST(ParserTest, NonAffineReadPoisonsLoad) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 8) {
+  array float A[N][N];
+  array float B[N][N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      B[i][j] = A[i * j][j];
+}
+)");
+  ASSERT_TRUE(fn.is_ok()) << fn.status().to_string();
+  bool poisoned = false;
+  ir::for_each_stmt(fn->body, [&](const ir::Stmt& stmt) {
+    poisoned = poisoned || ir::has_non_affine(stmt.rhs);
+  });
+  EXPECT_TRUE(poisoned);
+}
+
+TEST(ParserTest, NonAffineWriteIsHardError) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 8) {
+  array float A[N][N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i * j][j] = 1.0;
+}
+)");
+  EXPECT_FALSE(fn.is_ok());
+}
+
+TEST(ParserTest, RejectsUndeclaredSymbols) {
+  EXPECT_FALSE(parse_kernel(R"(
+kernel k(N = 4) {
+  array float A[N];
+  for (i = 0; i < N; i++)
+    A[i] = missing;
+}
+)").is_ok());
+}
+
+TEST(ParserTest, RejectsShadowedInductionVariable) {
+  EXPECT_FALSE(parse_kernel(R"(
+kernel k(N = 4) {
+  array float A[N][N];
+  for (i = 0; i < N; i++)
+    for (i = 0; i < N; i++)
+      A[i][i] = 1.0;
+}
+)").is_ok());
+}
+
+TEST(ParserTest, RejectsMismatchedSubscriptArity) {
+  EXPECT_FALSE(parse_kernel(R"(
+kernel k(N = 4) {
+  array float A[N][N];
+  for (i = 0; i < N; i++)
+    A[i] = 1.0;
+}
+)").is_ok());
+}
+
+TEST(ParserTest, StepsAndIncrementFormsParse) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 16) {
+  array float A[N];
+  for (i = 0; i < N; i += 4)
+    A[i] = 1.0;
+  for (j = 0; j < N; ++j)
+    A[j] = 2.0;
+}
+)");
+  ASSERT_TRUE(fn.is_ok()) << fn.status().to_string();
+  EXPECT_EQ(fn->body[0].loop().step, 4);
+  EXPECT_EQ(fn->body[1].loop().step, 1);
+}
+
+TEST(PrinterTest, RendersReadableSource) {
+  auto fn = parse_kernel(R"(
+kernel k(N = 4, alpha = 2.0) {
+  array float A[N][N];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] += alpha * A[i][j];
+}
+)");
+  ASSERT_TRUE(fn.is_ok());
+  const std::string out = ir::to_source(*fn);
+  EXPECT_NE(out.find("for (int i = 0; i < 4; i++)"), std::string::npos);
+  EXPECT_NE(out.find("A[i][j] += alpha * A[i][j];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdo::frontend

@@ -1,0 +1,174 @@
+// IR tests: affine-expression algebra (property style), bounds, validation
+// rules and the builder helpers.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+
+namespace tdo::ir {
+namespace {
+
+TEST(AffineTest, ConstructionAndQueries) {
+  const AffineExpr e = AffineExpr::var("i", 2) + AffineExpr::constant(5);
+  EXPECT_EQ(e.coeff("i"), 2);
+  EXPECT_EQ(e.coeff("j"), 0);
+  EXPECT_EQ(e.constant_term(), 5);
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_FALSE(e.is_single_var());
+  EXPECT_TRUE(AffineExpr::var("k").is_single_var());
+  EXPECT_EQ(*AffineExpr::var("k").single_var(), "k");
+}
+
+TEST(AffineTest, ArithmeticCancelsTerms) {
+  const AffineExpr a = AffineExpr::var("i") + AffineExpr::var("j", 3);
+  const AffineExpr b = AffineExpr::var("j", 3);
+  const AffineExpr diff = a - b;
+  EXPECT_EQ(diff.coeff("j"), 0);
+  EXPECT_TRUE(diff.is_single_var());
+  const AffineExpr zeroed = diff * 0;
+  EXPECT_TRUE(zeroed.is_constant());
+  EXPECT_EQ(zeroed.constant_term(), 0);
+}
+
+TEST(AffineTest, SubstituteComposesAffinely) {
+  // e = 2i + j + 1; i := 3q + 2  =>  6q + j + 5.
+  const AffineExpr e =
+      AffineExpr::var("i", 2) + AffineExpr::var("j") + AffineExpr::constant(1);
+  const AffineExpr replacement =
+      AffineExpr::var("q", 3) + AffineExpr::constant(2);
+  const AffineExpr out = e.substitute("i", replacement);
+  EXPECT_EQ(out.coeff("q"), 6);
+  EXPECT_EQ(out.coeff("j"), 1);
+  EXPECT_EQ(out.coeff("i"), 0);
+  EXPECT_EQ(out.constant_term(), 5);
+}
+
+TEST(AffineTest, EvaluationMatchesAlgebraOnRandomExprs) {
+  support::Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t ci = rng.uniform_int(-5, 5);
+    const std::int64_t cj = rng.uniform_int(-5, 5);
+    const std::int64_t c0 = rng.uniform_int(-100, 100);
+    const std::int64_t k = rng.uniform_int(-3, 3);
+    const AffineExpr e = (AffineExpr::var("i", ci) + AffineExpr::var("j", cj) +
+                          AffineExpr::constant(c0)) *
+                         k;
+    const std::int64_t vi = rng.uniform_int(-50, 50);
+    const std::int64_t vj = rng.uniform_int(-50, 50);
+    const std::map<std::string, std::int64_t> env = {{"i", vi}, {"j", vj}};
+    EXPECT_EQ(e.evaluate(env), k * (ci * vi + cj * vj + c0));
+  }
+}
+
+TEST(AffineTest, BoundEvaluatesMin) {
+  const Bound b = Bound::min_of(AffineExpr::var("ii") + AffineExpr::constant(4),
+                                AffineExpr::constant(10));
+  EXPECT_EQ(b.evaluate({{"ii", 0}}), 4);
+  EXPECT_EQ(b.evaluate({{"ii", 8}}), 10);
+  EXPECT_EQ(b.to_string(), "min(ii + 4, 10)");
+}
+
+TEST(AffineTest, ToStringIsReadable) {
+  const AffineExpr e = AffineExpr::var("i", 2) - AffineExpr::var("j") +
+                       AffineExpr::constant(-3);
+  EXPECT_EQ(e.to_string(), "2*i - j - 3");
+  EXPECT_EQ(AffineExpr::constant(0).to_string(), "0");
+}
+
+TEST(ValidateTest, AcceptsWellFormedFunction) {
+  Function fn;
+  fn.name = "ok";
+  fn.arrays.push_back(ArrayDecl{"A", {4, 4}});
+  fn.scalars.push_back(ScalarDecl{"alpha", 2.0});
+  fn.body.push_back(make_loop(
+      "i", 4,
+      {make_loop("j", 4,
+                 {make_assign(ref("A", {iv("i"), iv("j")}),
+                              mul(make_param("alpha"),
+                                  make_load("A", {iv("i"), iv("j")})))})}));
+  EXPECT_TRUE(fn.validate().is_ok());
+}
+
+TEST(ValidateTest, RejectsUndeclaredArray) {
+  Function fn;
+  fn.name = "bad";
+  fn.arrays.push_back(ArrayDecl{"A", {4}});
+  fn.body.push_back(
+      make_loop("i", 4, {make_assign(ref("B", {iv("i")}), make_const(1.0))}));
+  EXPECT_FALSE(fn.validate().is_ok());
+}
+
+TEST(ValidateTest, RejectsUnboundIvInSubscript) {
+  Function fn;
+  fn.name = "bad";
+  fn.arrays.push_back(ArrayDecl{"A", {4}});
+  fn.body.push_back(
+      make_loop("i", 4, {make_assign(ref("A", {iv("q")}), make_const(1.0))}));
+  EXPECT_FALSE(fn.validate().is_ok());
+}
+
+TEST(ValidateTest, RejectsArityMismatchAndBadDims) {
+  Function fn;
+  fn.name = "bad";
+  fn.arrays.push_back(ArrayDecl{"A", {4, 4}});
+  fn.body.push_back(
+      make_loop("i", 4, {make_assign(ref("A", {iv("i")}), make_const(1.0))}));
+  EXPECT_FALSE(fn.validate().is_ok());
+
+  Function fn2;
+  fn2.name = "bad2";
+  fn2.arrays.push_back(ArrayDecl{"A", {0}});
+  EXPECT_FALSE(fn2.validate().is_ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateNamesAndShadowing) {
+  Function fn;
+  fn.name = "bad";
+  fn.arrays.push_back(ArrayDecl{"A", {4}});
+  fn.arrays.push_back(ArrayDecl{"A", {8}});
+  EXPECT_FALSE(fn.validate().is_ok());
+
+  Function fn2;
+  fn2.name = "bad2";
+  fn2.arrays.push_back(ArrayDecl{"A", {4}});
+  fn2.body.push_back(make_loop(
+      "i", 4,
+      {make_loop("i", 4, {make_assign(ref("A", {iv("i")}), make_const(1.0))})}));
+  EXPECT_FALSE(fn2.validate().is_ok());
+}
+
+TEST(ProgramTest, RenumberStatementsIsPreorder) {
+  Function fn;
+  fn.name = "renum";
+  fn.arrays.push_back(ArrayDecl{"A", {4}});
+  fn.body.push_back(
+      make_loop("i", 4, {make_assign(ref("A", {iv("i")}), make_const(1.0)),
+                         make_assign(ref("A", {iv("i")}), make_const(2.0))}));
+  fn.body.push_back(
+      make_loop("j", 4, {make_assign(ref("A", {iv("j")}), make_const(3.0))}));
+  fn.renumber_statements();
+  std::vector<std::string> names;
+  for_each_stmt(fn.body, [&](const Stmt& s) { names.push_back(s.name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"S0", "S1", "S2"}));
+}
+
+TEST(ProgramTest, CollectLoadsFindsAllReads) {
+  const ExprPtr e = add(mul(make_load("A", {iv("i")}), make_load("B", {iv("i")})),
+                        make_load("A", {iv("i") + cst(1)}));
+  std::vector<const LoadExpr*> loads;
+  collect_loads(e, loads);
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0]->array, "A");
+  EXPECT_EQ(loads[1]->array, "B");
+}
+
+TEST(ProgramTest, ArrayDeclSizeHelpers) {
+  const ArrayDecl decl{"A", {3, 5, 7}};
+  EXPECT_EQ(decl.element_count(), 105);
+  EXPECT_EQ(decl.bytes(), 420);
+}
+
+}  // namespace
+}  // namespace tdo::ir

@@ -1,0 +1,174 @@
+// Unit tests for the PCM crossbar: programming, signed fixed-point GEMV
+// exactness, wear accounting, and noise behaviour.
+#include "pcm/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tdo::pcm {
+namespace {
+
+[[nodiscard]] Crossbar small_crossbar(std::uint32_t rows = 8,
+                                      std::uint32_t cols = 8) {
+  CrossbarParams params;
+  params.rows = rows;
+  params.cols = cols;
+  return Crossbar{params};
+}
+
+TEST(CrossbarTest, StoresAndReadsBackSigned8BitWeights) {
+  Crossbar xbar = small_crossbar();
+  const std::vector<std::int8_t> row = {-128, -127, -1, 0, 1, 63, 64, 127};
+  xbar.write_row(0, row);
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    EXPECT_EQ(xbar.weight_at(0, static_cast<std::uint32_t>(c)), row[c])
+        << "column " << c;
+  }
+}
+
+TEST(CrossbarTest, GemvMatchesExactIntegerDotProduct) {
+  Crossbar xbar = small_crossbar();
+  const std::vector<std::int8_t> w0 = {1, -2, 3, -4, 5, -6, 7, -8};
+  const std::vector<std::int8_t> w1 = {127, -127, 64, -64, 32, -32, 0, 1};
+  xbar.write_row(0, w0);
+  xbar.write_row(1, w1);
+
+  const std::vector<std::int8_t> in = {3, -5};
+  const GemvResult result = xbar.gemv(in, /*active_rows=*/2, /*active_cols=*/8);
+  ASSERT_EQ(result.acc.size(), 8u);
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const std::int32_t expected = 3 * w0[c] + (-5) * w1[c];
+    EXPECT_EQ(result.acc[c], expected) << "column " << c;
+  }
+}
+
+TEST(CrossbarTest, GemvHandlesExtremeValuesWithoutOverflow) {
+  Crossbar xbar = small_crossbar(4, 4);
+  const std::vector<std::int8_t> row(4, 127);
+  for (std::uint32_t r = 0; r < 4; ++r) xbar.write_row(r, row);
+  const std::vector<std::int8_t> in(4, 127);
+  const GemvResult result = xbar.gemv(in, 4, 4);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(result.acc[c], 4 * 127 * 127);
+  }
+}
+
+TEST(CrossbarTest, UnprogrammedColumnsContributeZero) {
+  Crossbar xbar = small_crossbar();
+  // Never programmed: the offset-corrected result of any input must be the
+  // dot product with the stored weights, which are all "-128 offset" zeros
+  // only after programming; fresh cells hold level 0 == offset-encoded -128.
+  const std::vector<std::int8_t> in = {1, 2, 3};
+  const GemvResult result = xbar.gemv(in, 3, 4);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(result.acc[c], (1 + 2 + 3) * -128);
+  }
+}
+
+TEST(CrossbarTest, WearAccountingCountsEveryProgrammingPulse) {
+  Crossbar xbar = small_crossbar(4, 4);
+  const std::vector<std::int8_t> row = {1, 2, 3, 4};
+  EXPECT_EQ(xbar.write_row(0, row), 8u);  // 4 weights x 2 nibble cells
+  EXPECT_EQ(xbar.total_cell_writes(), 8u);
+  // Rewriting the same values still wears the cells (RESET+SET sequence).
+  xbar.write_row(0, row);
+  EXPECT_EQ(xbar.total_cell_writes(), 16u);
+  EXPECT_EQ(xbar.max_cell_writes(), 2u);
+}
+
+TEST(CrossbarTest, PartialRowWriteOnlyTouchesPrefix) {
+  Crossbar xbar = small_crossbar(4, 8);
+  const std::vector<std::int8_t> row = {9, 9};
+  EXPECT_EQ(xbar.write_row(1, row), 4u);  // 2 weights x 2 cells
+  EXPECT_EQ(xbar.weight_at(1, 0), 9);
+  EXPECT_EQ(xbar.weight_at(1, 1), 9);
+  EXPECT_EQ(xbar.total_cell_writes(), 4u);
+}
+
+TEST(CrossbarTest, ClearTailProgramsWholeRow) {
+  Crossbar xbar = small_crossbar(2, 4);
+  const std::vector<std::int8_t> row = {5};
+  EXPECT_EQ(xbar.write_row(0, row, /*clear_tail=*/true), 8u);
+  EXPECT_EQ(xbar.weight_at(0, 0), 5);
+  for (std::uint32_t c = 1; c < 4; ++c) EXPECT_EQ(xbar.weight_at(0, c), 0);
+}
+
+TEST(CrossbarTest, ReadNoisePerturbsButTracksIdealResult) {
+  CrossbarParams params;
+  params.rows = 16;
+  params.cols = 4;
+  params.cell.read_noise_sigma = 0.01;
+  Crossbar xbar{params};
+  const std::vector<std::int8_t> row(4, 100);
+  for (std::uint32_t r = 0; r < 16; ++r) xbar.write_row(r, row);
+  const std::vector<std::int8_t> in(16, 50);
+  support::Rng rng{42};
+  const GemvResult noisy = xbar.gemv(in, 16, 4, &rng);
+  const std::int32_t ideal = 16 * 50 * 100;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_NE(noisy.acc[c], 0);
+    // 1% device noise must stay well within 10% of the ideal accumulation.
+    EXPECT_NEAR(static_cast<double>(noisy.acc[c]), static_cast<double>(ideal),
+                0.1 * ideal);
+  }
+}
+
+TEST(CrossbarTest, WornOutDetectionAfterEnduranceLimit) {
+  CrossbarParams params;
+  params.rows = 1;
+  params.cols = 1;
+  params.cell.endurance_writes = 3;
+  Crossbar xbar{params};
+  const std::vector<std::int8_t> row = {1};
+  EXPECT_EQ(xbar.worn_cells(), 0u);
+  xbar.write_row(0, row);
+  xbar.write_row(0, row);
+  EXPECT_EQ(xbar.worn_cells(), 0u);
+  xbar.write_row(0, row);
+  EXPECT_EQ(xbar.worn_cells(), 2u);  // both nibble cells hit the limit
+}
+
+class CrossbarGemvPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CrossbarGemvPropertyTest, MatchesIntegerReferenceOnRandomData) {
+  const auto [rows, cols, seed] = GetParam();
+  CrossbarParams params;
+  params.rows = static_cast<std::uint32_t>(rows);
+  params.cols = static_cast<std::uint32_t>(cols);
+  Crossbar xbar{params};
+  support::Rng rng{static_cast<std::uint64_t>(seed)};
+
+  std::vector<std::vector<std::int8_t>> w(rows, std::vector<std::int8_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      w[r][c] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    }
+    xbar.write_row(static_cast<std::uint32_t>(r), w[r]);
+  }
+  std::vector<std::int8_t> in(rows);
+  for (auto& v : in) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+
+  const GemvResult result = xbar.gemv(in, params.rows, params.cols);
+  for (int c = 0; c < cols; ++c) {
+    std::int64_t expected = 0;
+    for (int r = 0; r < rows; ++r) {
+      expected += static_cast<std::int64_t>(in[r]) * w[r][c];
+    }
+    EXPECT_EQ(result.acc[c], expected) << "col " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossbarGemvPropertyTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{7, 3, 2},
+                      std::tuple{16, 16, 3}, std::tuple{64, 32, 4},
+                      std::tuple{256, 256, 5}, std::tuple{33, 257 - 1, 6}));
+
+}  // namespace
+}  // namespace tdo::pcm

@@ -1,0 +1,90 @@
+// Tests for the start-gap wear-leveling extension.
+#include "pcm/wear_leveling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tdo::pcm {
+namespace {
+
+TEST(StartGapTest, MappingIsBijectiveInitially) {
+  StartGapRemapper remap{8};
+  std::set<std::uint32_t> used;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    const auto phys = remap.physical_row(r);
+    EXPECT_LT(phys, 9u);
+    EXPECT_NE(phys, remap.gap_position());
+    EXPECT_TRUE(used.insert(phys).second) << "collision at " << r;
+  }
+}
+
+TEST(StartGapTest, MappingStaysBijectiveAcrossGapMoves) {
+  StartGapRemapper remap{8, /*gap_move_interval=*/1};
+  for (int move = 0; move < 40; ++move) {
+    EXPECT_TRUE(remap.record_write());  // every write moves the gap
+    std::set<std::uint32_t> used;
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      const auto phys = remap.physical_row(r);
+      EXPECT_LT(phys, 9u);
+      EXPECT_NE(phys, remap.gap_position());
+      EXPECT_TRUE(used.insert(phys).second)
+          << "collision after move " << move << " row " << r;
+    }
+  }
+}
+
+TEST(StartGapTest, GapMovesOnlyAtInterval) {
+  StartGapRemapper remap{4, /*gap_move_interval=*/8};
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(remap.record_write());
+  EXPECT_TRUE(remap.record_write());
+  EXPECT_EQ(remap.gap_moves(), 1u);
+}
+
+TEST(StartGapTest, FullRotationAdvancesStart) {
+  StartGapRemapper remap{4, 1};
+  EXPECT_EQ(remap.start(), 0u);
+  // Gap begins at physical 4; 5 moves wrap it around once.
+  for (int i = 0; i < 5; ++i) (void)remap.record_write();
+  EXPECT_EQ(remap.start(), 1u);
+}
+
+TEST(StartGapTest, SpreadsHotRowWritesAcrossPhysicalRows) {
+  // A pathological workload hammers logical row 0. Without wear leveling
+  // one physical row takes every write; with start-gap the writes spread.
+  StartGapRemapper remap{16, /*gap_move_interval=*/4};
+  std::map<std::uint32_t, std::uint64_t> writes_per_physical;
+  for (int i = 0; i < 1000; ++i) {
+    writes_per_physical[remap.physical_row(0)] += 1;
+    (void)remap.record_write();
+  }
+  // The hot row must have visited a large fraction of the physical rows.
+  EXPECT_GE(writes_per_physical.size(), 12u);
+  // And no single physical row took more than a third of the writes.
+  for (const auto& [row, count] : writes_per_physical) {
+    EXPECT_LT(count, 1000u / 3) << "row " << row;
+  }
+}
+
+class StartGapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StartGapPropertyTest, NeverMapsToGapAndStaysInRange) {
+  const auto rows = static_cast<std::uint32_t>(GetParam());
+  StartGapRemapper remap{rows, 3};
+  for (int step = 0; step < 500; ++step) {
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const auto phys = remap.physical_row(r);
+      ASSERT_LE(phys, rows);
+      ASSERT_NE(phys, remap.gap_position());
+    }
+    (void)remap.record_write();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StartGapPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 256));
+
+}  // namespace
+}  // namespace tdo::pcm

@@ -1,0 +1,161 @@
+// Unit tests for the support layer: units, status, stats, quantization,
+// tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/fixed_point.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/status.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace tdo::support {
+namespace {
+
+using namespace tdo::support::literals;
+
+TEST(UnitsTest, EnergyConversionsRoundTrip) {
+  const Energy e = Energy::from_nj(3.9);
+  EXPECT_DOUBLE_EQ(e.picojoules(), 3900.0);
+  EXPECT_DOUBLE_EQ(e.microjoules(), 0.0039);
+  EXPECT_DOUBLE_EQ((200_fJ).picojoules(), 0.2);
+  EXPECT_DOUBLE_EQ((1.5_mJ).joules(), 1.5e-3);
+}
+
+TEST(UnitsTest, EnergyArithmeticAndRatios) {
+  const Energy a = 100_pJ;
+  const Energy b = 50_pJ;
+  EXPECT_DOUBLE_EQ((a + b).picojoules(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).picojoules(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).picojoules(), 300.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(UnitsTest, DurationTicksAndFrequency) {
+  const Frequency f = 1.2_GHz;
+  EXPECT_NEAR(f.period().picoseconds(), 833.333, 0.001);
+  EXPECT_NEAR(f.cycles(1200.0).microseconds(), 1.0, 1e-9);
+  EXPECT_NEAR(f.cycles_in(Duration::from_us(1.0)), 1200.0, 1e-6);
+  EXPECT_EQ((2.5_us).ticks(), 2'500'000u);
+}
+
+TEST(UnitsTest, EdpCombinesEnergyAndTime) {
+  EXPECT_DOUBLE_EQ(energy_delay_product(Energy::from_joule(2.0),
+                                        Duration::from_sec(3.0)),
+                   6.0);
+}
+
+TEST(UnitsTest, HumanReadableStrings) {
+  EXPECT_EQ((3.9_nJ).to_string(), "3.9 nJ");
+  EXPECT_EQ(Duration::from_us(2.5).to_string(), "2.5 us");
+  EXPECT_EQ(Frequency::from_ghz(1.2).to_string(), "1.2 GHz");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status s = invalid_argument("bad");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> good = 42;
+  EXPECT_TRUE(good.is_ok());
+  EXPECT_EQ(*good, 42);
+  StatusOr<int> bad = not_found("nope");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(StatsTest, SnapshotDeltasIsolateRoi) {
+  StatsRegistry registry;
+  Counter c;
+  EnergyAccumulator e;
+  registry.register_counter("x", &c);
+  registry.register_energy("e", &e);
+  c.add(10);
+  e.add(Energy::from_pj(5));
+  const auto before = registry.snapshot();
+  c.add(32);
+  e.add(Energy::from_pj(7));
+  const auto delta = registry.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter_or("x"), 32u);
+  EXPECT_DOUBLE_EQ(delta.energy_or("e").picojoules(), 7.0);
+  EXPECT_EQ(delta.counter_or("missing", 99), 99u);
+}
+
+TEST(QuantTest, RoundTripWithinHalfStep) {
+  const QuantScale q = QuantScale::for_max_abs(2.0);
+  for (const double v : {-2.0, -1.3333, -0.001, 0.0, 0.5, 1.9999, 2.0}) {
+    const auto code = q.quantize(v);
+    EXPECT_NEAR(q.dequantize(code), v, q.scale * 0.5 + 1e-12);
+  }
+}
+
+TEST(QuantTest, SaturatesAtRange) {
+  const QuantScale q = QuantScale::for_max_abs(1.0);
+  EXPECT_EQ(q.quantize(50.0), 127);
+  EXPECT_EQ(q.quantize(-50.0), -127);
+}
+
+TEST(QuantTest, NibbleSplitJoinRoundTrips) {
+  for (int w = -128; w <= 127; ++w) {
+    const auto v = static_cast<std::int8_t>(w);
+    if (v == -128) continue;  // magnitude 128 does not fit two nibbles
+    EXPECT_EQ(join_nibbles(split_nibbles(v)), v) << w;
+  }
+}
+
+TEST(QuantTest, DotErrorBoundIsSane) {
+  // Bound must exceed the worst observed quantization error on random data.
+  Rng rng{7};
+  const std::size_t n = 64;
+  std::vector<float> a(n), b(n);
+  for (auto& v : a) v = rng.uniform_f(-2.0f, 2.0f);
+  for (auto& v : b) v = rng.uniform_f(-3.0f, 3.0f);
+  const QuantScale qa = QuantScale::for_max_abs(2.0);
+  const QuantScale qb = QuantScale::for_max_abs(3.0);
+  double exact = 0.0;
+  std::int64_t fixed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exact += static_cast<double>(a[i]) * b[i];
+    fixed += static_cast<std::int64_t>(qa.quantize(a[i])) * qb.quantize(b[i]);
+  }
+  const double approx = static_cast<double>(fixed) * qa.scale * qb.scale;
+  EXPECT_LE(std::abs(exact - approx), dot_quant_error_bound(2.0, 3.0, n));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  TextTable table{"demo"};
+  table.set_header({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, RatioFormatting) {
+  EXPECT_EQ(TextTable::fmt_ratio(612.4), "612x");
+  EXPECT_EQ(TextTable::fmt_ratio(32.61), "32.6x");
+  EXPECT_EQ(TextTable::fmt_ratio(3.234), "3.23x");
+}
+
+}  // namespace
+}  // namespace tdo::support

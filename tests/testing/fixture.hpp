@@ -1,0 +1,126 @@
+// Shared test fixture: a small emulated platform (System + Accelerator +
+// CimRuntime) plus helpers to move float matrices in and out of simulated
+// memory and to compute reference BLAS results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cim/accelerator.hpp"
+#include "runtime/cim_blas.hpp"
+#include "sim/system.hpp"
+#include "support/rng.hpp"
+
+namespace tdo::testing {
+
+/// Owns a fully wired platform with paper-default parameters.
+class Platform {
+ public:
+  explicit Platform(rt::RuntimeConfig config = {},
+                    cim::AcceleratorParams accel_params = {},
+                    sim::SystemParams system_params = {})
+      : system_{system_params},
+        accel_{accel_params, system_},
+        runtime_{config, system_, accel_} {}
+
+  [[nodiscard]] sim::System& system() { return system_; }
+  [[nodiscard]] cim::Accelerator& accel() { return accel_; }
+  [[nodiscard]] rt::CimRuntime& runtime() { return runtime_; }
+
+  /// Allocates a device buffer and uploads `data` into it functionally
+  /// (no host cost) — tests that care about cost use the runtime copies.
+  [[nodiscard]] sim::VirtAddr upload(std::span<const float> data) {
+    auto va = runtime_.malloc_device(data.size() * sizeof(float));
+    EXPECT_TRUE(va.is_ok()) << va.status().to_string();
+    write_floats(*va, data);
+    return *va;
+  }
+
+  /// Allocates a zero-filled device buffer of `count` floats.
+  [[nodiscard]] sim::VirtAddr device_zeros(std::size_t count) {
+    const std::vector<float> zeros(count, 0.0f);
+    return upload(zeros);
+  }
+
+  void write_floats(sim::VirtAddr va, std::span<const float> data) {
+    auto pa = system_.mmu().translate(va);
+    ASSERT_TRUE(pa.is_ok());
+    system_.memory().write(
+        *pa, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size() * sizeof(float)));
+  }
+
+  [[nodiscard]] std::vector<float> read_floats(sim::VirtAddr va,
+                                               std::size_t count) {
+    std::vector<float> out(count);
+    auto pa = system_.mmu().translate(va);
+    EXPECT_TRUE(pa.is_ok());
+    system_.memory().read(
+        *pa, std::span(reinterpret_cast<std::uint8_t*>(out.data()),
+                       count * sizeof(float)));
+    return out;
+  }
+
+ private:
+  sim::System system_;
+  cim::Accelerator accel_;
+  rt::CimRuntime runtime_;
+};
+
+/// Row-major reference GEMM: C = alpha*A*B + beta*C.
+inline void ref_gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                     const std::vector<float>& a, std::size_t lda,
+                     const std::vector<float>& b, std::size_t ldb, float beta,
+                     std::vector<float>& c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * lda + kk]) *
+               static_cast<double>(b[kk * ldb + j]);
+      }
+      c[i * ldc + j] = static_cast<float>(
+          alpha * acc + static_cast<double>(beta) * c[i * ldc + j]);
+    }
+  }
+}
+
+/// Reference GEMV: y = alpha*op(A)*x + beta*y.
+inline void ref_gemv(bool transpose, std::size_t m, std::size_t n, float alpha,
+                     const std::vector<float>& a, std::size_t lda,
+                     const std::vector<float>& x, float beta,
+                     std::vector<float>& y) {
+  if (!transpose) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(a[i * lda + j]) * static_cast<double>(x[j]);
+      }
+      y[i] = static_cast<float>(alpha * acc + static_cast<double>(beta) * y[i]);
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc += static_cast<double>(a[i * lda + j]) * static_cast<double>(x[i]);
+    }
+    y[j] = static_cast<float>(alpha * acc + static_cast<double>(beta) * y[j]);
+  }
+}
+
+/// Deterministic random matrix in [-range, range].
+inline std::vector<float> random_matrix(std::size_t count, double range,
+                                        std::uint64_t seed) {
+  support::Rng rng{seed};
+  std::vector<float> out(count);
+  for (float& v : out) {
+    v = rng.uniform_f(static_cast<float>(-range), static_cast<float>(range));
+  }
+  return out;
+}
+
+}  // namespace tdo::testing
