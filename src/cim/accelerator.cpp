@@ -1,5 +1,6 @@
 #include "cim/accelerator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -7,8 +8,16 @@
 
 namespace tdo::cim {
 
+AcceleratorParams instance_params(AcceleratorParams base, std::size_t index) {
+  if (index > 0) {
+    base.name += std::to_string(index);
+    base.pmio_base += index * kPmioInstanceStride;
+  }
+  return base;
+}
+
 Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
-    : params_{params}, system_{system}, model_{params.energy} {
+    : params_{std::move(params)}, system_{system}, model_{params_.energy} {
   tile_ = std::make_unique<CimTile>(params_.tile);
   dma_ = std::make_unique<Dma>(params_.dma, system.memory());
   engine_ = std::make_unique<MicroEngine>(
@@ -22,14 +31,19 @@ Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
   (void)attached;
 
   auto& stats = system.stats();
-  stats.register_counter("cim.jobs", &jobs_);
-  stats.register_energy("cim.energy.write", &e_write_);
-  stats.register_energy("cim.energy.compute", &e_compute_);
-  stats.register_energy("cim.energy.mixed_signal", &e_mixed_);
-  stats.register_energy("cim.energy.digital", &e_digital_);
-  stats.register_energy("cim.energy.buffers", &e_buffers_);
-  stats.register_energy("cim.energy.dma", &e_dma_);
-  dma_->register_stats(stats);
+  const std::string& p = params_.name;
+  stats.register_counter(p + ".jobs", &jobs_);
+  stats.register_counter(p + ".queued_jobs", &queued_jobs_);
+  stats.register_counter(p + ".jobs_completed", &completed_);
+  stats.register_counter(p + ".jobs_failed", &failed_);
+  stats.register_counter(p + ".overlap_ticks", &overlap_ticks_);
+  stats.register_energy(p + ".energy.write", &e_write_);
+  stats.register_energy(p + ".energy.compute", &e_compute_);
+  stats.register_energy(p + ".energy.mixed_signal", &e_mixed_);
+  stats.register_energy(p + ".energy.digital", &e_digital_);
+  stats.register_energy(p + ".energy.buffers", &e_buffers_);
+  stats.register_energy(p + ".energy.dma", &e_dma_);
+  dma_->register_stats(stats, p);
 
   regs_.set_status(DeviceStatus::kIdle);
 }
@@ -57,6 +71,9 @@ support::Status Accelerator::mmio_write(std::uint64_t offset,
   std::memcpy(&value, in.data(), sizeof value);
 
   const Reg reg = static_cast<Reg>(index);
+  if (reg == Reg::kCompleted) {
+    return support::failed_precondition("completed-jobs register is read-only");
+  }
   if (reg == Reg::kCommand) {
     if (value == 1) {
       if (regs_.status() == DeviceStatus::kBusy) {
@@ -78,12 +95,68 @@ support::Status Accelerator::mmio_write(std::uint64_t offset,
   return support::Status::ok();
 }
 
+support::Status Accelerator::enqueue_job(const ContextRegs& image) {
+  if (regs_.status() == DeviceStatus::kBusy) {
+    if (queue_.size() >= params_.work_queue_depth) {
+      return support::resource_exhausted("CIM work queue full");
+    }
+    queue_.push_back(QueuedJob{image, system_.events().now()});
+    queued_jobs_.add();
+    return support::Status::ok();
+  }
+  apply_image(image);
+  trigger();
+  return support::Status::ok();
+}
+
+void Accelerator::apply_image(const ContextRegs& image) {
+  for (std::uint32_t i = 0; i < kRegCount; ++i) {
+    const Reg reg = static_cast<Reg>(i);
+    if (reg == Reg::kCommand || reg == Reg::kStatus || reg == Reg::kResult ||
+        reg == Reg::kCompleted) {
+      continue;
+    }
+    regs_.write(reg, image.read(reg));
+  }
+}
+
 void Accelerator::trigger() {
-  jobs_.add();
-  regs_.set_status(DeviceStatus::kBusy);
   TDO_LOG(kDebug, "cim.accel") << "job triggered, opcode="
                                << regs_.read(Reg::kOpcode);
-  last_timeline_ = engine_->launch(regs_);
+  start_job(support::Duration::zero());
+}
+
+void Accelerator::start_job(support::Duration prefetch_credit) {
+  jobs_.add();
+  regs_.set_status(DeviceStatus::kBusy);
+  last_timeline_ = engine_->launch(regs_, prefetch_credit);
+  overlap_ticks_.add(last_timeline_.overlap);
+  busy_until_ = last_timeline_.done;
+
+  // Completion chain: the engine's own done/error event (same tick, earlier
+  // sequence) has already updated kStatus/kResult when this runs.
+  const support::Duration stream_phase =
+      params_.queue_prefetch ? last_timeline_.stream_phase()
+                             : support::Duration::zero();
+  system_.events().schedule_at(busy_until_, params_.name + ".advance",
+                               [this, stream_phase] {
+    completed_.add();
+    regs_.write(Reg::kCompleted, completed_.value());
+    if (regs_.status() == DeviceStatus::kError) {
+      failed_.add();
+      last_error_ = regs_.read(Reg::kResult);
+    }
+    if (queue_.empty()) return;
+    const QueuedJob job = queue_.front();
+    queue_.pop_front();
+    apply_image(job.image);
+    // Prefetch could only run while the job sat in the queue *and* the
+    // engine was streaming: a late-enqueued image claims only the tail of
+    // the stream phase, not all of it.
+    const sim::Tick now = system_.events().now();
+    const support::Duration queued_for = sim::from_ticks(now - job.enqueued);
+    start_job(std::min(stream_phase, queued_for));
+  });
 }
 
 support::Energy Accelerator::total_energy() const {

@@ -4,9 +4,17 @@
 // that attaches to the system bus through a port-mapped IO window exposing
 // its context registers. The host driver writes job parameters, writes 1 to
 // the command register, and polls the status register.
+//
+// Beyond the paper's single-shot protocol, the accelerator carries a small
+// hardware work queue (DSA-style): the driver may enqueue a job while the
+// engine is busy, and the completion event chains straight into the next job
+// without a host round trip. A chained job's weight-load DMA overlaps the
+// previous job's stream phase (stream-level double buffering).
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <string>
 
 #include "cim/cim_tile.hpp"
 #include "cim/context_regs.hpp"
@@ -25,7 +33,26 @@ struct AcceleratorParams {
   MicroEngineParams engine;
   pcm::CimEnergyParams energy;
   sim::PhysAddr pmio_base = kDefaultPmioBase;
+  /// Stats prefix; give every instance in a multi-accelerator system a
+  /// distinct name ("cim", "cim1", ...).
+  std::string name = "cim";
+  /// Capacity of the hardware job FIFO behind the running job. The stream
+  /// layer keeps at most `work_queue_depth + 1` commands in flight here.
+  std::size_t work_queue_depth = 8;
+  /// Overlap a chained job's weight-load DMA with the running job's stream
+  /// phase (requires the job's double-buffering flag).
+  bool queue_prefetch = true;
 };
+
+/// Address-space stride between accelerator instances on the system bus.
+inline constexpr std::uint64_t kPmioInstanceStride = 0x1000;
+static_assert(kPmioInstanceStride >= kPmioWindowBytes);
+
+/// Parameters for the `index`-th instance in a multi-accelerator system:
+/// distinct stats prefix ("cim", "cim1", ...) and PMIO window, shared
+/// everything else. Index 0 returns `base` unchanged.
+[[nodiscard]] AcceleratorParams instance_params(AcceleratorParams base,
+                                                std::size_t index);
 
 /// Aggregated accelerator-side statistics for one ROI.
 struct AcceleratorReport {
@@ -56,6 +83,30 @@ class Accelerator final : public sim::BusDevice {
   support::Status mmio_write(std::uint64_t offset,
                              std::span<const std::uint8_t> in) override;
 
+  // --- work queue (driver-facing, non-blocking) ---
+
+  /// Starts the job immediately when idle, otherwise appends it to the
+  /// hardware FIFO; kResourceExhausted when the FIFO is full. The caller has
+  /// already charged the host for programming the image.
+  support::Status enqueue_job(const ContextRegs& image);
+
+  /// True while a job is running or queued.
+  [[nodiscard]] bool has_work() const {
+    return regs_.status() == DeviceStatus::kBusy || !queue_.empty();
+  }
+  /// Running job (0/1) plus queued jobs.
+  [[nodiscard]] std::size_t in_flight() const {
+    return (regs_.status() == DeviceStatus::kBusy ? 1 : 0) + queue_.size();
+  }
+  /// Completion tick of the currently running job (chained jobs extend this
+  /// as their launches execute on the event queue).
+  [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
+
+  [[nodiscard]] std::uint64_t jobs_completed() const { return completed_.value(); }
+  [[nodiscard]] std::uint64_t jobs_failed() const { return failed_.value(); }
+  /// kResult of the most recent failed job (support::StatusCode value).
+  [[nodiscard]] std::uint64_t last_error_code() const { return last_error_; }
+
   [[nodiscard]] ContextRegs& regs() { return regs_; }
   [[nodiscard]] CimTile& tile() { return *tile_; }
   [[nodiscard]] Dma& dma() { return *dma_; }
@@ -68,6 +119,12 @@ class Accelerator final : public sim::BusDevice {
 
  private:
   void trigger();
+  /// Launches the image currently in `regs_` and schedules the completion
+  /// chain that pops the next queued job.
+  void start_job(support::Duration prefetch_credit);
+  /// Copies every job register of `image` into `regs_` (control/status
+  /// registers — command, status, result, completed — are device-owned).
+  void apply_image(const ContextRegs& image);
 
   AcceleratorParams params_;
   sim::System& system_;
@@ -78,7 +135,19 @@ class Accelerator final : public sim::BusDevice {
   std::unique_ptr<MicroEngine> engine_;
   JobTimeline last_timeline_;
 
+  struct QueuedJob {
+    ContextRegs image;
+    sim::Tick enqueued = 0;  // bounds the prefetch credit the job may claim
+  };
+  std::deque<QueuedJob> queue_;
+  sim::Tick busy_until_ = 0;
+  std::uint64_t last_error_ = 0;
+
   support::Counter jobs_;
+  support::Counter queued_jobs_;
+  support::Counter completed_;
+  support::Counter failed_;
+  support::Counter overlap_ticks_;
   support::EnergyAccumulator e_write_;
   support::EnergyAccumulator e_compute_;
   support::EnergyAccumulator e_mixed_;

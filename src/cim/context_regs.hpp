@@ -29,6 +29,7 @@ enum class Reg : std::uint32_t {
   kBatchCount,      // number of batch entries (batched GEMM)
   kBatchTable,      // PA of BatchEntry[kBatchCount]
   kResult,          // Status/error code written by the device
+  kCompleted,       // jobs completed since reset (read-only; work-queue poll)
   kCount
 };
 

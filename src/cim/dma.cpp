@@ -56,10 +56,12 @@ support::Duration Dma::write_strided(sim::PhysAddr dst, std::uint64_t stride,
   return strided_time(bytes);
 }
 
-void Dma::register_stats(support::StatsRegistry& registry) const {
-  registry.register_counter("cim.dma.bytes_read", &bytes_read_);
-  registry.register_counter("cim.dma.bytes_written", &bytes_written_);
-  registry.register_counter("cim.dma.bursts", &bursts_);
+void Dma::register_stats(support::StatsRegistry& registry,
+                         const std::string& prefix) const {
+  registry.register_counter(prefix + ".dma.bytes_read", &bytes_read_);
+  registry.register_counter(prefix + ".dma.bytes_written", &bytes_written_);
+  registry.register_counter(prefix + ".dma.bursts", &bursts_);
+  registry.register_counter(prefix + ".dma.prefetch_bytes", &prefetch_bytes_);
 }
 
 }  // namespace tdo::cim

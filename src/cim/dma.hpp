@@ -48,12 +48,19 @@ class Dma {
                                   std::uint32_t elem_bytes, std::uint32_t count,
                                   std::span<const std::uint8_t> in);
 
+  /// Records `bytes` of traffic that ran on the otherwise-idle channel while
+  /// the engine streamed the previous job (stream-level double buffering).
+  /// Accounting only; the transfer itself was already charged.
+  void note_prefetch(std::uint64_t bytes) { prefetch_bytes_.add(bytes); }
+
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_.value(); }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_.value(); }
   [[nodiscard]] std::uint64_t bursts() const { return bursts_.value(); }
+  [[nodiscard]] std::uint64_t prefetched_bytes() const { return prefetch_bytes_.value(); }
   [[nodiscard]] const DmaParams& params() const { return params_; }
 
-  void register_stats(support::StatsRegistry& registry) const;
+  void register_stats(support::StatsRegistry& registry,
+                      const std::string& prefix = "cim") const;
 
  private:
   [[nodiscard]] support::Duration block_time(std::uint64_t bytes) const;
@@ -64,6 +71,7 @@ class Dma {
   support::Counter bytes_read_;
   support::Counter bytes_written_;
   support::Counter bursts_;
+  support::Counter prefetch_bytes_;
 };
 
 }  // namespace tdo::cim

@@ -60,7 +60,7 @@ support::StatusOr<MicroEngine::GemmJob> MicroEngine::decode(
   return job;
 }
 
-support::Duration MicroEngine::load_weights(const GemmJob& job) {
+MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
   const bool stationary_b = job.stationary == StationaryOperand::kB;
   const std::uint64_t tile_rows = job.k;
   const std::uint64_t tile_cols = stationary_b ? job.n : job.m;
@@ -77,13 +77,14 @@ support::Duration MicroEngine::load_weights(const GemmJob& job) {
       programmed_->ld == ld) {
     TDO_LOG(kDebug, "cim.engine") << "stationary tile reuse, skipping "
                                   << tile_rows << " row programs";
-    return Duration::zero();
+    return WeightPhase{};
   }
 
   std::vector<float> row_f(tile_cols);
   std::vector<std::int8_t> row_q;
   Duration fill_done = Duration::zero();
   Duration prog_done = Duration::zero();
+  Duration dma_total = Duration::zero();
 
   for (std::uint64_t r = 0; r < tile_rows; ++r) {
     Duration dma_time;
@@ -101,6 +102,7 @@ support::Duration MicroEngine::load_weights(const GemmJob& job) {
     quantize_into(row_f, scale, row_q);
     (void)tile_.program_row(static_cast<std::uint32_t>(r), row_q);
 
+    dma_total = dma_total + dma_time;
     const Duration program_latency = model_.write_latency(1);
     if (job.double_buffering) {
       // DMA fill of row r+1 overlaps programming of row r.
@@ -112,7 +114,7 @@ support::Duration MicroEngine::load_weights(const GemmJob& job) {
   }
 
   programmed_ = ProgrammedTile{pa, scale, tile_rows, tile_cols, job.stationary, ld};
-  return prog_done;
+  return WeightPhase{prog_done, dma_total, tile_rows * tile_cols * 4};
 }
 
 support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
@@ -208,12 +210,16 @@ support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
         "operand tile exceeds crossbar geometry; the caller must tile");
   }
   PhaseTimes times;
-  times.weights = load_weights(job);
+  const WeightPhase weights = load_weights(job);
+  times.weights = weights.total;
+  times.weight_dma = weights.dma;
+  times.weight_dma_bytes = weights.dma_bytes;
   times.stream = stream_vectors(job);
   return times;
 }
 
-JobTimeline MicroEngine::launch(ContextRegs& regs) {
+JobTimeline MicroEngine::launch(ContextRegs& regs,
+                                support::Duration prefetch_credit) {
   JobTimeline timeline;
   timeline.trigger = events_.now();
 
@@ -235,6 +241,11 @@ JobTimeline MicroEngine::launch(ContextRegs& regs) {
   const Opcode op = static_cast<Opcode>(regs.read(Reg::kOpcode));
   Duration weight_phase = params_.job_setup;
   Duration total = params_.job_setup;
+  // Weight-DMA share of the first weight phase; what a chained job may have
+  // prefetched while the previous job was still streaming.
+  Duration prefetchable = Duration::zero();
+  std::uint64_t prefetchable_bytes = 0;
+  bool allow_prefetch = false;
 
   switch (op) {
     case Opcode::kGemv:
@@ -247,6 +258,9 @@ JobTimeline MicroEngine::launch(ContextRegs& regs) {
       if (!phases.is_ok()) return fail(phases.status());
       weight_phase += phases->weights;
       total = weight_phase + phases->stream;
+      prefetchable = phases->weight_dma;
+      prefetchable_bytes = phases->weight_dma_bytes;
+      allow_prefetch = job->double_buffering;
       break;
     }
     case Opcode::kGemmBatched: {
@@ -278,6 +292,9 @@ JobTimeline MicroEngine::launch(ContextRegs& regs) {
         total += phases->weights + phases->stream;
         if (!first_weights_done) {
           weight_phase += phases->weights;
+          prefetchable = phases->weight_dma;
+          prefetchable_bytes = phases->weight_dma_bytes;
+          allow_prefetch = base->double_buffering;
           first_weights_done = true;
         }
       }
@@ -286,6 +303,21 @@ JobTimeline MicroEngine::launch(ContextRegs& regs) {
     case Opcode::kNop:
       break;
   }
+
+  // Stream-level double buffering: a chained job's initial weight DMA ran
+  // while the previous job streamed, so that share of the weight phase is
+  // already paid for.
+  Duration overlap = Duration::zero();
+  if (allow_prefetch && prefetch_credit > Duration::zero() &&
+      prefetchable > Duration::zero()) {
+    overlap = std::min(prefetch_credit, prefetchable);
+    weight_phase = weight_phase - overlap;
+    total = total - overlap;
+    const double fraction = overlap.picoseconds() / prefetchable.picoseconds();
+    dma_.note_prefetch(static_cast<std::uint64_t>(
+        fraction * static_cast<double>(prefetchable_bytes)));
+  }
+  timeline.overlap = overlap.ticks();
 
   // Charge energy from the tile/DMA activity deltas of this job.
   const TileStats after = tile_.stats();

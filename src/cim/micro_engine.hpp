@@ -43,6 +43,9 @@ struct JobTimeline {
   sim::Tick trigger = 0;
   sim::Tick weights_programmed = 0;
   sim::Tick done = 0;
+  /// Ticks of weight-load DMA hidden under the previous job's stream phase
+  /// (non-zero only for jobs chained from the accelerator work queue).
+  sim::Tick overlap = 0;
 
   [[nodiscard]] support::Duration weight_phase() const {
     return sim::from_ticks(weights_programmed - trigger);
@@ -72,7 +75,13 @@ class MicroEngine {
   /// immediately, charges energy, computes the pipeline schedule, and
   /// schedules a completion event that flips kStatus to kDone (or kError).
   /// Returns the computed timeline.
-  JobTimeline launch(ContextRegs& regs);
+  ///
+  /// `prefetch_credit` is time during which the job's weight-load DMA could
+  /// already run (the previous job's stream phase, when the job was sitting
+  /// in the accelerator work queue with double-buffered context registers):
+  /// up to min(credit, weight-DMA time) is subtracted from the weight phase.
+  JobTimeline launch(ContextRegs& regs,
+                     support::Duration prefetch_credit = support::Duration::zero());
 
   /// Identity of the stationary tile currently programmed (for reuse
   /// detection within batched jobs and for tests).
@@ -104,15 +113,23 @@ class MicroEngine {
 
   [[nodiscard]] support::StatusOr<GemmJob> decode(const ContextRegs& regs) const;
 
-  /// Runs one GEMM; returns (weight_phase, stream_phase) durations.
+  /// Runs one GEMM; returns (weight_phase, stream_phase) durations plus the
+  /// pure-DMA share of the weight phase (the overlappable part).
   struct PhaseTimes {
     support::Duration weights;
+    support::Duration weight_dma;
     support::Duration stream;
+    std::uint64_t weight_dma_bytes = 0;
   };
   [[nodiscard]] support::StatusOr<PhaseTimes> run_gemm(const GemmJob& job);
 
-  /// Loads the stationary operand into the crossbar; returns phase duration.
-  [[nodiscard]] support::Duration load_weights(const GemmJob& job);
+  /// Loads the stationary operand into the crossbar.
+  struct WeightPhase {
+    support::Duration total;
+    support::Duration dma;  // DMA share; prefetchable while the engine streams
+    std::uint64_t dma_bytes = 0;
+  };
+  [[nodiscard]] WeightPhase load_weights(const GemmJob& job);
 
   /// Streams the moving operand; returns phase duration.
   [[nodiscard]] support::Duration stream_vectors(const GemmJob& job);

@@ -20,6 +20,7 @@ using exec::CimGemvOp;
 using exec::CimHostToDevOp;
 using exec::CimInitOp;
 using exec::CimMallocOp;
+using exec::CimSyncOp;
 using exec::HostNest;
 using exec::OperandRef;
 
@@ -69,8 +70,10 @@ class Emitter {
   }
 
   [[nodiscard]] exec::Program take() && {
-    // Final coherence: results computed on the device go back to the host,
-    // then all device buffers are released (Listing 1's epilogue).
+    // Final coherence: drain the command stream, copy results computed on
+    // the device back to the host, then release all device buffers
+    // (Listing 1's epilogue, asynchronous edition).
+    emit_sync_if_pending();
     for (auto& [name, state] : location_) {
       if (state == Loc::kDeviceDirty) {
         program_.items.push_back(CimDevToHostOp{name});
@@ -92,6 +95,14 @@ class Emitter {
     for (const auto& name : reads) ensure_host(name);
     // Partial writes must land on current data, so writes sync too.
     for (const auto& name : writes) ensure_host(name);
+    // A host write to a device-resident array could race an in-flight
+    // kernel still reading it: barrier first (WAR across the stream).
+    for (const auto& name : writes) {
+      if (device_buffers_.contains(name)) {
+        emit_sync_if_pending();
+        break;
+      }
+    }
     program_.items.push_back(HostNest{std::move(body)});
     for (const auto& name : writes) mark_host_write(name);
   }
@@ -103,11 +114,19 @@ class Emitter {
     // sub-regions; conservatively sync outputs in as well.
     for (const auto& name : writes) ensure_device(name);
     program_.items.push_back(std::move(op));
+    kernels_in_flight_ = true;
     for (const auto& name : writes) location_[name] = Loc::kDeviceDirty;
   }
 
  private:
   enum class Loc { kHostOnly, kSynced, kDeviceDirty, kHostDirty };
+
+  /// Stream barrier before anything consumes asynchronously-produced data.
+  void emit_sync_if_pending() {
+    if (!kernels_in_flight_) return;
+    program_.items.push_back(CimSyncOp{});
+    kernels_in_flight_ = false;
+  }
 
   [[nodiscard]] Loc state(const std::string& name) const {
     const auto it = location_.find(name);
@@ -137,6 +156,7 @@ class Emitter {
 
   void ensure_host(const std::string& name) {
     if (state(name) == Loc::kDeviceDirty) {
+      emit_sync_if_pending();
       program_.items.push_back(CimDevToHostOp{name});
       location_[name] = Loc::kSynced;
     }
@@ -153,6 +173,7 @@ class Emitter {
   std::map<std::string, Loc> location_;
   std::set<std::string> device_buffers_;
   bool init_emitted_ = false;
+  bool kernels_in_flight_ = false;
 };
 
 [[nodiscard]] std::uint64_t array_ld(const ir::Function& fn,

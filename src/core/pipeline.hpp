@@ -6,7 +6,11 @@
 //   3. kernel fusion into batched calls (fusion.hpp);
 //   4. endurance-aware tiling of oversized kernels (tiling.hpp);
 //   5. runtime-call substitution with on-demand host/device coherence copies
-//      (Listing 1's polly_cim* orchestration).
+//      (Listing 1's polly_cim* orchestration). Kernel calls dispatch into
+//      the runtime's asynchronous command stream; the emitter inserts
+//      polly_cimSynchronize barriers wherever host code (or a copy-back)
+//      consumes device-produced data, so consecutive kernels and fusion
+//      groups pipeline across the accelerator work queues.
 // The result carries both the untouched host program (the `-O3` baseline of
 // the evaluation) and the CIM program (`-O3 -enable-loop-tactics`).
 #pragma once

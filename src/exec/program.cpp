@@ -37,6 +37,8 @@ std::string Program::to_source() const {
          << ", sizeof(" << d2h->array << "));\n";
     } else if (const auto* free_op = std::get_if<CimFreeOp>(&item)) {
       os << "polly_cimFree(cim_" << free_op->array << ");\n";
+    } else if (std::get_if<CimSyncOp>(&item) != nullptr) {
+      os << "polly_cimSynchronize();\n";
     } else if (const auto* gemm = std::get_if<CimGemmOp>(&item)) {
       os << "polly_cimBlasSGemm(0, 0, " << gemm->m << ", " << gemm->n << ", "
          << gemm->k << ", &alpha /*" << gemm->alpha << "*/, ";

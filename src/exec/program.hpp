@@ -42,6 +42,11 @@ struct CimFreeOp {
   std::string array;
 };
 
+/// polly_cimSynchronize(): stream barrier. The pipeline emits one before
+/// host code (or a copy-back) consumes data produced by asynchronous
+/// device calls.
+struct CimSyncOp {};
+
 /// One GEMM operand binding: array name + row/col offsets into it (for
 /// compiler-tiled calls) + leading dimension.
 struct OperandRef {
@@ -84,7 +89,7 @@ struct HostNest {
 
 using ProgramItem =
     std::variant<HostNest, CimInitOp, CimMallocOp, CimHostToDevOp,
-                 CimDevToHostOp, CimFreeOp, CimGemmOp, CimGemvOp,
+                 CimDevToHostOp, CimFreeOp, CimSyncOp, CimGemmOp, CimGemvOp,
                  CimGemmBatchedOp>;
 
 /// Fully lowered program, executable by exec::Interpreter.

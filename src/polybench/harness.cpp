@@ -1,6 +1,10 @@
 #include "polybench/harness.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "cim/accelerator.hpp"
 #include "exec/interpreter.hpp"
@@ -36,10 +40,19 @@ StatusOr<double> validate(exec::Interpreter& interp, const Workload& workload) {
 StatusOr<RunReport> run_program(const Workload& workload,
                                 const exec::Program& program, bool use_cim,
                                 const rt::RuntimeConfig& rt_config,
-                                const cim::AcceleratorParams& accel_params) {
+                                const cim::AcceleratorParams& accel_params,
+                                std::size_t accelerators) {
   sim::System system;
   cim::Accelerator accel{accel_params, system};
   rt::CimRuntime runtime{rt_config, system, accel};
+  // Extra accelerator instances: distinct PMIO windows and stats prefixes;
+  // the runtime's command stream round-robins across them.
+  std::vector<std::unique_ptr<cim::Accelerator>> extra;
+  for (std::size_t i = 1; i < accelerators; ++i) {
+    extra.push_back(std::make_unique<cim::Accelerator>(
+        cim::instance_params(accel_params, i), system));
+    runtime.add_accelerator(*extra.back());
+  }
 
   exec::Interpreter interp{system, use_cim ? &runtime : nullptr};
   TDO_RETURN_IF_ERROR(interp.prepare(program));
@@ -61,16 +74,29 @@ StatusOr<RunReport> run_program(const Workload& workload,
   report.runtime = t1 - t0;
   report.host_instructions = delta.counter_or("host.instructions");
   report.host_energy = delta.energy_or("host.energy");
-  report.accel_energy =
-      delta.energy_or("cim.energy.write") + delta.energy_or("cim.energy.compute") +
-      delta.energy_or("cim.energy.mixed_signal") +
-      delta.energy_or("cim.energy.digital") +
-      delta.energy_or("cim.energy.buffers") + delta.energy_or("cim.energy.dma");
+  // Every registered energy except the host's belongs to an accelerator
+  // instance (cim.energy.*, cim1.energy.*, ...).
+  for (const auto& [name, pj] : delta.energies_pj) {
+    if (name != "host.energy") report.accel_energy += support::Energy::from_pj(pj);
+  }
   report.total_energy = report.host_energy + report.accel_energy;
-  const auto accel_report = accel.report();
+  auto accel_report = accel.report();
+  for (const auto& a : extra) {
+    const auto r = a->report();
+    accel_report.jobs += r.jobs;
+    accel_report.gemv_ops += r.gemv_ops;
+    accel_report.mac8_ops += r.mac8_ops;
+    accel_report.weight_writes8 += r.weight_writes8;
+  }
   report.mac_ops = accel_report.mac8_ops;
   report.cim_writes = accel_report.weight_writes8;
   report.macs_per_cim_write = accel_report.macs_per_cim_write();
+  report.stream_commands = delta.counter_or("stream.enqueued");
+  report.stream_fallbacks = delta.counter_or("stream.cpu_fallbacks");
+  report.stream_occupancy = delta.counter_or("stream.occupancy_peak");
+  for (const auto& [name, value] : delta.counters) {
+    if (name.ends_with(".overlap_ticks")) report.overlap_ticks += value;
+  }
 
   auto err = validate(interp, workload);
   if (!err.is_ok()) return err.status();
@@ -90,7 +116,7 @@ StatusOr<RunReport> run_host(const Workload& workload) {
   if (!fn.is_ok()) return fn.status();
   const exec::Program program = exec::host_only_program(*fn);
   return run_program(workload, program, /*use_cim=*/false, rt::RuntimeConfig{},
-                     cim::AcceleratorParams{});
+                     cim::AcceleratorParams{}, /*accelerators=*/1);
 }
 
 StatusOr<RunReport> run_cim(const Workload& workload,
@@ -99,7 +125,8 @@ StatusOr<RunReport> run_cim(const Workload& workload,
   if (!fn.is_ok()) return fn.status();
   core::CompileResult compiled = core::compile(*fn, options.compile);
   auto report = run_program(workload, compiled.cim_program, /*use_cim=*/true,
-                            options.runtime, options.accelerator);
+                            options.runtime, options.accelerator,
+                            std::max<std::size_t>(1, options.accelerators));
   if (report.is_ok()) report->any_offloaded = compiled.any_offloaded();
   return report;
 }

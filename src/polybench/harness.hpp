@@ -25,12 +25,18 @@ struct RunReport {
 
   support::Energy total_energy;       // host + accelerator inside the ROI
   support::Energy host_energy;        // host share (driver included)
-  support::Energy accel_energy;       // accelerator share
+  support::Energy accel_energy;       // accelerator share (all instances)
   support::Duration runtime;          // ROI wall time
   std::uint64_t host_instructions = 0;
   std::uint64_t mac_ops = 0;          // accelerator MACs (CIM runs)
   std::uint64_t cim_writes = 0;       // 8-bit weights programmed
   double macs_per_cim_write = 0.0;    // Figure 6 (left) secondary axis
+
+  // Command-stream behaviour inside the ROI (perf trajectory for async PRs).
+  std::uint64_t stream_commands = 0;   // commands enqueued
+  std::uint64_t stream_fallbacks = 0;  // executed on the host CPU instead
+  std::uint64_t stream_occupancy = 0;  // peak commands in flight
+  std::uint64_t overlap_ticks = 0;     // weight-DMA ticks hidden by chaining
 
   bool correct = false;
   double max_abs_error = 0.0;
@@ -44,6 +50,9 @@ struct HarnessOptions {
   core::CompileOptions compile;
   rt::RuntimeConfig runtime;
   cim::AcceleratorParams accelerator;
+  /// Number of accelerator instances; batched/tiled work round-robins
+  /// across them through the command stream.
+  std::size_t accelerators = 1;
 };
 
 /// Runs the workload on the plain host (the Arm-A7 reference bar).

@@ -55,6 +55,11 @@ int polly_cimDevToHost(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes
   return to_error(g_runtime->dev_to_host(dst, src, bytes));
 }
 
+int polly_cimSynchronize() {
+  if (g_runtime == nullptr) return kCimNotInitialized;
+  return to_error(g_runtime->synchronize());
+}
+
 int polly_cimBlasSGemm(bool trans_a, bool trans_b, std::uint64_t m,
                        std::uint64_t n, std::uint64_t k, const float* alpha,
                        std::uint64_t a, std::uint64_t lda, std::uint64_t b,

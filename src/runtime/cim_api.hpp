@@ -27,13 +27,19 @@ enum CimError : int {
 void set_current_runtime(CimRuntime* runtime);
 [[nodiscard]] CimRuntime* current_runtime();
 
-/// RAII binder for tests/examples.
+/// RAII binder for tests/examples. Bindings nest: the destructor restores
+/// whatever runtime was current when the binding was created.
 class RuntimeBinding {
  public:
-  explicit RuntimeBinding(CimRuntime& runtime) { set_current_runtime(&runtime); }
-  ~RuntimeBinding() { set_current_runtime(nullptr); }
+  explicit RuntimeBinding(CimRuntime& runtime) : previous_{current_runtime()} {
+    set_current_runtime(&runtime);
+  }
+  ~RuntimeBinding() { set_current_runtime(previous_); }
   RuntimeBinding(const RuntimeBinding&) = delete;
   RuntimeBinding& operator=(const RuntimeBinding&) = delete;
+
+ private:
+  CimRuntime* previous_;
 };
 
 // --- the paper's API (Listing 1) ---
@@ -61,5 +67,9 @@ int polly_cimBlasGemmBatched(std::uint64_t m, std::uint64_t n, std::uint64_t k,
                              std::uint64_t ldb, const float* beta,
                              const std::uint64_t* c_array, std::uint64_t ldc,
                              std::uint64_t batch_count, int stationary);
+
+/// Drains the runtime's command stream (asynchronous offload path); the
+/// compiler emits this before host code touches device-produced data.
+int polly_cimSynchronize();
 
 }  // namespace tdo::rt::api

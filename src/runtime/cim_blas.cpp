@@ -16,6 +16,7 @@ CimRuntime::CimRuntime(RuntimeConfig config, sim::System& system,
                        cim::Accelerator& accel)
     : config_{config}, system_{system}, accel_{accel} {
   driver_ = std::make_unique<CimDriver>(config_.driver, system, accel);
+  stream_ = std::make_unique<CimStream>(config_.stream, system, *driver_);
 }
 
 support::Status CimRuntime::init(int device_index) {
@@ -25,7 +26,10 @@ support::Status CimRuntime::init(int device_index) {
   // Device node open + capability query.
   system_.cpu().charge_instructions(2000);
   initialized_ = true;
-  TDO_LOG(kInfo, "cim.rt") << "runtime initialized for device " << device_index;
+  TDO_LOG(kInfo, "cim.rt") << "runtime initialized for device " << device_index
+                           << " (" << driver_->device_count()
+                           << " accelerator instance(s), stream depth "
+                           << stream_->params().depth << ")";
   return support::Status::ok();
 }
 
@@ -46,13 +50,44 @@ support::Status CimRuntime::free_device(sim::VirtAddr va) {
   if (it == buffers_.end()) {
     return support::not_found("free of unknown device buffer");
   }
+  // The buffer may back an in-flight command.
+  if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
   TDO_RETURN_IF_ERROR(driver_->free_buffer(*it));
   buffers_.erase(it);
   return support::Status::ok();
 }
 
+support::Status CimRuntime::synchronize() {
+  auto status = stream_->synchronize();
+  for (const DeviceBuffer& buffer : staging_) {
+    const auto freed = driver_->free_buffer(buffer);
+    if (!freed.is_ok() && status.is_ok()) status = freed;
+  }
+  staging_.clear();
+  return status;
+}
+
+support::Status CimRuntime::sync_for_operands(
+    std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> reads,
+    std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> writes) {
+  bool hazard = false;
+  for (const auto& [pa, bytes] : reads) {
+    hazard = hazard || stream_->writes_overlap(pa, bytes);  // RAW
+  }
+  for (const auto& [pa, bytes] : writes) {
+    hazard = hazard || stream_->writes_overlap(pa, bytes)  // WAW
+             || stream_->reads_overlap(pa, bytes);         // WAR
+  }
+  if (!hazard) return support::Status::ok();
+  stream_->count_hazard();
+  return synchronize();
+}
+
 support::Status CimRuntime::host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
                                         std::uint64_t bytes) {
+  // The destination (or a source aliasing device memory) may be written by
+  // an in-flight command; copies are synchronous in the paper's API.
+  if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
   // memcpy performed by the host CPU: the CMA buffer is mapped cacheable, so
   // the copy runs through the cache hierarchy; coherence is reestablished by
   // the driver's flush at submit time.
@@ -184,17 +219,18 @@ cim::ContextRegs CimRuntime::make_job_image(
   return image;
 }
 
-support::Status CimRuntime::run_job(const cim::ContextRegs& image) {
+support::Status CimRuntime::enqueue_job(const cim::ContextRegs& image,
+                                        std::uint64_t macs,
+                                        std::uint64_t cim_writes, int device,
+                                        bool allow_cpu_fallback) {
   stats_.tile_jobs += 1;
-  TDO_RETURN_IF_ERROR(driver_->submit(image));
-  auto status = driver_->wait();
-  if (!status.is_ok()) return status.status();
-  if (*status == cim::DeviceStatus::kError) {
-    const auto code =
-        static_cast<support::StatusCode>(accel_.regs().read(cim::Reg::kResult));
-    return support::Status{code, "accelerator job failed"};
-  }
-  return support::Status::ok();
+  CimStream::Command command;
+  command.image = image;
+  command.macs = macs;
+  command.cim_writes = cim_writes;
+  command.device = device;
+  command.allow_cpu_fallback = allow_cpu_fallback;
+  return stream_->enqueue(command);
 }
 
 support::Status CimRuntime::sgemm(std::uint64_t m, std::uint64_t n,
@@ -211,6 +247,18 @@ support::Status CimRuntime::sgemm_with_stationary(
     sim::VirtAddr a, std::uint64_t lda, sim::VirtAddr b, std::uint64_t ldb,
     float beta, sim::VirtAddr c, std::uint64_t ldc,
     cim::StationaryOperand stationary) {
+  TDO_RETURN_IF_ERROR(sgemm_async(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                                  stationary));
+  return synchronize();
+}
+
+support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
+                                        std::uint64_t k, float alpha,
+                                        sim::VirtAddr a, std::uint64_t lda,
+                                        sim::VirtAddr b, std::uint64_t ldb,
+                                        float beta, sim::VirtAddr c,
+                                        std::uint64_t ldc,
+                                        cim::StationaryOperand stationary) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -219,26 +267,39 @@ support::Status CimRuntime::sgemm_with_stationary(
   }
   stats_.offload_calls += 1;
 
+  const std::uint64_t a_bytes = ((m - 1) * lda + k) * kElem;
+  const std::uint64_t b_bytes = ((k - 1) * ldb + n) * kElem;
+  const std::uint64_t c_bytes = ((m - 1) * ldc + n) * kElem;
+  const auto pa_a = translate_checked(a, a_bytes);
+  if (!pa_a.is_ok()) return pa_a.status();
+  const auto pa_b = translate_checked(b, b_bytes);
+  if (!pa_b.is_ok()) return pa_b.status();
+  const auto pa_c = translate_checked(c, c_bytes);
+  if (!pa_c.is_ok()) return pa_c.status();
+
+  // Hazard ordering against in-flight commands from earlier calls.
+  TDO_RETURN_IF_ERROR(sync_for_operands({{*pa_a, a_bytes}, {*pa_b, b_bytes}},
+                                        {{*pa_c, c_bytes}}));
+
   auto max_a = operand_max_abs(a, m, k, lda);
   if (!max_a.is_ok()) return max_a.status();
   auto max_b = operand_max_abs(b, k, n, ldb);
   if (!max_b.is_ok()) return max_b.status();
 
-  const auto pa_a = translate_checked(a, ((m - 1) * lda + k) * kElem);
-  if (!pa_a.is_ok()) return pa_a.status();
-  const auto pa_b = translate_checked(b, ((k - 1) * ldb + n) * kElem);
-  if (!pa_b.is_ok()) return pa_b.status();
-  const auto pa_c = translate_checked(c, ((m - 1) * ldc + n) * kElem);
-  if (!pa_c.is_ok()) return pa_c.status();
-
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
-  invalidate_scales(c, ((m - 1) * ldc + n) * kElem);
+  invalidate_scales(c, c_bytes);
+  stream_->note_read(*pa_a, a_bytes);
+  stream_->note_read(*pa_b, b_bytes);
+  stream_->note_write(*pa_c, c_bytes);
 
   if (stationary == cim::StationaryOperand::kB) {
-    // Stationary B tiles (k x n); stream rows of A; jj/kk tile loops.
+    // Stationary B tiles (k x n); stream rows of A; jj/kk tile loops. Each
+    // jj column stripe is element-disjoint in C, so stripes round-robin
+    // across accelerators; the kk accumulation chain stays on one queue.
     for (std::uint64_t jj = 0; jj < n; jj += max_cols) {
       const std::uint64_t njs = std::min(max_cols, n - jj);
+      const int device = static_cast<int>(stream_->next_device());
       for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
         const std::uint64_t ks = std::min(max_rows, k - kk);
         const float beta_eff = kk == 0 ? beta : 1.0f;
@@ -246,7 +307,8 @@ support::Status CimRuntime::sgemm_with_stationary(
             m, njs, ks, alpha, beta_eff, *pa_a + kk * kElem, lda,
             *pa_b + (kk * ldb + jj) * kElem, ldb, *pa_c + jj * kElem, ldc,
             *max_a, *max_b, stationary, /*skip_weight_load=*/false);
-        TDO_RETURN_IF_ERROR(run_job(image));
+        TDO_RETURN_IF_ERROR(enqueue_job(image, m * njs * ks, ks * njs, device,
+                                        /*allow_cpu_fallback=*/kk == 0));
       }
     }
     return support::Status::ok();
@@ -255,6 +317,7 @@ support::Status CimRuntime::sgemm_with_stationary(
   // Stationary A^T tiles (k x m); stream columns of B; ii/kk tile loops.
   for (std::uint64_t ii = 0; ii < m; ii += max_cols) {
     const std::uint64_t ms = std::min(max_cols, m - ii);
+    const int device = static_cast<int>(stream_->next_device());
     for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
       const std::uint64_t ks = std::min(max_rows, k - kk);
       const float beta_eff = kk == 0 ? beta : 1.0f;
@@ -262,7 +325,8 @@ support::Status CimRuntime::sgemm_with_stationary(
           ms, n, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
           *pa_b + kk * ldb * kElem, ldb, *pa_c + ii * ldc * kElem, ldc, *max_a,
           *max_b, stationary, /*skip_weight_load=*/false);
-      TDO_RETURN_IF_ERROR(run_job(image));
+      TDO_RETURN_IF_ERROR(enqueue_job(image, ms * n * ks, ks * ms, device,
+                                      /*allow_cpu_fallback=*/kk == 0));
     }
   }
   return support::Status::ok();
@@ -272,34 +336,52 @@ support::Status CimRuntime::sgemv(bool transpose, std::uint64_t m,
                                   std::uint64_t n, float alpha, sim::VirtAddr a,
                                   std::uint64_t lda, sim::VirtAddr x, float beta,
                                   sim::VirtAddr y) {
+  TDO_RETURN_IF_ERROR(sgemv_async(transpose, m, n, alpha, a, lda, x, beta, y));
+  return synchronize();
+}
+
+support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
+                                        std::uint64_t n, float alpha,
+                                        sim::VirtAddr a, std::uint64_t lda,
+                                        sim::VirtAddr x, float beta,
+                                        sim::VirtAddr y) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
   if (m == 0 || n == 0) return support::invalid_argument("zero GEMV dimension");
   stats_.offload_calls += 1;
 
-  auto max_a = operand_max_abs(a, m, n, lda);
-  if (!max_a.is_ok()) return max_a.status();
   const std::uint64_t xlen = transpose ? m : n;
-  auto max_x = operand_max_abs(x, 1, xlen, xlen);
-  if (!max_x.is_ok()) return max_x.status();
-
-  const auto pa_a = translate_checked(a, ((m - 1) * lda + n) * kElem);
+  const std::uint64_t ylen = transpose ? n : m;
+  const std::uint64_t a_bytes = ((m - 1) * lda + n) * kElem;
+  const auto pa_a = translate_checked(a, a_bytes);
   if (!pa_a.is_ok()) return pa_a.status();
   const auto pa_x = translate_checked(x, xlen * kElem);
   if (!pa_x.is_ok()) return pa_x.status();
-  const std::uint64_t ylen = transpose ? n : m;
   const auto pa_y = translate_checked(y, ylen * kElem);
   if (!pa_y.is_ok()) return pa_y.status();
+
+  TDO_RETURN_IF_ERROR(
+      sync_for_operands({{*pa_a, a_bytes}, {*pa_x, xlen * kElem}},
+                        {{*pa_y, ylen * kElem}}));
+
+  auto max_a = operand_max_abs(a, m, n, lda);
+  if (!max_a.is_ok()) return max_a.status();
+  auto max_x = operand_max_abs(x, 1, xlen, xlen);
+  if (!max_x.is_ok()) return max_x.status();
 
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
   invalidate_scales(y, ylen * kElem);
+  stream_->note_read(*pa_a, a_bytes);
+  stream_->note_read(*pa_x, xlen * kElem);
+  stream_->note_write(*pa_y, ylen * kElem);
 
   if (!transpose) {
     // y[m] = alpha*A*x + beta*y. Stationary A^T (reduce n, out m).
     for (std::uint64_t ii = 0; ii < m; ii += max_cols) {
       const std::uint64_t ms = std::min(max_cols, m - ii);
+      const int device = static_cast<int>(stream_->next_device());
       for (std::uint64_t kk = 0; kk < n; kk += max_rows) {
         const std::uint64_t ks = std::min(max_rows, n - kk);
         const float beta_eff = kk == 0 ? beta : 1.0f;
@@ -307,7 +389,8 @@ support::Status CimRuntime::sgemv(bool transpose, std::uint64_t m,
             ms, 1, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
             *pa_x + kk * kElem, 1, *pa_y + ii * kElem, 1, *max_a, *max_x,
             cim::StationaryOperand::kA, false);
-        TDO_RETURN_IF_ERROR(run_job(image));
+        TDO_RETURN_IF_ERROR(enqueue_job(image, ms * ks, ks * ms, device,
+                                        /*allow_cpu_fallback=*/kk == 0));
       }
     }
     return support::Status::ok();
@@ -317,6 +400,7 @@ support::Status CimRuntime::sgemv(bool transpose, std::uint64_t m,
   // crossbar rows = rows of A (reduce m), columns = columns of A (out n).
   for (std::uint64_t jj = 0; jj < n; jj += max_cols) {
     const std::uint64_t njs = std::min(max_cols, n - jj);
+    const int device = static_cast<int>(stream_->next_device());
     for (std::uint64_t kk = 0; kk < m; kk += max_rows) {
       const std::uint64_t ks = std::min(max_rows, m - kk);
       const float beta_eff = kk == 0 ? beta : 1.0f;
@@ -325,7 +409,8 @@ support::Status CimRuntime::sgemv(bool transpose, std::uint64_t m,
           1, njs, ks, alpha, beta_eff, *pa_x + kk * kElem, ks,
           *pa_a + (kk * lda + jj) * kElem, lda, *pa_y + jj * kElem, njs,
           *max_x, *max_a, cim::StationaryOperand::kB, false);
-      TDO_RETURN_IF_ERROR(run_job(image));
+      TDO_RETURN_IF_ERROR(enqueue_job(image, njs * ks, ks * njs, device,
+                                      /*allow_cpu_fallback=*/kk == 0));
     }
   }
   return support::Status::ok();
@@ -337,6 +422,15 @@ support::Status CimRuntime::sgemm_batched(std::uint64_t m, std::uint64_t n,
                                           std::uint64_t lda, std::uint64_t ldb,
                                           float beta, std::uint64_t ldc,
                                           cim::StationaryOperand stationary) {
+  TDO_RETURN_IF_ERROR(sgemm_batched_async(m, n, k, alpha, items, lda, ldb,
+                                          beta, ldc, stationary));
+  return synchronize();
+}
+
+support::Status CimRuntime::sgemm_batched_async(
+    std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha,
+    std::span<const GemmBatchItem> items, std::uint64_t lda, std::uint64_t ldb,
+    float beta, std::uint64_t ldc, cim::StationaryOperand stationary) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -351,67 +445,103 @@ support::Status CimRuntime::sgemm_batched(std::uint64_t m, std::uint64_t n,
     // the compiler tiles *before* batching).
     TDO_LOG(kWarn, "cim.rt") << "batched GEMM exceeds crossbar, falling back";
     for (const GemmBatchItem& item : items) {
-      TDO_RETURN_IF_ERROR(sgemm_with_stationary(m, n, k, alpha, item.a, lda,
-                                                item.b, ldb, beta, item.c, ldc,
-                                                stationary));
+      TDO_RETURN_IF_ERROR(sgemm_async(m, n, k, alpha, item.a, lda, item.b, ldb,
+                                      beta, item.c, ldc, stationary));
     }
     return support::Status::ok();
   }
 
   stats_.offload_calls += 1;
   stats_.batched_calls += 1;
-  for (const GemmBatchItem& item : items) {
-    invalidate_scales(item.c, ((m - 1) * ldc + n) * kElem);
+
+  // Translate every operand once, order against in-flight producers from
+  // earlier calls, then register this call's ranges.
+  const std::uint64_t a_bytes = ((m - 1) * lda + k) * kElem;
+  const std::uint64_t b_bytes = ((k - 1) * ldb + n) * kElem;
+  const std::uint64_t c_bytes = ((m - 1) * ldc + n) * kElem;
+  struct ItemAddrs {
+    sim::PhysAddr a = 0, b = 0, c = 0;
+  };
+  std::vector<ItemAddrs> addrs(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto pa_a = translate_checked(items[i].a, a_bytes);
+    if (!pa_a.is_ok()) return pa_a.status();
+    const auto pa_b = translate_checked(items[i].b, b_bytes);
+    if (!pa_b.is_ok()) return pa_b.status();
+    const auto pa_c = translate_checked(items[i].c, c_bytes);
+    if (!pa_c.is_ok()) return pa_c.status();
+    addrs[i] = ItemAddrs{*pa_a, *pa_b, *pa_c};
+    TDO_RETURN_IF_ERROR(sync_for_operands({{*pa_a, a_bytes}, {*pa_b, b_bytes}},
+                                          {{*pa_c, c_bytes}}));
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    invalidate_scales(items[i].c, c_bytes);
+    stream_->note_read(addrs[i].a, a_bytes);
+    stream_->note_read(addrs[i].b, b_bytes);
+    stream_->note_write(addrs[i].c, c_bytes);
   }
 
-  // Build the batch table in a device staging buffer (host stores, charged).
-  auto staging =
-      driver_->alloc_buffer(items.size() * sizeof(cim::BatchEntry));
-  if (!staging.is_ok()) return staging.status();
+  // Round-robin the batch across accelerator instances in contiguous chunks
+  // (items of one batched call are independent by construction — the fusion
+  // pass only groups reorderable kernels). Chunks preserve stationary reuse.
   auto& mem = system_.memory();
   auto& cpu = system_.cpu();
-  std::uint64_t offset = 0;
-  for (const GemmBatchItem& item : items) {
-    auto max_a = operand_max_abs(item.a, m, k, lda);
-    if (!max_a.is_ok()) return max_a.status();
-    auto max_b = operand_max_abs(item.b, k, n, ldb);
-    if (!max_b.is_ok()) return max_b.status();
-    const auto pa_a = translate_checked(item.a, ((m - 1) * lda + k) * kElem);
-    if (!pa_a.is_ok()) return pa_a.status();
-    const auto pa_b = translate_checked(item.b, ((k - 1) * ldb + n) * kElem);
-    if (!pa_b.is_ok()) return pa_b.status();
-    const auto pa_c = translate_checked(item.c, ((m - 1) * ldc + n) * kElem);
-    if (!pa_c.is_ok()) return pa_c.status();
+  const std::uint64_t devices = stream_->device_count();
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(devices, items.size());
+  const std::uint64_t per_chunk = (items.size() + chunks - 1) / chunks;
 
-    cim::BatchEntry entry;
-    entry.pa_a = *pa_a;
-    entry.pa_b = *pa_b;
-    entry.pa_c = *pa_c;
-    entry.scale_a = support::QuantScale::for_max_abs(*max_a).scale;
-    entry.scale_b = support::QuantScale::for_max_abs(*max_b).scale;
-    mem.write(staging->pa + offset,
-              std::span(reinterpret_cast<const std::uint8_t*>(&entry),
-                        sizeof entry));
-    for (std::uint64_t w = 0; w < sizeof entry; w += 8) {
-      cpu.store(staging->pa + offset + w, 8);
+  for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::uint64_t begin = chunk * per_chunk;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + per_chunk, items.size());
+    if (begin >= end) break;
+    const std::span<const GemmBatchItem> slice = items.subspan(begin, end - begin);
+
+    // Build the chunk's batch table in a device staging buffer (host stores,
+    // charged). The buffer stays alive until synchronize().
+    auto staging = driver_->alloc_buffer(slice.size() * sizeof(cim::BatchEntry));
+    if (!staging.is_ok()) return staging.status();
+    staging_.push_back(*staging);
+    std::uint64_t offset = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const GemmBatchItem& item = items[i];
+      auto max_a = operand_max_abs(item.a, m, k, lda);
+      if (!max_a.is_ok()) return max_a.status();
+      auto max_b = operand_max_abs(item.b, k, n, ldb);
+      if (!max_b.is_ok()) return max_b.status();
+
+      cim::BatchEntry entry;
+      entry.pa_a = addrs[i].a;
+      entry.pa_b = addrs[i].b;
+      entry.pa_c = addrs[i].c;
+      entry.scale_a = support::QuantScale::for_max_abs(*max_a).scale;
+      entry.scale_b = support::QuantScale::for_max_abs(*max_b).scale;
+      mem.write(staging->pa + offset,
+                std::span(reinterpret_cast<const std::uint8_t*>(&entry),
+                          sizeof entry));
+      for (std::uint64_t w = 0; w < sizeof entry; w += 8) {
+        cpu.store(staging->pa + offset + w, 8);
+      }
+      offset += sizeof entry;
     }
-    offset += sizeof entry;
-  }
 
-  cim::ContextRegs image = make_job_image(
-      m, n, k, alpha, beta, 0, lda, 0, ldb, 0, ldc,
-      /*scale_a=*/1.0, /*scale_b=*/1.0, stationary, false);
-  // Batched jobs carry per-entry pointers/scales; the image's scale fields
-  // are placeholders that decode() requires to be positive.
-  image.write(cim::Reg::kOpcode,
-              static_cast<std::uint64_t>(cim::Opcode::kGemmBatched));
-  // decode() checks pa fields only through entries; M/N/K/ld are shared.
-  image.write(cim::Reg::kBatchCount, items.size());
-  image.write(cim::Reg::kBatchTable, staging->pa);
-  // decode() requires non-zero pointers? PaA/B/C unused for batched; leave 0.
-  const auto run_status = run_job(image);
-  TDO_RETURN_IF_ERROR(driver_->free_buffer(*staging));
-  return run_status;
+    cim::ContextRegs image = make_job_image(
+        m, n, k, alpha, beta, 0, lda, 0, ldb, 0, ldc,
+        /*scale_a=*/1.0, /*scale_b=*/1.0, stationary, false);
+    // Batched jobs carry per-entry pointers/scales; the image's scale fields
+    // are placeholders that decode() requires to be positive.
+    image.write(cim::Reg::kOpcode,
+                static_cast<std::uint64_t>(cim::Opcode::kGemmBatched));
+    image.write(cim::Reg::kBatchCount, slice.size());
+    image.write(cim::Reg::kBatchTable, staging->pa);
+    // The batch shares the stationary tile; only the first item programs it.
+    TDO_RETURN_IF_ERROR(enqueue_job(
+        image, slice.size() * m * n * k, tile_rows * tile_cols,
+        static_cast<int>(stream_->next_device()),
+        /*allow_cpu_fallback=*/false));
+  }
+  return support::Status::ok();
 }
 
 }  // namespace tdo::rt

@@ -11,13 +11,16 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cim/accelerator.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/stream.hpp"
 #include "sim/system.hpp"
 #include "support/status.hpp"
 
@@ -39,6 +42,9 @@ struct RuntimeConfig {
   /// mapping keeps B stationary and streams A (Section III-B).
   cim::StationaryOperand default_stationary = cim::StationaryOperand::kB;
   DriverParams driver;
+  /// Command-stream behaviour (depth, dynamic CPU-fallback threshold). The
+  /// blocking BLAS entry points are wrappers over this stream.
+  StreamParams stream;
 };
 
 /// Aggregate host-side costs attributable to the runtime (for reporting).
@@ -61,6 +67,10 @@ class CimRuntime {
  public:
   CimRuntime(RuntimeConfig config, sim::System& system, cim::Accelerator& accel);
 
+  /// Registers an additional accelerator instance; batched calls round-robin
+  /// work across every registered device (DTO's multi-DSA behaviour).
+  void add_accelerator(cim::Accelerator& accel) { driver_->add_device(accel); }
+
   /// polly_cimInit: device discovery + reset.
   support::Status init(int device_index);
 
@@ -77,6 +87,7 @@ class CimRuntime {
 
   /// polly_cimBlasSGemm: C = alpha*A*B + beta*C (row-major, no transposes).
   /// Oversized operands are tiled internally to the crossbar geometry.
+  /// Blocking: a thin wrapper over the async variant plus synchronize().
   support::Status sgemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
                         float alpha, sim::VirtAddr a, std::uint64_t lda,
                         sim::VirtAddr b, std::uint64_t ldb, float beta,
@@ -96,13 +107,40 @@ class CimRuntime {
 
   /// polly_cimBlasGemmBatched: same-shape GEMMs executed as one job; when
   /// the stationary operand is shared between consecutive items the crossbar
-  /// image is reused — the paper's endurance-aware "smart mapping".
+  /// image is reused — the paper's endurance-aware "smart mapping". With
+  /// several accelerators the batch splits round-robin across devices.
   support::Status sgemm_batched(std::uint64_t m, std::uint64_t n, std::uint64_t k,
                                 float alpha, std::span<const GemmBatchItem> items,
                                 std::uint64_t lda, std::uint64_t ldb, float beta,
                                 std::uint64_t ldc,
                                 cim::StationaryOperand stationary);
 
+  // --- asynchronous entry points (command-stream path) ---
+  //
+  // Enqueue tile jobs into the stream and return without draining; the
+  // caller (interpreter, generated code) synchronizes at coherence points.
+  // Calls whose operands overlap an in-flight producer synchronize first.
+
+  support::Status sgemm_async(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                              float alpha, sim::VirtAddr a, std::uint64_t lda,
+                              sim::VirtAddr b, std::uint64_t ldb, float beta,
+                              sim::VirtAddr c, std::uint64_t ldc,
+                              cim::StationaryOperand stationary);
+  support::Status sgemv_async(bool transpose, std::uint64_t m, std::uint64_t n,
+                              float alpha, sim::VirtAddr a, std::uint64_t lda,
+                              sim::VirtAddr x, float beta, sim::VirtAddr y);
+  support::Status sgemm_batched_async(std::uint64_t m, std::uint64_t n,
+                                      std::uint64_t k, float alpha,
+                                      std::span<const GemmBatchItem> items,
+                                      std::uint64_t lda, std::uint64_t ldb,
+                                      float beta, std::uint64_t ldc,
+                                      cim::StationaryOperand stationary);
+
+  /// polly_cimSynchronize: drains the stream and releases deferred staging
+  /// buffers. No-op when the stream is idle.
+  support::Status synchronize();
+
+  [[nodiscard]] CimStream& stream() { return *stream_; }
   [[nodiscard]] CimDriver& driver() { return *driver_; }
   [[nodiscard]] cim::Accelerator& accelerator() { return accel_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
@@ -124,8 +162,18 @@ class CimRuntime {
       sim::PhysAddr pa_c, std::uint64_t ldc, double scale_a, double scale_b,
       cim::StationaryOperand stationary, bool skip_weight_load) const;
 
-  /// Submits one job image and waits for completion.
-  support::Status run_job(const cim::ContextRegs& image);
+  /// Enqueues one tile job into the stream.
+  support::Status enqueue_job(const cim::ContextRegs& image, std::uint64_t macs,
+                              std::uint64_t cim_writes, int device,
+                              bool allow_cpu_fallback);
+
+  /// Synchronizes when an in-flight command writes any of the call's
+  /// operand ranges (RAW/WAW — host scans and deferred device reads must see
+  /// the producer's output) or still reads a range this call will write
+  /// (WAR — a queued command's deferred reads must not observe it).
+  support::Status sync_for_operands(
+      std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> reads,
+      std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> writes);
 
   /// Reads a float element (functional, no host charge — engine-side use).
   [[nodiscard]] support::StatusOr<sim::PhysAddr> translate_checked(
@@ -144,7 +192,10 @@ class CimRuntime {
   sim::System& system_;
   cim::Accelerator& accel_;
   std::unique_ptr<CimDriver> driver_;
+  std::unique_ptr<CimStream> stream_;
   std::vector<DeviceBuffer> buffers_;
+  /// Batch tables in flight; released by synchronize().
+  std::vector<DeviceBuffer> staging_;
   std::map<ScaleKey, double> scale_cache_;
   RuntimeStats stats_;
   bool initialized_ = false;

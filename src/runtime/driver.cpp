@@ -7,10 +7,15 @@ namespace tdo::rt {
 
 CimDriver::CimDriver(DriverParams params, sim::System& system,
                      cim::Accelerator& accel)
-    : params_{params}, system_{system}, accel_{accel},
+    : params_{params}, system_{system}, accels_{&accel},
       cma_{system.mmu().cma_region()} {
   system.stats().register_counter("driver.ioctls", &ioctls_);
   system.stats().register_counter("driver.cache_flushes", &flushes_);
+}
+
+std::size_t CimDriver::add_device(cim::Accelerator& accel) {
+  accels_.push_back(&accel);
+  return accels_.size() - 1;
 }
 
 void CimDriver::charge_syscall() {
@@ -23,16 +28,18 @@ void CimDriver::charge_mmio_access() {
   system_.cpu().charge_cycles(params_.mmio_cycles);
 }
 
-support::Status CimDriver::write_reg(cim::Reg reg, std::uint64_t value) {
+support::Status CimDriver::write_reg(cim::Reg reg, std::uint64_t value,
+                                     std::size_t device) {
   charge_mmio_access();
   return system_.bus().write_scalar<std::uint64_t>(
-      accel_.params().pmio_base + cim::reg_offset(reg), value);
+      accels_[device]->params().pmio_base + cim::reg_offset(reg), value);
 }
 
-support::StatusOr<std::uint64_t> CimDriver::read_reg(cim::Reg reg) {
+support::StatusOr<std::uint64_t> CimDriver::read_reg(cim::Reg reg,
+                                                     std::size_t device) {
   charge_mmio_access();
-  return system_.bus().read_scalar<std::uint64_t>(accel_.params().pmio_base +
-                                                  cim::reg_offset(reg));
+  return system_.bus().read_scalar<std::uint64_t>(
+      accels_[device]->params().pmio_base + cim::reg_offset(reg));
 }
 
 support::StatusOr<DeviceBuffer> CimDriver::alloc_buffer(std::uint64_t bytes) {
@@ -57,9 +64,7 @@ support::Status CimDriver::free_buffer(const DeviceBuffer& buffer) {
   return cma_.release(buffer.pa);
 }
 
-support::Status CimDriver::submit(const cim::ContextRegs& image) {
-  charge_syscall();
-
+void CimDriver::charge_submit_costs() {
   // Coherence: clean the host data caches so the accelerator's uncacheable
   // reads observe the latest data (Section II-E). A full clean is what the
   // reference driver does; the cost model charges the loop instructions and
@@ -74,23 +79,29 @@ support::Status CimDriver::submit(const cim::ContextRegs& image) {
   // Write-back drain time: dirty lines leave at DRAM bandwidth; the CPU
   // stalls on the barrier that ends the clean sequence.
   system_.cpu().charge_cycles(dirty_lines * 4);
+}
+
+support::Status CimDriver::submit(const cim::ContextRegs& image,
+                                  std::size_t device) {
+  charge_syscall();
+  charge_submit_costs();
 
   // Program every context register, then hit the command register.
   for (std::uint32_t i = 0; i < cim::kRegCount; ++i) {
     const auto reg = static_cast<cim::Reg>(i);
     if (reg == cim::Reg::kCommand || reg == cim::Reg::kStatus ||
-        reg == cim::Reg::kResult) {
+        reg == cim::Reg::kResult || reg == cim::Reg::kCompleted) {
       continue;
     }
-    TDO_RETURN_IF_ERROR(write_reg(reg, image.read(reg)));
+    TDO_RETURN_IF_ERROR(write_reg(reg, image.read(reg), device));
   }
 
   // The accelerator timeline starts no earlier than the host's current time.
-  system_.sync_event_clock_to_host();
-  return write_reg(cim::Reg::kCommand, 1);
+  system_.settle_to_host_time();
+  return write_reg(cim::Reg::kCommand, 1, device);
 }
 
-support::StatusOr<cim::DeviceStatus> CimDriver::wait() {
+support::StatusOr<cim::DeviceStatus> CimDriver::wait(std::size_t device) {
   charge_syscall();
   // Drain the accelerator's event schedule to find completion time, then
   // charge the host for spinning until that moment ("The host can either
@@ -98,14 +109,78 @@ support::StatusOr<cim::DeviceStatus> CimDriver::wait() {
   const sim::Tick done = system_.events().run_to_completion();
   (void)system_.cpu().spin_until(done, params_.poll_period_cycles);
 
-  auto status = read_reg(cim::Reg::kStatus);
+  auto status = read_reg(cim::Reg::kStatus, device);
   if (!status.is_ok()) return status.status();
   const auto device_status = static_cast<cim::DeviceStatus>(*status);
   if (device_status == cim::DeviceStatus::kDone ||
       device_status == cim::DeviceStatus::kError) {
     // Acknowledge: return the device to IDLE for the next job.
-    TDO_RETURN_IF_ERROR(write_reg(
-        cim::Reg::kStatus, static_cast<std::uint64_t>(cim::DeviceStatus::kIdle)));
+    TDO_RETURN_IF_ERROR(
+        write_reg(cim::Reg::kStatus,
+                  static_cast<std::uint64_t>(cim::DeviceStatus::kIdle), device));
+  }
+  return device_status;
+}
+
+support::Status CimDriver::submit_queued(const cim::ContextRegs& image,
+                                         std::size_t device) {
+  charge_syscall();
+  charge_submit_costs();
+  // The register image travels through the same uncached PMIO window; the
+  // device latches it into its work queue, so the writes are legal even
+  // while a job is running.
+  for (std::uint32_t i = 0; i < cim::kRegCount; ++i) {
+    const auto reg = static_cast<cim::Reg>(i);
+    if (reg == cim::Reg::kCommand || reg == cim::Reg::kStatus ||
+        reg == cim::Reg::kResult || reg == cim::Reg::kCompleted) {
+      continue;
+    }
+    charge_mmio_access();
+  }
+  // Retire completions that should already have happened, so a job enqueued
+  // now can never appear to start before its submission time.
+  system_.settle_to_host_time();
+  return accels_[device]->enqueue_job(image);
+}
+
+support::StatusOr<std::uint64_t> CimDriver::poll_completed(std::size_t device) {
+  system_.settle_to_host_time();
+  auto completed = read_reg(cim::Reg::kCompleted, device);
+  if (!completed.is_ok()) return completed.status();
+  return *completed;
+}
+
+void CimDriver::wait_for_space(std::size_t device,
+                               std::size_t target_in_flight) {
+  auto& accel = *accels_[device];
+  system_.settle_to_host_time();
+  while (accel.in_flight() > target_in_flight) {
+    const sim::Tick done = accel.busy_until();
+    (void)system_.events().run_until(done);
+    (void)system_.cpu().block_until(done);
+  }
+}
+
+support::StatusOr<cim::DeviceStatus> CimDriver::drain(std::size_t device) {
+  charge_syscall();
+  auto& accel = *accels_[device];
+  system_.settle_to_host_time();
+  while (accel.has_work()) {
+    // Each pass retires the running job; its completion event may chain the
+    // next queued job, extending busy_until().
+    const sim::Tick done = accel.busy_until();
+    (void)system_.events().run_until(done);
+    (void)system_.cpu().block_until(done);
+  }
+
+  auto status = read_reg(cim::Reg::kStatus, device);
+  if (!status.is_ok()) return status.status();
+  const auto device_status = static_cast<cim::DeviceStatus>(*status);
+  if (device_status == cim::DeviceStatus::kDone ||
+      device_status == cim::DeviceStatus::kError) {
+    TDO_RETURN_IF_ERROR(
+        write_reg(cim::Reg::kStatus,
+                  static_cast<std::uint64_t>(cim::DeviceStatus::kIdle), device));
   }
   return device_status;
 }

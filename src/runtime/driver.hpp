@@ -10,9 +10,17 @@
 // Every entry point charges realistic host-side costs (syscall round trip,
 // register MMIO, per-line flush work) to the host CPU model — this overhead
 // is exactly what makes low-intensity GEMV-like kernels lose in Figure 6.
+//
+// One driver instance manages every CIM device in the system (the way one
+// kernel module binds all instances of a peripheral). The blocking
+// submit/wait pair is the paper's original protocol; submit_queued/drain
+// back the asynchronous command-stream path (runtime/stream.hpp), pushing
+// jobs into a device's hardware work queue and waiting event-driven on the
+// completion interrupt instead of spin-polling.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cim/accelerator.hpp"
 #include "cim/context_regs.hpp"
@@ -47,6 +55,14 @@ class CimDriver {
  public:
   CimDriver(DriverParams params, sim::System& system, cim::Accelerator& accel);
 
+  /// Registers an additional CIM device instance (hotplug-style); returns
+  /// its device index.
+  std::size_t add_device(cim::Accelerator& accel);
+  [[nodiscard]] std::size_t device_count() const { return accels_.size(); }
+  [[nodiscard]] cim::Accelerator& device(std::size_t index) {
+    return *accels_[index];
+  }
+
   /// ioctl(CIM_ALLOC): CMA allocation + user mapping.
   [[nodiscard]] support::StatusOr<DeviceBuffer> alloc_buffer(std::uint64_t bytes);
 
@@ -55,10 +71,31 @@ class CimDriver {
 
   /// ioctl(CIM_SUBMIT): flushes the host caches, writes the prepared
   /// context-register image, and triggers the micro-engine.
-  support::Status submit(const cim::ContextRegs& image);
+  support::Status submit(const cim::ContextRegs& image, std::size_t device = 0);
 
   /// ioctl(CIM_WAIT): spin-waits on the status register until DONE/ERROR.
-  [[nodiscard]] support::StatusOr<cim::DeviceStatus> wait();
+  [[nodiscard]] support::StatusOr<cim::DeviceStatus> wait(std::size_t device = 0);
+
+  // --- asynchronous command-stream path ---
+
+  /// ioctl(CIM_ENQUEUE): same host charges as submit, but the job lands in
+  /// the device's hardware work queue and the call returns without waiting.
+  /// kResourceExhausted when the queue is full.
+  support::Status submit_queued(const cim::ContextRegs& image,
+                                std::size_t device);
+
+  /// ioctl(CIM_POLL): non-blocking completion poll — retires every device
+  /// event due by now and reads the completed-jobs register.
+  [[nodiscard]] support::StatusOr<std::uint64_t> poll_completed(
+      std::size_t device);
+
+  /// Blocks (event-driven, WFI) until the device's work queue is empty and
+  /// the last job finished; acknowledges the final status back to IDLE.
+  [[nodiscard]] support::StatusOr<cim::DeviceStatus> drain(std::size_t device);
+
+  /// Blocks until the device has at most `target_in_flight` jobs in flight
+  /// (running + queued) — backpressure for a full stream.
+  void wait_for_space(std::size_t device, std::size_t target_in_flight);
 
   /// Translates a user VA to a physical address (kernel page-table walk).
   [[nodiscard]] support::StatusOr<sim::PhysAddr> translate(sim::VirtAddr va) const;
@@ -71,13 +108,17 @@ class CimDriver {
  private:
   void charge_syscall();
   void charge_mmio_access();
+  /// Coherence flush + full register-image programming charge.
+  void charge_submit_costs();
   /// Writes one 64-bit register through the PMIO window.
-  support::Status write_reg(cim::Reg reg, std::uint64_t value);
-  [[nodiscard]] support::StatusOr<std::uint64_t> read_reg(cim::Reg reg);
+  support::Status write_reg(cim::Reg reg, std::uint64_t value,
+                            std::size_t device = 0);
+  [[nodiscard]] support::StatusOr<std::uint64_t> read_reg(cim::Reg reg,
+                                                          std::size_t device = 0);
 
   DriverParams params_;
   sim::System& system_;
-  cim::Accelerator& accel_;
+  std::vector<cim::Accelerator*> accels_;
   CmaAllocator cma_;
   support::Counter ioctls_;
   support::Counter flushes_;

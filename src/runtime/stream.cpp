@@ -1,0 +1,206 @@
+#include "runtime/stream.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace tdo::rt {
+
+CimStream::CimStream(StreamParams params, sim::System& system,
+                     CimDriver& driver)
+    : params_{std::move(params)}, system_{system}, driver_{driver} {
+  if (params_.depth == 0) params_.depth = 1;
+  auto& stats = system.stats();
+  const std::string& p = params_.name;
+  stats.register_counter(p + ".enqueued", &enqueued_);
+  stats.register_counter(p + ".offloaded", &offloaded_);
+  stats.register_counter(p + ".cpu_fallbacks", &cpu_fallbacks_);
+  stats.register_counter(p + ".fallbacks_threshold", &fallbacks_threshold_);
+  stats.register_counter(p + ".fallbacks_queue_full", &fallbacks_queue_full_);
+  stats.register_counter(p + ".syncs", &syncs_);
+  stats.register_counter(p + ".hazard_syncs", &hazard_syncs_);
+  stats.register_counter(p + ".occupancy_peak", &occupancy_peak_);
+}
+
+void CimStream::note_write(sim::PhysAddr pa, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  pending_writes_.push_back(Range{pa, bytes});
+}
+
+void CimStream::note_read(sim::PhysAddr pa, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  pending_reads_.push_back(Range{pa, bytes});
+}
+
+bool CimStream::writes_overlap(sim::PhysAddr pa, std::uint64_t bytes) const {
+  for (const Range& r : pending_writes_) {
+    if (pa < r.pa + r.bytes && r.pa < pa + bytes) return true;
+  }
+  return false;
+}
+
+bool CimStream::reads_overlap(sim::PhysAddr pa, std::uint64_t bytes) const {
+  for (const Range& r : pending_reads_) {
+    if (pa < r.pa + r.bytes && r.pa < pa + bytes) return true;
+  }
+  return false;
+}
+
+bool CimStream::idle() const {
+  return in_flight() == 0 && pending_writes_.empty() && pending_reads_.empty();
+}
+
+std::size_t CimStream::in_flight() const {
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < driver_.device_count(); ++d) {
+    total += driver_.device(d).in_flight();
+  }
+  return total;
+}
+
+void CimStream::note_occupancy() {
+  // Monotone lifetime peak expressed as a counter (registry counters only
+  // accumulate): the counter's value always equals the highest in-flight
+  // count observed so far.
+  const std::uint64_t occ = in_flight();
+  if (occ > occupancy_seen_) {
+    occupancy_peak_.add(occ - occupancy_seen_);
+    occupancy_seen_ = occ;
+  }
+}
+
+support::Status CimStream::enqueue(const Command& command) {
+  enqueued_.add();
+  const std::size_t devices = driver_.device_count();
+  const std::size_t dev = command.device >= 0
+                              ? static_cast<std::size_t>(command.device) % devices
+                              : next_device();
+  cim::Accelerator& accel = driver_.device(dev);
+
+  // Dynamic dispatch, DTO-style: commands below the intensity threshold are
+  // cheaper on the host than paying crossbar writes for them. A command that
+  // reuses the programmed tile (cim_writes == 0) is always worth offloading.
+  if (command.allow_cpu_fallback && params_.min_macs_per_write > 0.0 &&
+      command.cim_writes > 0) {
+    const double intensity = static_cast<double>(command.macs) /
+                             static_cast<double>(command.cim_writes);
+    if (intensity < params_.min_macs_per_write) {
+      fallbacks_threshold_.add();
+      cpu_fallbacks_.add();
+      return run_on_host(command.image);
+    }
+  }
+
+  // Backpressure: the stream keeps at most `depth` commands in flight per
+  // accelerator (bounded additionally by the hardware FIFO).
+  const std::size_t depth = std::min(
+      params_.depth, accel.params().work_queue_depth + 1);
+  system_.settle_to_host_time();
+  if (accel.in_flight() >= depth) {
+    if (params_.fallback_when_full && command.allow_cpu_fallback) {
+      fallbacks_queue_full_.add();
+      cpu_fallbacks_.add();
+      return run_on_host(command.image);
+    }
+    driver_.wait_for_space(dev, depth - 1);
+  }
+
+  offloaded_.add();
+  TDO_RETURN_IF_ERROR(driver_.submit_queued(command.image, dev));
+  note_occupancy();
+  return support::Status::ok();
+}
+
+support::Status CimStream::synchronize() {
+  syncs_.add();
+  failed_seen_.resize(driver_.device_count(), 0);
+  support::Status result = support::Status::ok();
+  for (std::size_t d = 0; d < driver_.device_count(); ++d) {
+    cim::Accelerator& accel = driver_.device(d);
+    if (accel.has_work() || accel.regs().status() != cim::DeviceStatus::kIdle) {
+      auto status = driver_.drain(d);
+      if (!status.is_ok()) result = status.status();
+    }
+    const std::uint64_t failed = accel.jobs_failed();
+    if (failed > failed_seen_[d]) {
+      result = support::Status{
+          static_cast<support::StatusCode>(accel.last_error_code()),
+          "accelerator job failed"};
+    }
+    failed_seen_[d] = failed;
+  }
+  pending_writes_.clear();
+  pending_reads_.clear();
+  return result;
+}
+
+StreamReport CimStream::report() const {
+  StreamReport rep;
+  rep.enqueued = enqueued_.value();
+  rep.offloaded = offloaded_.value();
+  rep.cpu_fallbacks = cpu_fallbacks_.value();
+  rep.fallbacks_threshold = fallbacks_threshold_.value();
+  rep.fallbacks_queue_full = fallbacks_queue_full_.value();
+  rep.syncs = syncs_.value();
+  rep.hazard_syncs = hazard_syncs_.value();
+  rep.occupancy_peak = occupancy_peak_.value();
+  return rep;
+}
+
+support::Status CimStream::run_on_host(const cim::ContextRegs& image) {
+  // The fallback runs the original -O3 loop nest on the host model: exact
+  // float math (no quantization) with interpreter-equivalent charges.
+  const std::uint64_t m = image.read(cim::Reg::kM);
+  const std::uint64_t n = image.read(cim::Reg::kN);
+  const std::uint64_t k = image.read(cim::Reg::kK);
+  const std::uint64_t lda = image.read(cim::Reg::kLda);
+  const std::uint64_t ldb = image.read(cim::Reg::kLdb);
+  const std::uint64_t ldc = image.read(cim::Reg::kLdc);
+  const sim::PhysAddr pa_a = image.read(cim::Reg::kPaA);
+  const sim::PhysAddr pa_b = image.read(cim::Reg::kPaB);
+  const sim::PhysAddr pa_c = image.read(cim::Reg::kPaC);
+  const float alpha = image.read_f32(cim::Reg::kAlpha);
+  const float beta = image.read_f32(cim::Reg::kBeta);
+  const auto op = static_cast<cim::Opcode>(image.read(cim::Reg::kOpcode));
+  if (op != cim::Opcode::kGemm && op != cim::Opcode::kGemv) {
+    return support::unimplemented("CPU fallback supports plain GEMM jobs only");
+  }
+  if (m == 0 || n == 0 || k == 0) {
+    return support::invalid_argument("zero GEMM dimension");
+  }
+
+  auto& cpu = system_.cpu();
+  auto& mem = system_.memory();
+  TDO_LOG(kDebug, "cim.stream") << "CPU fallback GEMM " << m << "x" << n << "x"
+                                << k;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::uint64_t kk = 0; kk < k; ++kk) {
+        const sim::PhysAddr a_addr = pa_a + (i * lda + kk) * 4;
+        const sim::PhysAddr b_addr = pa_b + (kk * ldb + j) * 4;
+        acc += static_cast<double>(mem.read_scalar<float>(a_addr)) *
+               static_cast<double>(mem.read_scalar<float>(b_addr));
+        cpu.load(a_addr);
+        cpu.load(b_addr);
+        // fmadd + induction + backedge (accumulator register-promoted).
+        cpu.issue(sim::InstBundle{.int_alu = 1, .fp_ops = 2, .branches = 1});
+      }
+      const sim::PhysAddr c_addr = pa_c + (i * ldc + j) * 4;
+      double out = alpha * acc;
+      if (beta != 0.0f) {
+        cpu.load(c_addr);
+        out += static_cast<double>(beta) *
+               static_cast<double>(mem.read_scalar<float>(c_addr));
+        cpu.issue(sim::InstBundle{.fp_ops = 2});
+      } else {
+        cpu.issue(sim::InstBundle{.fp_ops = 1});
+      }
+      mem.write_scalar<float>(c_addr, static_cast<float>(out));
+      cpu.store(c_addr);
+    }
+  }
+  return support::Status::ok();
+}
+
+}  // namespace tdo::rt

@@ -1,0 +1,147 @@
+// Asynchronous command stream for CIM offload (DTO-style work queues).
+//
+// The paper's runtime submits every job synchronously: ioctl, cache flush,
+// spin-poll, copy back — the round trips that make low-intensity kernels
+// lose in Figure 6. CimStream removes the round trips without changing the
+// device model: commands are enqueued into per-accelerator hardware work
+// queues, completions retire through the simulator's event queue, chained
+// jobs start back-to-back on the device (their weight-load DMA overlapping
+// the previous job's stream phase), and batches round-robin across every
+// registered accelerator instance.
+//
+// Like Intel's DSA Transparent Offload library, the dispatch decision is
+// dynamic: a command whose runtime MACs-per-CIM-write falls below the
+// configured threshold — or that arrives while the work queue is full —
+// executes on the host CPU model instead (see DESIGN.md, "Command streams").
+//
+// The blocking polly_cimBlas* facade is a thin wrapper over this stream:
+// enqueue everything, then synchronize before returning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cim/context_regs.hpp"
+#include "runtime/driver.hpp"
+#include "sim/system.hpp"
+#include "support/stats.hpp"
+#include "support/status.hpp"
+
+namespace tdo::rt {
+
+struct StreamParams {
+  /// Maximum commands in flight per accelerator (running + queued). Depth 1
+  /// reproduces the paper's fully synchronous submit/wait behaviour.
+  std::size_t depth = 2;
+  /// Dynamic offload threshold on a command's MACs-per-CIM-write (DTO's
+  /// DTO_MIN_BYTES analogue). 0 disables CPU fallback by intensity.
+  double min_macs_per_write = 0.0;
+  /// When the chosen accelerator's queue is full: true falls back to the
+  /// host CPU (DTO's ENQ-retry behaviour), false blocks for space.
+  bool fallback_when_full = false;
+  /// Stats prefix (one stream per runtime; rename when running several).
+  std::string name = "stream";
+};
+
+/// Aggregate stream behaviour for reporting and perf-trajectory tracking.
+struct StreamReport {
+  std::uint64_t enqueued = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t cpu_fallbacks = 0;
+  std::uint64_t fallbacks_threshold = 0;
+  std::uint64_t fallbacks_queue_full = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t hazard_syncs = 0;
+  std::uint64_t occupancy_peak = 0;
+};
+
+class CimStream {
+ public:
+  /// One offload command: a fully prepared register image plus the metadata
+  /// the dispatcher needs (cost-model inputs and scheduling hints).
+  struct Command {
+    cim::ContextRegs image;
+    /// Runtime cost-model inputs for the dynamic fallback decision.
+    std::uint64_t macs = 0;
+    std::uint64_t cim_writes = 0;
+    /// Fixed accelerator (chained tiles must share a queue); -1 round-robins.
+    int device = -1;
+    /// False for order-dependent chain links (a beta-accumulating tile must
+    /// not run early on the host while its predecessor sits in a queue).
+    bool allow_cpu_fallback = true;
+  };
+
+  CimStream(StreamParams params, sim::System& system, CimDriver& driver);
+
+  /// Dispatches one command: host CPU when below the intensity threshold or
+  /// the queue is full (and fallback is allowed), otherwise into an
+  /// accelerator work queue. Returns once the command is accepted — device
+  /// execution completes asynchronously.
+  support::Status enqueue(const Command& command);
+
+  /// Drains every accelerator (event-driven wait), surfaces any job error,
+  /// and forgets the pending-write ranges.
+  support::Status synchronize();
+
+  /// Round-robin cursor for callers that pin a chain of dependent commands
+  /// to one accelerator.
+  [[nodiscard]] std::size_t next_device() {
+    return round_robin_++ % driver_.device_count();
+  }
+  [[nodiscard]] std::size_t device_count() const {
+    return driver_.device_count();
+  }
+
+  /// Registers a physical range an in-flight command will write (or read);
+  /// cleared by synchronize(). Callers consult writes_overlap() before
+  /// reading device memory (RAW/WAW ordering) and reads_overlap() before
+  /// writing it (WAR: a queued command's deferred reads must not observe a
+  /// later producer's output).
+  void note_write(sim::PhysAddr pa, std::uint64_t bytes);
+  void note_read(sim::PhysAddr pa, std::uint64_t bytes);
+  [[nodiscard]] bool writes_overlap(sim::PhysAddr pa, std::uint64_t bytes) const;
+  [[nodiscard]] bool reads_overlap(sim::PhysAddr pa, std::uint64_t bytes) const;
+
+  /// Records that the caller had to synchronize to order around an
+  /// in-flight producer (perf-trajectory visibility).
+  void count_hazard() { hazard_syncs_.add(); }
+
+  /// True when nothing is in flight and no pending writes are tracked.
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] const StreamParams& params() const { return params_; }
+  [[nodiscard]] StreamReport report() const;
+
+ private:
+  /// Executes the command's GEMM on the host CPU model (exact float math,
+  /// interpreter-style instruction charges) — the DTO-style fallback.
+  support::Status run_on_host(const cim::ContextRegs& image);
+
+  void note_occupancy();
+
+  struct Range {
+    sim::PhysAddr pa = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  StreamParams params_;
+  sim::System& system_;
+  CimDriver& driver_;
+  std::size_t round_robin_ = 0;
+  std::vector<Range> pending_writes_;
+  std::vector<Range> pending_reads_;
+  std::vector<std::uint64_t> failed_seen_;  // per-device jobs_failed baseline
+  std::uint64_t occupancy_seen_ = 0;
+
+  support::Counter enqueued_;
+  support::Counter offloaded_;
+  support::Counter cpu_fallbacks_;
+  support::Counter fallbacks_threshold_;
+  support::Counter fallbacks_queue_full_;
+  support::Counter syncs_;
+  support::Counter hazard_syncs_;
+  support::Counter occupancy_peak_;
+};
+
+}  // namespace tdo::rt

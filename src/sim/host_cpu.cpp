@@ -75,6 +75,21 @@ std::uint64_t HostCpu::spin_until(Tick target, std::uint64_t poll_period_cycles)
   return polls;
 }
 
+std::uint64_t HostCpu::block_until(Tick target) {
+  if (elapsed().ticks() >= target) return 0;
+  irq_waits_.add();
+  // Interrupt entry + handler + context restore.
+  charge_instructions(400);
+  // Sleep: dead cycles until the completion interrupt fires.
+  while (elapsed().ticks() < target) {
+    const double gap_sec = from_ticks(target - elapsed().ticks()).seconds();
+    const auto gap_cycles = static_cast<std::uint64_t>(
+        std::ceil(gap_sec * params_.frequency.hertz()));
+    charge_cycles(gap_cycles > 0 ? gap_cycles : 1);
+  }
+  return 1;
+}
+
 void HostCpu::register_stats(support::StatsRegistry& registry) const {
   registry.register_counter("host.cycles", &cycles_);
   registry.register_counter("host.instructions", &insts_);
@@ -82,6 +97,7 @@ void HostCpu::register_stats(support::StatsRegistry& registry) const {
   registry.register_counter("host.mem_instructions", &mem_insts_);
   registry.register_counter("host.stall_cycles", &stall_cycles_);
   registry.register_counter("host.spin_polls", &spin_polls_);
+  registry.register_counter("host.irq_waits", &irq_waits_);
   registry.register_energy("host.energy", &energy_);
 }
 

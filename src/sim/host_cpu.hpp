@@ -64,6 +64,12 @@ class HostCpu {
   /// mode of Section II-E. Returns polled iterations.
   std::uint64_t spin_until(Tick target, std::uint64_t poll_period_cycles = 64);
 
+  /// Event-driven wait: the core sleeps (WFI) until the completion interrupt
+  /// at `target` and pays only the interrupt entry/exit instructions — the
+  /// "continue with other tasks" mode of Section II-E, used by the stream
+  /// layer instead of spin-polling. Returns 1 when a wait happened.
+  std::uint64_t block_until(Tick target);
+
   [[nodiscard]] std::uint64_t cycles() const { return cycles_.value(); }
   [[nodiscard]] std::uint64_t instructions() const { return insts_.value(); }
   [[nodiscard]] std::uint64_t fp_instructions() const { return fp_insts_.value(); }
@@ -88,6 +94,7 @@ class HostCpu {
   support::Counter mem_insts_;
   support::Counter stall_cycles_;
   support::Counter spin_polls_;
+  support::Counter irq_waits_;
   support::EnergyAccumulator energy_;
 };
 

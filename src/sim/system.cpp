@@ -18,6 +18,11 @@ void System::sync_event_clock_to_host() {
   if (host_now > events_.now()) events_.advance_to(host_now);
 }
 
+void System::settle_to_host_time() {
+  const Tick host_now = cpu_.elapsed().ticks();
+  if (host_now > events_.now()) (void)events_.run_until(host_now);
+}
+
 support::Duration System::global_time() const {
   const auto host = cpu_.elapsed();
   const auto queue = from_ticks(events_.now());

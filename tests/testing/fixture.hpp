@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,18 +18,30 @@
 
 namespace tdo::testing {
 
-/// Owns a fully wired platform with paper-default parameters.
+/// Owns a fully wired platform with paper-default parameters. Pass
+/// `accelerators > 1` to register extra accelerator instances (distinct
+/// PMIO windows and stats prefixes) with the runtime's command stream.
 class Platform {
  public:
   explicit Platform(rt::RuntimeConfig config = {},
                     cim::AcceleratorParams accel_params = {},
-                    sim::SystemParams system_params = {})
+                    sim::SystemParams system_params = {},
+                    std::size_t accelerators = 1)
       : system_{system_params},
         accel_{accel_params, system_},
-        runtime_{config, system_, accel_} {}
+        runtime_{config, system_, accel_} {
+    for (std::size_t i = 1; i < accelerators; ++i) {
+      extra_.push_back(std::make_unique<cim::Accelerator>(
+          cim::instance_params(accel_params, i), system_));
+      runtime_.add_accelerator(*extra_.back());
+    }
+  }
 
   [[nodiscard]] sim::System& system() { return system_; }
   [[nodiscard]] cim::Accelerator& accel() { return accel_; }
+  [[nodiscard]] cim::Accelerator& accel(std::size_t index) {
+    return index == 0 ? accel_ : *extra_[index - 1];
+  }
   [[nodiscard]] rt::CimRuntime& runtime() { return runtime_; }
 
   /// Allocates a device buffer and uploads `data` into it functionally
@@ -68,6 +82,7 @@ class Platform {
   sim::System system_;
   cim::Accelerator accel_;
   rt::CimRuntime runtime_;
+  std::vector<std::unique_ptr<cim::Accelerator>> extra_;
 };
 
 /// Row-major reference GEMM: C = alpha*A*B + beta*C.
