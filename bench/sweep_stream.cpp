@@ -1,0 +1,109 @@
+// Sweep: accelerators x stream depth x async copies.
+//
+// Locates the knee of the multi-device scaling curve for the asynchronous
+// offload path: how deep the command stream must be before submission stops
+// being the bottleneck, how many accelerator instances the tiled stripes can
+// feed, and how much of the remaining time the transfer engine's
+// stream-resident copies buy back. Runs the 256^3 PolyBench GEMM with
+// 128x128 crossbars so every configuration has several chained tile jobs
+// per stripe to pipeline.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "polybench/harness.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Sample {
+  std::size_t accelerators = 1;
+  std::size_t depth = 1;
+  bool async_copies = false;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using tdo::support::TextTable;
+  auto workload = tdo::pb::make_workload("gemm", tdo::pb::Preset::kPaper);
+  if (!workload.is_ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+
+  TextTable table("Stream sweep - gemm 256^3, 128x128 tiles");
+  table.set_header({"Accels", "Depth", "Async copies", "Runtime",
+                    "Overlap ticks", "Copy KiB on stream", "Overlapped KiB",
+                    "Correct"});
+
+  std::vector<Sample> samples;
+  for (const std::size_t accelerators : {1, 2, 4}) {
+    for (const std::size_t depth : {1, 2, 4, 8}) {
+      for (const bool async_copies : {false, true}) {
+        tdo::pb::HarnessOptions options;
+        options.accelerators = accelerators;
+        options.runtime.stream.depth = depth;
+        options.runtime.xfer.async_copies = async_copies;
+        options.compile.crossbar_rows = 128;
+        options.compile.crossbar_cols = 128;
+        options.accelerator.tile.crossbar.rows = 128;
+        options.accelerator.tile.crossbar.cols = 128;
+        const auto report = tdo::pb::run_cim(*workload, options);
+        if (!report.is_ok()) {
+          std::cerr << report.status() << "\n";
+          return 1;
+        }
+        samples.push_back(Sample{accelerators, depth, async_copies,
+                                 report->runtime.seconds()});
+        table.add_row({std::to_string(accelerators), std::to_string(depth),
+                       async_copies ? "on" : "off",
+                       report->runtime.to_string(),
+                       std::to_string(report->overlap_ticks),
+                       std::to_string(report->copy_bytes / 1024),
+                       std::to_string(report->overlapped_copy_bytes / 1024),
+                       report->correct ? "yes" : "NO"});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // The knee: per accelerator count, the smallest depth (async copies on)
+  // within 2% of that count's best runtime — deeper queues past this point
+  // buy nothing, so it is where the scaling curve flattens.
+  const auto find = [&samples](std::size_t accelerators, std::size_t depth,
+                               bool async_copies) -> const Sample* {
+    for (const Sample& s : samples) {
+      if (s.accelerators == accelerators && s.depth == depth &&
+          s.async_copies == async_copies) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  std::cout << "\nKnee of the scaling curve (async copies on):\n";
+  for (const std::size_t accelerators : {1, 2, 4}) {
+    double best = 0.0;
+    for (const std::size_t depth : {1, 2, 4, 8}) {
+      const Sample* s = find(accelerators, depth, true);
+      if (s != nullptr && (best == 0.0 || s->seconds < best)) best = s->seconds;
+    }
+    for (const std::size_t depth : {1, 2, 4, 8}) {
+      const Sample* knee = find(accelerators, depth, true);
+      if (knee == nullptr || knee->seconds > 1.02 * best) continue;
+      std::printf("  %zu accelerator(s): depth %zu (%.3f ms, best %.3f ms)",
+                  accelerators, depth, knee->seconds * 1e3, best * 1e3);
+      // Async-copy payoff measured at this knee configuration.
+      const Sample* sync = find(accelerators, depth, false);
+      if (sync != nullptr) {
+        std::printf(" - async copies %.1f%% faster",
+                    (sync->seconds / knee->seconds - 1.0) * 100.0);
+      }
+      std::printf("\n");
+      break;
+    }
+  }
+  return 0;
+}

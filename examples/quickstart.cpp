@@ -43,9 +43,11 @@ kernel gemm(M = 64, N = 64, K = 64, alpha = 1.5, beta = 1.2) {
             << compiled.schedule_tree_dump << "\n";
   std::cout << "=== Detected kernels ===\n";
   for (const auto& report : compiled.reports) {
+    // Every detected kernel becomes a device call; the stream's dynamic
+    // dispatch decides host-vs-device per command at runtime.
     std::cout << "  " << report.description
               << "  [MACs/write=" << report.macs_per_write
-              << (report.offloaded ? ", offloaded]" : ", host]") << "\n";
+              << (report.offloaded ? ", device call]" : ", host]") << "\n";
   }
   std::cout << "\n=== Generated program (Listing 1 style) ===\n"
             << compiled.cim_program.to_source() << "\n";

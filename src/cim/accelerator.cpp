@@ -36,6 +36,7 @@ Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
   stats.register_counter(p + ".queued_jobs", &queued_jobs_);
   stats.register_counter(p + ".jobs_completed", &completed_);
   stats.register_counter(p + ".jobs_failed", &failed_);
+  stats.register_counter(p + ".copies", &copies_);
   stats.register_counter(p + ".overlap_ticks", &overlap_ticks_);
   stats.register_energy(p + ".energy.write", &e_write_);
   stats.register_energy(p + ".energy.compute", &e_compute_);
@@ -96,6 +97,11 @@ support::Status Accelerator::mmio_write(std::uint64_t offset,
 }
 
 support::Status Accelerator::enqueue_job(const ContextRegs& image) {
+  // Copies never occupy the compute queue: they execute on the DMA channel,
+  // which is otherwise idle while the micro-engine streams vectors.
+  if (static_cast<Opcode>(image.read(Reg::kOpcode)) == Opcode::kCopy) {
+    return start_copy(image);
+  }
   if (regs_.status() == DeviceStatus::kBusy) {
     if (queue_.size() >= params_.work_queue_depth) {
       return support::resource_exhausted("CIM work queue full");
@@ -123,7 +129,50 @@ void Accelerator::apply_image(const ContextRegs& image) {
 void Accelerator::trigger() {
   TDO_LOG(kDebug, "cim.accel") << "job triggered, opcode="
                                << regs_.read(Reg::kOpcode);
+  if (static_cast<Opcode>(regs_.read(Reg::kOpcode)) == Opcode::kCopy) {
+    // MMIO-triggered copies route to the DMA channel like queued ones; the
+    // engine (and the status register) stay untouched.
+    (void)start_copy(regs_);
+    return;
+  }
   start_job(support::Duration::zero());
+}
+
+support::Status Accelerator::start_copy(const ContextRegs& image) {
+  const std::uint64_t rows = image.read(Reg::kM);
+  const std::uint64_t width = image.read(Reg::kN);
+  const std::uint64_t bytes = rows * width;
+  if (bytes == 0) return support::Status::ok();  // no-op descriptor
+  copies_.add();
+
+  const std::uint64_t bursts_before = dma_->bursts();
+  const support::Duration duration =
+      dma_->copy_rect(image.read(Reg::kPaA), image.read(Reg::kLda),
+                      image.read(Reg::kPaC), image.read(Reg::kLdc), width, rows);
+  e_dma_.add(model_.dma_energy(dma_->bursts() - bursts_before));
+
+  // The channel serializes copies; each starts when the previous one ends.
+  const sim::Tick now = system_.events().now();
+  const sim::Tick start = std::max(now, dma_busy_until_);
+  const sim::Tick done = start + duration.ticks();
+  // Copy bytes whose transfer window lies under the engine's busy window are
+  // hidden behind compute (the DTO-style copy/compute overlap). busy_until_
+  // covers only the currently running job at this point — queued jobs extend
+  // it later, from their chained launches — so a copy spanning a chain of
+  // back-to-back tiles under-counts its overlap. The counter is a lower
+  // bound, never an over-claim.
+  if (busy_until_ > start && done > start) {
+    const sim::Tick hidden = std::min(done, busy_until_) - start;
+    const double fraction = static_cast<double>(hidden) /
+                            static_cast<double>(done - start);
+    dma_->note_copy_overlap(
+        static_cast<std::uint64_t>(fraction * static_cast<double>(bytes)));
+  }
+  dma_busy_until_ = done;
+  ++copies_in_flight_;
+  system_.events().schedule_at(done, params_.name + ".copy_done",
+                               [this] { --copies_in_flight_; });
+  return support::Status::ok();
 }
 
 void Accelerator::start_job(support::Duration prefetch_credit) {

@@ -12,6 +12,7 @@
 // previous job's stream phase (stream-level double buffering).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <string>
@@ -90,17 +91,30 @@ class Accelerator final : public sim::BusDevice {
   /// already charged the host for programming the image.
   support::Status enqueue_job(const ContextRegs& image);
 
-  /// True while a job is running or queued.
+  /// True while a job is running or queued, or a DMA-channel copy is still
+  /// in flight.
   [[nodiscard]] bool has_work() const {
-    return regs_.status() == DeviceStatus::kBusy || !queue_.empty();
+    return regs_.status() == DeviceStatus::kBusy || !queue_.empty() ||
+           copies_in_flight_ > 0;
   }
-  /// Running job (0/1) plus queued jobs.
+  /// Running job (0/1) plus queued jobs. Copies ride the DMA channel and do
+  /// not occupy compute-queue slots (see copies_in_flight()).
   [[nodiscard]] std::size_t in_flight() const {
     return (regs_.status() == DeviceStatus::kBusy ? 1 : 0) + queue_.size();
   }
-  /// Completion tick of the currently running job (chained jobs extend this
-  /// as their launches execute on the event queue).
+  /// Stream copies accepted but not yet completed on the DMA channel.
+  [[nodiscard]] std::size_t copies_in_flight() const { return copies_in_flight_; }
+  /// Completion tick of the currently running compute job (chained jobs
+  /// extend this as their launches execute on the event queue). Backpressure
+  /// waits use this: a compute-queue slot frees independently of any copy
+  /// still riding the DMA channel.
   [[nodiscard]] sim::Tick busy_until() const { return busy_until_; }
+  /// Completion tick of *all* outstanding work — compute chain and DMA
+  /// channel. Full drains wait on this.
+  [[nodiscard]] sim::Tick work_done_tick() const {
+    return copies_in_flight_ > 0 ? std::max(busy_until_, dma_busy_until_)
+                                 : busy_until_;
+  }
 
   [[nodiscard]] std::uint64_t jobs_completed() const { return completed_.value(); }
   [[nodiscard]] std::uint64_t jobs_failed() const { return failed_.value(); }
@@ -110,6 +124,7 @@ class Accelerator final : public sim::BusDevice {
   [[nodiscard]] ContextRegs& regs() { return regs_; }
   [[nodiscard]] CimTile& tile() { return *tile_; }
   [[nodiscard]] Dma& dma() { return *dma_; }
+  [[nodiscard]] const Dma& dma() const { return *dma_; }
   [[nodiscard]] MicroEngine& engine() { return *engine_; }
   [[nodiscard]] const AcceleratorParams& params() const { return params_; }
   [[nodiscard]] const JobTimeline& last_timeline() const { return last_timeline_; }
@@ -122,6 +137,10 @@ class Accelerator final : public sim::BusDevice {
   /// Launches the image currently in `regs_` and schedules the completion
   /// chain that pops the next queued job.
   void start_job(support::Duration prefetch_credit);
+  /// Executes a kCopy image on the DMA channel: functional copy now, timing
+  /// serialized behind earlier copies but overlapping the micro-engine's
+  /// compute (the channel is otherwise idle while the engine streams).
+  support::Status start_copy(const ContextRegs& image);
   /// Copies every job register of `image` into `regs_` (control/status
   /// registers — command, status, result, completed — are device-owned).
   void apply_image(const ContextRegs& image);
@@ -141,12 +160,15 @@ class Accelerator final : public sim::BusDevice {
   };
   std::deque<QueuedJob> queue_;
   sim::Tick busy_until_ = 0;
+  sim::Tick dma_busy_until_ = 0;  // DMA-channel (stream copy) timeline
+  std::size_t copies_in_flight_ = 0;
   std::uint64_t last_error_ = 0;
 
   support::Counter jobs_;
   support::Counter queued_jobs_;
   support::Counter completed_;
   support::Counter failed_;
+  support::Counter copies_;
   support::Counter overlap_ticks_;
   support::EnergyAccumulator e_write_;
   support::EnergyAccumulator e_compute_;

@@ -28,6 +28,8 @@ enum class Reg : std::uint32_t {
   kFlags,           // JobFlags bitmask
   kBatchCount,      // number of batch entries (batched GEMM)
   kBatchTable,      // PA of BatchEntry[kBatchCount]
+  kCopyDir,         // DMA copy direction tag (kCopy jobs; informational —
+                    // shared memory is flat, the channel ignores it)
   kResult,          // Status/error code written by the device
   kCompleted,       // jobs completed since reset (read-only; work-queue poll)
   kCount
@@ -56,6 +58,7 @@ enum class Opcode : std::uint64_t {
   kGemv = 1,         // y = alpha*op(A)*x + beta*y
   kGemm = 2,         // C = alpha*A*B + beta*C
   kGemmBatched = 3,  // batch of GEMMs sharing the stationary operand if equal
+  kCopy = 4,         // rectangle DMA copy on the DMA channel (never the engine)
 };
 
 /// Which operand is held stationary in the crossbar (Section III-B).

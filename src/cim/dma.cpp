@@ -56,12 +56,41 @@ support::Duration Dma::write_strided(sim::PhysAddr dst, std::uint64_t stride,
   return strided_time(bytes);
 }
 
+support::Duration Dma::copy_rect(sim::PhysAddr src, std::uint64_t src_pitch,
+                                 sim::PhysAddr dst, std::uint64_t dst_pitch,
+                                 std::uint64_t width, std::uint64_t rows) {
+  const std::uint64_t bytes = width * rows;
+  if (bytes == 0) return support::Duration::zero();
+  std::vector<std::uint8_t> row(width);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    memory_.read(src + r * src_pitch, std::span(row.data(), row.size()));
+    memory_.write(dst + r * dst_pitch,
+                  std::span<const std::uint8_t>(row.data(), row.size()));
+  }
+  bytes_read_.add(bytes);
+  bytes_written_.add(bytes);
+  const bool contiguous =
+      rows == 1 || (src_pitch == width && dst_pitch == width);
+  if (contiguous) {
+    bursts_.add(2);  // one read burst + one write burst
+    return block_time(bytes) + block_time(bytes);
+  }
+  bursts_.add(2 * rows);
+  support::Duration total = support::Duration::zero();
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    total = total + block_time(width) + block_time(width);
+  }
+  return total;
+}
+
 void Dma::register_stats(support::StatsRegistry& registry,
                          const std::string& prefix) const {
   registry.register_counter(prefix + ".dma.bytes_read", &bytes_read_);
   registry.register_counter(prefix + ".dma.bytes_written", &bytes_written_);
   registry.register_counter(prefix + ".dma.bursts", &bursts_);
   registry.register_counter(prefix + ".dma.prefetch_bytes", &prefetch_bytes_);
+  registry.register_counter(prefix + ".dma.overlapped_copy_bytes",
+                            &overlap_copy_bytes_);
 }
 
 }  // namespace tdo::cim

@@ -48,15 +48,32 @@ class Dma {
                                   std::uint32_t elem_bytes, std::uint32_t count,
                                   std::span<const std::uint8_t> in);
 
+  /// Memory-to-memory rectangle copy (`rows` rows of `width` bytes, row
+  /// starts `src_pitch`/`dst_pitch` bytes apart): the stream's kCopy
+  /// commands. Both directions of the traffic ride this channel, so the
+  /// returned duration covers read + write bandwidth. Contiguous rectangles
+  /// (pitch == width, or a single row) move as two bursts; pitched ones pay
+  /// a burst pair per row.
+  support::Duration copy_rect(sim::PhysAddr src, std::uint64_t src_pitch,
+                              sim::PhysAddr dst, std::uint64_t dst_pitch,
+                              std::uint64_t width, std::uint64_t rows);
+
   /// Records `bytes` of traffic that ran on the otherwise-idle channel while
   /// the engine streamed the previous job (stream-level double buffering).
   /// Accounting only; the transfer itself was already charged.
   void note_prefetch(std::uint64_t bytes) { prefetch_bytes_.add(bytes); }
 
+  /// Records stream-copy bytes whose transfer window was hidden under the
+  /// micro-engine's busy window (copy/compute overlap). Accounting only.
+  void note_copy_overlap(std::uint64_t bytes) { overlap_copy_bytes_.add(bytes); }
+
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_.value(); }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_.value(); }
   [[nodiscard]] std::uint64_t bursts() const { return bursts_.value(); }
   [[nodiscard]] std::uint64_t prefetched_bytes() const { return prefetch_bytes_.value(); }
+  [[nodiscard]] std::uint64_t overlapped_copy_bytes() const {
+    return overlap_copy_bytes_.value();
+  }
   [[nodiscard]] const DmaParams& params() const { return params_; }
 
   void register_stats(support::StatsRegistry& registry,
@@ -72,6 +89,7 @@ class Dma {
   support::Counter bytes_written_;
   support::Counter bursts_;
   support::Counter prefetch_bytes_;
+  support::Counter overlap_copy_bytes_;
 };
 
 }  // namespace tdo::cim

@@ -300,6 +300,10 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
       }
       break;
     }
+    case Opcode::kCopy:
+      // Copies never reach the micro-engine; the accelerator routes them to
+      // the DMA channel before launch (Accelerator::start_copy).
+      return fail(support::unimplemented("copy jobs execute on the DMA channel"));
     case Opcode::kNop:
       break;
   }

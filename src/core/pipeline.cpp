@@ -70,10 +70,11 @@ class Emitter {
   }
 
   [[nodiscard]] exec::Program take() && {
-    // Final coherence: drain the command stream, copy results computed on
-    // the device back to the host, then release all device buffers
-    // (Listing 1's epilogue, asynchronous edition).
-    emit_sync_if_pending();
+    // Final coherence (Listing 1's epilogue, asynchronous edition): enqueue
+    // every copy-back — each orders itself behind its producer by rectangle
+    // overlap — then release the device buffers. The frees and the
+    // interpreter's terminal barrier drain whatever is still in flight; no
+    // explicit polly_cimSynchronize is needed here.
     for (auto& [name, state] : location_) {
       if (state == Loc::kDeviceDirty) {
         program_.items.push_back(CimDevToHostOp{name});
@@ -95,14 +96,20 @@ class Emitter {
     for (const auto& name : reads) ensure_host(name);
     // Partial writes must land on current data, so writes sync too.
     for (const auto& name : writes) ensure_host(name);
-    // A host write to a device-resident array could race an in-flight
-    // kernel still reading it: barrier first (WAR across the stream).
-    for (const auto& name : writes) {
-      if (device_buffers_.contains(name)) {
-        emit_sync_if_pending();
-        break;
-      }
+    // The nest's loads/stores bypass the stream's hazard tracker, so the
+    // emitter places the barrier: before host code touches an array with a
+    // copy still in flight, or overwrites a device-resident array an
+    // in-flight kernel may read (WAR across the stream). Nests touching
+    // neither run concurrently with the stream.
+    bool barrier = false;
+    for (const auto& name : reads) {
+      barrier = barrier || pending_copies_.contains(name);
     }
+    for (const auto& name : writes) {
+      barrier = barrier || pending_copies_.contains(name) ||
+                (kernels_in_flight_ && device_buffers_.contains(name));
+    }
+    if (barrier) emit_sync();
     program_.items.push_back(HostNest{std::move(body)});
     for (const auto& name : writes) mark_host_write(name);
   }
@@ -121,11 +128,11 @@ class Emitter {
  private:
   enum class Loc { kHostOnly, kSynced, kDeviceDirty, kHostDirty };
 
-  /// Stream barrier before anything consumes asynchronously-produced data.
-  void emit_sync_if_pending() {
-    if (!kernels_in_flight_) return;
+  /// Stream barrier: everything in flight (kernels and copies) retires.
+  void emit_sync() {
     program_.items.push_back(CimSyncOp{});
     kernels_in_flight_ = false;
+    pending_copies_.clear();
   }
 
   [[nodiscard]] Loc state(const std::string& name) const {
@@ -145,7 +152,11 @@ class Emitter {
     switch (state(name)) {
       case Loc::kHostOnly:
       case Loc::kHostDirty:
+        // The upload rides the stream as a DMA command; the runtime orders
+        // it against in-flight producers by rectangle overlap, so no
+        // barrier is emitted here and the copy overlaps ongoing compute.
         program_.items.push_back(CimHostToDevOp{name});
+        pending_copies_.insert(name);
         location_[name] = Loc::kSynced;
         break;
       case Loc::kSynced:
@@ -156,8 +167,11 @@ class Emitter {
 
   void ensure_host(const std::string& name) {
     if (state(name) == Loc::kDeviceDirty) {
-      emit_sync_if_pending();
+      // No barrier before the copy-back: the runtime synchronizes only if
+      // the copy's source rectangle is still being written in flight. The
+      // barrier lands later, when host code consumes the array.
       program_.items.push_back(CimDevToHostOp{name});
+      pending_copies_.insert(name);
       location_[name] = Loc::kSynced;
     }
   }
@@ -172,6 +186,8 @@ class Emitter {
   exec::Program program_;
   std::map<std::string, Loc> location_;
   std::set<std::string> device_buffers_;
+  /// Arrays with an async copy potentially still in flight.
+  std::set<std::string> pending_copies_;
   bool init_emitted_ = false;
   bool kernels_in_flight_ = false;
 };
@@ -376,23 +392,20 @@ CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
   result.detection = detect_kernels(fn);
   const auto& kernels = result.detection.kernels;
 
-  // Offload policy.
-  std::vector<bool> offloaded(kernels.size(), false);
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    offloaded[i] = options.policy == OffloadPolicy::kAlways ||
-                   kernels[i].macs_per_write() >= options.min_macs_per_write;
-  }
+  // Offload policy: every detected kernel is emitted as a device call; the
+  // selective cost-model decision is made once, at runtime, by the stream's
+  // dynamic MACs-per-write dispatch (the same metric evaluated per command,
+  // so a tiled call's thin edge tiles fall back even when the kernel as a
+  // whole clears the threshold). kSelective lowers the compile-time knob to
+  // that stream threshold instead of duplicating the heuristic statically.
+  result.stream_min_macs_per_write =
+      options.policy == OffloadPolicy::kSelective ? options.min_macs_per_write
+                                                  : 0.0;
 
-  // Fusion among offloaded GEMMs.
+  // Fusion among detected GEMMs.
   std::vector<FusionGroup> groups;
   if (options.enable_fusion) {
-    for (FusionGroup& group : find_fusion_groups(result.detection)) {
-      bool all_offloaded = true;
-      for (const std::size_t idx : group.members) {
-        all_offloaded = all_offloaded && offloaded[idx];
-      }
-      if (all_offloaded) groups.push_back(std::move(group));
-    }
+    groups = find_fusion_groups(result.detection);
   }
   result.fusion_groups = groups;
 
@@ -407,14 +420,15 @@ CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     result.reports[i].description = kernels[i].description();
     result.reports[i].macs_per_write = kernels[i].macs_per_write();
-    result.reports[i].offloaded = offloaded[i];
+    // Emitted as a device call; host-vs-device is decided per command by
+    // the stream's dynamic dispatch at runtime.
+    result.reports[i].offloaded = true;
     result.reports[i].fused = group_of.contains(i);
   }
 
-  // Claimed statements: only those of offloaded kernels leave the host.
+  // Claimed statements: those of detected kernels leave the host.
   std::set<std::string> claimed;
   for (std::size_t i = 0; i < kernels.size(); ++i) {
-    if (!offloaded[i]) continue;
     const auto& stmts =
         kernels[i].is_gemm()   ? kernels[i].gemm().stmts
         : kernels[i].is_gemv() ? kernels[i].gemv().stmts
@@ -429,7 +443,7 @@ CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
     // Kernels anchored at this top-level node, in detection order.
     std::vector<std::size_t> here;
     for (std::size_t i = 0; i < kernels.size(); ++i) {
-      if (kernels[i].top_level_index == idx && offloaded[i]) here.push_back(i);
+      if (kernels[i].top_level_index == idx) here.push_back(i);
     }
     if (here.empty()) {
       emitter.emit_host_nest({fn.body[idx]});
@@ -465,9 +479,6 @@ CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
           writes.insert(g.c);
         }
         emitter.emit_device_op(std::move(op), reads, writes);
-        for (const std::size_t m : group.members) {
-          result.reports[m].offloaded = true;
-        }
         continue;
       }
       if (kernels[i].is_gemm()) {

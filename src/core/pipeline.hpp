@@ -6,11 +6,12 @@
 //   3. kernel fusion into batched calls (fusion.hpp);
 //   4. endurance-aware tiling of oversized kernels (tiling.hpp);
 //   5. runtime-call substitution with on-demand host/device coherence copies
-//      (Listing 1's polly_cim* orchestration). Kernel calls dispatch into
-//      the runtime's asynchronous command stream; the emitter inserts
-//      polly_cimSynchronize barriers wherever host code (or a copy-back)
-//      consumes device-produced data, so consecutive kernels and fusion
-//      groups pipeline across the accelerator work queues.
+//      (Listing 1's polly_cim* orchestration). Kernel calls AND copies
+//      dispatch into the runtime's asynchronous command stream (copies ride
+//      it as DMA commands, rectangle-hazard-ordered against producers); the
+//      emitter inserts polly_cimSynchronize barriers only where host nests
+//      consume data with a copy or kernel still in flight, so kernels,
+//      fusion groups and transfers pipeline across the accelerator queues.
 // The result carries both the untouched host program (the `-O3` baseline of
 // the evaluation) and the CIM program (`-O3 -enable-loop-tactics`).
 #pragma once
@@ -29,8 +30,11 @@ namespace tdo::core {
 enum class OffloadPolicy {
   /// Offload every detected kernel (the paper's Figure 6 configuration).
   kAlways,
-  /// Offload only kernels whose static MACs-per-CIM-write clears the
-  /// threshold (produces the paper's "Selective Geomean").
+  /// Selective offload (the paper's "Selective Geomean"): the compile-time
+  /// policy lowers `min_macs_per_write` into the runtime stream's dynamic
+  /// dispatch threshold (StreamParams::min_macs_per_write) instead of
+  /// dropping kernels statically — one knob decides both the static intent
+  /// and the per-command runtime fallback.
   kSelective,
 };
 
@@ -51,6 +55,10 @@ struct CompileOptions {
 struct KernelReport {
   std::string description;
   double macs_per_write = 0.0;
+  /// Emitted as a device call. True for every detected kernel: host-vs-
+  /// device is decided per command at runtime by the stream's dynamic
+  /// dispatch (see OffloadPolicy::kSelective); stream fallback counters
+  /// report what actually ran where.
   bool offloaded = false;
   bool fused = false;
   bool tiled = false;
@@ -59,6 +67,9 @@ struct KernelReport {
 struct CompileResult {
   exec::Program host_program;  // baseline, no CIM
   exec::Program cim_program;   // transformed
+  /// Runtime stream threshold the policy lowered to (0 = offload always).
+  /// The harness merges this into StreamParams::min_macs_per_write.
+  double stream_min_macs_per_write = 0.0;
   DetectionResult detection;
   std::vector<FusionGroup> fusion_groups;
   std::vector<KernelReport> reports;

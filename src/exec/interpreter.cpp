@@ -178,11 +178,14 @@ Status Interpreter::exec_item(const ProgramItem& item) {
   if (std::get_if<CimSyncOp>(&item) != nullptr) {
     return runtime_->synchronize();
   }
-  // Kernel calls dispatch asynchronously through the runtime's command
-  // stream: tile jobs from consecutive calls pipeline across the
-  // accelerator work queues, and the elapsed time the ROI observes is the
-  // overlapped schedule, not a sum of synchronous round trips. The stream
-  // drains at CimSyncOp/copy/free boundaries and at the end of run().
+  // Kernel calls AND copies dispatch asynchronously through the runtime's
+  // command stream: tile jobs from consecutive calls pipeline across the
+  // accelerator work queues, eligible copies ride the stream as DMA
+  // commands, and the elapsed time the ROI observes is the overlapped
+  // schedule, not a sum of synchronous round trips. Full drains happen at
+  // CimSyncOp barriers (emitted by the compiler where host nests consume
+  // in-flight data) and at the end of run(); copies and frees drain only
+  // when their rectangles actually overlap in-flight work.
   if (const auto* gemm = std::get_if<CimGemmOp>(&item)) {
     auto a = dev_operand(gemm->a);
     if (!a.is_ok()) return a.status();

@@ -94,8 +94,14 @@ StatusOr<RunReport> run_program(const Workload& workload,
   report.stream_commands = delta.counter_or("stream.enqueued");
   report.stream_fallbacks = delta.counter_or("stream.cpu_fallbacks");
   report.stream_occupancy = delta.counter_or("stream.occupancy_peak");
+  report.copies_enqueued = delta.counter_or("stream.copies_enqueued");
+  report.copy_bytes = delta.counter_or("stream.copy_bytes");
+  report.hazard_syncs = delta.counter_or("stream.hazard_syncs");
   for (const auto& [name, value] : delta.counters) {
     if (name.ends_with(".overlap_ticks")) report.overlap_ticks += value;
+    if (name.ends_with(".dma.overlapped_copy_bytes")) {
+      report.overlapped_copy_bytes += value;
+    }
   }
 
   auto err = validate(interp, workload);
@@ -124,8 +130,14 @@ StatusOr<RunReport> run_cim(const Workload& workload,
   auto fn = frontend::parse_kernel(workload.source);
   if (!fn.is_ok()) return fn.status();
   core::CompileResult compiled = core::compile(*fn, options.compile);
+  // The compile-time offload policy lowers to the stream's dynamic
+  // dispatch threshold — one knob for static intent and runtime fallback.
+  rt::RuntimeConfig rt_config = options.runtime;
+  rt_config.stream.min_macs_per_write =
+      std::max(rt_config.stream.min_macs_per_write,
+               compiled.stream_min_macs_per_write);
   auto report = run_program(workload, compiled.cim_program, /*use_cim=*/true,
-                            options.runtime, options.accelerator,
+                            rt_config, options.accelerator,
                             std::max<std::size_t>(1, options.accelerators));
   if (report.is_ok()) report->any_offloaded = compiled.any_offloaded();
   return report;

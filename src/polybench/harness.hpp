@@ -37,6 +37,11 @@ struct RunReport {
   std::uint64_t stream_fallbacks = 0;  // executed on the host CPU instead
   std::uint64_t stream_occupancy = 0;  // peak commands in flight
   std::uint64_t overlap_ticks = 0;     // weight-DMA ticks hidden by chaining
+  // Transfer-engine behaviour (DMA copy commands riding the stream).
+  std::uint64_t copies_enqueued = 0;        // async copies on the stream
+  std::uint64_t copy_bytes = 0;             // bytes moved by those copies
+  std::uint64_t overlapped_copy_bytes = 0;  // copy bytes hidden under compute
+  std::uint64_t hazard_syncs = 0;           // drains forced by rect overlap
 
   bool correct = false;
   double max_abs_error = 0.0;

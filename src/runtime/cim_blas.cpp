@@ -17,6 +17,7 @@ CimRuntime::CimRuntime(RuntimeConfig config, sim::System& system,
     : config_{config}, system_{system}, accel_{accel} {
   driver_ = std::make_unique<CimDriver>(config_.driver, system, accel);
   stream_ = std::make_unique<CimStream>(config_.stream, system, *driver_);
+  xfer_ = std::make_unique<XferEngine>(config_.xfer, system);
 }
 
 support::Status CimRuntime::init(int device_index) {
@@ -50,8 +51,12 @@ support::Status CimRuntime::free_device(sim::VirtAddr va) {
   if (it == buffers_.end()) {
     return support::not_found("free of unknown device buffer");
   }
-  // The buffer may back an in-flight command.
-  if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
+  // Drain only when an in-flight command actually touches this buffer;
+  // releasing a buffer no pending rectangle covers needs no barrier.
+  const Rect extent = Rect::linear(it->pa, it->bytes);
+  if (stream_->writes_overlap(extent) || stream_->reads_overlap(extent)) {
+    TDO_RETURN_IF_ERROR(synchronize());
+  }
   TDO_RETURN_IF_ERROR(driver_->free_buffer(*it));
   buffers_.erase(it);
   return support::Status::ok();
@@ -68,58 +73,48 @@ support::Status CimRuntime::synchronize() {
 }
 
 support::Status CimRuntime::sync_for_operands(
-    std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> reads,
-    std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> writes) {
+    std::initializer_list<Rect> reads, std::initializer_list<Rect> writes) {
   bool hazard = false;
-  for (const auto& [pa, bytes] : reads) {
-    hazard = hazard || stream_->writes_overlap(pa, bytes);  // RAW
+  for (const Rect& r : reads) {
+    hazard = hazard || stream_->writes_overlap(r);  // RAW
   }
-  for (const auto& [pa, bytes] : writes) {
-    hazard = hazard || stream_->writes_overlap(pa, bytes)  // WAW
-             || stream_->reads_overlap(pa, bytes);         // WAR
+  for (const Rect& r : writes) {
+    hazard = hazard || stream_->writes_overlap(r)  // WAW
+             || stream_->reads_overlap(r);         // WAR
   }
   if (!hazard) return support::Status::ok();
   stream_->count_hazard();
   return synchronize();
 }
 
-support::Status CimRuntime::host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
-                                        std::uint64_t bytes) {
-  // The destination (or a source aliasing device memory) may be written by
-  // an in-flight command; copies are synchronous in the paper's API.
-  if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
-  // memcpy performed by the host CPU: the CMA buffer is mapped cacheable, so
-  // the copy runs through the cache hierarchy; coherence is reestablished by
-  // the driver's flush at submit time.
-  auto& mmu = system_.mmu();
-  auto& cpu = system_.cpu();
-  auto& mem = system_.memory();
-  std::array<std::uint8_t, 64> chunk;
-  std::uint64_t done = 0;
-  while (done < bytes) {
-    const std::uint64_t n = std::min<std::uint64_t>(64, bytes - done);
-    const auto src_pa = mmu.translate(src + done);
-    if (!src_pa.is_ok()) return src_pa.status();
-    const auto dst_pa = mmu.translate(dst + done);
-    if (!dst_pa.is_ok()) return dst_pa.status();
-    mem.read(*src_pa, std::span(chunk.data(), n));
-    mem.write(*dst_pa, std::span<const std::uint8_t>(chunk.data(), n));
-    // NEON-style copy: ~9 instructions per 64-byte chunk (4x ldp/stp pairs
-    // plus loop bookkeeping). Sequential copies prefetch well, so instead of
-    // charging a cold cache miss per line, the loop below charges streaming
-    // DRAM time once for the whole transfer.
-    cpu.issue(sim::InstBundle{.int_alu = 8, .branches = 1});
-    done += n;
+support::Status CimRuntime::copy(CopyDesc::Dir dir, sim::VirtAddr dst,
+                                 sim::VirtAddr src, std::uint64_t bytes) {
+  CopyDesc desc;
+  if (xfer_->plan(dir, dst, src, bytes, &desc)) {
+    // Order the copy against in-flight producers/consumers at rectangle
+    // granularity: a copy whose footprint is disjoint from every pending
+    // rectangle rides the stream without a synchronization.
+    TDO_RETURN_IF_ERROR(sync_for_operands({desc.src}, {desc.dst}));
+    CimStream::Command command;
+    command.kind = CimStream::Command::Kind::kCopy;
+    command.copy = desc;
+    TDO_RETURN_IF_ERROR(stream_->enqueue(command));
+  } else {
+    // Host memcpy path (small, scattered, or async copies disabled). The
+    // host touches both ranges immediately and they may span scattered
+    // frames, so order conservatively: drain whenever the stream is busy
+    // (the paper's original behaviour).
+    if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
+    TDO_RETURN_IF_ERROR(xfer_->host_copy(dst, src, bytes));
   }
-  // Streaming bandwidth: read + write traffic at LPDDR3-933 effective rate.
-  constexpr double kCopyBandwidthBytesPerSec = 3.3e9;
-  const double copy_sec = 2.0 * static_cast<double>(bytes) / kCopyBandwidthBytesPerSec;
-  const auto stall_cycles = static_cast<std::uint64_t>(
-      copy_sec * system_.cpu().params().frequency.hertz());
-  cpu.charge_cycles(stall_cycles);
   stats_.bytes_copied += bytes;
   invalidate_scales(dst, bytes);
   return support::Status::ok();
+}
+
+support::Status CimRuntime::host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
+                                        std::uint64_t bytes) {
+  return copy(CopyDesc::Dir::kHostToDev, dst, src, bytes);
 }
 
 void CimRuntime::invalidate_scales(sim::VirtAddr va, std::uint64_t bytes) {
@@ -134,7 +129,7 @@ void CimRuntime::invalidate_scales(sim::VirtAddr va, std::uint64_t bytes) {
 
 support::Status CimRuntime::dev_to_host(sim::VirtAddr dst, sim::VirtAddr src,
                                         std::uint64_t bytes) {
-  return host_to_dev(dst, src, bytes);  // same host-performed copy loop
+  return copy(CopyDesc::Dir::kDevToHost, dst, src, bytes);
 }
 
 support::StatusOr<sim::PhysAddr> CimRuntime::translate_checked(
@@ -277,9 +272,15 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
   const auto pa_c = translate_checked(c, c_bytes);
   if (!pa_c.is_ok()) return pa_c.status();
 
+  // Exact operand footprints: {base, pitch, width, rows} rectangles rather
+  // than flat byte ranges, so the disjoint column stripes of different calls
+  // never force a hazard synchronization.
+  const Rect rect_a{*pa_a, lda * kElem, k * kElem, m};
+  const Rect rect_b{*pa_b, ldb * kElem, n * kElem, k};
+  const Rect rect_c{*pa_c, ldc * kElem, n * kElem, m};
+
   // Hazard ordering against in-flight commands from earlier calls.
-  TDO_RETURN_IF_ERROR(sync_for_operands({{*pa_a, a_bytes}, {*pa_b, b_bytes}},
-                                        {{*pa_c, c_bytes}}));
+  TDO_RETURN_IF_ERROR(sync_for_operands({rect_a, rect_b}, {rect_c}));
 
   auto max_a = operand_max_abs(a, m, k, lda);
   if (!max_a.is_ok()) return max_a.status();
@@ -289,9 +290,9 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
   invalidate_scales(c, c_bytes);
-  stream_->note_read(*pa_a, a_bytes);
-  stream_->note_read(*pa_b, b_bytes);
-  stream_->note_write(*pa_c, c_bytes);
+  stream_->note_read(rect_a);
+  stream_->note_read(rect_b);
+  stream_->note_write(rect_c);
 
   if (stationary == cim::StationaryOperand::kB) {
     // Stationary B tiles (k x n); stream rows of A; jj/kk tile loops. Each
@@ -361,9 +362,10 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
   const auto pa_y = translate_checked(y, ylen * kElem);
   if (!pa_y.is_ok()) return pa_y.status();
 
-  TDO_RETURN_IF_ERROR(
-      sync_for_operands({{*pa_a, a_bytes}, {*pa_x, xlen * kElem}},
-                        {{*pa_y, ylen * kElem}}));
+  const Rect rect_a{*pa_a, lda * kElem, n * kElem, m};
+  const Rect rect_x = Rect::linear(*pa_x, xlen * kElem);
+  const Rect rect_y = Rect::linear(*pa_y, ylen * kElem);
+  TDO_RETURN_IF_ERROR(sync_for_operands({rect_a, rect_x}, {rect_y}));
 
   auto max_a = operand_max_abs(a, m, n, lda);
   if (!max_a.is_ok()) return max_a.status();
@@ -373,9 +375,9 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
   invalidate_scales(y, ylen * kElem);
-  stream_->note_read(*pa_a, a_bytes);
-  stream_->note_read(*pa_x, xlen * kElem);
-  stream_->note_write(*pa_y, ylen * kElem);
+  stream_->note_read(rect_a);
+  stream_->note_read(rect_x);
+  stream_->note_write(rect_y);
 
   if (!transpose) {
     // y[m] = alpha*A*x + beta*y. Stationary A^T (reduce n, out m).
@@ -471,14 +473,16 @@ support::Status CimRuntime::sgemm_batched_async(
     const auto pa_c = translate_checked(items[i].c, c_bytes);
     if (!pa_c.is_ok()) return pa_c.status();
     addrs[i] = ItemAddrs{*pa_a, *pa_b, *pa_c};
-    TDO_RETURN_IF_ERROR(sync_for_operands({{*pa_a, a_bytes}, {*pa_b, b_bytes}},
-                                          {{*pa_c, c_bytes}}));
+    TDO_RETURN_IF_ERROR(
+        sync_for_operands({Rect{*pa_a, lda * kElem, k * kElem, m},
+                           Rect{*pa_b, ldb * kElem, n * kElem, k}},
+                          {Rect{*pa_c, ldc * kElem, n * kElem, m}}));
   }
   for (std::size_t i = 0; i < items.size(); ++i) {
     invalidate_scales(items[i].c, c_bytes);
-    stream_->note_read(addrs[i].a, a_bytes);
-    stream_->note_read(addrs[i].b, b_bytes);
-    stream_->note_write(addrs[i].c, c_bytes);
+    stream_->note_read(Rect{addrs[i].a, lda * kElem, k * kElem, m});
+    stream_->note_read(Rect{addrs[i].b, ldb * kElem, n * kElem, k});
+    stream_->note_write(Rect{addrs[i].c, ldc * kElem, n * kElem, m});
   }
 
   // Round-robin the batch across accelerator instances in contiguous chunks

@@ -21,6 +21,7 @@
 #include "cim/accelerator.hpp"
 #include "runtime/driver.hpp"
 #include "runtime/stream.hpp"
+#include "runtime/xfer.hpp"
 #include "sim/system.hpp"
 #include "support/status.hpp"
 
@@ -45,6 +46,9 @@ struct RuntimeConfig {
   /// Command-stream behaviour (depth, dynamic CPU-fallback threshold). The
   /// blocking BLAS entry points are wrappers over this stream.
   StreamParams stream;
+  /// Transfer-engine behaviour: async copies riding the stream as DMA
+  /// commands vs the paper's blocking host memcpy.
+  XferParams xfer;
 };
 
 /// Aggregate host-side costs attributable to the runtime (for reporting).
@@ -78,8 +82,11 @@ class CimRuntime {
   [[nodiscard]] support::StatusOr<sim::VirtAddr> malloc_device(std::uint64_t bytes);
   support::Status free_device(sim::VirtAddr va);
 
-  /// polly_cimHostToDev / polly_cimDevToHost: host-performed copies through
-  /// the cache hierarchy (CMA buffers are mapped cacheable on the host).
+  /// polly_cimHostToDev / polly_cimDevToHost. Large physically-contiguous
+  /// transfers enqueue into the command stream as DMA copy commands and
+  /// return immediately (ordered against in-flight producers by rectangle
+  /// hazards); small or scattered ones run as host-performed copies through
+  /// the cache hierarchy (the paper's original path).
   support::Status host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
                               std::uint64_t bytes);
   support::Status dev_to_host(sim::VirtAddr dst, sim::VirtAddr src,
@@ -141,6 +148,7 @@ class CimRuntime {
   support::Status synchronize();
 
   [[nodiscard]] CimStream& stream() { return *stream_; }
+  [[nodiscard]] XferEngine& xfer() { return *xfer_; }
   [[nodiscard]] CimDriver& driver() { return *driver_; }
   [[nodiscard]] cim::Accelerator& accelerator() { return accel_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
@@ -168,12 +176,16 @@ class CimRuntime {
                               bool allow_cpu_fallback);
 
   /// Synchronizes when an in-flight command writes any of the call's
-  /// operand ranges (RAW/WAW — host scans and deferred device reads must see
-  /// the producer's output) or still reads a range this call will write
-  /// (WAR — a queued command's deferred reads must not observe it).
-  support::Status sync_for_operands(
-      std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> reads,
-      std::initializer_list<std::pair<sim::PhysAddr, std::uint64_t>> writes);
+  /// operand rectangles (RAW/WAW — host scans and deferred device reads must
+  /// see the producer's output) or still reads a rectangle this call will
+  /// write (WAR — a queued command's deferred reads must not observe it).
+  support::Status sync_for_operands(std::initializer_list<Rect> reads,
+                                    std::initializer_list<Rect> writes);
+
+  /// Issues one host<->device copy: async through the stream when the
+  /// transfer engine deems it eligible, else the blocking host path.
+  support::Status copy(CopyDesc::Dir dir, sim::VirtAddr dst, sim::VirtAddr src,
+                       std::uint64_t bytes);
 
   /// Reads a float element (functional, no host charge — engine-side use).
   [[nodiscard]] support::StatusOr<sim::PhysAddr> translate_checked(
@@ -193,6 +205,7 @@ class CimRuntime {
   cim::Accelerator& accel_;
   std::unique_ptr<CimDriver> driver_;
   std::unique_ptr<CimStream> stream_;
+  std::unique_ptr<XferEngine> xfer_;
   std::vector<DeviceBuffer> buffers_;
   /// Batch tables in flight; released by synchronize().
   std::vector<DeviceBuffer> staging_;

@@ -143,6 +143,26 @@ support::Status CimDriver::submit_queued(const cim::ContextRegs& image,
   return accels_[device]->enqueue_job(image);
 }
 
+support::Status CimDriver::submit_copy(const cim::ContextRegs& image,
+                                       std::size_t device) {
+  charge_syscall();
+  // Range clean/invalidate instead of the full-cache clean of a compute
+  // submit: the DMA only touches the copy window, so the driver walks just
+  // those lines (dcache clean by VA in a loop, the way dma_map_single does).
+  const std::uint64_t bytes =
+      image.read(cim::Reg::kM) * image.read(cim::Reg::kN);
+  flushes_.add();
+  system_.cpu().charge_instructions(params_.flush_instructions_per_line *
+                                    (bytes / 64 + 1));
+  // Program the copy descriptor registers (src/dst base+pitch, rows, width,
+  // direction) plus the opcode through the uncached PMIO window.
+  for (int i = 0; i < 8; ++i) charge_mmio_access();
+  // Retire completions due by now so the copy cannot appear to start before
+  // its submission time.
+  system_.settle_to_host_time();
+  return accels_[device]->enqueue_job(image);
+}
+
 support::StatusOr<std::uint64_t> CimDriver::poll_completed(std::size_t device) {
   system_.settle_to_host_time();
   auto completed = read_reg(cim::Reg::kCompleted, device);
@@ -166,9 +186,9 @@ support::StatusOr<cim::DeviceStatus> CimDriver::drain(std::size_t device) {
   auto& accel = *accels_[device];
   system_.settle_to_host_time();
   while (accel.has_work()) {
-    // Each pass retires the running job; its completion event may chain the
-    // next queued job, extending busy_until().
-    const sim::Tick done = accel.busy_until();
+    // Each pass retires the running job (or a pending DMA copy); a compute
+    // completion event may chain the next queued job, extending the tick.
+    const sim::Tick done = accel.work_done_tick();
     (void)system_.events().run_until(done);
     (void)system_.cpu().block_until(done);
   }

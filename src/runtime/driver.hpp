@@ -62,6 +62,9 @@ class CimDriver {
   [[nodiscard]] cim::Accelerator& device(std::size_t index) {
     return *accels_[index];
   }
+  [[nodiscard]] const cim::Accelerator& device(std::size_t index) const {
+    return *accels_[index];
+  }
 
   /// ioctl(CIM_ALLOC): CMA allocation + user mapping.
   [[nodiscard]] support::StatusOr<DeviceBuffer> alloc_buffer(std::uint64_t bytes);
@@ -83,6 +86,13 @@ class CimDriver {
   /// kResourceExhausted when the queue is full.
   support::Status submit_queued(const cim::ContextRegs& image,
                                 std::size_t device);
+
+  /// ioctl(CIM_COPY): enqueues a DMA copy descriptor (Opcode::kCopy image)
+  /// onto the device's DMA channel and returns immediately. Unlike a compute
+  /// submit, the coherence flush is range-granular — the driver cleans only
+  /// the host-side lines of the copy window, not the whole data cache — and
+  /// only the copy descriptor registers are programmed.
+  support::Status submit_copy(const cim::ContextRegs& image, std::size_t device);
 
   /// ioctl(CIM_POLL): non-blocking completion poll — retires every device
   /// event due by now and reads the completed-jobs register.

@@ -20,40 +20,18 @@ CimStream::CimStream(StreamParams params, sim::System& system,
   stats.register_counter(p + ".syncs", &syncs_);
   stats.register_counter(p + ".hazard_syncs", &hazard_syncs_);
   stats.register_counter(p + ".occupancy_peak", &occupancy_peak_);
-}
-
-void CimStream::note_write(sim::PhysAddr pa, std::uint64_t bytes) {
-  if (bytes == 0) return;
-  pending_writes_.push_back(Range{pa, bytes});
-}
-
-void CimStream::note_read(sim::PhysAddr pa, std::uint64_t bytes) {
-  if (bytes == 0) return;
-  pending_reads_.push_back(Range{pa, bytes});
-}
-
-bool CimStream::writes_overlap(sim::PhysAddr pa, std::uint64_t bytes) const {
-  for (const Range& r : pending_writes_) {
-    if (pa < r.pa + r.bytes && r.pa < pa + bytes) return true;
-  }
-  return false;
-}
-
-bool CimStream::reads_overlap(sim::PhysAddr pa, std::uint64_t bytes) const {
-  for (const Range& r : pending_reads_) {
-    if (pa < r.pa + r.bytes && r.pa < pa + bytes) return true;
-  }
-  return false;
+  stats.register_counter(p + ".copies_enqueued", &copies_enqueued_);
+  stats.register_counter(p + ".copy_bytes", &copy_bytes_);
 }
 
 bool CimStream::idle() const {
-  return in_flight() == 0 && pending_writes_.empty() && pending_reads_.empty();
+  return in_flight() == 0 && tracker_.empty();
 }
 
 std::size_t CimStream::in_flight() const {
   std::size_t total = 0;
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
-    total += driver_.device(d).in_flight();
+    total += driver_.device(d).in_flight() + driver_.device(d).copies_in_flight();
   }
   return total;
 }
@@ -70,6 +48,7 @@ void CimStream::note_occupancy() {
 }
 
 support::Status CimStream::enqueue(const Command& command) {
+  if (command.kind == Command::Kind::kCopy) return enqueue_copy(command);
   enqueued_.add();
   const std::size_t devices = driver_.device_count();
   const std::size_t dev = command.device >= 0
@@ -111,6 +90,25 @@ support::Status CimStream::enqueue(const Command& command) {
   return support::Status::ok();
 }
 
+support::Status CimStream::enqueue_copy(const Command& command) {
+  const CopyDesc& desc = command.copy;
+  if (desc.bytes() == 0) return support::Status::ok();
+  const std::size_t devices = driver_.device_count();
+  const std::size_t dev = command.device >= 0
+                              ? static_cast<std::size_t>(command.device) % devices
+                              : next_device();
+  copies_enqueued_.add();
+  copy_bytes_.add(desc.bytes());
+  // The copy's footprint joins the hazard sets: later commands reading the
+  // destination (or overwriting the source) must order behind it. The caller
+  // has already checked this command's own rectangles for conflicts.
+  note_read(desc.src);
+  note_write(desc.dst);
+  TDO_RETURN_IF_ERROR(driver_.submit_copy(make_copy_image(desc), dev));
+  note_occupancy();
+  return support::Status::ok();
+}
+
 support::Status CimStream::synchronize() {
   syncs_.add();
   failed_seen_.resize(driver_.device_count(), 0);
@@ -129,8 +127,7 @@ support::Status CimStream::synchronize() {
     }
     failed_seen_[d] = failed;
   }
-  pending_writes_.clear();
-  pending_reads_.clear();
+  tracker_.clear();
   return result;
 }
 
@@ -144,6 +141,12 @@ StreamReport CimStream::report() const {
   rep.syncs = syncs_.value();
   rep.hazard_syncs = hazard_syncs_.value();
   rep.occupancy_peak = occupancy_peak_.value();
+  rep.copies_enqueued = copies_enqueued_.value();
+  rep.copy_bytes = copy_bytes_.value();
+  for (std::size_t d = 0; d < driver_.device_count(); ++d) {
+    rep.overlapped_copy_bytes +=
+        driver_.device(d).dma().overlapped_copy_bytes();
+  }
   return rep;
 }
 

@@ -14,6 +14,14 @@
 // configured threshold — or that arrives while the work queue is full —
 // executes on the host CPU model instead (see DESIGN.md, "Command streams").
 //
+// Host<->device copies are stream commands too (Command::Kind::kCopy):
+// the transfer engine (runtime/xfer.hpp) plans them, and they execute on
+// the accelerator's otherwise-idle DMA channel, overlapping the engine's
+// compute. Hazards are tracked at rectangle granularity ({base, pitch,
+// width, rows} footprints with a precise 2-D overlap test), so the disjoint
+// column stripes of different calls — and copies against disjoint tiles —
+// proceed without a drain.
+//
 // The blocking polly_cimBlas* facade is a thin wrapper over this stream:
 // enqueue everything, then synchronize before returning.
 #pragma once
@@ -24,6 +32,7 @@
 
 #include "cim/context_regs.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/xfer.hpp"
 #include "sim/system.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
@@ -54,13 +63,21 @@ struct StreamReport {
   std::uint64_t syncs = 0;
   std::uint64_t hazard_syncs = 0;
   std::uint64_t occupancy_peak = 0;
+  // DMA copy commands (transfer engine, runtime/xfer.hpp).
+  std::uint64_t copies_enqueued = 0;
+  std::uint64_t copy_bytes = 0;
+  /// Copy bytes whose transfer window was hidden under engine compute,
+  /// summed across every accelerator's DMA channel.
+  std::uint64_t overlapped_copy_bytes = 0;
 };
 
 class CimStream {
  public:
-  /// One offload command: a fully prepared register image plus the metadata
-  /// the dispatcher needs (cost-model inputs and scheduling hints).
+  /// One stream command: either a compute job (a fully prepared register
+  /// image plus the metadata the dispatcher needs) or a DMA copy descriptor.
   struct Command {
+    enum class Kind { kCompute, kCopy };
+    Kind kind = Kind::kCompute;
     cim::ContextRegs image;
     /// Runtime cost-model inputs for the dynamic fallback decision.
     std::uint64_t macs = 0;
@@ -70,6 +87,8 @@ class CimStream {
     /// False for order-dependent chain links (a beta-accumulating tile must
     /// not run early on the host while its predecessor sits in a queue).
     bool allow_cpu_fallback = true;
+    /// kCopy only: the transfer descriptor (image is built internally).
+    CopyDesc copy;
   };
 
   CimStream(StreamParams params, sim::System& system, CimDriver& driver);
@@ -93,15 +112,21 @@ class CimStream {
     return driver_.device_count();
   }
 
-  /// Registers a physical range an in-flight command will write (or read);
-  /// cleared by synchronize(). Callers consult writes_overlap() before
-  /// reading device memory (RAW/WAW ordering) and reads_overlap() before
-  /// writing it (WAR: a queued command's deferred reads must not observe a
-  /// later producer's output).
-  void note_write(sim::PhysAddr pa, std::uint64_t bytes);
-  void note_read(sim::PhysAddr pa, std::uint64_t bytes);
-  [[nodiscard]] bool writes_overlap(sim::PhysAddr pa, std::uint64_t bytes) const;
-  [[nodiscard]] bool reads_overlap(sim::PhysAddr pa, std::uint64_t bytes) const;
+  /// Registers a physical rectangle an in-flight command will write (or
+  /// read); cleared by synchronize(). Callers consult writes_overlap()
+  /// before reading device memory (RAW/WAW ordering) and reads_overlap()
+  /// before writing it (WAR: a queued command's deferred reads must not
+  /// observe a later producer's output). Rectangle granularity lets the
+  /// disjoint column stripes of different calls — and copies against
+  /// disjoint tiles — proceed without a hazard synchronization.
+  void note_write(const Rect& r) { tracker_.note_write(r); }
+  void note_read(const Rect& r) { tracker_.note_read(r); }
+  [[nodiscard]] bool writes_overlap(const Rect& r) const {
+    return tracker_.writes_overlap(r);
+  }
+  [[nodiscard]] bool reads_overlap(const Rect& r) const {
+    return tracker_.reads_overlap(r);
+  }
 
   /// Records that the caller had to synchronize to order around an
   /// in-flight producer (perf-trajectory visibility).
@@ -118,19 +143,17 @@ class CimStream {
   /// interpreter-style instruction charges) — the DTO-style fallback.
   support::Status run_on_host(const cim::ContextRegs& image);
 
-  void note_occupancy();
+  /// Routes a kCopy command onto an accelerator's DMA channel, registering
+  /// its rectangles with the hazard tracker.
+  support::Status enqueue_copy(const Command& command);
 
-  struct Range {
-    sim::PhysAddr pa = 0;
-    std::uint64_t bytes = 0;
-  };
+  void note_occupancy();
 
   StreamParams params_;
   sim::System& system_;
   CimDriver& driver_;
   std::size_t round_robin_ = 0;
-  std::vector<Range> pending_writes_;
-  std::vector<Range> pending_reads_;
+  RectTracker tracker_;
   std::vector<std::uint64_t> failed_seen_;  // per-device jobs_failed baseline
   std::uint64_t occupancy_seen_ = 0;
 
@@ -142,6 +165,8 @@ class CimStream {
   support::Counter syncs_;
   support::Counter hazard_syncs_;
   support::Counter occupancy_peak_;
+  support::Counter copies_enqueued_;
+  support::Counter copy_bytes_;
 };
 
 }  // namespace tdo::rt

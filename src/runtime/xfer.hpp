@@ -1,0 +1,147 @@
+// Transfer engine: host<->device copies as first-class stream commands.
+//
+// The paper's runtime performs every polly_cimHostToDev/DevToHost as a
+// blocking host memcpy behind a full stream drain — the copy/compute overlap
+// that Intel's DTO actually ships never happens. This subsystem makes copies
+// ride the command stream instead: a copy becomes a DMA descriptor (direction
+// plus src/dst physical rectangles) executed on the accelerator's
+// otherwise-idle DMA channel while the micro-engine streams the previous
+// GEMM tile.
+//
+// The same file owns the stream's hazard geometry. Flat byte ranges are too
+// coarse for tiled BLAS traffic: the jj column stripes of two *different*
+// stationary-B calls interleave in memory and would always collide. A
+// `Rect` describes the actual footprint — {base, pitch, width, rows} — and
+// `RectTracker` keeps the pending read/write sets with a precise 2-D overlap
+// test, so disjoint stripes and copies against disjoint tiles overlap
+// instead of forcing hazard synchronizations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/context_regs.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+
+namespace tdo::rt {
+
+class CimStream;
+
+/// A 2-D physical-memory footprint: `rows` rows of `width` bytes whose row
+/// starts are `pitch` bytes apart. `pitch == width, rows == 1` (or
+/// Rect::linear) describes a flat byte range.
+struct Rect {
+  sim::PhysAddr base = 0;
+  std::uint64_t pitch = 0;  ///< bytes between consecutive row starts
+  std::uint64_t width = 0;  ///< bytes per row
+  std::uint64_t rows = 1;
+
+  [[nodiscard]] static Rect linear(sim::PhysAddr base, std::uint64_t bytes) {
+    return Rect{base, bytes, bytes, 1};
+  }
+
+  [[nodiscard]] std::uint64_t bytes() const { return width * rows; }
+  [[nodiscard]] bool empty() const { return width == 0 || rows == 0; }
+  /// One-past-the-last byte covered by any row.
+  [[nodiscard]] sim::PhysAddr span_end() const {
+    return base + (rows - 1) * pitch + width;
+  }
+  /// True when the rectangle is a single contiguous byte range.
+  [[nodiscard]] bool contiguous() const { return rows == 1 || pitch == width; }
+
+  /// Precise byte-set intersection test (not a bounding-box check): disjoint
+  /// column stripes sharing a pitch do not overlap even though their
+  /// bounding ranges interleave. O(min(rows, other.rows)).
+  [[nodiscard]] bool overlaps(const Rect& other) const;
+};
+
+/// Pending read/write rectangles of in-flight stream commands.
+class RectTracker {
+ public:
+  void note_read(const Rect& r) {
+    if (!r.empty()) reads_.push_back(r);
+  }
+  void note_write(const Rect& r) {
+    if (!r.empty()) writes_.push_back(r);
+  }
+  [[nodiscard]] bool reads_overlap(const Rect& r) const;
+  [[nodiscard]] bool writes_overlap(const Rect& r) const;
+  void clear() {
+    reads_.clear();
+    writes_.clear();
+  }
+  [[nodiscard]] bool empty() const { return reads_.empty() && writes_.empty(); }
+
+ private:
+  std::vector<Rect> reads_;
+  std::vector<Rect> writes_;
+};
+
+/// One DMA copy command: direction plus matching src/dst rectangles (same
+/// width and row count; pitches may differ, e.g. packing a sub-matrix).
+struct CopyDesc {
+  /// Informational tag for traces: shared memory is flat, so the DMA moves
+  /// bytes identically in both directions.
+  enum class Dir : std::uint64_t {
+    kHostToDev = 0,
+    kDevToHost = 1,
+  };
+  Dir dir = Dir::kHostToDev;
+  Rect src;
+  Rect dst;
+
+  [[nodiscard]] std::uint64_t bytes() const { return src.bytes(); }
+};
+
+/// Encodes a copy descriptor into the accelerator's register file
+/// (Opcode::kCopy). Register reuse: PaA/Lda describe the source rectangle,
+/// PaC/Ldc the destination, M the row count, N the row width in bytes.
+[[nodiscard]] cim::ContextRegs make_copy_image(const CopyDesc& desc);
+
+struct XferParams {
+  /// Enqueue eligible copies into the command stream as DMA commands
+  /// instead of running them as blocking host memcpys.
+  bool async_copies = true;
+  /// Copies below this size stay on the host memcpy path (the DTO_MIN_BYTES
+  /// analogue for transfers: a DMA descriptor round trip costs more than a
+  /// small cached memcpy).
+  std::uint64_t min_async_bytes = 16 * 1024;
+};
+
+/// Plans and executes host<->device copies for the runtime. Owns the
+/// host-side memcpy cost model; asynchronous copies are handed to the
+/// caller's CimStream as kCopy commands.
+class XferEngine {
+ public:
+  XferEngine(XferParams params, sim::System& system) noexcept
+      : params_{params}, system_{system} {}
+
+  /// Returns the DMA descriptor for [src, src+bytes) -> [dst, dst+bytes)
+  /// when the copy is async-eligible: async copies enabled, both ranges
+  /// physically contiguous (the descriptor carries physical rectangles and
+  /// this DMA has no scatter-gather), and the transfer clears the size
+  /// threshold. Returns false (desc untouched) otherwise.
+  [[nodiscard]] bool plan(CopyDesc::Dir dir, sim::VirtAddr dst,
+                          sim::VirtAddr src, std::uint64_t bytes,
+                          CopyDesc* desc) const;
+
+  /// Blocking host-performed copy through the cache hierarchy (the paper's
+  /// original path, and the fallback for small or scattered transfers).
+  support::Status host_copy(sim::VirtAddr dst, sim::VirtAddr src,
+                            std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t host_copies() const { return host_copies_.value(); }
+  [[nodiscard]] std::uint64_t host_copy_bytes() const {
+    return host_copy_bytes_.value();
+  }
+  [[nodiscard]] const XferParams& params() const { return params_; }
+
+ private:
+  XferParams params_;
+  sim::System& system_;
+  support::Counter host_copies_;
+  support::Counter host_copy_bytes_;
+};
+
+}  // namespace tdo::rt

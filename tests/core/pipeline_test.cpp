@@ -115,16 +115,36 @@ TEST(DetectTest, MacsPerWriteSeparatesGemmFromGemv) {
   EXPECT_DOUBLE_EQ(mvt_det.kernels[0].macs_per_write(), 1.0);
 }
 
-TEST(PipelineTest, SelectivePolicyKeepsGemvOnHost) {
+TEST(PipelineTest, SelectivePolicyLowersToStreamThreshold) {
+  // The selective policy no longer drops kernels statically: it lowers the
+  // MACs-per-write threshold into the runtime stream, which makes the
+  // per-command dispatch decision (one knob for static intent and dynamic
+  // fallback).
   const auto fn = parse_or_die(pb::make_mvt(pb::Preset::kTest).source);
   CompileOptions options;
   options.policy = OffloadPolicy::kSelective;
   const CompileResult result = compile(fn, options);
-  EXPECT_FALSE(result.any_offloaded());
-  // Program must degenerate to pure host nests.
-  for (const auto& item : result.cim_program.items) {
-    EXPECT_TRUE(std::holds_alternative<exec::HostNest>(item));
-  }
+  EXPECT_DOUBLE_EQ(result.stream_min_macs_per_write, options.min_macs_per_write);
+  EXPECT_TRUE(result.any_offloaded());  // emitted as device calls...
+
+  CompileOptions always;
+  always.policy = OffloadPolicy::kAlways;
+  EXPECT_DOUBLE_EQ(compile(fn, always).stream_min_macs_per_write, 0.0);
+}
+
+TEST(PipelineTest, SelectivePolicyKeepsGemvOnHostAtRuntime) {
+  // ...but mvt's GEMV commands (MACs-per-write = 1) fall below the lowered
+  // threshold at runtime, so the crossbar is never programmed and the work
+  // runs on the host CPU model — the paper's "Selective Geomean" behaviour.
+  auto workload = pb::make_workload("mvt", pb::Preset::kTest);
+  ASSERT_TRUE(workload.is_ok());
+  pb::HarnessOptions options;
+  options.compile.policy = OffloadPolicy::kSelective;
+  const auto report = pb::run_cim(*workload, options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->correct);
+  EXPECT_EQ(report->cim_writes, 0u) << "device crossbar was programmed";
+  EXPECT_GT(report->stream_fallbacks, 0u);
 }
 
 TEST(PipelineTest, GeneratedProgramContainsListing1Calls) {
