@@ -38,6 +38,8 @@ Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
   stats.register_counter(p + ".jobs_failed", &failed_);
   stats.register_counter(p + ".copies", &copies_);
   stats.register_counter(p + ".overlap_ticks", &overlap_ticks_);
+  stats.register_counter(p + ".weight_writes_saved8",
+                         &engine_->weight_writes_saved_counter());
   stats.register_energy(p + ".energy.write", &e_write_);
   stats.register_energy(p + ".energy.compute", &e_compute_);
   stats.register_energy(p + ".energy.mixed_signal", &e_mixed_);
@@ -155,24 +157,43 @@ support::Status Accelerator::start_copy(const ContextRegs& image) {
   const sim::Tick now = system_.events().now();
   const sim::Tick start = std::max(now, dma_busy_until_);
   const sim::Tick done = start + duration.ticks();
-  // Copy bytes whose transfer window lies under the engine's busy window are
-  // hidden behind compute (the DTO-style copy/compute overlap). busy_until_
-  // covers only the currently running job at this point — queued jobs extend
-  // it later, from their chained launches — so a copy spanning a chain of
-  // back-to-back tiles under-counts its overlap. The counter is a lower
-  // bound, never an over-claim.
-  if (busy_until_ > start && done > start) {
-    const sim::Tick hidden = std::min(done, busy_until_) - start;
-    const double fraction = static_cast<double>(hidden) /
-                            static_cast<double>(done - start);
-    dma_->note_copy_overlap(
-        static_cast<std::uint64_t>(fraction * static_cast<double>(bytes)));
-  }
+  // Copy bytes whose transfer window lies under engine busy windows are
+  // hidden behind compute (the DTO-style copy/compute overlap). The figure
+  // is exact: the running job's remaining window is credited here, and every
+  // chained job credits its own window as it launches (start_job), so a copy
+  // spanning a chain of back-to-back tiles counts the whole chain.
   dma_busy_until_ = done;
   ++copies_in_flight_;
-  system_.events().schedule_at(done, params_.name + ".copy_done",
-                               [this] { --copies_in_flight_; });
+  const std::uint64_t id = next_copy_id_++;
+  active_copies_.push_back(ActiveCopy{id, start, done, bytes, 0});
+  if (busy_until_ > start) {
+    active_copies_.back().hidden = std::min(done, busy_until_) - start;
+  }
+  system_.events().schedule_at(done, params_.name + ".copy_done", [this, id] {
+    --copies_in_flight_;
+    const auto it =
+        std::find_if(active_copies_.begin(), active_copies_.end(),
+                     [id](const ActiveCopy& c) { return c.id == id; });
+    if (it != active_copies_.end()) {
+      const sim::Tick window = it->done - it->start;
+      if (window > 0 && it->hidden > 0) {
+        const double fraction = static_cast<double>(std::min(it->hidden, window)) /
+                                static_cast<double>(window);
+        dma_->note_copy_overlap(static_cast<std::uint64_t>(
+            fraction * static_cast<double>(it->bytes)));
+      }
+      active_copies_.erase(it);
+    }
+  });
   return support::Status::ok();
+}
+
+void Accelerator::credit_copy_overlap(sim::Tick win_start, sim::Tick win_end) {
+  for (ActiveCopy& copy : active_copies_) {
+    const sim::Tick lo = std::max(win_start, copy.start);
+    const sim::Tick hi = std::min(win_end, copy.done);
+    if (hi > lo) copy.hidden += hi - lo;
+  }
 }
 
 void Accelerator::start_job(support::Duration prefetch_credit) {
@@ -181,6 +202,9 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
   last_timeline_ = engine_->launch(regs_, prefetch_credit);
   overlap_ticks_.add(last_timeline_.overlap);
   busy_until_ = last_timeline_.done;
+  // Chained-launch share of the copy/compute overlap: any stream copy whose
+  // transfer window spans this job's busy window is hidden under it.
+  credit_copy_overlap(last_timeline_.trigger, busy_until_);
 
   // Completion chain: the engine's own done/error event (same tick, earlier
   // sequence) has already updated kStatus/kResult when this runs.
@@ -219,6 +243,7 @@ AcceleratorReport Accelerator::report() const {
   rep.gemv_ops = tile_->stats().gemv_ops;
   rep.mac8_ops = tile_->stats().mac8_ops;
   rep.weight_writes8 = tile_->stats().weight_writes8;
+  rep.weight_writes_saved8 = engine_->weight_writes_saved8();
   rep.total_energy = total_energy();
   return rep;
 }

@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cim/cim_tile.hpp"
 #include "cim/context_regs.hpp"
@@ -61,6 +62,9 @@ struct AcceleratorReport {
   std::uint64_t gemv_ops = 0;
   std::uint64_t mac8_ops = 0;
   std::uint64_t weight_writes8 = 0;
+  /// 8-bit weight programs skipped through stationary-tile reuse (batched
+  /// shared inputs and the runtime's weight-residency cache).
+  std::uint64_t weight_writes_saved8 = 0;
   support::Energy total_energy;
 
   /// The compute-intensity metric of Figure 6 (left):
@@ -144,6 +148,9 @@ class Accelerator final : public sim::BusDevice {
   /// Copies every job register of `image` into `regs_` (control/status
   /// registers — command, status, result, completed — are device-owned).
   void apply_image(const ContextRegs& image);
+  /// Credits every active copy with the share of the engine busy window
+  /// [win_start, win_end) that falls inside its transfer window.
+  void credit_copy_overlap(sim::Tick win_start, sim::Tick win_end);
 
   AcceleratorParams params_;
   sim::System& system_;
@@ -158,7 +165,21 @@ class Accelerator final : public sim::BusDevice {
     ContextRegs image;
     sim::Tick enqueued = 0;  // bounds the prefetch credit the job may claim
   };
+  /// A stream copy in flight on the DMA channel. `hidden` accumulates the
+  /// ticks of its transfer window that lie under engine busy windows — the
+  /// running job's at submit time, plus every chained job's as it launches —
+  /// so the copy/compute overlap figure is exact, not the running-job lower
+  /// bound.
+  struct ActiveCopy {
+    std::uint64_t id = 0;
+    sim::Tick start = 0;
+    sim::Tick done = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick hidden = 0;
+  };
   std::deque<QueuedJob> queue_;
+  std::vector<ActiveCopy> active_copies_;
+  std::uint64_t next_copy_id_ = 0;
   sim::Tick busy_until_ = 0;
   sim::Tick dma_busy_until_ = 0;  // DMA-channel (stream copy) timeline
   std::size_t copies_in_flight_ = 0;

@@ -33,10 +33,12 @@ void CimTile::program_tile(std::span<const std::int8_t> tile,
 
 std::vector<std::int32_t> CimTile::gemv(std::span<const std::int8_t> inputs,
                                         std::uint32_t active_rows,
-                                        std::uint32_t active_cols) {
+                                        std::uint32_t active_cols,
+                                        std::uint32_t row0) {
   // Row buffers latch the inputs (one byte per active row).
   stats_.buffer_byte_accesses += active_rows;
-  pcm::GemvResult raw = crossbar_.gemv(inputs, active_rows, active_cols);
+  pcm::GemvResult raw =
+      crossbar_.gemv(inputs, active_rows, active_cols, nullptr, row0);
   // Each logical column needs two nibble-column conversions through the
   // shared ADCs; saturating behaviour is configurable via AdcParams.
   std::vector<std::int32_t> out(active_cols);

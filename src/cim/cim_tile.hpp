@@ -55,11 +55,14 @@ class CimTile {
                     std::uint32_t tile_cols);
 
   /// One GEMV: latches quantized inputs into the row buffer, evaluates the
-  /// crossbar, runs the ADC conversions, and returns the signed fixed-point
-  /// accumulations for `active_cols` columns.
+  /// crossbar over rows [row0, row0 + active_rows), runs the ADC
+  /// conversions, and returns the signed fixed-point accumulations for
+  /// `active_cols` columns. `row0` selects the crossbar row window holding
+  /// the stationary tile (several tiles can be resident in disjoint rows).
   [[nodiscard]] std::vector<std::int32_t> gemv(std::span<const std::int8_t> inputs,
                                                std::uint32_t active_rows,
-                                               std::uint32_t active_cols);
+                                               std::uint32_t active_cols,
+                                               std::uint32_t row0 = 0);
 
   /// Digital-logic post-processing of one output element:
   /// result = alpha * (acc * scale) + beta * previous. Charged as ALU ops.

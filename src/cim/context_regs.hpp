@@ -30,6 +30,9 @@ enum class Reg : std::uint32_t {
   kBatchTable,      // PA of BatchEntry[kBatchCount]
   kCopyDir,         // DMA copy direction tag (kCopy jobs; informational —
                     // shared memory is flat, the channel ignores it)
+  kTileRow,         // crossbar row offset of the job's stationary tile (the
+                    // weight-residency cache places tiles in disjoint row
+                    // windows so several weight sets stay resident)
   kResult,          // Status/error code written by the device
   kCompleted,       // jobs completed since reset (read-only; work-queue poll)
   kCount
@@ -71,7 +74,11 @@ enum class StationaryOperand : std::uint64_t {
 struct JobFlags {
   static constexpr std::uint64_t kDoubleBuffering = 1ull << 0;
   static constexpr std::uint64_t kDifferentialWrite = 1ull << 1;  // skip unchanged cells
-  static constexpr std::uint64_t kSkipWeightLoad = 1ull << 2;     // reuse programmed tile
+  /// Reuse the stationary tile already programmed at kTileRow. Within a
+  /// batched job this is the paper's shared-input "smart mapping"; across
+  /// jobs it is set by the runtime's weight-residency cache, and the engine
+  /// still validates the request against its own programmed-tile records.
+  static constexpr std::uint64_t kSkipWeightLoad = 1ull << 2;
 };
 
 /// One batched-GEMM table entry, laid out in shared memory.

@@ -47,6 +47,7 @@ support::StatusOr<MicroEngine::GemmJob> MicroEngine::decode(
   const std::uint64_t flags = regs.read(Reg::kFlags);
   job.double_buffering = (flags & JobFlags::kDoubleBuffering) != 0;
   job.skip_weight_load = (flags & JobFlags::kSkipWeightLoad) != 0;
+  job.tile_row0 = static_cast<std::uint32_t>(regs.read(Reg::kTileRow));
 
   if (job.m == 0 || job.n == 0 || job.k == 0) {
     return support::invalid_argument("zero GEMM dimension");
@@ -60,6 +61,15 @@ support::StatusOr<MicroEngine::GemmJob> MicroEngine::decode(
   return job;
 }
 
+void MicroEngine::invalidate_rows(std::uint32_t row0, std::uint64_t rows) {
+  for (auto it = programmed_.begin(); it != programmed_.end();) {
+    const std::uint64_t lo = it->first;
+    const std::uint64_t hi = lo + it->second.rows;
+    const bool overlap = lo < row0 + rows && row0 < hi;
+    it = overlap ? programmed_.erase(it) : std::next(it);
+  }
+}
+
 MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
   const bool stationary_b = job.stationary == StationaryOperand::kB;
   const std::uint64_t tile_rows = job.k;
@@ -67,18 +77,26 @@ MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
   const double scale = stationary_b ? job.scale_b : job.scale_a;
 
   // Reuse check: within a batched job the compiler-fused "smart mapping"
-  // shares the stationary operand, so the engine skips redundant programming
-  // (Section III-B "we exploit this by writing only A in the crossbar").
+  // shares the stationary operand (Section III-B "we exploit this by writing
+  // only A in the crossbar"); across jobs the runtime's weight-residency
+  // cache requests reuse of a tile it believes resident at this row window.
+  // Either way the engine validates against its own records, so a stale or
+  // wrong request degrades into a reprogram, never into wrong results.
   const std::uint64_t pa = stationary_b ? job.pa_b : job.pa_a;
   const std::uint64_t ld = stationary_b ? job.ldb : job.lda;
-  if (job.skip_weight_load && programmed_.has_value() && programmed_->pa == pa &&
-      programmed_->scale == scale && programmed_->rows == tile_rows &&
-      programmed_->cols == tile_cols && programmed_->layout == job.stationary &&
-      programmed_->ld == ld) {
-    TDO_LOG(kDebug, "cim.engine") << "stationary tile reuse, skipping "
-                                  << tile_rows << " row programs";
-    return WeightPhase{};
+  if (job.skip_weight_load) {
+    const ProgrammedTile* resident = programmed_tile(job.tile_row0);
+    if (resident != nullptr && resident->pa == pa && resident->scale == scale &&
+        resident->rows == tile_rows && resident->cols == tile_cols &&
+        resident->layout == job.stationary && resident->ld == ld) {
+      TDO_LOG(kDebug, "cim.engine") << "stationary tile reuse at row "
+                                    << job.tile_row0 << ", skipping "
+                                    << tile_rows << " row programs";
+      weight_writes_saved8_.add(tile_rows * tile_cols);
+      return WeightPhase{};
+    }
   }
+  invalidate_rows(job.tile_row0, tile_rows);
 
   std::vector<float> row_f(tile_cols);
   std::vector<std::int8_t> row_q;
@@ -100,7 +118,7 @@ MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
                                    static_cast<std::uint32_t>(tile_cols), u8);
     }
     quantize_into(row_f, scale, row_q);
-    (void)tile_.program_row(static_cast<std::uint32_t>(r), row_q);
+    (void)tile_.program_row(job.tile_row0 + static_cast<std::uint32_t>(r), row_q);
 
     dma_total = dma_total + dma_time;
     const Duration program_latency = model_.write_latency(1);
@@ -113,7 +131,8 @@ MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
     }
   }
 
-  programmed_ = ProgrammedTile{pa, scale, tile_rows, tile_cols, job.stationary, ld};
+  programmed_[job.tile_row0] =
+      ProgrammedTile{pa, scale, tile_rows, tile_cols, job.stationary, ld};
   return WeightPhase{prog_done, dma_total, tile_rows * tile_cols * 4};
 }
 
@@ -166,7 +185,7 @@ support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
     quantize_into(in_f, in_scale, in_q);
     const std::vector<std::int32_t> acc =
         tile_.gemv(in_q, static_cast<std::uint32_t>(reduce),
-                   static_cast<std::uint32_t>(out_len));
+                   static_cast<std::uint32_t>(out_len), job.tile_row0);
     for (std::uint64_t j = 0; j < out_len; ++j) {
       c_new[j] = tile_.postprocess(acc[j], out_scale, job.alpha, job.beta, c_old[j]);
     }
@@ -205,7 +224,7 @@ support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
   const bool stationary_b = job.stationary == StationaryOperand::kB;
   const std::uint64_t tile_rows = job.k;
   const std::uint64_t tile_cols = stationary_b ? job.n : job.m;
-  if (tile_rows > tile_.rows() || tile_cols > tile_.cols()) {
+  if (job.tile_row0 + tile_rows > tile_.rows() || tile_cols > tile_.cols()) {
     return support::invalid_argument(
         "operand tile exceeds crossbar geometry; the caller must tile");
   }
@@ -252,8 +271,9 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
     case Opcode::kGemm: {
       auto job = decode(regs);
       if (!job.is_ok()) return fail(job.status());
-      // A fresh (non-batched) job cannot assume crossbar contents.
-      if (!job->skip_weight_load) invalidate_tile();
+      // Residency survives across jobs: a fresh job simply reprograms its
+      // own row window (load_weights retires any tiles it overwrites), so
+      // tiles in disjoint windows stay valid for later reuse requests.
       auto phases = run_gemm(*job);
       if (!phases.is_ok()) return fail(phases.status());
       weight_phase += phases->weights;
@@ -275,7 +295,9 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
           reinterpret_cast<std::uint8_t*>(bytes.data()), bytes.size());
       total += dma_.read_block(regs.read(Reg::kBatchTable), u8);
 
-      invalidate_tile();
+      // Without a residency-validated reuse request the batch cannot assume
+      // its row window still holds the shared tile from an earlier call.
+      if (!base->skip_weight_load) invalidate_rows(base->tile_row0, base->k);
       bool first_weights_done = false;
       for (const BatchEntry& entry : entries) {
         GemmJob job = *base;

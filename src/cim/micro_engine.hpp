@@ -16,13 +16,14 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <map>
 
 #include "cim/cim_tile.hpp"
 #include "cim/context_regs.hpp"
 #include "cim/dma.hpp"
 #include "pcm/energy_model.hpp"
 #include "sim/event_queue.hpp"
+#include "support/stats.hpp"
 #include "support/status.hpp"
 #include "support/units.hpp"
 
@@ -83,8 +84,9 @@ class MicroEngine {
   JobTimeline launch(ContextRegs& regs,
                      support::Duration prefetch_credit = support::Duration::zero());
 
-  /// Identity of the stationary tile currently programmed (for reuse
-  /// detection within batched jobs and for tests).
+  /// Identity of a stationary tile programmed into one crossbar row window
+  /// (for reuse detection within batched jobs, across jobs for the runtime's
+  /// weight-residency cache, and for tests).
   struct ProgrammedTile {
     std::uint64_t pa = 0;
     double scale = 1.0;
@@ -93,11 +95,29 @@ class MicroEngine {
     StationaryOperand layout = StationaryOperand::kB;
     std::uint64_t ld = 0;
   };
-  [[nodiscard]] const std::optional<ProgrammedTile>& programmed_tile() const {
-    return programmed_;
+  /// Tile programmed at crossbar row window starting at `row0`, if any.
+  /// Several tiles stay resident simultaneously in disjoint row windows.
+  [[nodiscard]] const ProgrammedTile* programmed_tile(std::uint32_t row0 = 0) const {
+    const auto it = programmed_.find(row0);
+    return it == programmed_.end() ? nullptr : &it->second;
   }
-  /// Invalidate reuse tracking (called when a new non-batched job arrives).
-  void invalidate_tile() { programmed_.reset(); }
+  [[nodiscard]] std::size_t programmed_tile_count() const {
+    return programmed_.size();
+  }
+  /// Invalidate all reuse tracking (device reset).
+  void invalidate_tile() { programmed_.clear(); }
+  /// Invalidate reuse tracking for tiles overlapping rows [row0, row0+rows)
+  /// (a job is about to reprogram that window).
+  void invalidate_rows(std::uint32_t row0, std::uint64_t rows);
+
+  /// 8-bit weight programs skipped thanks to stationary-tile reuse (batched
+  /// shared inputs and the runtime's weight-residency cache).
+  [[nodiscard]] const support::Counter& weight_writes_saved_counter() const {
+    return weight_writes_saved8_;
+  }
+  [[nodiscard]] std::uint64_t weight_writes_saved8() const {
+    return weight_writes_saved8_.value();
+  }
 
  private:
   struct GemmJob {
@@ -109,6 +129,7 @@ class MicroEngine {
     StationaryOperand stationary = StationaryOperand::kB;
     bool double_buffering = true;
     bool skip_weight_load = false;
+    std::uint32_t tile_row0 = 0;  ///< crossbar row window of the stationary tile
   };
 
   [[nodiscard]] support::StatusOr<GemmJob> decode(const ContextRegs& regs) const;
@@ -140,7 +161,9 @@ class MicroEngine {
   const pcm::CimEnergyModel& model_;
   sim::EventQueue& events_;
   EnergySinks sinks_;
-  std::optional<ProgrammedTile> programmed_;
+  /// Resident stationary tiles, keyed by crossbar row-window start.
+  std::map<std::uint32_t, ProgrammedTile> programmed_;
+  support::Counter weight_writes_saved8_;
 };
 
 }  // namespace tdo::cim

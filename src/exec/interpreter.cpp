@@ -195,7 +195,7 @@ Status Interpreter::exec_item(const ProgramItem& item) {
     if (!c.is_ok()) return c.status();
     return runtime_->sgemm_async(gemm->m, gemm->n, gemm->k, gemm->alpha, *a,
                                  gemm->a.ld, *b, gemm->b.ld, gemm->beta, *c,
-                                 gemm->c.ld, gemm->stationary);
+                                 gemm->c.ld, gemm->stationary, gemm->cacheable);
   }
   if (const auto* gemv = std::get_if<CimGemvOp>(&item)) {
     auto a = dev_operand(gemv->a);
@@ -208,7 +208,7 @@ Status Interpreter::exec_item(const ProgramItem& item) {
     }
     return runtime_->sgemv_async(gemv->transpose, gemv->m, gemv->n, gemv->alpha,
                                  *a, gemv->a.ld, x->dev_va, gemv->beta,
-                                 y->dev_va);
+                                 y->dev_va, gemv->cacheable);
   }
   if (const auto* batched = std::get_if<CimGemmBatchedOp>(&item)) {
     std::vector<rt::GemmBatchItem> items(batched->a.size());
@@ -221,10 +221,10 @@ Status Interpreter::exec_item(const ProgramItem& item) {
       if (!c.is_ok()) return c.status();
       items[i] = rt::GemmBatchItem{*a, *b, *c};
     }
-    return runtime_->sgemm_batched_async(batched->m, batched->n, batched->k,
-                                         batched->alpha, items, batched->lda,
-                                         batched->ldb, batched->beta,
-                                         batched->ldc, batched->stationary);
+    return runtime_->sgemm_batched_async(
+        batched->m, batched->n, batched->k, batched->alpha, items,
+        batched->lda, batched->ldb, batched->beta, batched->ldc,
+        batched->stationary, batched->cacheable);
   }
   return support::unimplemented("unknown program item");
 }

@@ -49,8 +49,8 @@ std::uint64_t Crossbar::write_row(std::uint32_t row,
 
 GemvResult Crossbar::gemv(std::span<const std::int8_t> inputs,
                           std::uint32_t active_rows, std::uint32_t active_cols,
-                          support::Rng* rng) const {
-  assert(active_rows <= params_.rows);
+                          support::Rng* rng, std::uint32_t row0) const {
+  assert(row0 + active_rows <= params_.rows);
   assert(active_cols <= params_.cols);
   assert(inputs.size() >= active_rows);
 
@@ -76,8 +76,8 @@ GemvResult Crossbar::gemv(std::span<const std::int8_t> inputs,
       std::int64_t lsb_sum = 0;
       for (std::uint32_t r = 0; r < active_rows; ++r) {
         const auto in_u = static_cast<std::int64_t>(to_offset(inputs[r]));
-        msb_sum += in_u * cell(r, 2 * c).level();
-        lsb_sum += in_u * cell(r, 2 * c + 1).level();
+        msb_sum += in_u * cell(row0 + r, 2 * c).level();
+        lsb_sum += in_u * cell(row0 + r, 2 * c + 1).level();
       }
       acc_u = 16 * msb_sum + lsb_sum;  // digital weighted sum (Section II-B)
     } else {
@@ -87,8 +87,8 @@ GemvResult Crossbar::gemv(std::span<const std::int8_t> inputs,
       double lsb_current = 0.0;
       for (std::uint32_t r = 0; r < active_rows; ++r) {
         const auto in_u = static_cast<double>(to_offset(inputs[r]));
-        msb_current += in_u * (cell(r, 2 * c).conductance(rng) - g_min);
-        lsb_current += in_u * (cell(r, 2 * c + 1).conductance(rng) - g_min);
+        msb_current += in_u * (cell(row0 + r, 2 * c).conductance(rng) - g_min);
+        lsb_current += in_u * (cell(row0 + r, 2 * c + 1).conductance(rng) - g_min);
       }
       const double to_levels = level_max / g_span;
       acc_u = 16 * static_cast<std::int64_t>(std::llround(msb_current * to_levels)) +
@@ -102,7 +102,7 @@ GemvResult Crossbar::gemv(std::span<const std::int8_t> inputs,
     // row buffers (Section II-B).
     std::int64_t weight_sum_u = 0;
     for (std::uint32_t r = 0; r < active_rows; ++r) {
-      weight_sum_u += to_offset(weight_at(r, c));
+      weight_sum_u += to_offset(weight_at(row0 + r, c));
     }
     const std::int64_t n = active_rows;
     const std::int64_t corrected =

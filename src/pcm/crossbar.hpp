@@ -52,13 +52,17 @@ class Crossbar {
   std::uint64_t write_row(std::uint32_t row, std::span<const std::int8_t> weights,
                           bool clear_tail = false);
 
-  /// Evaluates I = v . G over `active_rows` rows with signed 8-bit inputs.
-  /// The computation is exact in fixed point (see header comment); read
-  /// noise, if enabled in CellParams, perturbs the analog accumulation.
+  /// Evaluates I = v . G over `active_rows` rows starting at physical row
+  /// `row0` with signed 8-bit inputs (the row decoder activates an arbitrary
+  /// contiguous row window, so several stationary tiles can coexist in
+  /// disjoint row ranges). The computation is exact in fixed point (see
+  /// header comment); read noise, if enabled in CellParams, perturbs the
+  /// analog accumulation.
   [[nodiscard]] GemvResult gemv(std::span<const std::int8_t> inputs,
                                 std::uint32_t active_rows,
                                 std::uint32_t active_cols,
-                                support::Rng* rng = nullptr) const;
+                                support::Rng* rng = nullptr,
+                                std::uint32_t row0 = 0) const;
 
   /// Digital view of a stored weight (for tests and for result verification).
   [[nodiscard]] std::int8_t weight_at(std::uint32_t row, std::uint32_t col) const;

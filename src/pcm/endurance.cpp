@@ -1,5 +1,7 @@
 #include "pcm/endurance.hpp"
 
+#include <limits>
+
 namespace tdo::pcm {
 
 double system_lifetime_years(std::uint64_t cell_endurance_writes,
@@ -20,6 +22,15 @@ double system_lifetime_years_from_bw(std::uint64_t cell_endurance_writes,
                          static_cast<double>(crossbar_bytes) /
                          (write_traffic_gb_per_s * 1e9);
   return seconds / kSecondsPerYear;
+}
+
+double lifetime_extension(std::uint64_t bytes_written,
+                          std::uint64_t bytes_saved) {
+  if (bytes_written == 0) {
+    return bytes_saved > 0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
+  return static_cast<double>(bytes_written + bytes_saved) /
+         static_cast<double>(bytes_written);
 }
 
 }  // namespace tdo::pcm

@@ -37,6 +37,15 @@ struct WriteTraffic {
     std::uint64_t cell_endurance_writes, std::uint64_t crossbar_bytes,
     double write_traffic_gb_per_s);
 
+/// Lifetime multiplier bought by avoided crossbar writes (Eq. (1) is linear
+/// in the inverse write traffic): a kernel that would have programmed
+/// `bytes_written + bytes_saved` but, thanks to stationary-tile reuse (the
+/// runtime's weight-residency cache), programmed only `bytes_written`, lives
+/// (written + saved) / written times longer. Infinity when every write was
+/// avoided; 1.0 when nothing was saved.
+[[nodiscard]] double lifetime_extension(std::uint64_t bytes_written,
+                                        std::uint64_t bytes_saved);
+
 inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
 
 }  // namespace tdo::pcm

@@ -87,6 +87,7 @@ StatusOr<RunReport> run_program(const Workload& workload,
     accel_report.gemv_ops += r.gemv_ops;
     accel_report.mac8_ops += r.mac8_ops;
     accel_report.weight_writes8 += r.weight_writes8;
+    accel_report.weight_writes_saved8 += r.weight_writes_saved8;
   }
   report.mac_ops = accel_report.mac8_ops;
   report.cim_writes = accel_report.weight_writes8;
@@ -97,6 +98,12 @@ StatusOr<RunReport> run_program(const Workload& workload,
   report.copies_enqueued = delta.counter_or("stream.copies_enqueued");
   report.copy_bytes = delta.counter_or("stream.copy_bytes");
   report.hazard_syncs = delta.counter_or("stream.hazard_syncs");
+  report.device_drains = delta.counter_or("stream.device_drains");
+  report.residency_hits = delta.counter_or("residency.hits");
+  report.residency_misses = delta.counter_or("residency.misses");
+  report.residency_evictions = delta.counter_or("residency.evictions");
+  report.residency_invalidations = delta.counter_or("residency.invalidations");
+  report.weight_writes_saved = accel_report.weight_writes_saved8;
   for (const auto& [name, value] : delta.counters) {
     if (name.ends_with(".overlap_ticks")) report.overlap_ticks += value;
     if (name.ends_with(".dma.overlapped_copy_bytes")) {

@@ -42,6 +42,14 @@ struct RunReport {
   std::uint64_t copy_bytes = 0;             // bytes moved by those copies
   std::uint64_t overlapped_copy_bytes = 0;  // copy bytes hidden under compute
   std::uint64_t hazard_syncs = 0;           // drains forced by rect overlap
+  std::uint64_t device_drains = 0;          // per-stripe copy-back drains
+  // Weight-residency cache behaviour (runtime/residency.hpp).
+  std::uint64_t residency_hits = 0;
+  std::uint64_t residency_misses = 0;
+  std::uint64_t residency_evictions = 0;
+  std::uint64_t residency_invalidations = 0;
+  /// 8-bit weight programs the devices skipped (stationary-tile reuse).
+  std::uint64_t weight_writes_saved = 0;
 
   bool correct = false;
   double max_abs_error = 0.0;

@@ -18,6 +18,9 @@ CimRuntime::CimRuntime(RuntimeConfig config, sim::System& system,
   driver_ = std::make_unique<CimDriver>(config_.driver, system, accel);
   stream_ = std::make_unique<CimStream>(config_.stream, system, *driver_);
   xfer_ = std::make_unique<XferEngine>(config_.xfer, system);
+  residency_ = std::make_unique<ResidencyCache>(config_.residency, *driver_,
+                                                system.stats());
+  stream_->attach_residency(residency_.get());
 }
 
 support::Status CimRuntime::init(int device_index) {
@@ -57,6 +60,9 @@ support::Status CimRuntime::free_device(sim::VirtAddr va) {
   if (stream_->writes_overlap(extent) || stream_->reads_overlap(extent)) {
     TDO_RETURN_IF_ERROR(synchronize());
   }
+  // Weights programmed from this buffer must not be reused once the backing
+  // memory is recycled.
+  residency_->invalidate_overlapping(extent);
   TDO_RETURN_IF_ERROR(driver_->free_buffer(*it));
   buffers_.erase(it);
   return support::Status::ok();
@@ -90,7 +96,17 @@ support::Status CimRuntime::sync_for_operands(
 support::Status CimRuntime::copy(CopyDesc::Dir dir, sim::VirtAddr dst,
                                  sim::VirtAddr src, std::uint64_t bytes) {
   CopyDesc desc;
-  if (xfer_->plan(dir, dst, src, bytes, &desc)) {
+  const bool planned = xfer_->plan(dir, dst, src, bytes, &desc);
+  bool striped = false;
+  if (planned && dir == CopyDesc::Dir::kDevToHost) {
+    auto handled = striped_copy_back(desc);
+    if (!handled.is_ok()) return handled.status();
+    striped = *handled;
+  }
+  if (striped) {
+    // Per-stripe copy-back handled the transfer: each producer drained in
+    // completion order, its stripes enqueued while the rest kept computing.
+  } else if (planned) {
     // Order the copy against in-flight producers/consumers at rectangle
     // granularity: a copy whose footprint is disjoint from every pending
     // rectangle rides the stream without a synchronization.
@@ -109,7 +125,87 @@ support::Status CimRuntime::copy(CopyDesc::Dir dir, sim::VirtAddr dst,
   }
   stats_.bytes_copied += bytes;
   invalidate_scales(dst, bytes);
+  // Epoch-based residency invalidation: the destination just received a
+  // host-visible write, so any cached stationary tile overlapping it is
+  // stale. A destination the MMU cannot resolve contiguously falls back to
+  // killing everything (it cannot alias a cached tile's contiguous rect,
+  // but stay conservative).
+  if (planned) {
+    residency_->invalidate_overlapping(desc.dst);
+  } else if (system_.mmu().is_contiguous(dst, bytes)) {
+    const auto dst_pa = system_.mmu().translate(dst);
+    if (dst_pa.is_ok()) {
+      residency_->invalidate_overlapping(Rect::linear(*dst_pa, bytes));
+    } else {
+      residency_->invalidate_all();
+    }
+  } else {
+    residency_->invalidate_all();
+  }
   return support::Status::ok();
+}
+
+support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
+  // The split needs a contiguous transfer (span containment below is only a
+  // real containment test against a gap-free source), every overlapping
+  // in-flight write to be a stripe of a known accelerator, the stripes to
+  // exactly partition the copy's source, and the destination to be
+  // otherwise unclaimed. Anything else falls back to the ordinary
+  // full-drain ordering.
+  if (!desc.src.contiguous() || !desc.dst.contiguous()) return false;
+  const auto stripes = stream_->overlapping_writes(desc.src);
+  if (stripes.size() < 2 || stripes.size() > 64) return false;
+  if (stream_->writes_overlap(desc.dst) || stream_->reads_overlap(desc.dst)) {
+    return false;
+  }
+  std::uint64_t covered = 0;
+  std::vector<std::size_t> devices;  // distinct, insertion order
+  for (std::size_t i = 0; i < stripes.size(); ++i) {
+    const TrackedRect& s = stripes[i];
+    if (s.device < 0) return false;
+    if (s.rect.base < desc.src.base ||
+        s.rect.span_end() > desc.src.span_end()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (stripes[j].rect.overlaps(s.rect)) return false;
+    }
+    covered += s.rect.bytes();
+    const auto dev = static_cast<std::size_t>(s.device);
+    if (std::find(devices.begin(), devices.end(), dev) == devices.end()) {
+      devices.push_back(dev);
+    }
+  }
+  if (covered != desc.bytes()) return false;  // gaps: not an exact partition
+  if (devices.size() < 2) return false;       // one producer == full drain
+
+  // Earliest-finishing producer first: its stripes copy out while the later
+  // ones are still streaming their tiles.
+  std::sort(devices.begin(), devices.end(),
+            [this](std::size_t lhs, std::size_t rhs) {
+              return driver_->device(lhs).work_done_tick() <
+                     driver_->device(rhs).work_done_tick();
+            });
+  const std::int64_t shift = static_cast<std::int64_t>(desc.dst.base) -
+                             static_cast<std::int64_t>(desc.src.base);
+  for (const std::size_t dev : devices) {
+    TDO_RETURN_IF_ERROR(stream_->drain_device(dev));
+    for (const TrackedRect& s : stripes) {
+      if (static_cast<std::size_t>(s.device) != dev) continue;
+      CopyDesc part;
+      part.dir = desc.dir;
+      part.src = s.rect;
+      part.dst = s.rect;
+      part.dst.base = static_cast<sim::PhysAddr>(
+          static_cast<std::int64_t>(s.rect.base) + shift);
+      CimStream::Command command;
+      command.kind = CimStream::Command::Kind::kCopy;
+      command.device = static_cast<int>(dev);
+      command.copy = part;
+      TDO_RETURN_IF_ERROR(stream_->enqueue(command));
+    }
+  }
+  return true;
 }
 
 support::Status CimRuntime::host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
@@ -190,7 +286,8 @@ cim::ContextRegs CimRuntime::make_job_image(
     std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha, float beta,
     sim::PhysAddr pa_a, std::uint64_t lda, sim::PhysAddr pa_b, std::uint64_t ldb,
     sim::PhysAddr pa_c, std::uint64_t ldc, double scale_a, double scale_b,
-    cim::StationaryOperand stationary, bool skip_weight_load) const {
+    cim::StationaryOperand stationary, bool skip_weight_load,
+    std::uint32_t tile_row0) const {
   cim::ContextRegs image;
   image.write(cim::Reg::kOpcode, static_cast<std::uint64_t>(cim::Opcode::kGemm));
   image.write(cim::Reg::kM, m);
@@ -207,11 +304,31 @@ cim::ContextRegs CimRuntime::make_job_image(
   image.write_f64(cim::Reg::kScaleA, support::QuantScale::for_max_abs(scale_a).scale);
   image.write_f64(cim::Reg::kScaleB, support::QuantScale::for_max_abs(scale_b).scale);
   image.write(cim::Reg::kStationary, static_cast<std::uint64_t>(stationary));
+  image.write(cim::Reg::kTileRow, tile_row0);
   std::uint64_t flags = 0;
   if (config_.double_buffering) flags |= cim::JobFlags::kDoubleBuffering;
   if (skip_weight_load) flags |= cim::JobFlags::kSkipWeightLoad;
   image.write(cim::Reg::kFlags, flags);
   return image;
+}
+
+int CimRuntime::stationary_device(std::span<const WeightKey> keys) {
+  for (const WeightKey& key : keys) {
+    if (const auto resident = residency_->peek(key)) return resident->device;
+  }
+  return static_cast<int>(stream_->next_device());
+}
+
+CimRuntime::TilePlacement CimRuntime::place_tile(bool use_cache,
+                                                 const WeightKey& key,
+                                                 int device) {
+  if (use_cache) {
+    const auto acq = residency_->acquire(key, device);
+    if (acq.cached) return TilePlacement{acq.hit, acq.row0};
+  }
+  // Uncached: the job programs rows [0, key.rows); resident tiles there die.
+  residency_->on_programmed(device, 0, key.rows);
+  return TilePlacement{};
 }
 
 support::Status CimRuntime::enqueue_job(const cim::ContextRegs& image,
@@ -241,9 +358,9 @@ support::Status CimRuntime::sgemm_with_stationary(
     std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha,
     sim::VirtAddr a, std::uint64_t lda, sim::VirtAddr b, std::uint64_t ldb,
     float beta, sim::VirtAddr c, std::uint64_t ldc,
-    cim::StationaryOperand stationary) {
+    cim::StationaryOperand stationary, bool cacheable) {
   TDO_RETURN_IF_ERROR(sgemm_async(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
-                                  stationary));
+                                  stationary, cacheable));
   return synchronize();
 }
 
@@ -253,7 +370,8 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
                                         sim::VirtAddr b, std::uint64_t ldb,
                                         float beta, sim::VirtAddr c,
                                         std::uint64_t ldc,
-                                        cim::StationaryOperand stationary) {
+                                        cim::StationaryOperand stationary,
+                                        bool cacheable) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -290,25 +408,54 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
   invalidate_scales(c, c_bytes);
+  // The kernel's C output is a host-visible write like any other: a cached
+  // stationary tile backed by memory this call overwrites must die.
+  residency_->invalidate_overlapping(rect_c);
   stream_->note_read(rect_a);
   stream_->note_read(rect_b);
-  stream_->note_write(rect_c);
+  const bool use_cache = cacheable && residency_->enabled();
+  const double q_a = support::QuantScale::for_max_abs(*max_a).scale;
+  const double q_b = support::QuantScale::for_max_abs(*max_b).scale;
 
   if (stationary == cim::StationaryOperand::kB) {
     // Stationary B tiles (k x n); stream rows of A; jj/kk tile loops. Each
     // jj column stripe is element-disjoint in C, so stripes round-robin
-    // across accelerators; the kk accumulation chain stays on one queue.
+    // across accelerators (and are tracked per device for per-stripe
+    // copy-back); the kk accumulation chain stays on one queue. A stripe
+    // whose weights are resident on some accelerator lands there instead —
+    // affinity routing makes the reuse request actually hit.
     for (std::uint64_t jj = 0; jj < n; jj += max_cols) {
       const std::uint64_t njs = std::min(max_cols, n - jj);
-      const int device = static_cast<int>(stream_->next_device());
-      for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
+      std::vector<WeightKey> keys;
+      if (use_cache) {
+        for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
+          const std::uint64_t ks = std::min(max_rows, k - kk);
+          const Rect tile_rect{*pa_b + (kk * ldb + jj) * kElem, ldb * kElem,
+                               njs * kElem, ks};
+          keys.push_back(WeightKey{tile_rect, ldb, q_b, stationary,
+                                   static_cast<std::uint32_t>(ks),
+                                   static_cast<std::uint32_t>(njs)});
+        }
+      }
+      const int device = stationary_device(keys);
+      stream_->note_write(Rect{*pa_c + jj * kElem, ldc * kElem, njs * kElem, m},
+                          device);
+      std::size_t tile_index = 0;
+      for (std::uint64_t kk = 0; kk < k; kk += max_rows, ++tile_index) {
         const std::uint64_t ks = std::min(max_rows, k - kk);
         const float beta_eff = kk == 0 ? beta : 1.0f;
+        const WeightKey key =
+            use_cache ? keys[tile_index]
+                      : WeightKey{Rect{}, ldb, q_b, stationary,
+                                  static_cast<std::uint32_t>(ks),
+                                  static_cast<std::uint32_t>(njs)};
+        const TilePlacement tile = place_tile(use_cache, key, device);
         const auto image = make_job_image(
             m, njs, ks, alpha, beta_eff, *pa_a + kk * kElem, lda,
             *pa_b + (kk * ldb + jj) * kElem, ldb, *pa_c + jj * kElem, ldc,
-            *max_a, *max_b, stationary, /*skip_weight_load=*/false);
-        TDO_RETURN_IF_ERROR(enqueue_job(image, m * njs * ks, ks * njs, device,
+            *max_a, *max_b, stationary, tile.skip, tile.row0);
+        TDO_RETURN_IF_ERROR(enqueue_job(image, m * njs * ks,
+                                        tile.skip ? 0 : ks * njs, device,
                                         /*allow_cpu_fallback=*/kk == 0));
       }
     }
@@ -318,15 +465,36 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
   // Stationary A^T tiles (k x m); stream columns of B; ii/kk tile loops.
   for (std::uint64_t ii = 0; ii < m; ii += max_cols) {
     const std::uint64_t ms = std::min(max_cols, m - ii);
-    const int device = static_cast<int>(stream_->next_device());
-    for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
+    std::vector<WeightKey> keys;
+    if (use_cache) {
+      for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
+        const std::uint64_t ks = std::min(max_rows, k - kk);
+        const Rect tile_rect{*pa_a + (ii * lda + kk) * kElem, lda * kElem,
+                             ks * kElem, ms};
+        keys.push_back(WeightKey{tile_rect, lda, q_a, stationary,
+                                 static_cast<std::uint32_t>(ks),
+                                 static_cast<std::uint32_t>(ms)});
+      }
+    }
+    const int device = stationary_device(keys);
+    stream_->note_write(
+        Rect{*pa_c + ii * ldc * kElem, ldc * kElem, n * kElem, ms}, device);
+    std::size_t tile_index = 0;
+    for (std::uint64_t kk = 0; kk < k; kk += max_rows, ++tile_index) {
       const std::uint64_t ks = std::min(max_rows, k - kk);
       const float beta_eff = kk == 0 ? beta : 1.0f;
+      const WeightKey key =
+          use_cache ? keys[tile_index]
+                    : WeightKey{Rect{}, lda, q_a, stationary,
+                                static_cast<std::uint32_t>(ks),
+                                static_cast<std::uint32_t>(ms)};
+      const TilePlacement tile = place_tile(use_cache, key, device);
       const auto image = make_job_image(
           ms, n, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
           *pa_b + kk * ldb * kElem, ldb, *pa_c + ii * ldc * kElem, ldc, *max_a,
-          *max_b, stationary, /*skip_weight_load=*/false);
-      TDO_RETURN_IF_ERROR(enqueue_job(image, ms * n * ks, ks * ms, device,
+          *max_b, stationary, tile.skip, tile.row0);
+      TDO_RETURN_IF_ERROR(enqueue_job(image, ms * n * ks,
+                                      tile.skip ? 0 : ks * ms, device,
                                       /*allow_cpu_fallback=*/kk == 0));
     }
   }
@@ -345,7 +513,7 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
                                         std::uint64_t n, float alpha,
                                         sim::VirtAddr a, std::uint64_t lda,
                                         sim::VirtAddr x, float beta,
-                                        sim::VirtAddr y) {
+                                        sim::VirtAddr y, bool cacheable) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -375,23 +543,46 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
   const std::uint64_t max_rows = accel_.tile().rows();
   const std::uint64_t max_cols = accel_.tile().cols();
   invalidate_scales(y, ylen * kElem);
+  residency_->invalidate_overlapping(rect_y);
   stream_->note_read(rect_a);
   stream_->note_read(rect_x);
-  stream_->note_write(rect_y);
+  const bool use_cache = cacheable && residency_->enabled();
+  const double q_a = support::QuantScale::for_max_abs(*max_a).scale;
 
   if (!transpose) {
     // y[m] = alpha*A*x + beta*y. Stationary A^T (reduce n, out m).
     for (std::uint64_t ii = 0; ii < m; ii += max_cols) {
       const std::uint64_t ms = std::min(max_cols, m - ii);
-      const int device = static_cast<int>(stream_->next_device());
-      for (std::uint64_t kk = 0; kk < n; kk += max_rows) {
+      std::vector<WeightKey> keys;
+      if (use_cache) {
+        for (std::uint64_t kk = 0; kk < n; kk += max_rows) {
+          const std::uint64_t ks = std::min(max_rows, n - kk);
+          const Rect tile_rect{*pa_a + (ii * lda + kk) * kElem, lda * kElem,
+                               ks * kElem, ms};
+          keys.push_back(WeightKey{tile_rect, lda, q_a,
+                                   cim::StationaryOperand::kA,
+                                   static_cast<std::uint32_t>(ks),
+                                   static_cast<std::uint32_t>(ms)});
+        }
+      }
+      const int device = stationary_device(keys);
+      stream_->note_write(Rect::linear(*pa_y + ii * kElem, ms * kElem), device);
+      std::size_t tile_index = 0;
+      for (std::uint64_t kk = 0; kk < n; kk += max_rows, ++tile_index) {
         const std::uint64_t ks = std::min(max_rows, n - kk);
         const float beta_eff = kk == 0 ? beta : 1.0f;
+        const WeightKey key =
+            use_cache ? keys[tile_index]
+                      : WeightKey{Rect{}, lda, q_a, cim::StationaryOperand::kA,
+                                  static_cast<std::uint32_t>(ks),
+                                  static_cast<std::uint32_t>(ms)};
+        const TilePlacement tile = place_tile(use_cache, key, device);
         const auto image = make_job_image(
             ms, 1, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
             *pa_x + kk * kElem, 1, *pa_y + ii * kElem, 1, *max_a, *max_x,
-            cim::StationaryOperand::kA, false);
-        TDO_RETURN_IF_ERROR(enqueue_job(image, ms * ks, ks * ms, device,
+            cim::StationaryOperand::kA, tile.skip, tile.row0);
+        TDO_RETURN_IF_ERROR(enqueue_job(image, ms * ks,
+                                        tile.skip ? 0 : ks * ms, device,
                                         /*allow_cpu_fallback=*/kk == 0));
       }
     }
@@ -402,16 +593,37 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
   // crossbar rows = rows of A (reduce m), columns = columns of A (out n).
   for (std::uint64_t jj = 0; jj < n; jj += max_cols) {
     const std::uint64_t njs = std::min(max_cols, n - jj);
-    const int device = static_cast<int>(stream_->next_device());
-    for (std::uint64_t kk = 0; kk < m; kk += max_rows) {
+    std::vector<WeightKey> keys;
+    if (use_cache) {
+      for (std::uint64_t kk = 0; kk < m; kk += max_rows) {
+        const std::uint64_t ks = std::min(max_rows, m - kk);
+        const Rect tile_rect{*pa_a + (kk * lda + jj) * kElem, lda * kElem,
+                             njs * kElem, ks};
+        keys.push_back(WeightKey{tile_rect, lda, q_a,
+                                 cim::StationaryOperand::kB,
+                                 static_cast<std::uint32_t>(ks),
+                                 static_cast<std::uint32_t>(njs)});
+      }
+    }
+    const int device = stationary_device(keys);
+    stream_->note_write(Rect::linear(*pa_y + jj * kElem, njs * kElem), device);
+    std::size_t tile_index = 0;
+    for (std::uint64_t kk = 0; kk < m; kk += max_rows, ++tile_index) {
       const std::uint64_t ks = std::min(max_rows, m - kk);
       const float beta_eff = kk == 0 ? beta : 1.0f;
+      const WeightKey key =
+          use_cache ? keys[tile_index]
+                    : WeightKey{Rect{}, lda, q_a, cim::StationaryOperand::kB,
+                                static_cast<std::uint32_t>(ks),
+                                static_cast<std::uint32_t>(njs)};
+      const TilePlacement tile = place_tile(use_cache, key, device);
       // One streamed "row of A" = x^T; output row = y^T.
       const auto image = make_job_image(
           1, njs, ks, alpha, beta_eff, *pa_x + kk * kElem, ks,
           *pa_a + (kk * lda + jj) * kElem, lda, *pa_y + jj * kElem, njs,
-          *max_x, *max_a, cim::StationaryOperand::kB, false);
-      TDO_RETURN_IF_ERROR(enqueue_job(image, njs * ks, ks * njs, device,
+          *max_x, *max_a, cim::StationaryOperand::kB, tile.skip, tile.row0);
+      TDO_RETURN_IF_ERROR(enqueue_job(image, njs * ks,
+                                      tile.skip ? 0 : ks * njs, device,
                                       /*allow_cpu_fallback=*/kk == 0));
     }
   }
@@ -423,16 +635,18 @@ support::Status CimRuntime::sgemm_batched(std::uint64_t m, std::uint64_t n,
                                           std::span<const GemmBatchItem> items,
                                           std::uint64_t lda, std::uint64_t ldb,
                                           float beta, std::uint64_t ldc,
-                                          cim::StationaryOperand stationary) {
+                                          cim::StationaryOperand stationary,
+                                          bool cacheable) {
   TDO_RETURN_IF_ERROR(sgemm_batched_async(m, n, k, alpha, items, lda, ldb,
-                                          beta, ldc, stationary));
+                                          beta, ldc, stationary, cacheable));
   return synchronize();
 }
 
 support::Status CimRuntime::sgemm_batched_async(
     std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha,
     std::span<const GemmBatchItem> items, std::uint64_t lda, std::uint64_t ldb,
-    float beta, std::uint64_t ldc, cim::StationaryOperand stationary) {
+    float beta, std::uint64_t ldc, cim::StationaryOperand stationary,
+    bool cacheable) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -448,10 +662,21 @@ support::Status CimRuntime::sgemm_batched_async(
     TDO_LOG(kWarn, "cim.rt") << "batched GEMM exceeds crossbar, falling back";
     for (const GemmBatchItem& item : items) {
       TDO_RETURN_IF_ERROR(sgemm_async(m, n, k, alpha, item.a, lda, item.b, ldb,
-                                      beta, item.c, ldc, stationary));
+                                      beta, item.c, ldc, stationary,
+                                      cacheable));
     }
     return support::Status::ok();
   }
+  // Cross-call residency applies when the whole batch shares one stationary
+  // operand (the conv/T lowering and shared-input fusion groups do).
+  bool shared_stationary = true;
+  for (const GemmBatchItem& item : items) {
+    const sim::VirtAddr stat = stationary_b ? item.b : item.a;
+    const sim::VirtAddr first = stationary_b ? items[0].b : items[0].a;
+    shared_stationary = shared_stationary && stat == first;
+  }
+  const bool use_cache =
+      cacheable && shared_stationary && residency_->enabled();
 
   stats_.offload_calls += 1;
   stats_.batched_calls += 1;
@@ -478,13 +703,6 @@ support::Status CimRuntime::sgemm_batched_async(
                            Rect{*pa_b, ldb * kElem, n * kElem, k}},
                           {Rect{*pa_c, ldc * kElem, n * kElem, m}}));
   }
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    invalidate_scales(items[i].c, c_bytes);
-    stream_->note_read(Rect{addrs[i].a, lda * kElem, k * kElem, m});
-    stream_->note_read(Rect{addrs[i].b, ldb * kElem, n * kElem, k});
-    stream_->note_write(Rect{addrs[i].c, ldc * kElem, n * kElem, m});
-  }
-
   // Round-robin the batch across accelerator instances in contiguous chunks
   // (items of one batched call are independent by construction — the fusion
   // pass only groups reorderable kernels). Chunks preserve stationary reuse.
@@ -494,6 +712,47 @@ support::Status CimRuntime::sgemm_batched_async(
   const std::uint64_t chunks =
       std::min<std::uint64_t>(devices, items.size());
   const std::uint64_t per_chunk = (items.size() + chunks - 1) / chunks;
+
+  // The shared stationary tile's identity (for the residency cache).
+  auto max_stat = operand_max_abs(stationary_b ? items[0].b : items[0].a,
+                                  stationary_b ? k : m,
+                                  stationary_b ? n : k,
+                                  stationary_b ? ldb : lda);
+  if (!max_stat.is_ok()) return max_stat.status();
+  const Rect stationary_rect =
+      stationary_b ? Rect{addrs[0].b, ldb * kElem, n * kElem, k}
+                   : Rect{addrs[0].a, lda * kElem, k * kElem, m};
+  const WeightKey key{stationary_rect, stationary_b ? ldb : lda,
+                      support::QuantScale::for_max_abs(*max_stat).scale,
+                      stationary,
+                      static_cast<std::uint32_t>(tile_rows),
+                      static_cast<std::uint32_t>(tile_cols)};
+
+  // Chunk device pre-draw: a single-chunk batch whose weights are resident
+  // somewhere lands there (affinity); a split batch keeps the round-robin
+  // spread and caches the tile per device instead.
+  std::vector<int> chunk_devices(chunks, -1);
+  if (use_cache && chunks == 1) {
+    if (const auto resident = residency_->peek(key)) {
+      chunk_devices[0] = resident->device;
+    }
+  }
+  for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+    if (chunk_devices[chunk] < 0) {
+      chunk_devices[chunk] = static_cast<int>(stream_->next_device());
+    }
+  }
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const int device = chunk_devices[std::min<std::uint64_t>(
+        i / per_chunk, chunks - 1)];
+    invalidate_scales(items[i].c, c_bytes);
+    residency_->invalidate_overlapping(Rect{addrs[i].c, ldc * kElem,
+                                            n * kElem, m});
+    stream_->note_read(Rect{addrs[i].a, lda * kElem, k * kElem, m}, device);
+    stream_->note_read(Rect{addrs[i].b, ldb * kElem, n * kElem, k}, device);
+    stream_->note_write(Rect{addrs[i].c, ldc * kElem, n * kElem, m}, device);
+  }
 
   for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
     const std::uint64_t begin = chunk * per_chunk;
@@ -530,19 +789,22 @@ support::Status CimRuntime::sgemm_batched_async(
       offset += sizeof entry;
     }
 
+    const int device = chunk_devices[chunk];
+    const TilePlacement tile = place_tile(use_cache, key, device);
     cim::ContextRegs image = make_job_image(
         m, n, k, alpha, beta, 0, lda, 0, ldb, 0, ldc,
-        /*scale_a=*/1.0, /*scale_b=*/1.0, stationary, false);
+        /*scale_a=*/1.0, /*scale_b=*/1.0, stationary, tile.skip, tile.row0);
     // Batched jobs carry per-entry pointers/scales; the image's scale fields
     // are placeholders that decode() requires to be positive.
     image.write(cim::Reg::kOpcode,
                 static_cast<std::uint64_t>(cim::Opcode::kGemmBatched));
     image.write(cim::Reg::kBatchCount, slice.size());
     image.write(cim::Reg::kBatchTable, staging->pa);
-    // The batch shares the stationary tile; only the first item programs it.
+    // The batch shares the stationary tile; only the first item programs it
+    // (none do when the residency cache validated a resident tile).
     TDO_RETURN_IF_ERROR(enqueue_job(
-        image, slice.size() * m * n * k, tile_rows * tile_cols,
-        static_cast<int>(stream_->next_device()),
+        image, slice.size() * m * n * k,
+        tile.skip ? 0 : tile_rows * tile_cols, device,
         /*allow_cpu_fallback=*/false));
   }
   return support::Status::ok();

@@ -20,6 +20,7 @@
 
 #include "cim/accelerator.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/residency.hpp"
 #include "runtime/stream.hpp"
 #include "runtime/xfer.hpp"
 #include "sim/system.hpp"
@@ -49,6 +50,9 @@ struct RuntimeConfig {
   /// Transfer-engine behaviour: async copies riding the stream as DMA
   /// commands vs the paper's blocking host memcpy.
   XferParams xfer;
+  /// Weight-residency cache: cross-call stationary-operand reuse with
+  /// affinity routing. Applies to calls marked cacheable.
+  ResidencyParams residency;
 };
 
 /// Aggregate host-side costs attributable to the runtime (for reporting).
@@ -99,13 +103,17 @@ class CimRuntime {
                         float alpha, sim::VirtAddr a, std::uint64_t lda,
                         sim::VirtAddr b, std::uint64_t ldb, float beta,
                         sim::VirtAddr c, std::uint64_t ldc);
+  /// `cacheable` marks the stationary operand as reused across calls: the
+  /// runtime consults the weight-residency cache, requests skip-programming
+  /// on hits, and routes the call to the accelerator holding the weights.
   support::Status sgemm_with_stationary(std::uint64_t m, std::uint64_t n,
                                         std::uint64_t k, float alpha,
                                         sim::VirtAddr a, std::uint64_t lda,
                                         sim::VirtAddr b, std::uint64_t ldb,
                                         float beta, sim::VirtAddr c,
                                         std::uint64_t ldc,
-                                        cim::StationaryOperand stationary);
+                                        cim::StationaryOperand stationary,
+                                        bool cacheable = false);
 
   /// polly_cimBlasSGemv: y = alpha*op(A)*x + beta*y  (A is m x n row-major).
   support::Status sgemv(bool transpose, std::uint64_t m, std::uint64_t n,
@@ -120,7 +128,8 @@ class CimRuntime {
                                 float alpha, std::span<const GemmBatchItem> items,
                                 std::uint64_t lda, std::uint64_t ldb, float beta,
                                 std::uint64_t ldc,
-                                cim::StationaryOperand stationary);
+                                cim::StationaryOperand stationary,
+                                bool cacheable = false);
 
   // --- asynchronous entry points (command-stream path) ---
   //
@@ -132,16 +141,19 @@ class CimRuntime {
                               float alpha, sim::VirtAddr a, std::uint64_t lda,
                               sim::VirtAddr b, std::uint64_t ldb, float beta,
                               sim::VirtAddr c, std::uint64_t ldc,
-                              cim::StationaryOperand stationary);
+                              cim::StationaryOperand stationary,
+                              bool cacheable = false);
   support::Status sgemv_async(bool transpose, std::uint64_t m, std::uint64_t n,
                               float alpha, sim::VirtAddr a, std::uint64_t lda,
-                              sim::VirtAddr x, float beta, sim::VirtAddr y);
+                              sim::VirtAddr x, float beta, sim::VirtAddr y,
+                              bool cacheable = false);
   support::Status sgemm_batched_async(std::uint64_t m, std::uint64_t n,
                                       std::uint64_t k, float alpha,
                                       std::span<const GemmBatchItem> items,
                                       std::uint64_t lda, std::uint64_t ldb,
                                       float beta, std::uint64_t ldc,
-                                      cim::StationaryOperand stationary);
+                                      cim::StationaryOperand stationary,
+                                      bool cacheable = false);
 
   /// polly_cimSynchronize: drains the stream and releases deferred staging
   /// buffers. No-op when the stream is idle.
@@ -149,6 +161,7 @@ class CimRuntime {
 
   [[nodiscard]] CimStream& stream() { return *stream_; }
   [[nodiscard]] XferEngine& xfer() { return *xfer_; }
+  [[nodiscard]] ResidencyCache& residency() { return *residency_; }
   [[nodiscard]] CimDriver& driver() { return *driver_; }
   [[nodiscard]] cim::Accelerator& accelerator() { return accel_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
@@ -163,12 +176,38 @@ class CimRuntime {
                                                           std::uint64_t row_len,
                                                           std::uint64_t ld);
 
-  /// Builds the shared register image for a (tile) job.
+  /// Builds the shared register image for a (tile) job. `tile_row0` is the
+  /// crossbar row window holding (or receiving) the stationary tile.
   [[nodiscard]] cim::ContextRegs make_job_image(
       std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha, float beta,
       sim::PhysAddr pa_a, std::uint64_t lda, sim::PhysAddr pa_b, std::uint64_t ldb,
       sim::PhysAddr pa_c, std::uint64_t ldc, double scale_a, double scale_b,
-      cim::StationaryOperand stationary, bool skip_weight_load) const;
+      cim::StationaryOperand stationary, bool skip_weight_load,
+      std::uint32_t tile_row0 = 0) const;
+
+  /// Consults the weight-residency cache for one stationary tile: on a hit
+  /// the job skips programming at the returned row window; on a miss rows
+  /// are reserved (or, when `use_cache` is false / the tile cannot be
+  /// cached, overlapping resident entries are retired because the job will
+  /// program rows [0, key.rows) uncached).
+  struct TilePlacement {
+    bool skip = false;
+    std::uint32_t row0 = 0;
+  };
+  TilePlacement place_tile(bool use_cache, const WeightKey& key, int device);
+
+  /// Affinity routing for one stripe's chain of stationary tiles: the
+  /// accelerator already holding any of them (so the reuse request can
+  /// actually hit), else the round-robin cursor. Pass no keys to skip the
+  /// affinity check.
+  [[nodiscard]] int stationary_device(std::span<const WeightKey> keys);
+
+  /// dev_to_host fast path: when the source is partitioned by in-flight
+  /// stripe writes of known accelerators, drains each producer in
+  /// completion order and copies its stripes while the remaining
+  /// accelerators keep computing. Returns true when it handled the copy,
+  /// false to fall back to the ordinary full-drain ordering.
+  [[nodiscard]] support::StatusOr<bool> striped_copy_back(const CopyDesc& desc);
 
   /// Enqueues one tile job into the stream.
   support::Status enqueue_job(const cim::ContextRegs& image, std::uint64_t macs,
@@ -206,6 +245,7 @@ class CimRuntime {
   std::unique_ptr<CimDriver> driver_;
   std::unique_ptr<CimStream> stream_;
   std::unique_ptr<XferEngine> xfer_;
+  std::unique_ptr<ResidencyCache> residency_;
   std::vector<DeviceBuffer> buffers_;
   /// Batch tables in flight; released by synchronize().
   std::vector<DeviceBuffer> staging_;

@@ -1,0 +1,146 @@
+#include "runtime/residency.hpp"
+
+#include <algorithm>
+
+#include "runtime/driver.hpp"
+#include "support/log.hpp"
+
+namespace tdo::rt {
+
+ResidencyCache::ResidencyCache(ResidencyParams params, CimDriver& driver,
+                               support::StatsRegistry& stats)
+    : params_{std::move(params)}, driver_{driver} {
+  const std::string& p = params_.name;
+  stats.register_counter(p + ".hits", &hits_);
+  stats.register_counter(p + ".misses", &misses_);
+  stats.register_counter(p + ".evictions", &evictions_);
+  stats.register_counter(p + ".invalidations", &invalidations_);
+  stats.register_counter(p + ".weight_writes_saved8", &weight_writes_saved8_);
+}
+
+std::uint32_t ResidencyCache::device_capacity_rows(int device) const {
+  const auto index = static_cast<std::size_t>(device);
+  if (index >= driver_.device_count()) return 0;
+  const std::uint32_t crossbar_rows = driver_.device(index).tile().rows();
+  if (params_.capacity_rows == 0) return crossbar_rows;
+  return std::min(params_.capacity_rows, crossbar_rows);
+}
+
+std::optional<ResidencyCache::Placement> ResidencyCache::peek(
+    const WeightKey& key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return Placement{entry.device, entry.row0};
+  }
+  return std::nullopt;
+}
+
+bool ResidencyCache::allocate_rows(int device, std::uint32_t rows,
+                                   std::uint32_t* row0) {
+  const std::uint32_t capacity = device_capacity_rows(device);
+  if (rows == 0 || rows > capacity) return false;
+  for (;;) {
+    // First-fit over the device's free row windows.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> used;  // [lo, hi)
+    for (const Entry& entry : entries_) {
+      if (entry.device != device) continue;
+      used.emplace_back(entry.row0, entry.row0 + entry.key.rows);
+    }
+    std::sort(used.begin(), used.end());
+    std::uint32_t cursor = 0;  // end of the occupied prefix scanned so far
+    bool found = false;
+    for (const auto& [lo, hi] : used) {
+      if (lo > cursor && lo - cursor >= rows) {
+        found = true;
+        break;
+      }
+      cursor = std::max(cursor, hi);
+    }
+    if (found || (capacity >= cursor && capacity - cursor >= rows)) {
+      *row0 = cursor;
+      return true;
+    }
+    // No contiguous window: evict the device's least recently used entry
+    // and retry. `rows <= capacity` guarantees termination.
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].device != device) continue;
+      if (victim == entries_.size() || entries_[i].lru < entries_[victim].lru) {
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) return false;  // nothing left to evict
+    evictions_.add();
+    TDO_LOG(kDebug, "cim.residency")
+        << "evicting tile at device " << device << " row "
+        << entries_[victim].row0 << " (LRU)";
+    erase_entry(victim);
+  }
+}
+
+void ResidencyCache::erase_entry(std::size_t index) {
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
+                                                int device) {
+  ++clock_;
+  for (Entry& entry : entries_) {
+    if (entry.device == device && entry.key == key) {
+      entry.lru = clock_;
+      hits_.add();
+      weight_writes_saved8_.add(static_cast<std::uint64_t>(key.rows) * key.cols);
+      return Acquire{/*hit=*/true, /*cached=*/true, entry.row0};
+    }
+  }
+  misses_.add();
+  std::uint32_t row0 = 0;
+  if (!allocate_rows(device, key.rows, &row0)) {
+    return Acquire{/*hit=*/false, /*cached=*/false, 0};
+  }
+  entries_.push_back(Entry{key, device, row0, clock_});
+  return Acquire{/*hit=*/false, /*cached=*/true, row0};
+}
+
+void ResidencyCache::on_programmed(int device, std::uint32_t row0,
+                                   std::uint64_t rows) {
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    const Entry& entry = entries_[i];
+    if (entry.device != device) continue;
+    const std::uint64_t lo = entry.row0;
+    const std::uint64_t hi = lo + entry.key.rows;
+    if (lo < row0 + rows && row0 < hi) {
+      evictions_.add();
+      erase_entry(i);
+    }
+  }
+}
+
+void ResidencyCache::invalidate_overlapping(const Rect& r) {
+  if (r.empty()) return;
+  ++epoch_;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].key.rect.overlaps(r)) {
+      invalidations_.add();
+      erase_entry(i);
+    }
+  }
+}
+
+void ResidencyCache::invalidate_all() {
+  ++epoch_;
+  invalidations_.add(entries_.size());
+  entries_.clear();
+}
+
+ResidencyReport ResidencyCache::report() const {
+  ResidencyReport rep;
+  rep.hits = hits_.value();
+  rep.misses = misses_.value();
+  rep.evictions = evictions_.value();
+  rep.invalidations = invalidations_.value();
+  rep.weight_writes_saved8 = weight_writes_saved8_.value();
+  rep.entries = entries_.size();
+  return rep;
+}
+
+}  // namespace tdo::rt

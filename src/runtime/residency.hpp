@@ -1,0 +1,164 @@
+// Crossbar weight-residency cache: cross-call stationary-operand reuse.
+//
+// TDO-CIM keeps the stationary operand programmed in the crossbar while
+// streaming the moving one (paper Section III-B), but without this subsystem
+// the runtime forgets that investment between calls: every polly_cimGemm
+// reprograms the crossbars even when a serving workload hits the same
+// weights thousands of times, paying both the weight-phase latency and PCM
+// cell wear — the dominant CiM cost in Eva-CiM-style system models.
+//
+// The cache records which stationary tiles — identified by their physical
+// {base, pitch, width, rows} rectangle plus quantization scale, layout and
+// crossbar geometry — are currently programmed into which crossbar row
+// windows of which accelerator. The BLAS layer consults it before emitting
+// programming work:
+//   * hit  -> the job carries kSkipWeightLoad + the resident row window, and
+//             affinity routing overrides round-robin so the call lands on
+//             the accelerator that holds the weights;
+//   * miss -> crossbar rows are allocated on the chosen accelerator (LRU
+//             entries evicted until the tile fits) and the entry is filled.
+//
+// Invalidation is epoch-based and driven by the same rectangle-overlap
+// machinery the stream's hazard tracking uses: any host_to_dev copy or
+// host-visible write overlapping a cached rectangle bumps the host-write
+// generation counter and kills the entry; free_device evicts. The device
+// (micro_engine) independently validates every reuse request against its
+// own programmed-tile records, so cache staleness can only cost a
+// reprogram, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cim/context_regs.hpp"
+#include "runtime/xfer.hpp"
+#include "support/stats.hpp"
+
+namespace tdo::rt {
+
+class CimDriver;
+
+struct ResidencyParams {
+  /// Master switch; cacheable call sites fall back to always-program when
+  /// off (the paper's original behaviour).
+  bool enabled = true;
+  /// Crossbar rows usable for resident tiles per accelerator; 0 means the
+  /// device's full crossbar. Sweeping this models smaller weight caches.
+  std::uint32_t capacity_rows = 0;
+  /// Stats prefix for the residency.* counters.
+  std::string name = "residency";
+};
+
+/// Identity of a stationary tile as the runtime sees it. `rect` is the
+/// operand's physical memory footprint (drives overlap invalidation); the
+/// remaining fields must match for the device-side reuse check to accept.
+struct WeightKey {
+  Rect rect;
+  std::uint64_t ld = 0;     ///< leading dimension in elements
+  double scale = 1.0;       ///< quantization scale programmed with the tile
+  cim::StationaryOperand layout = cim::StationaryOperand::kB;
+  std::uint32_t rows = 0;   ///< crossbar rows the tile occupies (k)
+  std::uint32_t cols = 0;   ///< crossbar columns (n or m)
+
+  [[nodiscard]] bool operator==(const WeightKey& other) const {
+    return rect.base == other.rect.base && rect.pitch == other.rect.pitch &&
+           rect.width == other.rect.width && rect.rows == other.rect.rows &&
+           ld == other.ld && scale == other.scale && layout == other.layout &&
+           rows == other.rows && cols == other.cols;
+  }
+};
+
+/// Aggregate cache behaviour for reporting.
+struct ResidencyReport {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  /// 8-bit weight programs the runtime avoided emitting (hit tiles). The
+  /// device reports its own figure; the two agree unless a hit job fell
+  /// back or the engine rejected a stale request.
+  std::uint64_t weight_writes_saved8 = 0;
+  std::uint64_t entries = 0;  ///< currently resident tiles, all devices
+};
+
+class ResidencyCache {
+ public:
+  /// Registers the residency.* counters into the system stats registry.
+  ResidencyCache(ResidencyParams params, CimDriver& driver,
+                 support::StatsRegistry& stats);
+
+  [[nodiscard]] bool enabled() const { return params_.enabled; }
+
+  struct Placement {
+    int device = -1;
+    std::uint32_t row0 = 0;
+  };
+
+  /// Where `key` is resident, if anywhere — affinity routing consults this
+  /// before committing to a round-robin device. Does not touch LRU order or
+  /// counters.
+  [[nodiscard]] std::optional<Placement> peek(const WeightKey& key) const;
+
+  struct Acquire {
+    bool hit = false;     ///< tile already resident on `device`: skip programming
+    bool cached = false;  ///< entry exists after the call (hit or filled)
+    std::uint32_t row0 = 0;
+  };
+
+  /// Counting lookup-or-fill on `device`. On a hit the entry's LRU stamp is
+  /// refreshed and the saved weight writes are credited; on a miss crossbar
+  /// rows are allocated (evicting LRU entries of that device as needed) and
+  /// the entry is filled at the returned row window. `cached == false` means
+  /// the tile cannot fit this device's capacity; the caller programs at row
+  /// 0 uncached (and on_programmed() retires whatever that overwrites).
+  Acquire acquire(const WeightKey& key, int device);
+
+  /// A job outside the cache programs crossbar rows [row0, row0 + rows) on
+  /// `device`: retire entries it overwrites.
+  void on_programmed(int device, std::uint32_t row0, std::uint64_t rows);
+
+  /// Epoch invalidation: a host-visible write landed in `r` — bump the
+  /// host-write generation and eagerly kill every entry whose rectangle
+  /// overlaps (entries never outlive the epoch they were filled in, so no
+  /// per-entry generation check is needed at lookup time).
+  void invalidate_overlapping(const Rect& r);
+
+  /// A host write whose footprint could not be resolved (scattered copy):
+  /// conservatively kill everything.
+  void invalidate_all();
+
+  /// Host-write generation: the number of invalidation events so far.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  [[nodiscard]] ResidencyReport report() const;
+
+ private:
+  struct Entry {
+    WeightKey key;
+    int device = -1;
+    std::uint32_t row0 = 0;
+    std::uint64_t lru = 0;  ///< last-use stamp (monotone clock)
+  };
+
+  [[nodiscard]] std::uint32_t device_capacity_rows(int device) const;
+  /// Finds (or frees, by LRU eviction on `device`) a contiguous row window
+  /// of `rows` rows. Returns false when `rows` exceeds the capacity.
+  bool allocate_rows(int device, std::uint32_t rows, std::uint32_t* row0);
+  void erase_entry(std::size_t index);
+
+  ResidencyParams params_;
+  CimDriver& driver_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  support::Counter hits_;
+  support::Counter misses_;
+  support::Counter evictions_;
+  support::Counter invalidations_;
+  support::Counter weight_writes_saved8_;
+};
+
+}  // namespace tdo::rt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/residency.hpp"
 #include "support/log.hpp"
 
 namespace tdo::rt {
@@ -19,6 +20,7 @@ CimStream::CimStream(StreamParams params, sim::System& system,
   stats.register_counter(p + ".fallbacks_queue_full", &fallbacks_queue_full_);
   stats.register_counter(p + ".syncs", &syncs_);
   stats.register_counter(p + ".hazard_syncs", &hazard_syncs_);
+  stats.register_counter(p + ".device_drains", &device_drains_);
   stats.register_counter(p + ".occupancy_peak", &occupancy_peak_);
   stats.register_counter(p + ".copies_enqueued", &copies_enqueued_);
   stats.register_counter(p + ".copy_bytes", &copy_bytes_);
@@ -102,32 +104,49 @@ support::Status CimStream::enqueue_copy(const Command& command) {
   // The copy's footprint joins the hazard sets: later commands reading the
   // destination (or overwriting the source) must order behind it. The caller
   // has already checked this command's own rectangles for conflicts.
-  note_read(desc.src);
-  note_write(desc.dst);
+  note_read(desc.src, static_cast<int>(dev));
+  note_write(desc.dst, static_cast<int>(dev));
   TDO_RETURN_IF_ERROR(driver_.submit_copy(make_copy_image(desc), dev));
   note_occupancy();
   return support::Status::ok();
 }
 
-support::Status CimStream::synchronize() {
-  syncs_.add();
+support::Status CimStream::drain_one(std::size_t device) {
   failed_seen_.resize(driver_.device_count(), 0);
   support::Status result = support::Status::ok();
+  cim::Accelerator& accel = driver_.device(device);
+  if (accel.has_work() || accel.regs().status() != cim::DeviceStatus::kIdle) {
+    auto status = driver_.drain(device);
+    if (!status.is_ok()) result = status.status();
+  }
+  const std::uint64_t failed = accel.jobs_failed();
+  if (failed > failed_seen_[device]) {
+    result = support::Status{
+        static_cast<support::StatusCode>(accel.last_error_code()),
+        "accelerator job failed"};
+  }
+  failed_seen_[device] = failed;
+  return result;
+}
+
+support::Status CimStream::synchronize() {
+  syncs_.add();
+  support::Status result = support::Status::ok();
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
-    cim::Accelerator& accel = driver_.device(d);
-    if (accel.has_work() || accel.regs().status() != cim::DeviceStatus::kIdle) {
-      auto status = driver_.drain(d);
-      if (!status.is_ok()) result = status.status();
-    }
-    const std::uint64_t failed = accel.jobs_failed();
-    if (failed > failed_seen_[d]) {
-      result = support::Status{
-          static_cast<support::StatusCode>(accel.last_error_code()),
-          "accelerator job failed"};
-    }
-    failed_seen_[d] = failed;
+    auto status = drain_one(d);
+    if (!status.is_ok()) result = status;
   }
   tracker_.clear();
+  return result;
+}
+
+support::Status CimStream::drain_device(std::size_t device) {
+  device_drains_.add();
+  auto result = drain_one(device);
+  // Everything that accelerator had in flight has retired; only its
+  // rectangles leave the hazard sets — the other devices keep computing
+  // against theirs.
+  tracker_.remove_device(static_cast<int>(device));
   return result;
 }
 
@@ -140,12 +159,22 @@ StreamReport CimStream::report() const {
   rep.fallbacks_queue_full = fallbacks_queue_full_.value();
   rep.syncs = syncs_.value();
   rep.hazard_syncs = hazard_syncs_.value();
+  rep.device_drains = device_drains_.value();
   rep.occupancy_peak = occupancy_peak_.value();
   rep.copies_enqueued = copies_enqueued_.value();
   rep.copy_bytes = copy_bytes_.value();
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
     rep.overlapped_copy_bytes +=
         driver_.device(d).dma().overlapped_copy_bytes();
+    rep.weight_writes_saved8 +=
+        driver_.device(d).engine().weight_writes_saved8();
+  }
+  if (residency_ != nullptr) {
+    const ResidencyReport res = residency_->report();
+    rep.residency_hits = res.hits;
+    rep.residency_misses = res.misses;
+    rep.residency_evictions = res.evictions;
+    rep.residency_invalidations = res.invalidations;
   }
   return rep;
 }

@@ -39,6 +39,8 @@
 
 namespace tdo::rt {
 
+class ResidencyCache;
+
 struct StreamParams {
   /// Maximum commands in flight per accelerator (running + queued). Depth 1
   /// reproduces the paper's fully synchronous submit/wait behaviour.
@@ -62,13 +64,25 @@ struct StreamReport {
   std::uint64_t fallbacks_queue_full = 0;
   std::uint64_t syncs = 0;
   std::uint64_t hazard_syncs = 0;
+  /// Single-accelerator drains issued by per-stripe copy-back (the other
+  /// accelerators keep computing while a finished stripe copies out).
+  std::uint64_t device_drains = 0;
   std::uint64_t occupancy_peak = 0;
   // DMA copy commands (transfer engine, runtime/xfer.hpp).
   std::uint64_t copies_enqueued = 0;
   std::uint64_t copy_bytes = 0;
   /// Copy bytes whose transfer window was hidden under engine compute,
-  /// summed across every accelerator's DMA channel.
+  /// summed across every accelerator's DMA channel. Exact: chained jobs'
+  /// busy windows are credited as they launch, not just the running job's.
   std::uint64_t overlapped_copy_bytes = 0;
+  // Weight-residency cache behaviour (runtime/residency.hpp).
+  std::uint64_t residency_hits = 0;
+  std::uint64_t residency_misses = 0;
+  std::uint64_t residency_evictions = 0;
+  std::uint64_t residency_invalidations = 0;
+  /// 8-bit weight programs the devices skipped through stationary-tile
+  /// reuse (summed across accelerators; the device-side ground truth).
+  std::uint64_t weight_writes_saved8 = 0;
 };
 
 class CimStream {
@@ -103,6 +117,11 @@ class CimStream {
   /// and forgets the pending-write ranges.
   support::Status synchronize();
 
+  /// Drains one accelerator and retires only its tracked rectangles — the
+  /// per-stripe copy-back path waits for a stripe's producer while the other
+  /// accelerators keep computing.
+  support::Status drain_device(std::size_t device);
+
   /// Round-robin cursor for callers that pin a chain of dependent commands
   /// to one accelerator.
   [[nodiscard]] std::size_t next_device() {
@@ -119,13 +138,22 @@ class CimStream {
   /// observe a later producer's output). Rectangle granularity lets the
   /// disjoint column stripes of different calls — and copies against
   /// disjoint tiles — proceed without a hazard synchronization.
-  void note_write(const Rect& r) { tracker_.note_write(r); }
-  void note_read(const Rect& r) { tracker_.note_read(r); }
+  void note_write(const Rect& r, int device = -1) {
+    tracker_.note_write(r, device);
+  }
+  void note_read(const Rect& r, int device = -1) {
+    tracker_.note_read(r, device);
+  }
   [[nodiscard]] bool writes_overlap(const Rect& r) const {
     return tracker_.writes_overlap(r);
   }
   [[nodiscard]] bool reads_overlap(const Rect& r) const {
     return tracker_.reads_overlap(r);
+  }
+  /// Pending write rectangles overlapping `r`, with producing devices (the
+  /// stripes the per-stripe copy-back splits along).
+  [[nodiscard]] std::vector<TrackedRect> overlapping_writes(const Rect& r) const {
+    return tracker_.writes_overlapping(r);
   }
 
   /// Records that the caller had to synchronize to order around an
@@ -138,6 +166,12 @@ class CimStream {
   [[nodiscard]] const StreamParams& params() const { return params_; }
   [[nodiscard]] StreamReport report() const;
 
+  /// Lets report() include the weight-residency cache's counters (the cache
+  /// lives beside the stream in CimRuntime).
+  void attach_residency(const ResidencyCache* residency) {
+    residency_ = residency;
+  }
+
  private:
   /// Executes the command's GEMM on the host CPU model (exact float math,
   /// interpreter-style instruction charges) — the DTO-style fallback.
@@ -149,9 +183,14 @@ class CimStream {
 
   void note_occupancy();
 
+  /// Waits for one accelerator's work and surfaces its job errors (shared
+  /// by synchronize() and drain_device()).
+  support::Status drain_one(std::size_t device);
+
   StreamParams params_;
   sim::System& system_;
   CimDriver& driver_;
+  const ResidencyCache* residency_ = nullptr;
   std::size_t round_robin_ = 0;
   RectTracker tracker_;
   std::vector<std::uint64_t> failed_seen_;  // per-device jobs_failed baseline
@@ -164,6 +203,7 @@ class CimStream {
   support::Counter fallbacks_queue_full_;
   support::Counter syncs_;
   support::Counter hazard_syncs_;
+  support::Counter device_drains_;
   support::Counter occupancy_peak_;
   support::Counter copies_enqueued_;
   support::Counter copy_bytes_;

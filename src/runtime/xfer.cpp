@@ -57,17 +57,35 @@ bool Rect::overlaps(const Rect& other) const {
 }
 
 bool RectTracker::reads_overlap(const Rect& r) const {
-  for (const Rect& pending : reads_) {
-    if (pending.overlaps(r)) return true;
+  for (const TrackedRect& pending : reads_) {
+    if (pending.rect.overlaps(r)) return true;
   }
   return false;
 }
 
 bool RectTracker::writes_overlap(const Rect& r) const {
-  for (const Rect& pending : writes_) {
-    if (pending.overlaps(r)) return true;
+  for (const TrackedRect& pending : writes_) {
+    if (pending.rect.overlaps(r)) return true;
   }
   return false;
+}
+
+std::vector<TrackedRect> RectTracker::writes_overlapping(const Rect& r) const {
+  std::vector<TrackedRect> out;
+  for (const TrackedRect& pending : writes_) {
+    if (pending.rect.overlaps(r)) out.push_back(pending);
+  }
+  return out;
+}
+
+void RectTracker::remove_device(int device) {
+  const auto tagged = [device](const TrackedRect& t) {
+    return t.device == device;
+  };
+  reads_.erase(std::remove_if(reads_.begin(), reads_.end(), tagged),
+               reads_.end());
+  writes_.erase(std::remove_if(writes_.begin(), writes_.end(), tagged),
+                writes_.end());
 }
 
 cim::ContextRegs make_copy_image(const CopyDesc& desc) {

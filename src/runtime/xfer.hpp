@@ -56,17 +56,30 @@ struct Rect {
   [[nodiscard]] bool overlaps(const Rect& other) const;
 };
 
+/// A pending rectangle tagged with the accelerator whose in-flight command
+/// produces (or consumes) it; -1 when the producer is unknown or the work
+/// ran on the host. The tag lets per-stripe copy-back drain exactly the
+/// device that owns a stripe instead of the whole stream.
+struct TrackedRect {
+  Rect rect;
+  int device = -1;
+};
+
 /// Pending read/write rectangles of in-flight stream commands.
 class RectTracker {
  public:
-  void note_read(const Rect& r) {
-    if (!r.empty()) reads_.push_back(r);
+  void note_read(const Rect& r, int device = -1) {
+    if (!r.empty()) reads_.push_back(TrackedRect{r, device});
   }
-  void note_write(const Rect& r) {
-    if (!r.empty()) writes_.push_back(r);
+  void note_write(const Rect& r, int device = -1) {
+    if (!r.empty()) writes_.push_back(TrackedRect{r, device});
   }
   [[nodiscard]] bool reads_overlap(const Rect& r) const;
   [[nodiscard]] bool writes_overlap(const Rect& r) const;
+  /// Every pending write rectangle overlapping `r`, with producing devices.
+  [[nodiscard]] std::vector<TrackedRect> writes_overlapping(const Rect& r) const;
+  /// Retires every rectangle tagged `device` (that accelerator drained).
+  void remove_device(int device);
   void clear() {
     reads_.clear();
     writes_.clear();
@@ -74,8 +87,8 @@ class RectTracker {
   [[nodiscard]] bool empty() const { return reads_.empty() && writes_.empty(); }
 
  private:
-  std::vector<Rect> reads_;
-  std::vector<Rect> writes_;
+  std::vector<TrackedRect> reads_;
+  std::vector<TrackedRect> writes_;
 };
 
 /// One DMA copy command: direction plus matching src/dst rectangles (same
