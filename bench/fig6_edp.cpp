@@ -21,7 +21,8 @@ int main() {
   TextTable stream_table("Command-stream behaviour per kernel");
   stream_table.set_header({"Kernel", "Commands", "CPU fallbacks",
                            "Peak in-flight", "Overlap ticks", "Copies",
-                           "Copy KiB", "Overlapped KiB"});
+                           "Copy KiB", "Overlapped KiB", "SG segs",
+                           "Contended ticks", "Host memcpys"});
 
   double log_edp = 0.0;
   double log_rt = 0.0;
@@ -62,7 +63,10 @@ int main() {
                           std::to_string(cim->overlap_ticks),
                           std::to_string(cim->copies_enqueued),
                           std::to_string(cim->copy_bytes / 1024),
-                          std::to_string(cim->overlapped_copy_bytes / 1024)});
+                          std::to_string(cim->overlapped_copy_bytes / 1024),
+                          std::to_string(cim->copy_segments),
+                          std::to_string(cim->copy_contended_ticks),
+                          std::to_string(cim->host_copies)});
   }
 
   table.add_row({"Average (geomean)", "", "",
@@ -78,6 +82,10 @@ int main() {
                " submit/compute pipelining; fallbacks are commands the"
                " dynamic policy kept on the host. Copies are host<->device"
                " transfers riding the stream as DMA commands; overlapped KiB"
-               " is the share of that traffic hidden under engine compute.\n";
+               " is the share of that traffic hidden under engine compute"
+               " (exact: the engine's own weight/vector DMA occupancy of the"
+               " copy channel is subtracted). SG segs counts scatter-gather"
+               " segments, contended ticks the time copies waited on channel"
+               " contention, host memcpys the blocking fallbacks left.\n";
   return 0;
 }

@@ -7,7 +7,16 @@
 // stream-resident copies buy back. Runs the 256^3 PolyBench GEMM with
 // 128x128 crossbars so every configuration has several chained tile jobs
 // per stripe to pipeline.
+//
+// Copies and the engine's own weight/vector DMA contend on the per-channel
+// busy-window timeline, so the table also reports the contention the copies
+// absorbed (ticks waited, chains migrated off the copy channel) and the
+// scatter-gather segment count — overlap numbers are exact, not optimistic.
+//
+// `--smoke` runs a reduced grid on the test-size workload (CI bench-rot
+// guard for the copy path).
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,22 +35,30 @@ struct Sample {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using tdo::support::TextTable;
-  auto workload = tdo::pb::make_workload("gemm", tdo::pb::Preset::kPaper);
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  auto workload = tdo::pb::make_workload(
+      "gemm", smoke ? tdo::pb::Preset::kTest : tdo::pb::Preset::kPaper);
   if (!workload.is_ok()) {
     std::cerr << workload.status() << "\n";
     return 1;
   }
 
-  TextTable table("Stream sweep - gemm 256^3, 128x128 tiles");
+  TextTable table(smoke ? "Stream sweep - gemm (smoke)"
+                        : "Stream sweep - gemm 256^3, 128x128 tiles");
   table.set_header({"Accels", "Depth", "Async copies", "Runtime",
                     "Overlap ticks", "Copy KiB on stream", "Overlapped KiB",
-                    "Correct"});
+                    "SG segs", "Contended ticks", "Migrations", "Correct"});
+
+  const std::vector<std::size_t> accel_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<std::size_t> depths =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
 
   std::vector<Sample> samples;
-  for (const std::size_t accelerators : {1, 2, 4}) {
-    for (const std::size_t depth : {1, 2, 4, 8}) {
+  for (const std::size_t accelerators : accel_counts) {
+    for (const std::size_t depth : depths) {
       for (const bool async_copies : {false, true}) {
         tdo::pb::HarnessOptions options;
         options.accelerators = accelerators;
@@ -51,6 +68,7 @@ int main() {
         options.compile.crossbar_cols = 128;
         options.accelerator.tile.crossbar.rows = 128;
         options.accelerator.tile.crossbar.cols = 128;
+        if (smoke) options.runtime.xfer.min_async_bytes = 1024;
         const auto report = tdo::pb::run_cim(*workload, options);
         if (!report.is_ok()) {
           std::cerr << report.status() << "\n";
@@ -64,6 +82,9 @@ int main() {
                        std::to_string(report->overlap_ticks),
                        std::to_string(report->copy_bytes / 1024),
                        std::to_string(report->overlapped_copy_bytes / 1024),
+                       std::to_string(report->copy_segments),
+                       std::to_string(report->copy_contended_ticks),
+                       std::to_string(report->copy_migrations),
                        report->correct ? "yes" : "NO"});
       }
     }
@@ -84,13 +105,13 @@ int main() {
     return nullptr;
   };
   std::cout << "\nKnee of the scaling curve (async copies on):\n";
-  for (const std::size_t accelerators : {1, 2, 4}) {
+  for (const std::size_t accelerators : accel_counts) {
     double best = 0.0;
-    for (const std::size_t depth : {1, 2, 4, 8}) {
+    for (const std::size_t depth : depths) {
       const Sample* s = find(accelerators, depth, true);
       if (s != nullptr && (best == 0.0 || s->seconds < best)) best = s->seconds;
     }
-    for (const std::size_t depth : {1, 2, 4, 8}) {
+    for (const std::size_t depth : depths) {
       const Sample* knee = find(accelerators, depth, true);
       if (knee == nullptr || knee->seconds > 1.02 * best) continue;
       std::printf("  %zu accelerator(s): depth %zu (%.3f ms, best %.3f ms)",

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "support/log.hpp"
 
@@ -37,6 +39,7 @@ Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
   stats.register_counter(p + ".jobs_completed", &completed_);
   stats.register_counter(p + ".jobs_failed", &failed_);
   stats.register_counter(p + ".copies", &copies_);
+  stats.register_counter(p + ".copy_segments", &copy_segments_);
   stats.register_counter(p + ".overlap_ticks", &overlap_ticks_);
   stats.register_counter(p + ".weight_writes_saved8",
                          &engine_->weight_writes_saved_counter());
@@ -141,33 +144,63 @@ void Accelerator::trigger() {
 }
 
 support::Status Accelerator::start_copy(const ContextRegs& image) {
-  const std::uint64_t rows = image.read(Reg::kM);
-  const std::uint64_t width = image.read(Reg::kN);
-  const std::uint64_t bytes = rows * width;
-  if (bytes == 0) return support::Status::ok();  // no-op descriptor
-  copies_.add();
-
+  // Decode the descriptor: inline single rectangle, or a scatter-gather
+  // chain whose CopySegEntry table the DMA fetches from shared memory.
+  const std::uint64_t seg_count = image.read(Reg::kSegCount);
   const std::uint64_t bursts_before = dma_->bursts();
-  const support::Duration duration =
-      dma_->copy_rect(image.read(Reg::kPaA), image.read(Reg::kLda),
-                      image.read(Reg::kPaC), image.read(Reg::kLdc), width, rows);
+  support::Duration duration = support::Duration::zero();
+  std::uint64_t bytes = 0;
+  if (seg_count > 1) {
+    std::vector<CopySegEntry> segs(seg_count);
+    auto raw = std::as_writable_bytes(std::span<CopySegEntry>(segs));
+    duration = duration + dma_->read_block(
+        image.read(Reg::kSegTable),
+        std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(raw.data()),
+                                raw.size()));
+    for (const CopySegEntry& seg : segs) {
+      duration = duration + dma_->copy_rect(seg.src_base, seg.src_pitch,
+                                            seg.dst_base, seg.dst_pitch,
+                                            seg.width, seg.rows);
+      bytes += seg.width * seg.rows;
+    }
+    copy_segments_.add(seg_count);
+  } else {
+    const std::uint64_t rows = image.read(Reg::kM);
+    const std::uint64_t width = image.read(Reg::kN);
+    bytes = rows * width;
+    if (bytes == 0) return support::Status::ok();  // no-op descriptor
+    duration = dma_->copy_rect(image.read(Reg::kPaA), image.read(Reg::kLda),
+                               image.read(Reg::kPaC), image.read(Reg::kLdc),
+                               width, rows);
+    copy_segments_.add();
+  }
+  copies_.add();
   e_dma_.add(model_.dma_energy(dma_->bursts() - bursts_before));
 
-  // The channel serializes copies; each starts when the previous one ends.
+  // Place the chain on a DMA channel: first-fit into the idle gaps of the
+  // per-channel busy-window timeline, so a copy overlapping the engine's own
+  // weight/vector traffic serializes behind it (or migrates to the idle
+  // channel) instead of being counted as free overlap. Segments of one chain
+  // run back-to-back inside a single reservation.
   const sim::Tick now = system_.events().now();
-  const sim::Tick start = std::max(now, dma_busy_until_);
+  const Dma::CopySlot slot = dma_->reserve_copy(now, duration.ticks());
+  const sim::Tick start = slot.start;
   const sim::Tick done = start + duration.ticks();
   // Copy bytes whose transfer window lies under engine busy windows are
   // hidden behind compute (the DTO-style copy/compute overlap). The figure
-  // is exact: the running job's remaining window is credited here, and every
-  // chained job credits its own window as it launches (start_job), so a copy
-  // spanning a chain of back-to-back tiles counts the whole chain.
-  dma_busy_until_ = done;
+  // is exact: the running job's remaining window is credited here, every
+  // chained job credits its own window as it launches (start_job), and the
+  // share of the window the engine's own DMA occupies on this channel is
+  // subtracted — the credit never exceeds the channel's true idle window.
+  dma_busy_until_ = std::max(dma_busy_until_, done);
   ++copies_in_flight_;
   const std::uint64_t id = next_copy_id_++;
-  active_copies_.push_back(ActiveCopy{id, start, done, bytes, 0});
+  active_copies_.push_back(ActiveCopy{id, start, done, bytes, 0, slot.channel});
   if (busy_until_ > start) {
-    active_copies_.back().hidden = std::min(done, busy_until_) - start;
+    const sim::Tick hi = std::min(done, busy_until_);
+    const sim::Tick covered = hi - start;
+    active_copies_.back().hidden =
+        covered - dma_->engine_busy_overlap(slot.channel, start, hi);
   }
   system_.events().schedule_at(done, params_.name + ".copy_done", [this, id] {
     --copies_in_flight_;
@@ -192,16 +225,39 @@ void Accelerator::credit_copy_overlap(sim::Tick win_start, sim::Tick win_end) {
   for (ActiveCopy& copy : active_copies_) {
     const sim::Tick lo = std::max(win_start, copy.start);
     const sim::Tick hi = std::min(win_end, copy.done);
-    if (hi > lo) copy.hidden += hi - lo;
+    if (hi > lo) {
+      // Engine DMA windows on the copy's channel are not idle time under
+      // compute; only the remainder of the busy window counts as hidden.
+      copy.hidden += (hi - lo) - dma_->engine_busy_overlap(copy.channel, lo, hi);
+    }
   }
 }
 
 void Accelerator::start_job(support::Duration prefetch_credit) {
   jobs_.add();
   regs_.set_status(DeviceStatus::kBusy);
+  dma_->retire_before(system_.events().now());
   last_timeline_ = engine_->launch(regs_, prefetch_credit);
   overlap_ticks_.add(last_timeline_.overlap);
   busy_until_ = last_timeline_.done;
+  // A chained job's prefetched weight DMA occupied the engine channel
+  // during the previous job's stream tail [trigger - overlap, trigger) —
+  // ticks that were already credited to active copies as idle-under-compute
+  // when the previous job launched. Debit copies on that channel so the
+  // overlap figure stays within the channel's true idle window. (A copy
+  // that retired before this launch keeps its credit; the residual
+  // over-credit is bounded by the prefetch share of its final ticks.)
+  if (last_timeline_.overlap > 0) {
+    const sim::Tick lo = last_timeline_.trigger - last_timeline_.overlap;
+    for (ActiveCopy& copy : active_copies_) {
+      if (copy.channel != 0) continue;
+      const sim::Tick begin = std::max(lo, copy.start);
+      const sim::Tick end = std::min(last_timeline_.trigger, copy.done);
+      if (end > begin) {
+        copy.hidden -= std::min<sim::Tick>(copy.hidden, end - begin);
+      }
+    }
+  }
   // Chained-launch share of the copy/compute overlap: any stream copy whose
   // transfer window spans this job's busy window is hidden under it.
   credit_copy_overlap(last_timeline_.trigger, busy_until_);

@@ -122,6 +122,10 @@ class Accelerator final : public sim::BusDevice {
 
   [[nodiscard]] std::uint64_t jobs_completed() const { return completed_.value(); }
   [[nodiscard]] std::uint64_t jobs_failed() const { return failed_.value(); }
+  /// Scatter-gather segments executed by stream copy chains on this device.
+  [[nodiscard]] std::uint64_t copy_segments() const {
+    return copy_segments_.value();
+  }
   /// kResult of the most recent failed job (support::StatusCode value).
   [[nodiscard]] std::uint64_t last_error_code() const { return last_error_; }
 
@@ -165,17 +169,19 @@ class Accelerator final : public sim::BusDevice {
     ContextRegs image;
     sim::Tick enqueued = 0;  // bounds the prefetch credit the job may claim
   };
-  /// A stream copy in flight on the DMA channel. `hidden` accumulates the
-  /// ticks of its transfer window that lie under engine busy windows — the
-  /// running job's at submit time, plus every chained job's as it launches —
-  /// so the copy/compute overlap figure is exact, not the running-job lower
-  /// bound.
+  /// A stream copy chain in flight on one DMA channel. `hidden` accumulates
+  /// the ticks of its transfer window that lie under engine busy windows —
+  /// the running job's at submit time, plus every chained job's as it
+  /// launches, minus the engine's own DMA occupancy of the copy's channel —
+  /// so the copy/compute overlap figure is exact, never exceeding the
+  /// channel's true idle window.
   struct ActiveCopy {
     std::uint64_t id = 0;
     sim::Tick start = 0;
     sim::Tick done = 0;
     std::uint64_t bytes = 0;
     sim::Tick hidden = 0;
+    std::uint32_t channel = 0;
   };
   std::deque<QueuedJob> queue_;
   std::vector<ActiveCopy> active_copies_;
@@ -190,6 +196,7 @@ class Accelerator final : public sim::BusDevice {
   support::Counter completed_;
   support::Counter failed_;
   support::Counter copies_;
+  support::Counter copy_segments_;
   support::Counter overlap_ticks_;
   support::EnergyAccumulator e_write_;
   support::EnergyAccumulator e_compute_;

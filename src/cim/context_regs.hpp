@@ -33,6 +33,9 @@ enum class Reg : std::uint32_t {
   kTileRow,         // crossbar row offset of the job's stationary tile (the
                     // weight-residency cache places tiles in disjoint row
                     // windows so several weight sets stay resident)
+  kSegCount,        // kCopy: scatter-gather segments in the chain (<=1 means
+                    // the descriptor is inline in PaA/Lda/PaC/Ldc/M/N)
+  kSegTable,        // kCopy: PA of CopySegEntry[kSegCount] in shared memory
   kResult,          // Status/error code written by the device
   kCompleted,       // jobs completed since reset (read-only; work-queue poll)
   kCount
@@ -90,6 +93,20 @@ struct BatchEntry {
   double scale_b = 1.0;
 };
 static_assert(sizeof(BatchEntry) == 40);
+
+/// One scatter-gather copy segment, laid out in shared memory at kSegTable
+/// (the descriptor-chain form every real SG-DMA engine uses). Each segment is
+/// a rectangle pair: `rows` rows of `width` bytes, row starts `*_pitch` bytes
+/// apart on each side. The DMA walks the chain back-to-back on one channel.
+struct CopySegEntry {
+  std::uint64_t src_base = 0;
+  std::uint64_t src_pitch = 0;
+  std::uint64_t dst_base = 0;
+  std::uint64_t dst_pitch = 0;
+  std::uint64_t width = 0;  ///< bytes per row
+  std::uint64_t rows = 0;
+};
+static_assert(sizeof(CopySegEntry) == 48);
 
 /// Raw register file with typed accessors.
 class ContextRegs {

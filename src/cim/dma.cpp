@@ -1,5 +1,7 @@
 #include "cim/dma.hpp"
 
+#include <algorithm>
+
 namespace tdo::cim {
 
 support::Duration Dma::block_time(std::uint64_t bytes) const {
@@ -83,6 +85,84 @@ support::Duration Dma::copy_rect(sim::PhysAddr src, std::uint64_t src_pitch,
   return total;
 }
 
+void Dma::retire_windows_before(sim::Tick horizon) {
+  for (auto& windows : channels_) {
+    windows.erase(std::remove_if(windows.begin(), windows.end(),
+                                 [horizon](const BusyWindow& w) {
+                                   return w.end <= horizon;
+                                 }),
+                  windows.end());
+  }
+}
+
+sim::Tick Dma::first_fit(std::uint32_t channel, sim::Tick earliest,
+                         sim::Tick duration) const {
+  sim::Tick start = earliest;
+  // Windows are sorted by begin; slide the candidate start past every window
+  // it would collide with. One forward pass suffices.
+  for (const BusyWindow& w : channels_[channel]) {
+    if (w.end <= start) continue;
+    if (w.begin >= start + duration) break;
+    start = w.end;
+  }
+  return start;
+}
+
+void Dma::reserve_engine(sim::Tick begin, sim::Tick end) {
+  // No retirement here: `begin` can lie in the future (the stream-phase
+  // window of a job being launched), and using it as a horizon would drop
+  // the same job's weight window. The accelerator retires at job launch and
+  // reserve_copy retires at submit time, both with the true current tick.
+  if (end <= begin) return;
+  auto& windows = channels_[0];
+  const BusyWindow w{begin, end, /*engine=*/true};
+  windows.insert(std::upper_bound(windows.begin(), windows.end(), w,
+                                  [](const BusyWindow& a, const BusyWindow& b) {
+                                    return a.begin < b.begin;
+                                  }),
+                 w);
+}
+
+Dma::CopySlot Dma::reserve_copy(sim::Tick earliest, sim::Tick duration) {
+  retire_windows_before(earliest);
+  // Earliest-finish channel wins; the dedicated copy channel (highest index)
+  // wins ties, so copies only migrate toward the engine's channel when it is
+  // strictly the earlier one free.
+  CopySlot slot{static_cast<std::uint32_t>(channels_.size()) - 1,
+                first_fit(static_cast<std::uint32_t>(channels_.size()) - 1,
+                          earliest, duration)};
+  for (std::uint32_t c = static_cast<std::uint32_t>(channels_.size()) - 1;
+       c-- > 0;) {
+    const sim::Tick start = first_fit(c, earliest, duration);
+    if (start < slot.start) slot = CopySlot{c, start};
+  }
+  if (slot.channel != channels_.size() - 1) copy_migrations_.add();
+  contended_copy_ticks_.add(slot.start - earliest);
+  auto& windows = channels_[slot.channel];
+  const BusyWindow w{slot.start, slot.start + duration, /*engine=*/false};
+  windows.insert(std::upper_bound(windows.begin(), windows.end(), w,
+                                  [](const BusyWindow& a, const BusyWindow& b) {
+                                    return a.begin < b.begin;
+                                  }),
+                 w);
+  return slot;
+}
+
+sim::Tick Dma::engine_busy_overlap(std::uint32_t channel, sim::Tick lo,
+                                   sim::Tick hi) const {
+  if (channel >= channels_.size() || hi <= lo) return 0;
+  // Engine windows never overlap each other (jobs serialize on the engine),
+  // so summing pairwise intersections is exact.
+  sim::Tick covered = 0;
+  for (const BusyWindow& w : channels_[channel]) {
+    if (!w.engine) continue;
+    const sim::Tick begin = std::max(lo, w.begin);
+    const sim::Tick end = std::min(hi, w.end);
+    if (end > begin) covered += end - begin;
+  }
+  return std::min(covered, hi - lo);
+}
+
 void Dma::register_stats(support::StatsRegistry& registry,
                          const std::string& prefix) const {
   registry.register_counter(prefix + ".dma.bytes_read", &bytes_read_);
@@ -91,6 +171,10 @@ void Dma::register_stats(support::StatsRegistry& registry,
   registry.register_counter(prefix + ".dma.prefetch_bytes", &prefetch_bytes_);
   registry.register_counter(prefix + ".dma.overlapped_copy_bytes",
                             &overlap_copy_bytes_);
+  registry.register_counter(prefix + ".dma.contended_copy_ticks",
+                            &contended_copy_ticks_);
+  registry.register_counter(prefix + ".dma.copy_migrations",
+                            &copy_migrations_);
 }
 
 }  // namespace tdo::cim

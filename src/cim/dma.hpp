@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pcm/energy_model.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/sim_memory.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
@@ -25,11 +26,21 @@ struct DmaParams {
   /// Strided (gather) transfers move element-by-element bursts; this factor
   /// derates bandwidth for non-unit-stride access.
   double strided_derate = 4.0;
+  /// Independent DMA channels. Channel 0 carries the micro-engine's own
+  /// weight-load/vector traffic; stream copies prefer the highest channel and
+  /// migrate toward channel 0 only when it is the earliest one free. With a
+  /// single channel every transfer — engine traffic and stream copies alike —
+  /// serializes on one timeline.
+  std::uint32_t channels = 2;
 };
 
 class Dma {
  public:
-  Dma(DmaParams params, sim::SimMemory& memory) : params_{params}, memory_{memory} {}
+  Dma(DmaParams params, sim::SimMemory& memory)
+      : params_{params}, memory_{memory} {
+    if (params_.channels == 0) params_.channels = 1;
+    channels_.resize(params_.channels);
+  }
 
   /// Contiguous copy device<-memory. Returns transfer duration.
   support::Duration read_block(sim::PhysAddr src, std::span<std::uint8_t> out);
@@ -58,6 +69,41 @@ class Dma {
                               sim::PhysAddr dst, std::uint64_t dst_pitch,
                               std::uint64_t width, std::uint64_t rows);
 
+  // --- per-channel busy-window timeline (contention model) ---
+  //
+  // Every transfer occupies a [start, end) window on one channel. The
+  // micro-engine reserves windows for its own weight-load and vector traffic
+  // on channel 0 as each job launches; stream copies are placed first-fit
+  // into the idle gaps, so a copy overlapping the engine's own DMA
+  // serializes behind it (or migrates to an idle channel) instead of being
+  // modeled as free overlap. Windows are granted in arrival order: a copy
+  // that reserved a slot before a chained job launched keeps it.
+
+  /// Reserves [begin, end) on channel 0 for engine traffic. Engine windows
+  /// are inserted unconditionally (the job's schedule is already fixed).
+  void reserve_engine(sim::Tick begin, sim::Tick end);
+
+  /// Where a copy chain of `duration` ticks was placed: the first-fit start
+  /// (>= earliest) on the channel that finishes it soonest, preferring the
+  /// dedicated copy channel (highest index) on ties.
+  struct CopySlot {
+    std::uint32_t channel = 0;
+    sim::Tick start = 0;
+  };
+  [[nodiscard]] CopySlot reserve_copy(sim::Tick earliest, sim::Tick duration);
+
+  /// Ticks of [lo, hi) covered by *engine* windows on `channel` (the share
+  /// of a copy's window that cannot count as compute overlap: the channel
+  /// was busy with the engine's own traffic, not idle under compute).
+  [[nodiscard]] sim::Tick engine_busy_overlap(std::uint32_t channel,
+                                              sim::Tick lo, sim::Tick hi) const;
+
+  /// Drops windows that ended at or before `horizon` (no future reservation
+  /// or overlap query reaches them: queries always start at or after the
+  /// current event time). Called with the current tick at job launch and at
+  /// copy submission, bounding the timeline's memory.
+  void retire_before(sim::Tick horizon) { retire_windows_before(horizon); }
+
   /// Records `bytes` of traffic that ran on the otherwise-idle channel while
   /// the engine streamed the previous job (stream-level double buffering).
   /// Accounting only; the transfer itself was already charged.
@@ -74,6 +120,15 @@ class Dma {
   [[nodiscard]] std::uint64_t overlapped_copy_bytes() const {
     return overlap_copy_bytes_.value();
   }
+  /// Ticks stream copies waited on channel contention (start - submit).
+  [[nodiscard]] std::uint64_t contended_copy_ticks() const {
+    return contended_copy_ticks_.value();
+  }
+  /// Copy chains placed away from the dedicated copy channel because another
+  /// channel was free earlier.
+  [[nodiscard]] std::uint64_t copy_migrations() const {
+    return copy_migrations_.value();
+  }
   [[nodiscard]] const DmaParams& params() const { return params_; }
 
   void register_stats(support::StatsRegistry& registry,
@@ -83,13 +138,26 @@ class Dma {
   [[nodiscard]] support::Duration block_time(std::uint64_t bytes) const;
   [[nodiscard]] support::Duration strided_time(std::uint64_t bytes) const;
 
+  struct BusyWindow {
+    sim::Tick begin = 0;
+    sim::Tick end = 0;
+    bool engine = false;  ///< engine traffic (vs a stream copy)
+  };
+  void retire_windows_before(sim::Tick horizon);
+  /// First tick >= earliest where `channel` has a gap of `duration` ticks.
+  [[nodiscard]] sim::Tick first_fit(std::uint32_t channel, sim::Tick earliest,
+                                    sim::Tick duration) const;
+
   DmaParams params_;
   sim::SimMemory& memory_;
+  std::vector<std::vector<BusyWindow>> channels_;  ///< sorted by begin
   support::Counter bytes_read_;
   support::Counter bytes_written_;
   support::Counter bursts_;
   support::Counter prefetch_bytes_;
   support::Counter overlap_copy_bytes_;
+  support::Counter contended_copy_ticks_;
+  support::Counter copy_migrations_;
 };
 
 }  // namespace tdo::cim

@@ -136,7 +136,7 @@ MicroEngine::WeightPhase MicroEngine::load_weights(const GemmJob& job) {
   return WeightPhase{prog_done, dma_total, tile_rows * tile_cols * 4};
 }
 
-support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
+MicroEngine::StreamPhase MicroEngine::stream_vectors(const GemmJob& job) {
   const bool stationary_b = job.stationary == StationaryOperand::kB;
   // Streamed vectors: rows of A (stationary B) or columns of B (stationary A).
   const std::uint64_t vectors = stationary_b ? job.m : job.n;
@@ -153,6 +153,7 @@ support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
   Duration fill_done = Duration::zero();
   Duration compute_done = Duration::zero();
   Duration store_done = Duration::zero();
+  Duration dma_total = Duration::zero();
   const Duration compute_latency = model_.compute_latency(1);
 
   for (std::uint64_t v = 0; v < vectors; ++v) {
@@ -204,6 +205,7 @@ support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
       }
     }
 
+    dma_total = dma_total + in_time + out_time;
     if (job.double_buffering) {
       // Classic three-stage pipeline (Fig. 2d): fills run ahead, computes
       // chain on fills, stores chain on computes.
@@ -216,7 +218,7 @@ support::Duration MicroEngine::stream_vectors(const GemmJob& job) {
       compute_done = store_done;
     }
   }
-  return store_done;
+  return StreamPhase{store_done, dma_total};
 }
 
 support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
@@ -233,7 +235,9 @@ support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
   times.weights = weights.total;
   times.weight_dma = weights.dma;
   times.weight_dma_bytes = weights.dma_bytes;
-  times.stream = stream_vectors(job);
+  const StreamPhase stream = stream_vectors(job);
+  times.stream = stream.total;
+  times.stream_dma = stream.dma;
   return times;
 }
 
@@ -265,6 +269,10 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
   Duration prefetchable = Duration::zero();
   std::uint64_t prefetchable_bytes = 0;
   bool allow_prefetch = false;
+  // DMA-channel occupancy of the job body after the first weight phase
+  // (vector fills, result stores, later batch entries' weight loads) — the
+  // busy window stream copies must serialize around.
+  Duration body_dma = Duration::zero();
 
   switch (op) {
     case Opcode::kGemv:
@@ -281,6 +289,7 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
       prefetchable = phases->weight_dma;
       prefetchable_bytes = phases->weight_dma_bytes;
       allow_prefetch = job->double_buffering;
+      body_dma = phases->stream_dma;
       break;
     }
     case Opcode::kGemmBatched: {
@@ -312,12 +321,15 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
         auto phases = run_gemm(job);
         if (!phases.is_ok()) return fail(phases.status());
         total += phases->weights + phases->stream;
+        body_dma = body_dma + phases->stream_dma;
         if (!first_weights_done) {
           weight_phase += phases->weights;
           prefetchable = phases->weight_dma;
           prefetchable_bytes = phases->weight_dma_bytes;
           allow_prefetch = base->double_buffering;
           first_weights_done = true;
+        } else {
+          body_dma = body_dma + phases->weight_dma;
         }
       }
       break;
@@ -371,6 +383,24 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
 
   timeline.weights_programmed = timeline.trigger + weight_phase.ticks();
   timeline.done = timeline.trigger + total.ticks();
+
+  // Channel contention: the job's own DMA traffic reserves busy windows on
+  // the engine's channel, so stream copies serialize behind it (or migrate
+  // to an idle channel) instead of being counted as free overlap. The weight
+  // phase interleaves DMA fills with row programming back-to-back, so it
+  // claims the channel for the whole phase; the body's fills/stores (and a
+  // batch's later weight loads) claim their aggregate DMA share from the
+  // front of the stream phase — fills run ahead of computes under double
+  // buffering — leaving only the genuine compute tail open for copies.
+  if (prefetchable > overlap) {
+    dma_.reserve_engine(timeline.trigger, timeline.weights_programmed);
+  }
+  if (body_dma > Duration::zero()) {
+    dma_.reserve_engine(timeline.weights_programmed,
+                        std::min(timeline.done,
+                                 timeline.weights_programmed + body_dma.ticks()));
+  }
+
   events_.schedule_at(timeline.weights_programmed, "cim.weights_programmed", [] {});
   events_.schedule_at(timeline.done, "cim.job_done", [&regs] {
     regs.set_status(DeviceStatus::kDone);

@@ -135,11 +135,12 @@ class MicroEngine {
   [[nodiscard]] support::StatusOr<GemmJob> decode(const ContextRegs& regs) const;
 
   /// Runs one GEMM; returns (weight_phase, stream_phase) durations plus the
-  /// pure-DMA share of the weight phase (the overlappable part).
+  /// pure-DMA shares of each phase (what occupies the engine's DMA channel).
   struct PhaseTimes {
     support::Duration weights;
     support::Duration weight_dma;
     support::Duration stream;
+    support::Duration stream_dma;
     std::uint64_t weight_dma_bytes = 0;
   };
   [[nodiscard]] support::StatusOr<PhaseTimes> run_gemm(const GemmJob& job);
@@ -152,8 +153,13 @@ class MicroEngine {
   };
   [[nodiscard]] WeightPhase load_weights(const GemmJob& job);
 
-  /// Streams the moving operand; returns phase duration.
-  [[nodiscard]] support::Duration stream_vectors(const GemmJob& job);
+  /// Streams the moving operand; returns the phase duration plus its DMA
+  /// share (vector fills + result stores — the channel-occupancy part).
+  struct StreamPhase {
+    support::Duration total;
+    support::Duration dma;
+  };
+  [[nodiscard]] StreamPhase stream_vectors(const GemmJob& job);
 
   MicroEngineParams params_;
   CimTile& tile_;

@@ -77,7 +77,7 @@ class Emitter {
     // explicit polly_cimSynchronize is needed here.
     for (auto& [name, state] : location_) {
       if (state == Loc::kDeviceDirty) {
-        program_.items.push_back(CimDevToHostOp{name});
+        program_.items.push_back(CimDevToHostOp{name, {}});
         state = Loc::kSynced;
       }
     }
@@ -155,7 +155,7 @@ class Emitter {
         // The upload rides the stream as a DMA command; the runtime orders
         // it against in-flight producers by rectangle overlap, so no
         // barrier is emitted here and the copy overlaps ongoing compute.
-        program_.items.push_back(CimHostToDevOp{name});
+        program_.items.push_back(CimHostToDevOp{name, {}});
         pending_copies_.insert(name);
         location_[name] = Loc::kSynced;
         break;
@@ -170,7 +170,7 @@ class Emitter {
       // No barrier before the copy-back: the runtime synchronizes only if
       // the copy's source rectangle is still being written in flight. The
       // barrier lands later, when host code consumes the array.
-      program_.items.push_back(CimDevToHostOp{name});
+      program_.items.push_back(CimDevToHostOp{name, {}});
       pending_copies_.insert(name);
       location_[name] = Loc::kSynced;
     }
@@ -383,6 +383,101 @@ void emit_conv(Emitter& emitter, const ir::Function& fn, const ConvKernel& c,
   }
 }
 
+/// Footprint -> segment derivation: annotate every copy op with the element
+/// sub-rectangle the device ops actually touch, so the interpreter issues
+/// pitched transfers (whose scatter-gather chains the transfer engine
+/// derives) instead of whole-array flat copies. Uploads need the union of
+/// device reads AND writes (a beta-accumulating kernel reads its output and
+/// partial writes must land on current data); copy-backs need only the
+/// write union — elements the device never wrote are still host-valid.
+void derive_copy_footprints(exec::Program& program) {
+  struct Box {
+    std::uint64_t r0 = 0, c0 = 0, r1 = 0, c1 = 0;  // half-open element rect
+    bool any = false;
+
+    void cover(std::uint64_t row0, std::uint64_t col0, std::uint64_t rows,
+               std::uint64_t cols) {
+      if (rows == 0 || cols == 0) return;
+      if (!any) {
+        *this = Box{row0, col0, row0 + rows, col0 + cols, true};
+        return;
+      }
+      r0 = std::min(r0, row0);
+      c0 = std::min(c0, col0);
+      r1 = std::max(r1, row0 + rows);
+      c1 = std::max(c1, col0 + cols);
+    }
+  };
+  std::map<std::string, Box> uploads;
+  std::map<std::string, Box> writebacks;
+  const auto read_ref = [&uploads](const OperandRef& ref, std::uint64_t rows,
+                                   std::uint64_t cols) {
+    uploads[ref.array].cover(ref.row_offset, ref.col_offset, rows, cols);
+  };
+  const auto write_ref = [&uploads, &writebacks](const OperandRef& ref,
+                                                 std::uint64_t rows,
+                                                 std::uint64_t cols) {
+    uploads[ref.array].cover(ref.row_offset, ref.col_offset, rows, cols);
+    writebacks[ref.array].cover(ref.row_offset, ref.col_offset, rows, cols);
+  };
+  const auto whole = [&program](const std::string& name) -> std::pair<std::uint64_t, std::uint64_t> {
+    for (const ir::ArrayDecl& decl : program.arrays) {
+      if (decl.name != name) continue;
+      if (decl.dims.size() >= 2) {
+        return {static_cast<std::uint64_t>(decl.dims[0]),
+                static_cast<std::uint64_t>(decl.dims[1])};
+      }
+      return {1, static_cast<std::uint64_t>(decl.dims[0])};
+    }
+    return {0, 0};
+  };
+
+  for (const exec::ProgramItem& item : program.items) {
+    if (const auto* gemm = std::get_if<CimGemmOp>(&item)) {
+      read_ref(gemm->a, gemm->m, gemm->k);
+      read_ref(gemm->b, gemm->k, gemm->n);
+      write_ref(gemm->c, gemm->m, gemm->n);
+    } else if (const auto* gemv = std::get_if<CimGemvOp>(&item)) {
+      read_ref(gemv->a, gemv->m, gemv->n);
+      const auto [xr, xc] = whole(gemv->x);
+      uploads[gemv->x].cover(0, 0, xr, xc);
+      const auto [yr, yc] = whole(gemv->y);
+      uploads[gemv->y].cover(0, 0, yr, yc);
+      writebacks[gemv->y].cover(0, 0, yr, yc);
+    } else if (const auto* batched = std::get_if<CimGemmBatchedOp>(&item)) {
+      for (std::size_t i = 0; i < batched->a.size(); ++i) {
+        read_ref(batched->a[i], batched->m, batched->k);
+        read_ref(batched->b[i], batched->k, batched->n);
+        write_ref(batched->c[i], batched->m, batched->n);
+      }
+    }
+  }
+
+  const auto to_footprint = [&whole](const std::string& array,
+                                     const std::map<std::string, Box>& boxes) {
+    exec::CopyFootprint fp;  // default: whole array
+    const auto it = boxes.find(array);
+    if (it == boxes.end() || !it->second.any) return fp;
+    const Box& box = it->second;
+    const auto [rows, cols] = whole(array);
+    if (box.r0 == 0 && box.c0 == 0 && box.r1 >= rows && box.c1 >= cols) {
+      return fp;  // covers everything: keep the flat whole-array copy
+    }
+    fp.row0 = box.r0;
+    fp.col0 = box.c0;
+    fp.rows = box.r1 - box.r0;
+    fp.cols = box.c1 - box.c0;
+    return fp;
+  };
+  for (exec::ProgramItem& item : program.items) {
+    if (auto* h2d = std::get_if<CimHostToDevOp>(&item)) {
+      h2d->footprint = to_footprint(h2d->array, uploads);
+    } else if (auto* d2h = std::get_if<CimDevToHostOp>(&item)) {
+      d2h->footprint = to_footprint(d2h->array, writebacks);
+    }
+  }
+}
+
 }  // namespace
 
 CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
@@ -507,6 +602,7 @@ CompileResult compile(const ir::Function& fn, const CompileOptions& options) {
   }
 
   result.cim_program = std::move(emitter).take();
+  derive_copy_footprints(result.cim_program);
   return result;
 }
 

@@ -156,15 +156,35 @@ Status Interpreter::exec_item(const ProgramItem& item) {
     info->dev_va = *va;
     return Status::ok();
   }
+  // Copies with a derived footprint move only the sub-rectangle the device
+  // ops actually touch, as a pitched transfer whose scatter-gather segment
+  // chain the runtime's transfer engine derives; whole-array copies keep the
+  // flat path.
   if (const auto* h2d = std::get_if<CimHostToDevOp>(&item)) {
     ArrayInfo* info = find_array(h2d->array);
     if (info == nullptr) return support::not_found(h2d->array);
+    if (!h2d->footprint.whole()) {
+      const CopyFootprint& fp = h2d->footprint;
+      const auto ld = static_cast<std::uint64_t>(
+          info->decl.dims.size() >= 2 ? info->decl.dims[1] : info->decl.dims[0]);
+      const std::uint64_t off = (fp.row0 * ld + fp.col0) * 4;
+      return runtime_->host_to_dev_2d(info->dev_va + off, info->host_va + off,
+                                      ld * 4, fp.cols * 4, fp.rows);
+    }
     return runtime_->host_to_dev(info->dev_va, info->host_va,
                                  static_cast<std::uint64_t>(info->decl.bytes()));
   }
   if (const auto* d2h = std::get_if<CimDevToHostOp>(&item)) {
     ArrayInfo* info = find_array(d2h->array);
     if (info == nullptr) return support::not_found(d2h->array);
+    if (!d2h->footprint.whole()) {
+      const CopyFootprint& fp = d2h->footprint;
+      const auto ld = static_cast<std::uint64_t>(
+          info->decl.dims.size() >= 2 ? info->decl.dims[1] : info->decl.dims[0]);
+      const std::uint64_t off = (fp.row0 * ld + fp.col0) * 4;
+      return runtime_->dev_to_host_2d(info->host_va + off, info->dev_va + off,
+                                      ld * 4, fp.cols * 4, fp.rows);
+    }
     return runtime_->dev_to_host(info->host_va, info->dev_va,
                                  static_cast<std::uint64_t>(info->decl.bytes()));
   }

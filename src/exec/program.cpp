@@ -30,11 +30,33 @@ std::string Program::to_source() const {
       os << "polly_cimMalloc((void**)&cim_" << malloc_op->array << ", sizeof("
          << malloc_op->array << "));\n";
     } else if (const auto* h2d = std::get_if<CimHostToDevOp>(&item)) {
-      os << "polly_cimHostToDev(cim_" << h2d->array << ", " << h2d->array
-         << ", sizeof(" << h2d->array << "));\n";
+      if (h2d->footprint.whole()) {
+        os << "polly_cimHostToDev(cim_" << h2d->array << ", " << h2d->array
+           << ", sizeof(" << h2d->array << "));\n";
+      } else {
+        const CopyFootprint& fp = h2d->footprint;
+        const std::string off = "4*(" + std::to_string(fp.row0) + "*ld_" +
+                                h2d->array + " + " + std::to_string(fp.col0) +
+                                ")";
+        os << "polly_cimHostToDev2d(cim_" << h2d->array << " + " << off
+           << ", " << h2d->array << " + " << off << ", /*pitch=*/4*ld_"
+           << h2d->array << ", /*width=*/" << 4 * fp.cols << ", /*rows=*/"
+           << fp.rows << ");\n";
+      }
     } else if (const auto* d2h = std::get_if<CimDevToHostOp>(&item)) {
-      os << "polly_cimDevToHost(" << d2h->array << ", cim_" << d2h->array
-         << ", sizeof(" << d2h->array << "));\n";
+      if (d2h->footprint.whole()) {
+        os << "polly_cimDevToHost(" << d2h->array << ", cim_" << d2h->array
+           << ", sizeof(" << d2h->array << "));\n";
+      } else {
+        const CopyFootprint& fp = d2h->footprint;
+        const std::string off = "4*(" + std::to_string(fp.row0) + "*ld_" +
+                                d2h->array + " + " + std::to_string(fp.col0) +
+                                ")";
+        os << "polly_cimDevToHost2d(" << d2h->array << " + " << off
+           << ", cim_" << d2h->array << " + " << off << ", /*pitch=*/4*ld_"
+           << d2h->array << ", /*width=*/" << 4 * fp.cols << ", /*rows=*/"
+           << fp.rows << ");\n";
+      }
     } else if (const auto* free_op = std::get_if<CimFreeOp>(&item)) {
       os << "polly_cimFree(cim_" << free_op->array << ");\n";
     } else if (std::get_if<CimSyncOp>(&item) != nullptr) {

@@ -27,14 +27,30 @@ struct CimMallocOp {
   std::string array;
 };
 
+/// The element sub-rectangle of an array a copy actually needs to move —
+/// derived by the pipeline as the union of the device-op footprints on that
+/// array. `rows == 0` means the whole array (the conservative default). A
+/// proper sub-rectangle lowers to a pitched polly_cim*2d transfer whose
+/// segment chain the transfer engine derives from the footprint.
+struct CopyFootprint {
+  std::uint64_t row0 = 0;
+  std::uint64_t col0 = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+
+  [[nodiscard]] bool whole() const { return rows == 0; }
+};
+
 /// polly_cimHostToDev(dev(array), host(array), bytes)
 struct CimHostToDevOp {
   std::string array;
+  CopyFootprint footprint;
 };
 
 /// polly_cimDevToHost(host(array), dev(array), bytes)
 struct CimDevToHostOp {
   std::string array;
+  CopyFootprint footprint;
 };
 
 /// polly_cimFree(dev(array))

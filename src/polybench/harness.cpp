@@ -97,6 +97,7 @@ StatusOr<RunReport> run_program(const Workload& workload,
   report.stream_occupancy = delta.counter_or("stream.occupancy_peak");
   report.copies_enqueued = delta.counter_or("stream.copies_enqueued");
   report.copy_bytes = delta.counter_or("stream.copy_bytes");
+  report.host_copies = delta.counter_or("xfer.host_copies");
   report.hazard_syncs = delta.counter_or("stream.hazard_syncs");
   report.device_drains = delta.counter_or("stream.device_drains");
   report.residency_hits = delta.counter_or("residency.hits");
@@ -109,6 +110,11 @@ StatusOr<RunReport> run_program(const Workload& workload,
     if (name.ends_with(".dma.overlapped_copy_bytes")) {
       report.overlapped_copy_bytes += value;
     }
+    if (name.ends_with(".copy_segments")) report.copy_segments += value;
+    if (name.ends_with(".dma.contended_copy_ticks")) {
+      report.copy_contended_ticks += value;
+    }
+    if (name.ends_with(".dma.copy_migrations")) report.copy_migrations += value;
   }
 
   auto err = validate(interp, workload);

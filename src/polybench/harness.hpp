@@ -40,7 +40,11 @@ struct RunReport {
   // Transfer-engine behaviour (DMA copy commands riding the stream).
   std::uint64_t copies_enqueued = 0;        // async copies on the stream
   std::uint64_t copy_bytes = 0;             // bytes moved by those copies
+  std::uint64_t copy_segments = 0;          // scatter-gather segments executed
   std::uint64_t overlapped_copy_bytes = 0;  // copy bytes hidden under compute
+  std::uint64_t copy_contended_ticks = 0;   // copy wait on channel contention
+  std::uint64_t copy_migrations = 0;        // chains moved off the copy channel
+  std::uint64_t host_copies = 0;            // blocking host-memcpy fallbacks
   std::uint64_t hazard_syncs = 0;           // drains forced by rect overlap
   std::uint64_t device_drains = 0;          // per-stripe copy-back drains
   // Weight-residency cache behaviour (runtime/residency.hpp).

@@ -55,6 +55,20 @@ int polly_cimDevToHost(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes
   return to_error(g_runtime->dev_to_host(dst, src, bytes));
 }
 
+int polly_cimHostToDev2d(std::uint64_t dst, std::uint64_t src,
+                         std::uint64_t pitch, std::uint64_t width,
+                         std::uint64_t rows) {
+  if (g_runtime == nullptr) return kCimNotInitialized;
+  return to_error(g_runtime->host_to_dev_2d(dst, src, pitch, width, rows));
+}
+
+int polly_cimDevToHost2d(std::uint64_t dst, std::uint64_t src,
+                         std::uint64_t pitch, std::uint64_t width,
+                         std::uint64_t rows) {
+  if (g_runtime == nullptr) return kCimNotInitialized;
+  return to_error(g_runtime->dev_to_host_2d(dst, src, pitch, width, rows));
+}
+
 int polly_cimSynchronize() {
   if (g_runtime == nullptr) return kCimNotInitialized;
   return to_error(g_runtime->synchronize());

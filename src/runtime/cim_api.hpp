@@ -50,6 +50,17 @@ int polly_cimFree(std::uint64_t device_ptr);
 int polly_cimHostToDev(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes);
 int polly_cimDevToHost(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes);
 
+/// Pitched (strided sub-matrix view) transfers: `rows` rows of `width`
+/// bytes, row starts `pitch` bytes apart on both sides. Emitted by the
+/// compiler when the derived copy footprint is a proper sub-rectangle; the
+/// transfer engine derives the scatter-gather segment chain from the view.
+int polly_cimHostToDev2d(std::uint64_t dst, std::uint64_t src,
+                         std::uint64_t pitch, std::uint64_t width,
+                         std::uint64_t rows);
+int polly_cimDevToHost2d(std::uint64_t dst, std::uint64_t src,
+                         std::uint64_t pitch, std::uint64_t width,
+                         std::uint64_t rows);
+
 int polly_cimBlasSGemm(bool trans_a, bool trans_b, std::uint64_t m,
                        std::uint64_t n, std::uint64_t k, const float* alpha,
                        std::uint64_t a, std::uint64_t lda, std::uint64_t b,

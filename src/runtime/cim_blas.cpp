@@ -80,6 +80,12 @@ support::Status CimRuntime::synchronize() {
 
 support::Status CimRuntime::sync_for_operands(
     std::initializer_list<Rect> reads, std::initializer_list<Rect> writes) {
+  return sync_for_operands(std::span<const Rect>(reads.begin(), reads.size()),
+                           std::span<const Rect>(writes.begin(), writes.size()));
+}
+
+support::Status CimRuntime::sync_for_operands(std::span<const Rect> reads,
+                                              std::span<const Rect> writes) {
   bool hazard = false;
   for (const Rect& r : reads) {
     hazard = hazard || stream_->writes_overlap(r);  // RAW
@@ -95,47 +101,106 @@ support::Status CimRuntime::sync_for_operands(
 
 support::Status CimRuntime::copy(CopyDesc::Dir dir, sim::VirtAddr dst,
                                  sim::VirtAddr src, std::uint64_t bytes) {
+  return copy_view(dir, dst, src, bytes, bytes, 1);
+}
+
+support::Status CimRuntime::copy_view(CopyDesc::Dir dir, sim::VirtAddr dst,
+                                      sim::VirtAddr src, std::uint64_t pitch,
+                                      std::uint64_t width, std::uint64_t rows) {
+  const std::uint64_t bytes = width * rows;
+  if (bytes == 0) return support::Status::ok();
   CopyDesc desc;
-  const bool planned = xfer_->plan(dir, dst, src, bytes, &desc);
+  bool planned = xfer_->plan_view(dir, dst, src, pitch, width, rows, &desc);
   bool striped = false;
-  if (planned && dir == CopyDesc::Dir::kDevToHost) {
+  if (planned && desc.single() && dir == CopyDesc::Dir::kDevToHost) {
     auto handled = striped_copy_back(desc);
     if (!handled.is_ok()) return handled.status();
     striped = *handled;
+  }
+  if (planned && !striped) {
+    // Order the copy against in-flight producers/consumers at rectangle
+    // granularity, one check per segment: a chain whose runs are disjoint
+    // from every pending rectangle rides the stream without a
+    // synchronization.
+    std::vector<Rect> reads;
+    std::vector<Rect> writes;
+    reads.reserve(desc.segments.size());
+    writes.reserve(desc.segments.size());
+    for (const CopySeg& seg : desc.segments) {
+      reads.push_back(seg.src);
+      writes.push_back(seg.dst);
+    }
+    TDO_RETURN_IF_ERROR(sync_for_operands(reads, writes));
+  }
+  if (planned && !striped && !desc.single()) {
+    // Marshal the scatter-gather chain into a staging descriptor table the
+    // device DMA fetches (Figure-3 style: the runtime owns the table, the
+    // driver cleans its lines at submit). The buffer stays alive until
+    // synchronize(), like batch tables — which is why this must come AFTER
+    // the hazard ordering above: a hazard-triggered synchronize() releases
+    // every staged table, and it must not release this one before the
+    // device has fetched it. If the CMA cannot hold the table, the copy
+    // degrades to the host path instead of failing.
+    auto staging =
+        driver_->alloc_buffer(desc.segments.size() * sizeof(cim::CopySegEntry));
+    if (staging.is_ok()) {
+      staging_.push_back(*staging);
+      auto& mem = system_.memory();
+      auto& cpu = system_.cpu();
+      std::uint64_t offset = 0;
+      for (const CopySeg& seg : desc.segments) {
+        cim::CopySegEntry entry;
+        entry.src_base = seg.src.base;
+        entry.src_pitch = seg.src.pitch;
+        entry.dst_base = seg.dst.base;
+        entry.dst_pitch = seg.dst.pitch;
+        entry.width = seg.src.width;
+        entry.rows = seg.src.rows;
+        mem.write(staging->pa + offset,
+                  std::span(reinterpret_cast<const std::uint8_t*>(&entry),
+                            sizeof entry));
+        for (std::uint64_t w = 0; w < sizeof entry; w += 8) {
+          cpu.store(staging->pa + offset + w, 8);
+        }
+        offset += sizeof entry;
+      }
+      desc.table_pa = staging->pa;
+    } else {
+      planned = false;
+    }
   }
   if (striped) {
     // Per-stripe copy-back handled the transfer: each producer drained in
     // completion order, its stripes enqueued while the rest kept computing.
   } else if (planned) {
-    // Order the copy against in-flight producers/consumers at rectangle
-    // granularity: a copy whose footprint is disjoint from every pending
-    // rectangle rides the stream without a synchronization.
-    TDO_RETURN_IF_ERROR(sync_for_operands({desc.src}, {desc.dst}));
     CimStream::Command command;
     command.kind = CimStream::Command::Kind::kCopy;
     command.copy = desc;
     TDO_RETURN_IF_ERROR(stream_->enqueue(command));
   } else {
-    // Host memcpy path (small, scattered, or async copies disabled). The
-    // host touches both ranges immediately and they may span scattered
+    // Host memcpy path (small, over-fragmented, or async copies disabled).
+    // The host touches both ranges immediately and they may span scattered
     // frames, so order conservatively: drain whenever the stream is busy
     // (the paper's original behaviour).
     if (!stream_->idle()) TDO_RETURN_IF_ERROR(synchronize());
-    TDO_RETURN_IF_ERROR(xfer_->host_copy(dst, src, bytes));
+    TDO_RETURN_IF_ERROR(xfer_->host_copy_2d(dst, src, pitch, width, rows));
   }
   stats_.bytes_copied += bytes;
-  invalidate_scales(dst, bytes);
+  const std::uint64_t span = (rows - 1) * pitch + width;
+  invalidate_scales(dst, span);
   // Epoch-based residency invalidation: the destination just received a
   // host-visible write, so any cached stationary tile overlapping it is
   // stale. A destination the MMU cannot resolve contiguously falls back to
   // killing everything (it cannot alias a cached tile's contiguous rect,
   // but stay conservative).
   if (planned) {
-    residency_->invalidate_overlapping(desc.dst);
-  } else if (system_.mmu().is_contiguous(dst, bytes)) {
+    for (const CopySeg& seg : desc.segments) {
+      residency_->invalidate_overlapping(seg.dst);
+    }
+  } else if (system_.mmu().is_contiguous(dst, span)) {
     const auto dst_pa = system_.mmu().translate(dst);
     if (dst_pa.is_ok()) {
-      residency_->invalidate_overlapping(Rect::linear(*dst_pa, bytes));
+      residency_->invalidate_overlapping(Rect{*dst_pa, pitch, width, rows});
     } else {
       residency_->invalidate_all();
     }
@@ -152,10 +217,11 @@ support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
   // exactly partition the copy's source, and the destination to be
   // otherwise unclaimed. Anything else falls back to the ordinary
   // full-drain ordering.
-  if (!desc.src.contiguous() || !desc.dst.contiguous()) return false;
-  const auto stripes = stream_->overlapping_writes(desc.src);
+  if (!desc.single()) return false;
+  if (!desc.src().contiguous() || !desc.dst().contiguous()) return false;
+  const auto stripes = stream_->overlapping_writes(desc.src());
   if (stripes.size() < 2 || stripes.size() > 64) return false;
-  if (stream_->writes_overlap(desc.dst) || stream_->reads_overlap(desc.dst)) {
+  if (stream_->writes_overlap(desc.dst()) || stream_->reads_overlap(desc.dst())) {
     return false;
   }
   std::uint64_t covered = 0;
@@ -163,8 +229,8 @@ support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
   for (std::size_t i = 0; i < stripes.size(); ++i) {
     const TrackedRect& s = stripes[i];
     if (s.device < 0) return false;
-    if (s.rect.base < desc.src.base ||
-        s.rect.span_end() > desc.src.span_end()) {
+    if (s.rect.base < desc.src().base ||
+        s.rect.span_end() > desc.src().span_end()) {
       return false;
     }
     for (std::size_t j = 0; j < i; ++j) {
@@ -186,14 +252,13 @@ support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
               return driver_->device(lhs).work_done_tick() <
                      driver_->device(rhs).work_done_tick();
             });
-  const std::int64_t shift = static_cast<std::int64_t>(desc.dst.base) -
-                             static_cast<std::int64_t>(desc.src.base);
+  const std::int64_t shift = static_cast<std::int64_t>(desc.dst().base) -
+                             static_cast<std::int64_t>(desc.src().base);
   for (const std::size_t dev : devices) {
     TDO_RETURN_IF_ERROR(stream_->drain_device(dev));
     for (const TrackedRect& s : stripes) {
       if (static_cast<std::size_t>(s.device) != dev) continue;
-      CopyDesc part;
-      part.dir = desc.dir;
+      CopySeg part;
       part.src = s.rect;
       part.dst = s.rect;
       part.dst.base = static_cast<sim::PhysAddr>(
@@ -201,7 +266,8 @@ support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
       CimStream::Command command;
       command.kind = CimStream::Command::Kind::kCopy;
       command.device = static_cast<int>(dev);
-      command.copy = part;
+      command.copy.dir = desc.dir;
+      command.copy.segments = {part};
       TDO_RETURN_IF_ERROR(stream_->enqueue(command));
     }
   }
@@ -226,6 +292,20 @@ void CimRuntime::invalidate_scales(sim::VirtAddr va, std::uint64_t bytes) {
 support::Status CimRuntime::dev_to_host(sim::VirtAddr dst, sim::VirtAddr src,
                                         std::uint64_t bytes) {
   return copy(CopyDesc::Dir::kDevToHost, dst, src, bytes);
+}
+
+support::Status CimRuntime::host_to_dev_2d(sim::VirtAddr dst, sim::VirtAddr src,
+                                           std::uint64_t pitch,
+                                           std::uint64_t width,
+                                           std::uint64_t rows) {
+  return copy_view(CopyDesc::Dir::kHostToDev, dst, src, pitch, width, rows);
+}
+
+support::Status CimRuntime::dev_to_host_2d(sim::VirtAddr dst, sim::VirtAddr src,
+                                           std::uint64_t pitch,
+                                           std::uint64_t width,
+                                           std::uint64_t rows) {
+  return copy_view(CopyDesc::Dir::kDevToHost, dst, src, pitch, width, rows);
 }
 
 support::StatusOr<sim::PhysAddr> CimRuntime::translate_checked(

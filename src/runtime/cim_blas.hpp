@@ -86,15 +86,27 @@ class CimRuntime {
   [[nodiscard]] support::StatusOr<sim::VirtAddr> malloc_device(std::uint64_t bytes);
   support::Status free_device(sim::VirtAddr va);
 
-  /// polly_cimHostToDev / polly_cimDevToHost. Large physically-contiguous
-  /// transfers enqueue into the command stream as DMA copy commands and
-  /// return immediately (ordered against in-flight producers by rectangle
-  /// hazards); small or scattered ones run as host-performed copies through
+  /// polly_cimHostToDev / polly_cimDevToHost. Large transfers enqueue into
+  /// the command stream as DMA copy commands and return immediately (ordered
+  /// against in-flight producers by rectangle hazards); page-scattered
+  /// buffers ride as scatter-gather descriptor chains. Only small or
+  /// pathologically fragmented copies run as host-performed copies through
   /// the cache hierarchy (the paper's original path).
   support::Status host_to_dev(sim::VirtAddr dst, sim::VirtAddr src,
                               std::uint64_t bytes);
   support::Status dev_to_host(sim::VirtAddr dst, sim::VirtAddr src,
                               std::uint64_t bytes);
+
+  /// Pitched (strided sub-matrix view) transfers: `rows` rows of `width`
+  /// bytes, row starts `pitch` bytes apart on both sides. The transfer
+  /// engine derives the segment chain from the footprint, so views of
+  /// device-resident arrays ride the stream too.
+  support::Status host_to_dev_2d(sim::VirtAddr dst, sim::VirtAddr src,
+                                 std::uint64_t pitch, std::uint64_t width,
+                                 std::uint64_t rows);
+  support::Status dev_to_host_2d(sim::VirtAddr dst, sim::VirtAddr src,
+                                 std::uint64_t pitch, std::uint64_t width,
+                                 std::uint64_t rows);
 
   /// polly_cimBlasSGemm: C = alpha*A*B + beta*C (row-major, no transposes).
   /// Oversized operands are tiled internally to the crossbar geometry.
@@ -220,11 +232,20 @@ class CimRuntime {
   /// write (WAR — a queued command's deferred reads must not observe it).
   support::Status sync_for_operands(std::initializer_list<Rect> reads,
                                     std::initializer_list<Rect> writes);
+  support::Status sync_for_operands(std::span<const Rect> reads,
+                                    std::span<const Rect> writes);
 
   /// Issues one host<->device copy: async through the stream when the
   /// transfer engine deems it eligible, else the blocking host path.
   support::Status copy(CopyDesc::Dir dir, sim::VirtAddr dst, sim::VirtAddr src,
                        std::uint64_t bytes);
+
+  /// Pitched-view generalization of copy(); flat copies pass rows == 1.
+  /// Marshals multi-segment chains into a staging CopySegEntry table the
+  /// device DMA fetches (released at synchronize(), like batch tables).
+  support::Status copy_view(CopyDesc::Dir dir, sim::VirtAddr dst,
+                            sim::VirtAddr src, std::uint64_t pitch,
+                            std::uint64_t width, std::uint64_t rows);
 
   /// Reads a float element (functional, no host charge — engine-side use).
   [[nodiscard]] support::StatusOr<sim::PhysAddr> translate_checked(

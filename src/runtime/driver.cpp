@@ -149,13 +149,19 @@ support::Status CimDriver::submit_copy(const cim::ContextRegs& image,
   // Range clean/invalidate instead of the full-cache clean of a compute
   // submit: the DMA only touches the copy window, so the driver walks just
   // those lines (dcache clean by VA in a loop, the way dma_map_single does).
+  // A scatter-gather chain also cleans the marshaled descriptor-table lines
+  // the device is about to fetch.
+  const std::uint64_t seg_count = image.read(cim::Reg::kSegCount);
+  const std::uint64_t table_bytes =
+      seg_count > 1 ? seg_count * sizeof(cim::CopySegEntry) : 0;
   const std::uint64_t bytes =
-      image.read(cim::Reg::kM) * image.read(cim::Reg::kN);
+      image.read(cim::Reg::kM) * image.read(cim::Reg::kN) + table_bytes;
   flushes_.add();
   system_.cpu().charge_instructions(params_.flush_instructions_per_line *
                                     (bytes / 64 + 1));
-  // Program the copy descriptor registers (src/dst base+pitch, rows, width,
-  // direction) plus the opcode through the uncached PMIO window.
+  // Program the copy descriptor registers through the uncached PMIO window:
+  // inline src/dst base+pitch, rows, width, direction for a single segment;
+  // segment count + table PA for a chain.
   for (int i = 0; i < 8; ++i) charge_mmio_access();
   // Retire completions due by now so the copy cannot appear to start before
   // its submission time.

@@ -101,11 +101,14 @@ support::Status CimStream::enqueue_copy(const Command& command) {
                               : next_device();
   copies_enqueued_.add();
   copy_bytes_.add(desc.bytes());
-  // The copy's footprint joins the hazard sets: later commands reading the
-  // destination (or overwriting the source) must order behind it. The caller
-  // has already checked this command's own rectangles for conflicts.
-  note_read(desc.src, static_cast<int>(dev));
-  note_write(desc.dst, static_cast<int>(dev));
+  // Every segment's footprint joins the hazard sets: later commands reading
+  // any destination run (or overwriting any source run) must order behind
+  // the chain. The caller has already checked this command's own rectangles
+  // for conflicts.
+  for (const CopySeg& seg : desc.segments) {
+    note_read(seg.src, static_cast<int>(dev));
+    note_write(seg.dst, static_cast<int>(dev));
+  }
   TDO_RETURN_IF_ERROR(driver_.submit_copy(make_copy_image(desc), dev));
   note_occupancy();
   return support::Status::ok();
@@ -166,6 +169,10 @@ StreamReport CimStream::report() const {
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
     rep.overlapped_copy_bytes +=
         driver_.device(d).dma().overlapped_copy_bytes();
+    rep.copy_segments += driver_.device(d).copy_segments();
+    rep.copy_contended_ticks +=
+        driver_.device(d).dma().contended_copy_ticks();
+    rep.copy_migrations += driver_.device(d).dma().copy_migrations();
     rep.weight_writes_saved8 +=
         driver_.device(d).engine().weight_writes_saved8();
   }

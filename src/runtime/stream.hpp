@@ -71,10 +71,21 @@ struct StreamReport {
   // DMA copy commands (transfer engine, runtime/xfer.hpp).
   std::uint64_t copies_enqueued = 0;
   std::uint64_t copy_bytes = 0;
+  /// Scatter-gather segments executed by the devices' copy chains (one
+  /// chain = one stream command; a contiguous copy is one segment).
+  std::uint64_t copy_segments = 0;
   /// Copy bytes whose transfer window was hidden under engine compute,
   /// summed across every accelerator's DMA channel. Exact: chained jobs'
-  /// busy windows are credited as they launch, not just the running job's.
+  /// busy windows are credited as they launch, the engine's own weight and
+  /// vector DMA occupancy of the copy's channel is subtracted, so the
+  /// figure never exceeds the channel's true idle window.
   std::uint64_t overlapped_copy_bytes = 0;
+  /// Ticks copies waited behind earlier reservations on their channel
+  /// (stream copies and the engine's own DMA traffic contend).
+  std::uint64_t copy_contended_ticks = 0;
+  /// Copy chains that migrated off the dedicated copy channel because
+  /// another channel was free earlier.
+  std::uint64_t copy_migrations = 0;
   // Weight-residency cache behaviour (runtime/residency.hpp).
   std::uint64_t residency_hits = 0;
   std::uint64_t residency_misses = 0;

@@ -91,8 +91,19 @@ class RectTracker {
   std::vector<TrackedRect> writes_;
 };
 
-/// One DMA copy command: direction plus matching src/dst rectangles (same
-/// width and row count; pitches may differ, e.g. packing a sub-matrix).
+/// One scatter-gather segment: matching src/dst rectangles (same width and
+/// row count; pitches may differ, e.g. packing a sub-matrix).
+struct CopySeg {
+  Rect src;
+  Rect dst;
+
+  [[nodiscard]] std::uint64_t bytes() const { return src.bytes(); }
+};
+
+/// One DMA copy command: direction plus a chain of segments. A physically
+/// contiguous copy is a single-segment chain; page-scattered host buffers
+/// and strided sub-matrix views become multi-segment chains that execute
+/// back-to-back on one DMA channel (no host-memcpy fallback).
 struct CopyDesc {
   /// Informational tag for traces: shared memory is flat, so the DMA moves
   /// bytes identically in both directions.
@@ -101,15 +112,28 @@ struct CopyDesc {
     kDevToHost = 1,
   };
   Dir dir = Dir::kHostToDev;
-  Rect src;
-  Rect dst;
+  std::vector<CopySeg> segments;
+  /// Multi-segment chains only: PA of the marshaled CopySegEntry table in
+  /// shared memory (written by the runtime, fetched by the device's DMA).
+  sim::PhysAddr table_pa = 0;
 
-  [[nodiscard]] std::uint64_t bytes() const { return src.bytes(); }
+  [[nodiscard]] std::uint64_t bytes() const {
+    std::uint64_t total = 0;
+    for (const CopySeg& seg : segments) total += seg.bytes();
+    return total;
+  }
+  [[nodiscard]] bool single() const { return segments.size() == 1; }
+  /// Single-segment accessors (the contiguous fast path).
+  [[nodiscard]] const Rect& src() const { return segments.front().src; }
+  [[nodiscard]] const Rect& dst() const { return segments.front().dst; }
 };
 
 /// Encodes a copy descriptor into the accelerator's register file
-/// (Opcode::kCopy). Register reuse: PaA/Lda describe the source rectangle,
-/// PaC/Ldc the destination, M the row count, N the row width in bytes.
+/// (Opcode::kCopy). Single segment: PaA/Lda describe the source rectangle,
+/// PaC/Ldc the destination, M the row count, N the row width in bytes,
+/// SegCount 1. Multi-segment chain: SegCount/SegTable point at the marshaled
+/// CopySegEntry table (desc.table_pa), and M=1/N=total-bytes so the driver's
+/// range-granular flush still sees the transfer size.
 [[nodiscard]] cim::ContextRegs make_copy_image(const CopyDesc& desc);
 
 struct XferParams {
@@ -118,8 +142,15 @@ struct XferParams {
   bool async_copies = true;
   /// Copies below this size stay on the host memcpy path (the DTO_MIN_BYTES
   /// analogue for transfers: a DMA descriptor round trip costs more than a
-  /// small cached memcpy).
+  /// small cached memcpy). The threshold applies to the copy as a whole, not
+  /// to individual segments: the descriptor chain amortizes the round trip,
+  /// so a large scattered copy with one tiny tail segment still rides the
+  /// stream instead of falling back to host memcpy.
   std::uint64_t min_async_bytes = 16 * 1024;
+  /// Chains longer than this fall back to the host path (a bound on the
+  /// descriptor table the device walks; severe fragmentation is better
+  /// served by the cache-warm host loop anyway).
+  std::uint32_t max_segments = 64;
 };
 
 /// Plans and executes host<->device copies for the runtime. Owns the
@@ -127,22 +158,42 @@ struct XferParams {
 /// caller's CimStream as kCopy commands.
 class XferEngine {
  public:
-  XferEngine(XferParams params, sim::System& system) noexcept
-      : params_{params}, system_{system} {}
+  XferEngine(XferParams params, sim::System& system)
+      : params_{params}, system_{system} {
+    system.stats().register_counter("xfer.host_copies", &host_copies_);
+    system.stats().register_counter("xfer.host_copy_bytes", &host_copy_bytes_);
+  }
 
-  /// Returns the DMA descriptor for [src, src+bytes) -> [dst, dst+bytes)
-  /// when the copy is async-eligible: async copies enabled, both ranges
-  /// physically contiguous (the descriptor carries physical rectangles and
-  /// this DMA has no scatter-gather), and the transfer clears the size
-  /// threshold. Returns false (desc untouched) otherwise.
+  /// Returns the DMA descriptor chain for [src, src+bytes) ->
+  /// [dst, dst+bytes) when the copy is async-eligible: async copies enabled,
+  /// the transfer clears the size threshold, and the footprint resolves to
+  /// at most max_segments physically contiguous runs (page-scattered buffers
+  /// become scatter-gather chains instead of falling back to host memcpy).
+  /// Returns false (desc untouched) otherwise.
   [[nodiscard]] bool plan(CopyDesc::Dir dir, sim::VirtAddr dst,
                           sim::VirtAddr src, std::uint64_t bytes,
                           CopyDesc* desc) const;
 
+  /// Plans a pitched (sub-matrix view) copy: `rows` rows of `width` bytes,
+  /// row starts `pitch` bytes apart on both sides. Derives the segment chain
+  /// from the footprint — per-row runs split at physical discontinuities,
+  /// then coalesced back into pitched rectangles where row starts advance by
+  /// a constant physical stride on both sides.
+  [[nodiscard]] bool plan_view(CopyDesc::Dir dir, sim::VirtAddr dst,
+                               sim::VirtAddr src, std::uint64_t pitch,
+                               std::uint64_t width, std::uint64_t rows,
+                               CopyDesc* desc) const;
+
   /// Blocking host-performed copy through the cache hierarchy (the paper's
-  /// original path, and the fallback for small or scattered transfers).
+  /// original path, and the fallback for small or over-fragmented
+  /// transfers).
   support::Status host_copy(sim::VirtAddr dst, sim::VirtAddr src,
                             std::uint64_t bytes);
+
+  /// Pitched host copy (one accounting unit, not `rows` separate copies).
+  support::Status host_copy_2d(sim::VirtAddr dst, sim::VirtAddr src,
+                               std::uint64_t pitch, std::uint64_t width,
+                               std::uint64_t rows);
 
   [[nodiscard]] std::uint64_t host_copies() const { return host_copies_.value(); }
   [[nodiscard]] std::uint64_t host_copy_bytes() const {
@@ -151,6 +202,11 @@ class XferEngine {
   [[nodiscard]] const XferParams& params() const { return params_; }
 
  private:
+  /// Chunked cache-hierarchy memcpy of one contiguous virtual range (no
+  /// bandwidth stall or counter update — callers aggregate those).
+  support::Status host_copy_row(sim::VirtAddr dst, sim::VirtAddr src,
+                                std::uint64_t bytes);
+
   XferParams params_;
   sim::System& system_;
   support::Counter host_copies_;

@@ -313,6 +313,238 @@ TEST(XferTest, PerStripeCopyBackDrainsProducersIndividually) {
       << "striped copy-back corrupted the transfer";
 }
 
+// --- scatter-gather copy chains ---
+
+using testing::read_floats_scattered;
+using testing::write_floats_scattered;
+
+/// Allocates `bytes` of virtual memory whose physical frames are scattered:
+/// a handful of single pages are allocated and every other one released, so
+/// the buffer's pages pop from the fragmented free list in reverse order.
+sim::VirtAddr alloc_scattered(Platform& p, std::uint64_t bytes) {
+  auto& mmu = p.system().mmu();
+  std::vector<sim::VirtAddr> holes;
+  for (int i = 0; i < 8; ++i) {
+    auto page = mmu.allocate(sim::kPageSize);
+    EXPECT_TRUE(page.is_ok());
+    holes.push_back(*page);
+  }
+  for (std::size_t i = 0; i < holes.size(); i += 2) {
+    EXPECT_TRUE(mmu.release(holes[i], sim::kPageSize).is_ok());
+  }
+  auto va = mmu.allocate(bytes);
+  EXPECT_TRUE(va.is_ok());
+  return *va;
+}
+
+TEST(XferSgTest, ScatteredHostBufferRidesAsSingleCopyChain) {
+  // The acceptance criterion: a page-scattered (>= 4 segment) host buffer
+  // copy executes as ONE stream kCopy command chain — no host-memcpy
+  // fallback, bit-identical payload.
+  Platform p{async_copy_config(4)};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  const std::size_t count = (4 * sim::kPageSize + 256) / 4;
+  const auto data = random_matrix(count, 5.0, 71);
+  const sim::VirtAddr src = alloc_scattered(p, count * 4);
+  ASSERT_FALSE(p.system().mmu().is_contiguous(src, count * 4))
+      << "fragmentation setup failed to scatter the buffer";
+  write_floats_scattered(p, src, data);
+  auto dst = p.runtime().malloc_device(count * 4);
+  ASSERT_TRUE(dst.is_ok());
+
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst, src, count * 4).is_ok());
+  auto report = p.runtime().stream().report();
+  EXPECT_EQ(report.copies_enqueued, 1u) << "chain split into several commands";
+  EXPECT_EQ(p.runtime().xfer().host_copies(), 0u) << "host-memcpy fallback";
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  report = p.runtime().stream().report();
+  EXPECT_GE(report.copy_segments, 4u) << "not a scatter-gather chain";
+  EXPECT_EQ(report.copy_bytes, count * 4);
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), data), 0.0);
+
+  // And back: device -> scattered host destination, still on the stream.
+  const sim::VirtAddr back = alloc_scattered(p, count * 4);
+  ASSERT_TRUE(p.runtime().dev_to_host(back, *dst, count * 4).is_ok());
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  EXPECT_EQ(p.runtime().xfer().host_copies(), 0u);
+  EXPECT_EQ(max_abs_error(read_floats_scattered(p, back, count), data), 0.0);
+}
+
+TEST(XferSgTest, SubThresholdSegmentDoesNotForceHostFallback) {
+  // min_async_bytes applies to the copy as a whole (the chain amortizes the
+  // descriptor round trip): a large copy whose scatter includes a segment
+  // smaller than the threshold still rides the stream.
+  RuntimeConfig config = async_copy_config();
+  config.xfer.min_async_bytes = 16 * 1024;
+  Platform p{config};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  auto& mmu = p.system().mmu();
+  // One released page followed by fresh ascending frames: the buffer maps to
+  // a lone 4 KiB segment plus one 16 KiB contiguous run.
+  auto hole = mmu.allocate(sim::kPageSize);
+  ASSERT_TRUE(hole.is_ok());
+  auto filler = mmu.allocate(sim::kPageSize);
+  ASSERT_TRUE(filler.is_ok());
+  ASSERT_TRUE(mmu.release(*hole, sim::kPageSize).is_ok());
+  auto src = mmu.allocate(5 * sim::kPageSize);
+  ASSERT_TRUE(src.is_ok());
+  ASSERT_FALSE(mmu.is_contiguous(*src, 5 * sim::kPageSize));
+
+  const std::size_t count = 5 * sim::kPageSize / 4;
+  const auto data = random_matrix(count, 2.0, 72);
+  write_floats_scattered(p, *src, data);
+  auto dst = p.runtime().malloc_device(count * 4);
+  ASSERT_TRUE(dst.is_ok());
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst, *src, count * 4).is_ok());
+  EXPECT_EQ(p.runtime().stream().report().copies_enqueued, 1u)
+      << "sub-threshold segment pushed the whole copy to the host path";
+  EXPECT_EQ(p.runtime().xfer().host_copies(), 0u);
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), data), 0.0);
+}
+
+TEST(XferSgTest, StridedSubMatrixViewRidesAsPitchedSegment) {
+  // A sub-matrix view (rows x width with a row pitch) of contiguous buffers
+  // coalesces back into a single pitched rectangle segment; only the view's
+  // bytes move.
+  Platform p{async_copy_config()};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  const std::size_t rows = 48, cols = 64, view_cols = 32, row0 = 8, col0 = 16;
+  const auto data = random_matrix(rows * cols, 3.0, 73);
+  const auto src = p.upload(data);
+  const auto dst = p.device_zeros(rows * cols);
+
+  const std::uint64_t off = (row0 * cols + col0) * 4;
+  ASSERT_TRUE(p.runtime()
+                  .host_to_dev_2d(dst + off, src + off, cols * 4, view_cols * 4,
+                                  /*rows=*/24)
+                  .is_ok());
+  auto report = p.runtime().stream().report();
+  EXPECT_EQ(report.copies_enqueued, 1u);
+  EXPECT_EQ(report.copy_bytes, 24u * view_cols * 4u);
+  EXPECT_EQ(p.runtime().xfer().host_copies(), 0u);
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  EXPECT_EQ(p.runtime().stream().report().copy_segments, 1u)
+      << "contiguous-row view should coalesce into one pitched rectangle";
+
+  const auto got = p.read_floats(dst, rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool inside = r >= row0 && r < row0 + 24 && c >= col0 &&
+                          c < col0 + view_cols;
+      const float want = inside ? data[r * cols + c] : 0.0f;
+      ASSERT_EQ(got[r * cols + c], want) << "row " << r << " col " << c;
+    }
+  }
+}
+
+// --- DMA-channel contention ---
+
+TEST(XferContentionTest, PinnedChannelSerializesEngineDmaAndCopy) {
+  // One DMA channel: the engine's weight/vector traffic and the stream copy
+  // share a single busy-window timeline, so the copy serializes behind the
+  // engine's own DMA instead of overlapping for free — contended ticks are
+  // visible and the overlap credit stays strictly below the copy's bytes.
+  cim::AcceleratorParams accel;
+  accel.dma.channels = 1;
+  Platform p{async_copy_config(8), accel};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  const std::size_t m = 64, n = 128, k = 128;
+  const auto a = random_matrix(m * k, 1.0, 81);
+  const auto b = random_matrix(k * n, 1.0, 82);
+  const auto va_a = p.upload(a);
+  const auto va_b = p.upload(b);
+  const auto va_c = p.device_zeros(m * n);
+
+  // Large enough that, once serialized behind the engine's weight and
+  // vector DMA windows, the copy spills past the job's end — so full hiding
+  // is impossible and the exact credit must come up short.
+  const std::size_t count = 256 * 256;
+  const auto payload = random_matrix(count, 2.0, 83);
+  const auto src = p.upload(payload);
+  auto dst = p.runtime().malloc_device(count * 4);
+  ASSERT_TRUE(dst.is_ok());
+
+  ASSERT_TRUE(p.runtime()
+                  .sgemm_async(m, n, k, 1.0f, va_a, k, va_b, n, 0.0f, va_c, n,
+                               cim::StationaryOperand::kB)
+                  .is_ok());
+  ASSERT_TRUE(p.accel().has_work());
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst, src, count * 4).is_ok());
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+
+  const auto report = p.runtime().stream().report();
+  EXPECT_GT(report.copy_contended_ticks, 0u)
+      << "copy did not serialize behind the engine's own DMA";
+  EXPECT_EQ(report.copy_migrations, 0u) << "nowhere to migrate with 1 channel";
+  EXPECT_LT(report.overlapped_copy_bytes, report.copy_bytes)
+      << "overlap credit exceeded the single channel's idle window";
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), payload), 0.0);
+}
+
+TEST(XferContentionTest, SecondChannelAbsorbsTheCopyWhenIdle) {
+  // Same workload, two channels (default): the copy migrates to the idle
+  // channel instead of waiting, and hides more of its window under compute
+  // than the pinned single-channel run ever can.
+  const auto run = [](std::uint32_t channels) {
+    cim::AcceleratorParams accel;
+    accel.dma.channels = channels;
+    Platform p{async_copy_config(8), accel};
+    EXPECT_TRUE(p.runtime().init(0).is_ok());
+    const std::size_t m = 64, n = 128, k = 128;
+    const auto a = random_matrix(m * k, 1.0, 91);
+    const auto b = random_matrix(k * n, 1.0, 92);
+    const auto va_a = p.upload(a);
+    const auto va_b = p.upload(b);
+    const auto va_c = p.device_zeros(m * n);
+    const std::size_t count = 256 * 256;
+    const auto payload = random_matrix(count, 2.0, 93);
+    const auto src = p.upload(payload);
+    auto dst = p.runtime().malloc_device(count * 4);
+    EXPECT_TRUE(dst.is_ok());
+    EXPECT_TRUE(p.runtime()
+                    .sgemm_async(m, n, k, 1.0f, va_a, k, va_b, n, 0.0f, va_c, n,
+                                 cim::StationaryOperand::kB)
+                    .is_ok());
+    EXPECT_TRUE(p.runtime().host_to_dev(*dst, src, count * 4).is_ok());
+    EXPECT_TRUE(p.runtime().synchronize().is_ok());
+    return p.runtime().stream().report();
+  };
+  const auto pinned = run(1);
+  const auto dual = run(2);
+  EXPECT_EQ(dual.copy_contended_ticks, 0u)
+      << "idle copy channel still made the copy wait";
+  EXPECT_GT(pinned.copy_contended_ticks, dual.copy_contended_ticks);
+  EXPECT_GE(dual.overlapped_copy_bytes, pinned.overlapped_copy_bytes);
+  EXPECT_LE(dual.overlapped_copy_bytes, dual.copy_bytes);
+}
+
+TEST(XferContentionTest, CopyMigratesToIdleChannelUnderCopyPressure) {
+  // Two back-to-back copies with the engine idle: the first takes the
+  // dedicated copy channel, the second migrates to channel 0 rather than
+  // serializing behind it.
+  Platform p{async_copy_config(8)};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  const std::size_t count = 64 * 64;
+  const auto one = random_matrix(count, 1.0, 94);
+  const auto two = random_matrix(count, 1.0, 95);
+  const auto src1 = p.upload(one);
+  const auto src2 = p.upload(two);
+  auto dst1 = p.runtime().malloc_device(count * 4);
+  auto dst2 = p.runtime().malloc_device(count * 4);
+  ASSERT_TRUE(dst1.is_ok());
+  ASSERT_TRUE(dst2.is_ok());
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst1, src1, count * 4).is_ok());
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst2, src2, count * 4).is_ok());
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  const auto report = p.runtime().stream().report();
+  EXPECT_EQ(report.copies_enqueued, 2u);
+  EXPECT_GE(report.copy_migrations, 1u) << "second copy waited instead of"
+                                           " taking the idle channel";
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst1, count), one), 0.0);
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst2, count), two), 0.0);
+}
+
 // --- end-to-end regression ---
 
 TEST(XferTest, AsyncCopiesWithDepthTwoBeatSynchronousCopyBaseline) {
@@ -331,6 +563,9 @@ TEST(XferTest, AsyncCopiesWithDepthTwoBeatSynchronousCopyBaseline) {
     EXPECT_TRUE(report->correct);
     if (async) {
       EXPECT_GT(report->copies_enqueued, 0u) << "no copy rode the stream";
+      // Engine DMA contention is always modeled now; the overlap credit is
+      // bounded by the copy channel's idle window, never the raw bytes.
+      EXPECT_LE(report->overlapped_copy_bytes, report->copy_bytes);
     } else {
       EXPECT_EQ(report->copies_enqueued, 0u);
     }

@@ -85,6 +85,29 @@ class Platform {
   std::vector<std::unique_ptr<cim::Accelerator>> extra_;
 };
 
+/// Element-wise float I/O through the MMU — safe for buffers whose physical
+/// frames are scattered (Platform::write_floats/read_floats translate the
+/// base once and assume contiguity).
+inline void write_floats_scattered(Platform& p, sim::VirtAddr va,
+                                   std::span<const float> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto pa = p.system().mmu().translate(va + i * sizeof(float));
+    ASSERT_TRUE(pa.is_ok());
+    p.system().memory().write_scalar<float>(*pa, data[i]);
+  }
+}
+
+[[nodiscard]] inline std::vector<float> read_floats_scattered(
+    Platform& p, sim::VirtAddr va, std::size_t count) {
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto pa = p.system().mmu().translate(va + i * sizeof(float));
+    EXPECT_TRUE(pa.is_ok());
+    out[i] = p.system().memory().read_scalar<float>(*pa);
+  }
+  return out;
+}
+
 /// Row-major reference GEMM: C = alpha*A*B + beta*C.
 inline void ref_gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
                      const std::vector<float>& a, std::size_t lda,
