@@ -1,0 +1,50 @@
+// Shared load-generation helpers for the serving/sweep benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tdo::benchutil {
+
+/// Zipf(s) sampler over {0, ..., count-1} via inverse-CDF on a precomputed
+/// table (rank 0 most popular).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t count, double s, std::uint64_t seed) : rng_{seed} {
+    cdf_.reserve(count);
+    double total = 0.0;
+    for (std::size_t i = 1; i <= count; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i), s);
+      cdf_.push_back(total);
+    }
+    for (double& v : cdf_) v /= total;
+  }
+  [[nodiscard]] std::size_t next() {
+    const double u = rng_.uniform(0.0, 1.0);
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  support::Rng rng_;
+  std::vector<double> cdf_;
+};
+
+/// Deterministic random float matrix in [-range, range].
+[[nodiscard]] inline std::vector<float> random_matrix(std::size_t count,
+                                                      double range,
+                                                      std::uint64_t seed) {
+  support::Rng rng{seed};
+  std::vector<float> out(count);
+  for (float& v : out) {
+    v = rng.uniform_f(static_cast<float>(-range), static_cast<float>(range));
+  }
+  return out;
+}
+
+}  // namespace tdo::benchutil

@@ -1,0 +1,637 @@
+// Serving-scheduler load harness: open- and closed-loop Zipf-tenant traffic.
+//
+// Models the ROADMAP's end state — many tenants hammering a pool of CIM
+// accelerators with inference-style GEMMs against a Zipf-popular universe of
+// weight sets — and measures the serving metrics that matter at that level:
+// throughput, p50/p95/p99 tail latency per deadline class, residency hit
+// rate, CPU-fallback ratio, and batch coalescing.
+//
+// Three experiments:
+//   1. Closed loop, full scheduler (dynamic batching + residency-affinity
+//      placement + adaptive admission) vs the no-batching FIFO baseline.
+//      The bench FAILS unless the full scheduler strictly beats the
+//      baseline on both throughput and p99 latency.
+//   2. Open loop at a configured arrival rate (reporting only).
+//   3. Adaptive-admission convergence: a static sweep over the
+//      min_macs_per_write ladder on a mixed-intensity load finds the best
+//      static threshold; the bench FAILS unless the adaptive controller
+//      lands within one ladder rung of it.
+//
+// `--smoke` shrinks everything for CI. See --help for the load knobs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cim/accelerator.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/system.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using tdo::benchutil::ZipfSampler;
+using tdo::benchutil::random_matrix;
+using tdo::support::Duration;
+
+struct Options {
+  bool smoke = false;
+  bool dump = false;  ///< print per-request completion records
+  std::size_t accelerators = 2;
+  std::size_t tenants = 4;
+  std::size_t clients_per_tenant = 4;
+  std::size_t requests_per_client = 16;
+  std::size_t weight_sets = 8;
+  double zipf_alpha = 1.0;
+  std::size_t batch_max = 8;
+  double max_wait_us = 25.0;
+  double open_rate_rps = 20000.0;
+  std::uint64_t seed = 42;
+  std::uint64_t m = 16, n = 64, k = 64;
+};
+
+/// A fully wired platform plus the serving state one load run needs.
+struct Platform {
+  tdo::sim::System system;
+  std::vector<std::unique_ptr<tdo::cim::Accelerator>> accels;
+  std::unique_ptr<tdo::rt::CimRuntime> runtime;
+
+  explicit Platform(std::size_t accelerators,
+                    tdo::rt::RuntimeConfig config = {}) {
+    tdo::cim::AcceleratorParams accel_params;
+    accels.push_back(std::make_unique<tdo::cim::Accelerator>(accel_params,
+                                                             system));
+    config.stream.depth = 2;
+    runtime = std::make_unique<tdo::rt::CimRuntime>(config, system,
+                                                    *accels.front());
+    for (std::size_t i = 1; i < accelerators; ++i) {
+      accels.push_back(std::make_unique<tdo::cim::Accelerator>(
+          tdo::cim::instance_params(accel_params, i), system));
+      runtime->add_accelerator(*accels.back());
+    }
+  }
+
+  [[nodiscard]] tdo::support::StatusOr<tdo::sim::VirtAddr> upload(
+      const std::vector<float>& data) {
+    auto va = runtime->malloc_device(data.size() * 4);
+    if (!va.is_ok()) return va.status();
+    auto pa = system.mmu().translate(*va);
+    if (!pa.is_ok()) return pa.status();
+    system.memory().write(
+        *pa, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size() * 4));
+    return *va;
+  }
+};
+
+struct LoadResult {
+  double throughput_rps = 0.0;
+  Duration p50, p95, p99;
+  double hit_rate = 0.0;
+  double fallback_ratio = 0.0;
+  double mean_batch = 1.0;
+  tdo::serve::ServeReport serve;
+  std::vector<tdo::serve::Completion> completions;  // --dump diagnostics
+};
+
+#define BENCH_CHECK(expr)                                        \
+  do {                                                           \
+    const auto _status = (expr);                                 \
+    if (!_status.is_ok()) {                                      \
+      std::cerr << #expr << ": " << _status.to_string() << "\n"; \
+      std::exit(1);                                              \
+    }                                                            \
+  } while (0)
+
+/// Shared serving state: weight universe + per-client activation/output
+/// buffer pools (rotating so back-to-back requests of one client do not
+/// collide on C while the stream pipelines).
+struct ServingState {
+  std::vector<tdo::sim::VirtAddr> weights;
+  struct Client {
+    std::uint32_t tenant = 0;
+    tdo::serve::DeadlineClass deadline = tdo::serve::DeadlineClass::kStandard;
+    std::vector<tdo::sim::VirtAddr> va_a, va_c;
+    std::vector<float> host_a;  ///< payload re-uploaded per request
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    bool busy = false;
+  };
+  std::vector<Client> clients;
+  ZipfSampler zipf;
+
+  ServingState(Platform& platform, const Options& opts)
+      : zipf{opts.weight_sets, opts.zipf_alpha, opts.seed} {
+    constexpr std::size_t kPool = 6;
+    for (std::size_t w = 0; w < opts.weight_sets; ++w) {
+      auto va = platform.upload(
+          random_matrix(opts.k * opts.n, 1.0, opts.seed + 100 + w));
+      BENCH_CHECK(va.status());
+      weights.push_back(*va);
+    }
+    for (std::size_t t = 0; t < opts.tenants; ++t) {
+      for (std::size_t c = 0; c < opts.clients_per_tenant; ++c) {
+        Client client;
+        client.tenant = static_cast<std::uint32_t>(t);
+        client.deadline =
+            static_cast<tdo::serve::DeadlineClass>(t % tdo::serve::kDeadlineClasses);
+        client.host_a =
+            random_matrix(opts.m * opts.k, 1.0, opts.seed + 7 + t * 31 + c);
+        for (std::size_t p = 0; p < kPool; ++p) {
+          auto a = platform.upload(client.host_a);
+          BENCH_CHECK(a.status());
+          auto out = platform.upload(std::vector<float>(opts.m * opts.n, 0.0f));
+          BENCH_CHECK(out.status());
+          client.va_a.push_back(*a);
+          client.va_c.push_back(*out);
+        }
+        clients.push_back(std::move(client));
+      }
+    }
+  }
+
+  [[nodiscard]] tdo::serve::Request next_request(const Options& opts,
+                                                 std::size_t client_index) {
+    Client& client = clients[client_index];
+    const std::size_t w = zipf.next();
+    const std::size_t pool = client.submitted % client.va_a.size();
+    tdo::serve::Request request;
+    request.tenant = client.tenant;
+    request.deadline = client.deadline;
+    request.op = tdo::serve::Op::kSgemm;
+    request.m = opts.m;
+    request.n = opts.n;
+    request.k = opts.k;
+    request.a = client.va_a[pool];
+    request.b = weights[w];
+    request.c = client.va_c[pool];
+    request.lda = opts.k;
+    request.ldb = opts.n;
+    request.ldc = opts.n;
+    request.cacheable = true;
+    client.submitted += 1;
+    client.busy = true;
+    return request;
+  }
+};
+
+/// Counter baseline captured at the warm-up ROI marker so the reported
+/// rates describe steady state, not the cold start (the same
+/// snapshot-around-ROI discipline the latency histograms use).
+struct RoiBase {
+  std::uint64_t residency_hits = 0, residency_misses = 0;
+  std::uint64_t stream_enqueued = 0, stream_fallbacks = 0;
+  std::uint64_t serve_launches = 0, serve_completed = 0;
+
+  static RoiBase capture(Platform& platform,
+                         tdo::serve::Scheduler& scheduler) {
+    RoiBase base;
+    const auto residency = platform.runtime->residency().report();
+    base.residency_hits = residency.hits;
+    base.residency_misses = residency.misses;
+    const auto stream = platform.runtime->stream().report();
+    base.stream_enqueued = stream.enqueued;
+    base.stream_fallbacks = stream.cpu_fallbacks;
+    const auto serve = scheduler.report();
+    base.serve_launches = serve.launches;
+    base.serve_completed = serve.completed;
+    return base;
+  }
+};
+
+[[nodiscard]] LoadResult finish_result(Platform& platform,
+                                       tdo::serve::Scheduler& scheduler,
+                                       const RoiBase& roi,
+                                       std::uint64_t completed,
+                                       Duration elapsed) {
+  LoadResult result;
+  result.throughput_rps =
+      static_cast<double>(completed) / std::max(elapsed.seconds(), 1e-12);
+  tdo::support::LatencyHistogram all;
+  for (std::size_t c = 0; c < tdo::serve::kDeadlineClasses; ++c) {
+    all.merge(scheduler.class_latency(static_cast<tdo::serve::DeadlineClass>(c)));
+  }
+  result.p50 = all.quantile(0.50);
+  result.p95 = all.quantile(0.95);
+  result.p99 = all.quantile(0.99);
+  const auto residency = platform.runtime->residency().report();
+  const std::uint64_t hits = residency.hits - roi.residency_hits;
+  const std::uint64_t lookups =
+      hits + residency.misses - roi.residency_misses;
+  result.hit_rate = lookups == 0 ? 0.0
+                                 : static_cast<double>(hits) /
+                                       static_cast<double>(lookups);
+  const auto stream = platform.runtime->stream().report();
+  const std::uint64_t enqueued = stream.enqueued - roi.stream_enqueued;
+  result.fallback_ratio =
+      enqueued == 0
+          ? 0.0
+          : static_cast<double>(stream.cpu_fallbacks - roi.stream_fallbacks) /
+                static_cast<double>(enqueued);
+  result.serve = scheduler.report();
+  const std::uint64_t launches = result.serve.launches - roi.serve_launches;
+  result.mean_batch =
+      launches == 0
+          ? 1.0
+          : static_cast<double>(result.serve.completed - roi.serve_completed) /
+                static_cast<double>(launches);
+  return result;
+}
+
+/// Closed loop: every client keeps exactly one request in flight.
+[[nodiscard]] LoadResult run_closed_loop(const Options& opts, bool batching,
+                                         bool affinity, bool adaptive) {
+  Platform platform{opts.accelerators};
+  BENCH_CHECK(platform.runtime->init(0));
+  ServingState state{platform, opts};
+
+  tdo::serve::SchedulerParams params;
+  params.batching = batching;
+  params.residency_affinity = affinity;
+  params.admission.adaptive = adaptive;
+  params.admission.probe_period = 0;  // bootstrap probes only (steady load)
+  params.batcher.max_batch = opts.batch_max;
+  params.batcher.max_wait = Duration::from_us(opts.max_wait_us);
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  std::map<std::uint64_t, std::size_t> owner;  // request id -> client
+  std::vector<tdo::serve::Completion> all_completions;
+  std::uint64_t completed = 0;
+  const std::uint64_t target =
+      opts.tenants * opts.clients_per_tenant * opts.requests_per_client;
+  // Steady-state ROI: the first quarter warms the residency cache and the
+  // admission EWMAs; stats and timing restart at the ROI marker.
+  const std::uint64_t warmup = std::max<std::uint64_t>(
+      state.clients.size(), target / 4);
+  bool roi_open = false;
+  std::uint64_t roi_completed = 0;
+  RoiBase roi = RoiBase::capture(platform, scheduler);
+  Duration t0 = platform.system.global_time();
+
+  while (completed < target) {
+    if (!roi_open && completed >= warmup) {
+      scheduler.reset_latency_stats();
+      roi = RoiBase::capture(platform, scheduler);
+      t0 = platform.system.global_time();
+      roi_open = true;
+    }
+    bool progressed = false;
+    for (std::size_t i = 0; i < state.clients.size(); ++i) {
+      auto& client = state.clients[i];
+      if (client.busy || client.submitted >= opts.requests_per_client) continue;
+      const auto request = state.next_request(opts, i);
+      auto id = scheduler.submit(request);
+      BENCH_CHECK(id.status());
+      owner[*id] = i;
+      progressed = true;
+    }
+    BENCH_CHECK(scheduler.pump());
+    for (const auto& completion : scheduler.take_completions()) {
+      auto it = owner.find(completion.id);
+      if (it != owner.end()) {
+        state.clients[it->second].busy = false;
+        state.clients[it->second].completed += 1;
+        owner.erase(it);
+      }
+      all_completions.push_back(completion);
+      completed += 1;
+      if (roi_open) roi_completed += 1;
+      progressed = true;
+    }
+    if (progressed || completed >= target) continue;
+    if (!scheduler.advance_to_next_event()) BENCH_CHECK(scheduler.drain());
+  }
+  BENCH_CHECK(scheduler.drain());
+  for (const auto& completion : scheduler.take_completions()) {
+    all_completions.push_back(completion);
+    completed += 1;
+    if (roi_open) roi_completed += 1;
+  }
+  const Duration elapsed = platform.system.global_time() - t0;
+  LoadResult result =
+      finish_result(platform, scheduler, roi, roi_completed, elapsed);
+  result.completions = std::move(all_completions);
+  return result;
+}
+
+/// Open loop: requests arrive on a fixed-rate jittered schedule regardless
+/// of completion progress (arrival stamps predate submission when the
+/// scheduler falls behind, so latency includes front-end backlog).
+[[nodiscard]] LoadResult run_open_loop(const Options& opts) {
+  Platform platform{opts.accelerators};
+  BENCH_CHECK(platform.runtime->init(0));
+  ServingState state{platform, opts};
+
+  tdo::serve::SchedulerParams params;
+  params.batcher.max_batch = opts.batch_max;
+  params.batcher.max_wait = Duration::from_us(opts.max_wait_us);
+  params.admission.probe_period = 0;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  const std::uint64_t total =
+      opts.tenants * opts.clients_per_tenant * opts.requests_per_client;
+  // Deterministic jittered arrivals around the configured rate; client
+  // round-robin keeps per-client request ordering sane.
+  tdo::support::Rng jitter{opts.seed ^ 0x5eedull};
+  const double gap_us = 1e6 / opts.open_rate_rps;
+  std::vector<std::pair<Duration, std::size_t>> arrivals;
+  double at_us = 1.0;
+  for (std::uint64_t r = 0; r < total; ++r) {
+    arrivals.emplace_back(Duration::from_us(at_us),
+                          static_cast<std::size_t>(r % state.clients.size()));
+    at_us += gap_us * jitter.uniform(0.5, 1.5);
+  }
+
+  std::uint64_t completed = 0;
+  std::uint64_t roi_completed = 0;
+  const std::uint64_t warmup = std::max<std::uint64_t>(
+      state.clients.size(), total / 4);
+  bool roi_open = false;
+  std::size_t next_arrival = 0;
+  RoiBase roi = RoiBase::capture(platform, scheduler);
+  Duration t0 = platform.system.global_time();
+  while (completed < total) {
+    if (!roi_open && completed >= warmup) {
+      scheduler.reset_latency_stats();
+      roi = RoiBase::capture(platform, scheduler);
+      t0 = platform.system.global_time();
+      roi_open = true;
+    }
+    const Duration now = platform.system.global_time();
+    bool progressed = false;
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].first <= now) {
+      auto request = state.next_request(opts, arrivals[next_arrival].second);
+      request.arrival = arrivals[next_arrival].first;
+      auto id = scheduler.submit(request);
+      BENCH_CHECK(id.status());
+      next_arrival += 1;
+      progressed = true;
+    }
+    BENCH_CHECK(scheduler.pump());
+    const auto done = scheduler.take_completions();
+    completed += done.size();
+    if (roi_open) roi_completed += done.size();
+    progressed = progressed || !done.empty();
+    if (progressed || completed >= total) continue;
+
+    std::optional<tdo::sim::Tick> arrival_wake;
+    if (next_arrival < arrivals.size()) {
+      arrival_wake = arrivals[next_arrival].first.ticks();
+    }
+    if (!scheduler.advance_to_next_event(arrival_wake)) {
+      BENCH_CHECK(scheduler.drain());
+    }
+  }
+  BENCH_CHECK(scheduler.drain());
+  roi_completed += scheduler.take_completions().size();
+  const Duration elapsed = platform.system.global_time() - t0;
+  return finish_result(platform, scheduler, roi, roi_completed, elapsed);
+}
+
+/// Adaptive-admission convergence experiment: mixed-intensity sequential
+/// load, static threshold sweep vs the adaptive controller.
+struct AdmissionOutcome {
+  int best_static_rung = 0;
+  double best_static = 0.0;
+  int adaptive_rung = 0;
+  double adaptive = 0.0;
+  bool converged = false;
+};
+
+[[nodiscard]] Duration run_admission_load(const Options& opts, bool adaptive,
+                                          double static_threshold,
+                                          double* adaptive_knob) {
+  tdo::rt::RuntimeConfig config;
+  config.stream.min_macs_per_write = adaptive ? 0.0 : static_threshold;
+  Platform platform{1, config};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  tdo::serve::SchedulerParams params;
+  params.batching = false;  // per-request launches: the threshold's domain
+  params.residency_affinity = false;
+  params.admission.adaptive = adaptive;
+  params.admission.probe_period = 8;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  // Mixed intensities: m sweeps the ladder around the knee; every request is
+  // uncacheable so each one pays (or dodges) the programming cost the
+  // threshold arbitrates.
+  const std::vector<std::uint64_t> ms{1, 2, 4, 8, 16, 32, 64};
+  const std::uint64_t n = 64, k = 64;
+  const std::size_t rounds = opts.smoke ? 6 : 16;
+
+  std::vector<tdo::sim::VirtAddr> va_a, va_b, va_c;
+  for (const std::uint64_t m : ms) {
+    auto a = platform.upload(random_matrix(m * k, 1.0, opts.seed + m));
+    auto b = platform.upload(random_matrix(k * n, 1.0, opts.seed + 200 + m));
+    auto c = platform.upload(std::vector<float>(m * n, 0.0f));
+    BENCH_CHECK(a.status());
+    BENCH_CHECK(b.status());
+    BENCH_CHECK(c.status());
+    va_a.push_back(*a);
+    va_b.push_back(*b);
+    va_c.push_back(*c);
+  }
+
+  const Duration t0 = platform.system.global_time();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < ms.size(); ++s) {
+      // Fresh activations ride the scheduler's measured upload path, feeding
+      // the adaptive min_async_bytes break-even estimate.
+      BENCH_CHECK(scheduler.upload(va_a[s], va_a[s], ms[s] * k * 4));
+      tdo::serve::Request request;
+      request.tenant = 0;
+      request.op = tdo::serve::Op::kSgemm;
+      request.m = ms[s];
+      request.n = n;
+      request.k = k;
+      request.a = va_a[s];
+      request.b = va_b[s];
+      request.c = va_c[s];
+      request.lda = k;
+      request.ldb = n;
+      request.ldc = n;
+      request.cacheable = false;
+      BENCH_CHECK(scheduler.submit(request).status());
+      BENCH_CHECK(scheduler.drain());  // sequential: isolate per-site costs
+    }
+  }
+  if (adaptive_knob != nullptr) {
+    *adaptive_knob = scheduler.admission().report().min_macs_per_write;
+  }
+  return platform.system.global_time() - t0;
+}
+
+[[nodiscard]] AdmissionOutcome run_admission_experiment(const Options& opts) {
+  // The sweep and the controller share one ladder, so "within one rung" is
+  // well defined.
+  tdo::serve::AdmissionController ladder{{}, 0.0, 0};
+  AdmissionOutcome outcome;
+  Duration best = Duration::from_sec(1e18);
+  const int rungs = opts.smoke ? 8 : 10;
+  for (int i = 0; i < rungs; ++i) {
+    const double threshold = ladder.rung(i);
+    const Duration elapsed =
+        run_admission_load(opts, /*adaptive=*/false, threshold, nullptr);
+    std::printf("  static min_macs_per_write %-8.0f -> %s\n", threshold,
+                elapsed.to_string().c_str());
+    if (elapsed < best) {
+      best = elapsed;
+      outcome.best_static = threshold;
+      outcome.best_static_rung = i;
+    }
+  }
+  double knob = 0.0;
+  const Duration adaptive_time =
+      run_admission_load(opts, /*adaptive=*/true, 0.0, &knob);
+  outcome.adaptive = knob;
+  outcome.adaptive_rung = ladder.rung_index(knob);
+  outcome.converged =
+      std::abs(outcome.adaptive_rung - outcome.best_static_rung) <= 1;
+  std::printf("  adaptive                      -> %s (knob %.0f, rung %d; "
+              "best static %.0f, rung %d)\n",
+              adaptive_time.to_string().c_str(), knob, outcome.adaptive_rung,
+              outcome.best_static, outcome.best_static_rung);
+  return outcome;
+}
+
+void add_result_row(tdo::support::TextTable& table, const std::string& name,
+                    const LoadResult& r) {
+  char throughput[32], p50[32], p95[32], p99[32], hit[32], fb[32], batch[32];
+  std::snprintf(throughput, sizeof throughput, "%.0f", r.throughput_rps);
+  std::snprintf(p50, sizeof p50, "%.1f", r.p50.microseconds());
+  std::snprintf(p95, sizeof p95, "%.1f", r.p95.microseconds());
+  std::snprintf(p99, sizeof p99, "%.1f", r.p99.microseconds());
+  std::snprintf(hit, sizeof hit, "%.1f%%", r.hit_rate * 100.0);
+  std::snprintf(fb, sizeof fb, "%.1f%%", r.fallback_ratio * 100.0);
+  std::snprintf(batch, sizeof batch, "%.2f", r.mean_batch);
+  table.add_row({name, throughput, p50, p95, p99, hit, fb, batch,
+                 std::to_string(r.serve.affinity_routed),
+                 std::to_string(r.serve.rejected)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> double { return std::atof(argv[++i]); };
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--dump") {
+      opts.dump = true;
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      opts.tenants = static_cast<std::size_t>(value());
+    } else if (arg == "--clients" && i + 1 < argc) {
+      opts.clients_per_tenant = static_cast<std::size_t>(value());
+    } else if (arg == "--requests" && i + 1 < argc) {
+      opts.requests_per_client = static_cast<std::size_t>(value());
+    } else if (arg == "--weights" && i + 1 < argc) {
+      opts.weight_sets = static_cast<std::size_t>(value());
+    } else if (arg == "--alpha" && i + 1 < argc) {
+      opts.zipf_alpha = value();
+    } else if (arg == "--accels" && i + 1 < argc) {
+      opts.accelerators = static_cast<std::size_t>(value());
+    } else if (arg == "--batch-max" && i + 1 < argc) {
+      opts.batch_max = static_cast<std::size_t>(value());
+    } else if (arg == "--max-wait-us" && i + 1 < argc) {
+      opts.max_wait_us = value();
+    } else if (arg == "--rate-rps" && i + 1 < argc) {
+      opts.open_rate_rps = value();
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = static_cast<std::uint64_t>(value());
+    } else {
+      std::printf(
+          "usage: bench_serve_loop [--smoke] [--tenants N] [--clients C]\n"
+          "       [--requests R] [--weights W] [--alpha Z] [--accels A]\n"
+          "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+  if (opts.smoke) {
+    opts.tenants = 2;
+    opts.clients_per_tenant = 3;
+    opts.requests_per_client = 6;
+    opts.weight_sets = 4;
+  }
+
+  using tdo::support::TextTable;
+  TextTable table("Serving scheduler - Zipf(" +
+                  std::to_string(opts.zipf_alpha) + ") tenants, " +
+                  std::to_string(opts.accelerators) + " accelerator(s)");
+  table.set_header({"Config", "Req/s", "p50 us", "p95 us", "p99 us",
+                    "Hit rate", "Fallback", "Batch", "Affinity", "Rejected"});
+
+  const LoadResult baseline = run_closed_loop(opts, /*batching=*/false,
+                                              /*affinity=*/false,
+                                              /*adaptive=*/false);
+  const LoadResult full = run_closed_loop(opts, /*batching=*/true,
+                                          /*affinity=*/true,
+                                          /*adaptive=*/false);
+  const LoadResult adaptive = run_closed_loop(opts, /*batching=*/true,
+                                              /*affinity=*/true,
+                                              /*adaptive=*/true);
+  const LoadResult open = run_open_loop(opts);
+  add_result_row(table, "closed FIFO baseline", baseline);
+  add_result_row(table, "closed batch+affinity", full);
+  add_result_row(table, "closed +adaptive", adaptive);
+  add_result_row(table, "open full scheduler", open);
+  table.print(std::cout);
+
+  if (opts.dump) {
+    for (const auto* run : {&baseline, &full}) {
+      std::printf("\n-- completions (%s) --\n",
+                  run == &baseline ? "baseline" : "batch+affinity");
+      for (const auto& c : run->completions) {
+        std::printf(
+            "  id %3llu tenant %u cls %-11s arr %9.1f disp %9.1f done %9.1f "
+            "lat %8.1f us batch %u dev %d %s\n",
+            static_cast<unsigned long long>(c.id), c.tenant,
+            tdo::serve::to_string(c.deadline), c.arrival.microseconds(),
+            c.dispatch.microseconds(), c.done.microseconds(),
+            c.latency().microseconds(), c.batch_size, c.device,
+            c.offloaded ? "dev" : "host");
+      }
+    }
+  }
+
+  std::printf("\nAdmission convergence (static sweep vs adaptive EWMA):\n");
+  const AdmissionOutcome admission = run_admission_experiment(opts);
+
+  std::printf(
+      "\nDynamic batching coalesces the Zipf head into shared-weight "
+      "launches,\nresidency affinity pins them to the accelerator already "
+      "holding the\nweights, and the admission EWMA re-derives the offload "
+      "knee at runtime.\n");
+
+  bool ok = true;
+  if (!(full.throughput_rps > baseline.throughput_rps &&
+        full.p99 < baseline.p99)) {
+    std::fprintf(stderr,
+                 "FAILED: full scheduler does not strictly beat the "
+                 "no-batching FIFO baseline (throughput %.0f vs %.0f rps, "
+                 "p99 %.1f vs %.1f us)\n",
+                 full.throughput_rps, baseline.throughput_rps,
+                 full.p99.microseconds(), baseline.p99.microseconds());
+    ok = false;
+  }
+  if (!admission.converged) {
+    std::fprintf(stderr,
+                 "FAILED: adaptive admission (rung %d) not within one ladder "
+                 "step of the best static threshold (rung %d)\n",
+                 admission.adaptive_rung, admission.best_static_rung);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 // `--smoke` runs a single tiny configuration (CI bench-rot guard).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cim/accelerator.hpp"
 #include "pcm/endurance.hpp"
 #include "runtime/cim_blas.hpp"
@@ -33,6 +35,8 @@
 
 namespace {
 
+using tdo::benchutil::ZipfSampler;
+using tdo::benchutil::random_matrix;
 using tdo::support::Duration;
 using tdo::support::Energy;
 
@@ -56,42 +60,6 @@ struct LoopResult {
   double lifetime_x = 1.0;
   bool correct = true;
 };
-
-/// Zipf(s) sampler over {0, ..., count-1} via inverse-CDF on a precomputed
-/// table (rank 1 most popular).
-class ZipfSampler {
- public:
-  ZipfSampler(std::size_t count, double s, std::uint64_t seed) : rng_{seed} {
-    cdf_.reserve(count);
-    double total = 0.0;
-    for (std::size_t i = 1; i <= count; ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i), s);
-      cdf_.push_back(total);
-    }
-    for (double& v : cdf_) v /= total;
-  }
-  [[nodiscard]] std::size_t next() {
-    const double u = rng_.uniform_f(0.0f, 1.0f);
-    for (std::size_t i = 0; i < cdf_.size(); ++i) {
-      if (u <= cdf_[i]) return i;
-    }
-    return cdf_.size() - 1;
-  }
-
- private:
-  tdo::support::Rng rng_;
-  std::vector<double> cdf_;
-};
-
-[[nodiscard]] std::vector<float> random_matrix(std::size_t count, double range,
-                                               std::uint64_t seed) {
-  tdo::support::Rng rng{seed};
-  std::vector<float> out(count);
-  for (float& v : out) {
-    v = rng.uniform_f(static_cast<float>(-range), static_cast<float>(range));
-  }
-  return out;
-}
 
 [[nodiscard]] tdo::support::StatusOr<LoopResult> run_loop(const LoopConfig& cfg) {
   tdo::sim::System system;
@@ -222,7 +190,31 @@ class ZipfSampler {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Capacity-planning knobs (ROADMAP follow-up): the Zipf skew, weight-set
+  // universe, and request count are CLI flags so the sweep doubles as a
+  // what-if tool for sizing per-accelerator row capacity under a workload's
+  // real popularity curve.
+  bool smoke = false;
+  double alpha = 1.0;
+  std::size_t weight_sets = 8;
+  std::size_t requests = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--alpha" && i + 1 < argc) {
+      alpha = std::atof(argv[++i]);
+    } else if (arg == "--weight-sets" && i + 1 < argc) {
+      weight_sets = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::printf(
+          "usage: bench_sweep_residency [--smoke] [--alpha Z] "
+          "[--weight-sets W] [--requests R]\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
   using tdo::support::TextTable;
 
   std::vector<std::size_t> accel_counts = smoke ? std::vector<std::size_t>{2}
@@ -233,8 +225,12 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::uint32_t>{128}
             : std::vector<std::uint32_t>{64, 128, 0};
 
-  TextTable table(
-      "Residency sweep - serving loop, Zipf(1.0) requests over 8 weight sets");
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "Residency sweep - serving loop, Zipf(%.2f) requests over "
+                "%zu weight sets",
+                alpha, weight_sets);
+  TextTable table(title);
   table.set_header({"Accels", "Cap rows", "Cache", "Hit rate", "Writes8",
                     "Saved8", "Evictions", "Runtime", "EDP", "Lifetime x",
                     "Correct"});
@@ -247,7 +243,9 @@ int main(int argc, char** argv) {
         cfg.accelerators = accelerators;
         cfg.capacity_rows = capacity;
         cfg.cache = cache;
-        if (smoke) cfg.requests = 12;
+        cfg.zipf_s = alpha;
+        cfg.weight_sets = weight_sets;
+        cfg.requests = smoke ? 12 : requests;
         const auto result = run_loop(cfg);
         if (!result.is_ok()) {
           std::cerr << result.status() << "\n";

@@ -113,6 +113,10 @@ support::Status Accelerator::enqueue_job(const ContextRegs& image) {
     }
     queue_.push_back(QueuedJob{image, system_.events().now()});
     queued_jobs_.add();
+    // A job that became the queue front will prefetch its weight DMA during
+    // the running job's stream tail: book that window on the channel
+    // timeline now, so a later copy cannot first-fit into the same slot.
+    if (queue_.size() == 1) reserve_queue_prefetch();
     return support::Status::ok();
   }
   apply_image(image);
@@ -233,6 +237,22 @@ void Accelerator::credit_copy_overlap(sim::Tick win_start, sim::Tick win_end) {
   }
 }
 
+void Accelerator::reserve_queue_prefetch() {
+  if (!params_.queue_prefetch || queue_.empty()) return;
+  if (busy_until_ <= last_timeline_.weights_programmed) return;
+  const QueuedJob& front = queue_.front();
+  // Mirror the credit the chain launch will grant: the prefetch runs in the
+  // stream tail, bounded by the front job's weight-DMA demand, the stream
+  // phase, and how long the job will have been queued by then.
+  const support::Duration estimate = engine_->estimate_prefetch_dma(front.image);
+  const sim::Tick queued_for = busy_until_ - front.enqueued;
+  const sim::Tick window =
+      std::min({estimate.ticks(), last_timeline_.stream_phase().ticks(),
+                queued_for});
+  if (window == 0) return;
+  dma_->reserve_engine(busy_until_ - window, busy_until_);
+}
+
 void Accelerator::start_job(support::Duration prefetch_credit) {
   jobs_.add();
   regs_.set_status(DeviceStatus::kBusy);
@@ -261,6 +281,11 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
   // Chained-launch share of the copy/compute overlap: any stream copy whose
   // transfer window spans this job's busy window is hidden under it.
   credit_copy_overlap(last_timeline_.trigger, busy_until_);
+  // The queue front (if any) will prefetch its weight DMA during this job's
+  // stream tail — reserve that window so copies can't double-book it. (The
+  // enqueue path reserves when a job becomes front under an already-running
+  // job; this covers fronts inherited across a chain launch.)
+  reserve_queue_prefetch();
 
   // Completion chain: the engine's own done/error event (same tick, earlier
   // sequence) has already updated kStatus/kResult when this runs.
@@ -274,6 +299,9 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
     if (regs_.status() == DeviceStatus::kError) {
       failed_.add();
       last_error_ = regs_.read(Reg::kResult);
+    }
+    if (completion_observer_) {
+      completion_observer_(completed_.value(), system_.events().now());
     }
     if (queue_.empty()) return;
     const QueuedJob job = queue_.front();

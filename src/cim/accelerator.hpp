@@ -14,8 +14,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cim/cim_tile.hpp"
@@ -122,6 +124,27 @@ class Accelerator final : public sim::BusDevice {
 
   [[nodiscard]] std::uint64_t jobs_completed() const { return completed_.value(); }
   [[nodiscard]] std::uint64_t jobs_failed() const { return failed_.value(); }
+
+  /// Completion interrupt hook: invoked from the job-completion event with
+  /// the new completed-jobs count and the event tick. One observer per
+  /// device (the serving scheduler attaches here to timestamp request
+  /// completions exactly, without polling); a newer registration replaces an
+  /// older one. `owner` identifies the registrant so a stale owner's
+  /// teardown cannot clobber a replacement's hook.
+  using CompletionObserver = std::function<void(std::uint64_t completed,
+                                                sim::Tick when)>;
+  void set_completion_observer(CompletionObserver observer,
+                               const void* owner) {
+    completion_observer_ = std::move(observer);
+    completion_observer_owner_ = owner;
+  }
+  /// Detaches the observer only if `owner` still owns it.
+  void clear_completion_observer(const void* owner) {
+    if (completion_observer_owner_ == owner) {
+      completion_observer_ = nullptr;
+      completion_observer_owner_ = nullptr;
+    }
+  }
   /// Scatter-gather segments executed by stream copy chains on this device.
   [[nodiscard]] std::uint64_t copy_segments() const {
     return copy_segments_.value();
@@ -155,6 +178,10 @@ class Accelerator final : public sim::BusDevice {
   /// Credits every active copy with the share of the engine busy window
   /// [win_start, win_end) that falls inside its transfer window.
   void credit_copy_overlap(sim::Tick win_start, sim::Tick win_end);
+  /// Reserves the queue front's estimated weight-load prefetch window — the
+  /// tail of the running job's stream phase on the engine's DMA channel — so
+  /// stream copies cannot first-fit into a slot the prefetch will occupy.
+  void reserve_queue_prefetch();
 
   AcceleratorParams params_;
   sim::System& system_;
@@ -190,6 +217,8 @@ class Accelerator final : public sim::BusDevice {
   sim::Tick dma_busy_until_ = 0;  // DMA-channel (stream copy) timeline
   std::size_t copies_in_flight_ = 0;
   std::uint64_t last_error_ = 0;
+  CompletionObserver completion_observer_;
+  const void* completion_observer_owner_ = nullptr;
 
   support::Counter jobs_;
   support::Counter queued_jobs_;

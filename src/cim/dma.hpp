@@ -59,6 +59,16 @@ class Dma {
                                   std::uint32_t elem_bytes, std::uint32_t count,
                                   std::span<const std::uint8_t> in);
 
+  /// Pure timing estimates (no transfer, no counters): what a contiguous /
+  /// strided burst of `bytes` would cost. Used to pre-reserve the channel
+  /// window of a queued job's weight-load prefetch before the job launches.
+  [[nodiscard]] support::Duration estimate_block(std::uint64_t bytes) const {
+    return block_time(bytes);
+  }
+  [[nodiscard]] support::Duration estimate_strided(std::uint64_t bytes) const {
+    return strided_time(bytes);
+  }
+
   /// Memory-to-memory rectangle copy (`rows` rows of `width` bytes, row
   /// starts `src_pitch`/`dst_pitch` bytes apart): the stream's kCopy
   /// commands. Both directions of the traffic ride this channel, so the

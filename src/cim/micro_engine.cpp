@@ -241,6 +241,40 @@ support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
   return times;
 }
 
+support::Duration MicroEngine::estimate_prefetch_dma(
+    const ContextRegs& image) const {
+  const Opcode op = static_cast<Opcode>(image.read(Reg::kOpcode));
+  if (op != Opcode::kGemm && op != Opcode::kGemv && op != Opcode::kGemmBatched) {
+    return Duration::zero();
+  }
+  auto job = decode(image);
+  if (!job.is_ok()) return Duration::zero();
+  if (!job->double_buffering) return Duration::zero();
+
+  const bool stationary_b = job->stationary == StationaryOperand::kB;
+  const std::uint64_t tile_rows = job->k;
+  const std::uint64_t tile_cols = stationary_b ? job->n : job->m;
+  // A reuse request the engine expects to validate skips the weight DMA
+  // entirely. Batched jobs carry per-entry pointers the estimate cannot see,
+  // so only the explicit skip flag (residency-validated) counts for them.
+  if (job->skip_weight_load) {
+    if (op == Opcode::kGemmBatched) return Duration::zero();
+    const double scale = stationary_b ? job->scale_b : job->scale_a;
+    const std::uint64_t pa = stationary_b ? job->pa_b : job->pa_a;
+    const std::uint64_t ld = stationary_b ? job->ldb : job->lda;
+    const ProgrammedTile* resident = programmed_tile(job->tile_row0);
+    if (resident != nullptr && resident->pa == pa && resident->scale == scale &&
+        resident->rows == tile_rows && resident->cols == tile_cols &&
+        resident->layout == job->stationary && resident->ld == ld) {
+      return Duration::zero();
+    }
+  }
+  const Duration per_row = stationary_b
+                               ? dma_.estimate_block(tile_cols * 4)
+                               : dma_.estimate_strided(tile_cols * 4);
+  return per_row * static_cast<double>(tile_rows);
+}
+
 JobTimeline MicroEngine::launch(ContextRegs& regs,
                                 support::Duration prefetch_credit) {
   JobTimeline timeline;

@@ -84,6 +84,17 @@ class MicroEngine {
   JobTimeline launch(ContextRegs& regs,
                      support::Duration prefetch_credit = support::Duration::zero());
 
+  /// Advisory estimate of the weight-load DMA a queued `image` would prefetch
+  /// while the current job streams (stream-level double buffering): the DMA
+  /// share of its first weight phase, zero when the image disables double
+  /// buffering or carries a reuse request the engine expects to validate.
+  /// Side-effect free — used to reserve the prefetch's channel window on the
+  /// Dma timeline at enqueue time, so stream copies cannot double-book the
+  /// slot the prefetch will occupy. A wrong estimate only costs accounting
+  /// precision (the launch-time credit stays authoritative).
+  [[nodiscard]] support::Duration estimate_prefetch_dma(
+      const ContextRegs& image) const;
+
   /// Identity of a stationary tile programmed into one crossbar row window
   /// (for reuse detection within batched jobs, across jobs for the runtime's
   /// weight-residency cache, and for tests).

@@ -716,17 +716,59 @@ support::Status CimRuntime::sgemm_batched(std::uint64_t m, std::uint64_t n,
                                           std::uint64_t lda, std::uint64_t ldb,
                                           float beta, std::uint64_t ldc,
                                           cim::StationaryOperand stationary,
-                                          bool cacheable) {
+                                          bool cacheable, int device) {
   TDO_RETURN_IF_ERROR(sgemm_batched_async(m, n, k, alpha, items, lda, ldb,
-                                          beta, ldc, stationary, cacheable));
+                                          beta, ldc, stationary, cacheable,
+                                          device));
   return synchronize();
+}
+
+std::optional<int> CimRuntime::weight_affinity(std::uint64_t m, std::uint64_t n,
+                                               std::uint64_t k,
+                                               sim::VirtAddr stat,
+                                               std::uint64_t ld_stat,
+                                               cim::StationaryOperand stationary) {
+  if (!initialized_ || !residency_->enabled()) return std::nullopt;
+  if (m == 0 || n == 0 || k == 0) return std::nullopt;
+  const bool stationary_b = stationary == cim::StationaryOperand::kB;
+  // Stationary B: a k x n operand; stationary A: m x k (the dispatch path
+  // keys tiles of A^T with A's row-major footprint).
+  const std::uint64_t stat_rows = stationary_b ? k : m;
+  const std::uint64_t stat_cols = stationary_b ? n : k;
+  const std::uint64_t bytes = ((stat_rows - 1) * ld_stat + stat_cols) * kElem;
+  const auto pa = translate_checked(stat, bytes);
+  if (!pa.is_ok()) return std::nullopt;
+  auto max_stat = operand_max_abs(stat, stat_rows, stat_cols, ld_stat);
+  if (!max_stat.is_ok()) return std::nullopt;
+  const double q = support::QuantScale::for_max_abs(*max_stat).scale;
+
+  const std::uint64_t max_rows = accel_.tile().rows();
+  const std::uint64_t max_cols = accel_.tile().cols();
+  const std::uint64_t outer = stationary_b ? n : m;
+  for (std::uint64_t jj = 0; jj < outer; jj += max_cols) {
+    const std::uint64_t js = std::min(max_cols, outer - jj);
+    for (std::uint64_t kk = 0; kk < k; kk += max_rows) {
+      const std::uint64_t ks = std::min(max_rows, k - kk);
+      const Rect tile_rect =
+          stationary_b
+              ? Rect{*pa + (kk * ld_stat + jj) * kElem, ld_stat * kElem,
+                     js * kElem, ks}
+              : Rect{*pa + (jj * ld_stat + kk) * kElem, ld_stat * kElem,
+                     ks * kElem, js};
+      const WeightKey key{tile_rect, ld_stat, q, stationary,
+                          static_cast<std::uint32_t>(ks),
+                          static_cast<std::uint32_t>(js)};
+      if (const auto resident = residency_->peek(key)) return resident->device;
+    }
+  }
+  return std::nullopt;
 }
 
 support::Status CimRuntime::sgemm_batched_async(
     std::uint64_t m, std::uint64_t n, std::uint64_t k, float alpha,
     std::span<const GemmBatchItem> items, std::uint64_t lda, std::uint64_t ldb,
     float beta, std::uint64_t ldc, cim::StationaryOperand stationary,
-    bool cacheable) {
+    bool cacheable, int device) {
   if (!initialized_) {
     return support::failed_precondition("polly_cimInit must be called first");
   }
@@ -786,11 +828,13 @@ support::Status CimRuntime::sgemm_batched_async(
   // Round-robin the batch across accelerator instances in contiguous chunks
   // (items of one batched call are independent by construction — the fusion
   // pass only groups reorderable kernels). Chunks preserve stationary reuse.
+  // A caller-pinned device (serving scheduler placement) keeps the batch
+  // whole on that accelerator.
   auto& mem = system_.memory();
   auto& cpu = system_.cpu();
   const std::uint64_t devices = stream_->device_count();
   const std::uint64_t chunks =
-      std::min<std::uint64_t>(devices, items.size());
+      device >= 0 ? 1 : std::min<std::uint64_t>(devices, items.size());
   const std::uint64_t per_chunk = (items.size() + chunks - 1) / chunks;
 
   // The shared stationary tile's identity (for the residency cache).
@@ -812,7 +856,10 @@ support::Status CimRuntime::sgemm_batched_async(
   // somewhere lands there (affinity); a split batch keeps the round-robin
   // spread and caches the tile per device instead.
   std::vector<int> chunk_devices(chunks, -1);
-  if (use_cache && chunks == 1) {
+  if (device >= 0) {
+    chunk_devices[0] =
+        static_cast<int>(static_cast<std::size_t>(device) % devices);
+  } else if (use_cache && chunks == 1) {
     if (const auto resident = residency_->peek(key)) {
       chunk_devices[0] = resident->device;
     }

@@ -14,6 +14,7 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -136,12 +137,16 @@ class CimRuntime {
   /// the stationary operand is shared between consecutive items the crossbar
   /// image is reused — the paper's endurance-aware "smart mapping". With
   /// several accelerators the batch splits round-robin across devices.
+  /// `device` >= 0 pins the whole batch to one accelerator (the serving
+  /// scheduler's batch-submit hook: it has already chosen a placement from
+  /// residency affinity or queue depths); -1 keeps the internal round-robin
+  /// chunking across devices.
   support::Status sgemm_batched(std::uint64_t m, std::uint64_t n, std::uint64_t k,
                                 float alpha, std::span<const GemmBatchItem> items,
                                 std::uint64_t lda, std::uint64_t ldb, float beta,
                                 std::uint64_t ldc,
                                 cim::StationaryOperand stationary,
-                                bool cacheable = false);
+                                bool cacheable = false, int device = -1);
 
   // --- asynchronous entry points (command-stream path) ---
   //
@@ -165,12 +170,24 @@ class CimRuntime {
                                       std::uint64_t lda, std::uint64_t ldb,
                                       float beta, std::uint64_t ldc,
                                       cim::StationaryOperand stationary,
-                                      bool cacheable = false);
+                                      bool cacheable = false, int device = -1);
 
   /// polly_cimSynchronize: drains the stream and releases deferred staging
   /// buffers. No-op when the stream is idle.
   support::Status synchronize();
 
+  /// Residency-affinity query (serving-scheduler hook): the accelerator
+  /// already holding any stationary tile of an m x n x k call whose
+  /// stationary operand lives at `stat` (leading dimension `ld_stat`), or
+  /// nullopt when no tile is resident. Uses the same tile keys the dispatch
+  /// path builds, so a returned device is exactly where the call's reuse
+  /// request would hit. Charges the stationary operand's scale scan (cached;
+  /// the dispatch that follows needs the same scan).
+  [[nodiscard]] std::optional<int> weight_affinity(
+      std::uint64_t m, std::uint64_t n, std::uint64_t k, sim::VirtAddr stat,
+      std::uint64_t ld_stat, cim::StationaryOperand stationary);
+
+  [[nodiscard]] sim::System& system() { return system_; }
   [[nodiscard]] CimStream& stream() { return *stream_; }
   [[nodiscard]] XferEngine& xfer() { return *xfer_; }
   [[nodiscard]] ResidencyCache& residency() { return *residency_; }

@@ -141,6 +141,19 @@ class CimStream {
   [[nodiscard]] std::size_t device_count() const {
     return driver_.device_count();
   }
+  /// Compute commands in flight (running + queued) on one accelerator — the
+  /// serving scheduler's shortest-queue placement signal.
+  [[nodiscard]] std::size_t device_in_flight(std::size_t device) const {
+    return driver_.device(device).in_flight();
+  }
+
+  /// Retunes the dynamic CPU-fallback threshold at runtime — the adaptive
+  /// admission controller's knob (DTO ships DTO_MIN_BYTES as a static
+  /// environment variable; the serving layer re-derives it continuously from
+  /// observed device vs host latencies).
+  void set_min_macs_per_write(double value) {
+    params_.min_macs_per_write = value;
+  }
 
   /// Registers a physical rectangle an in-flight command will write (or
   /// read); cleared by synchronize(). Callers consult writes_overlap()

@@ -201,6 +201,13 @@ class XferEngine {
   }
   [[nodiscard]] const XferParams& params() const { return params_; }
 
+  /// Retunes the async-copy size threshold at runtime (adaptive admission:
+  /// the break-even size is re-derived from observed host-copy cost per byte
+  /// vs the measured enqueue overhead instead of staying a static knob).
+  void set_min_async_bytes(std::uint64_t bytes) {
+    params_.min_async_bytes = bytes;
+  }
+
  private:
   /// Chunked cache-hierarchy memcpy of one contiguous virtual range (no
   /// bandwidth stall or counter update — callers aggregate those).

@@ -1,0 +1,160 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdo::serve {
+
+AdmissionController::AdmissionController(AdmissionParams params,
+                                         double initial_min_macs_per_write,
+                                         std::uint64_t initial_min_async_bytes)
+    : params_{params},
+      knob_macs_{initial_min_macs_per_write},
+      knob_async_{initial_min_async_bytes} {
+  if (params_.ladder_rungs < 1) params_.ladder_rungs = 1;
+  if (params_.ladder_step <= 1.0) params_.ladder_step = 2.0;
+  if (params_.ladder_base <= 0.0) params_.ladder_base = 1.0;
+}
+
+double AdmissionController::rung(int index) const {
+  index = std::clamp(index, 0, params_.ladder_rungs - 1);
+  return params_.ladder_base * std::pow(params_.ladder_step, index);
+}
+
+int AdmissionController::rung_index(double value) const {
+  if (value <= params_.ladder_base) return 0;
+  // Nearest rung in log space.
+  const double steps =
+      std::log(value / params_.ladder_base) / std::log(params_.ladder_step);
+  const int index = static_cast<int>(std::lround(steps));
+  return std::clamp(index, 0, params_.ladder_rungs - 1);
+}
+
+AdmitPath AdmissionController::admit(const SiteKey& key, bool host_probe_ok) {
+  if (!params_.adaptive) return AdmitPath::kAuto;
+  Site& site = sites_[key];
+  site.dispatches += 1;
+  const auto probe = [&](bool host) {
+    if (host && !host_probe_ok) return AdmitPath::kAuto;  // defer, don't count
+    (host ? probes_host_ : probes_device_) += 1;
+    return host ? AdmitPath::kForceHost : AdmitPath::kForceDevice;
+  };
+  // Bootstrap: measure each path once before trusting the threshold.
+  if (site.dev_obs == 0) return probe(false);
+  if (site.host_obs == 0) return probe(true);
+  // Steady state: periodically refresh whichever EWMA is staler.
+  if (params_.probe_period != 0 &&
+      site.dispatches % params_.probe_period == 0) {
+    return probe(site.host_obs <= site.dev_obs);
+  }
+  return AdmitPath::kAuto;
+}
+
+void AdmissionController::observe(const SiteKey& key, bool offloaded,
+                                  support::Duration latency,
+                                  std::uint64_t macs,
+                                  std::uint64_t cim_writes) {
+  if (!params_.adaptive || macs == 0) return;
+  if (offloaded && cim_writes == 0) return;  // hit path: no programming paid
+  Site& site = sites_[key];
+  site.intensity = cim_writes == 0
+                       ? site.intensity
+                       : static_cast<double>(macs) /
+                             static_cast<double>(cim_writes);
+  const double ps_per_mac =
+      latency.picoseconds() / static_cast<double>(macs);
+  double& ewma = offloaded ? site.dev_ps_per_mac : site.host_ps_per_mac;
+  std::uint64_t& obs = offloaded ? site.dev_obs : site.host_obs;
+  ewma = obs == 0 ? ps_per_mac
+                  : (1.0 - params_.ewma_alpha) * ewma +
+                        params_.ewma_alpha * ps_per_mac;
+  obs += 1;
+  observations_ += 1;
+  retune_macs();
+}
+
+void AdmissionController::retune_macs() {
+  // The knee: every site where the host EWMA beats the device EWMA should
+  // fall below the threshold, every site where the device wins should clear
+  // it. Intensity is monotone in practice (more MACs amortize the same
+  // programming cost), so the smallest ladder rung above the best
+  // host-winning intensity separates the two sets.
+  double losing_max = -1.0;  // highest intensity the host wins
+  bool any = false;
+  for (const auto& [key, site] : sites_) {
+    if (site.dev_obs == 0 || site.host_obs == 0 || site.intensity <= 0.0) {
+      continue;
+    }
+    any = true;
+    if (site.host_ps_per_mac < site.dev_ps_per_mac) {
+      losing_max = std::max(losing_max, site.intensity);
+    }
+  }
+  if (!any) return;
+  double target = 0.0;  // no host-winning site: offload everything
+  if (losing_max > 0.0) {
+    target = rung(params_.ladder_rungs - 1);
+    for (int i = 0; i < params_.ladder_rungs; ++i) {
+      if (rung(i) > losing_max) {
+        target = rung(i);
+        break;
+      }
+    }
+  }
+  if (target != knob_macs_) {
+    knob_macs_ = target;
+    retunes_ += 1;
+  }
+}
+
+void AdmissionController::observe_copy(std::uint64_t bytes, bool host_path,
+                                       support::Duration host_cost) {
+  if (!params_.adaptive || bytes == 0) return;
+  if (host_path) {
+    const double ps_per_byte =
+        host_cost.picoseconds() / static_cast<double>(bytes);
+    host_ps_per_byte_ = host_copy_obs_ == 0
+                            ? ps_per_byte
+                            : (1.0 - params_.ewma_alpha) * host_ps_per_byte_ +
+                                  params_.ewma_alpha * ps_per_byte;
+    host_copy_obs_ += 1;
+  } else {
+    enqueue_overhead_ps_ =
+        async_copy_obs_ == 0
+            ? host_cost.picoseconds()
+            : (1.0 - params_.ewma_alpha) * enqueue_overhead_ps_ +
+                  params_.ewma_alpha * host_cost.picoseconds();
+    async_copy_obs_ += 1;
+  }
+  if (host_copy_obs_ == 0 || async_copy_obs_ == 0 ||
+      host_ps_per_byte_ <= 0.0) {
+    return;
+  }
+  // Break-even size: below it the host memcpy finishes before the enqueue
+  // round trip would; snap to the next power of two for stability.
+  const double break_even = enqueue_overhead_ps_ / host_ps_per_byte_;
+  std::uint64_t snapped = params_.min_async_floor;
+  while (snapped < break_even && snapped < params_.min_async_ceiling) {
+    snapped <<= 1;
+  }
+  snapped = std::clamp(snapped, params_.min_async_floor,
+                       params_.min_async_ceiling);
+  if (snapped != knob_async_) {
+    knob_async_ = snapped;
+    retunes_ += 1;
+  }
+}
+
+AdmissionReport AdmissionController::report() const {
+  AdmissionReport rep;
+  rep.sites = sites_.size();
+  rep.observations = observations_;
+  rep.probes_host = probes_host_;
+  rep.probes_device = probes_device_;
+  rep.retunes = retunes_;
+  rep.min_macs_per_write = knob_macs_;
+  rep.min_async_bytes = knob_async_;
+  return rep;
+}
+
+}  // namespace tdo::serve

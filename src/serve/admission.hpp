@@ -1,0 +1,140 @@
+// DTO-style adaptive offload admission.
+//
+// The paper (and Intel's DSA Transparent Offload library it cites) gates
+// offload on a *static* intensity threshold: DTO_MIN_BYTES there,
+// `StreamParams::min_macs_per_write` and `XferParams::min_async_bytes`
+// here. Static knobs are wrong twice in a serving system: the right value
+// depends on the live host/device speed ratio (which shifts with residency
+// hit rates and queue depths), and nobody re-runs the sweep in production.
+//
+// This controller re-derives both knobs continuously from observation:
+//   * per call-site (shape) EWMAs of observed per-MAC latency on the device
+//     path and on the host-fallback path, refreshed by occasional forced
+//     probes of whichever path has gone stale;
+//   * `min_macs_per_write` snaps to the smallest rung of a geometric ladder
+//     that routes every host-winning site to the host (the knee between the
+//     highest-intensity site the host wins and the lowest the device wins);
+//   * `min_async_bytes` is the measured break-even transfer size: async
+//     enqueue overhead divided by the host copy's observed cost per byte.
+//
+// The ladder quantization is deliberate: it makes "converged" checkable —
+// the adaptive threshold must land within one rung of the best static value
+// an offline sweep finds on the same load (bench/serve_loop.cpp enforces
+// exactly that).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "support/units.hpp"
+
+namespace tdo::serve {
+
+/// Call-site identity for admission statistics: the kernel shape. (Tenants
+/// sharing a shape share a site — the offload tradeoff is a property of the
+/// kernel, not of who submitted it.)
+struct SiteKey {
+  std::uint64_t m = 0, n = 0, k = 0;
+  auto operator<=>(const SiteKey&) const = default;
+};
+
+/// Dispatch-path directive for one launch.
+enum class AdmitPath : std::uint8_t {
+  kAuto,         ///< let the stream's threshold decide (normal operation)
+  kForceDevice,  ///< probe: refresh the device-latency EWMA
+  kForceHost,    ///< probe: refresh the host-latency EWMA
+};
+
+struct AdmissionParams {
+  /// Master switch; off keeps the configured static knobs untouched.
+  bool adaptive = true;
+  /// EWMA smoothing factor for latency observations.
+  double ewma_alpha = 0.3;
+  /// Every `probe_period`-th dispatch of a site is forced down whichever
+  /// path has fewer observations (0 disables steady-state probing; the
+  /// bootstrap probes — first dispatch per path — always happen).
+  std::uint64_t probe_period = 16;
+  /// Threshold ladder: rungs ladder_base * ladder_step^i, i in [0, rungs).
+  double ladder_base = 1.0;
+  double ladder_step = 2.0;
+  int ladder_rungs = 16;
+  /// min_async_bytes clamp range (the derived break-even can be noisy early).
+  std::uint64_t min_async_floor = 256;
+  std::uint64_t min_async_ceiling = 1ull << 20;
+};
+
+struct AdmissionReport {
+  std::uint64_t sites = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t probes_host = 0;
+  std::uint64_t probes_device = 0;
+  std::uint64_t retunes = 0;  ///< knob changes (either knob)
+  double min_macs_per_write = 0.0;
+  std::uint64_t min_async_bytes = 0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionParams params, double initial_min_macs_per_write,
+                      std::uint64_t initial_min_async_bytes);
+
+  [[nodiscard]] bool adaptive() const { return params_.adaptive; }
+
+  /// Called once per launch of `site`; returns the probe directive.
+  /// `host_probe_ok` is false for launches the host path cannot (or should
+  /// not) carry — e.g. a large coalesced batch: a due host probe is deferred
+  /// to a later singleton launch instead of burning the whole batch.
+  [[nodiscard]] AdmitPath admit(const SiteKey& site, bool host_probe_ok = true);
+
+  /// Feeds one observed launch: which path ran, the end-to-end latency, and
+  /// the cost-model inputs. Hit-path device launches (cim_writes == 0) keep
+  /// the EWMAs untouched — the intensity rule only ever gates cache-miss
+  /// dispatches, so mixing hit latencies in would bias the knee. Retunes
+  /// min_macs_per_write.
+  void observe(const SiteKey& site, bool offloaded, support::Duration latency,
+               std::uint64_t macs, std::uint64_t cim_writes);
+
+  /// Feeds one host<->device transfer: size, whether it took the host
+  /// memcpy path, and the host-side cost the caller measured around the
+  /// call (for async copies that cost is the enqueue overhead — the copy
+  /// itself rides the stream). Retunes min_async_bytes to the break-even.
+  void observe_copy(std::uint64_t bytes, bool host_path,
+                    support::Duration host_cost);
+
+  [[nodiscard]] double min_macs_per_write() const { return knob_macs_; }
+  [[nodiscard]] std::uint64_t min_async_bytes() const { return knob_async_; }
+
+  /// Ladder rung value / index-of-nearest-rung (shared with the bench's
+  /// static sweep so "within one step" is well defined).
+  [[nodiscard]] double rung(int index) const;
+  [[nodiscard]] int rung_index(double value) const;
+
+  [[nodiscard]] AdmissionReport report() const;
+
+ private:
+  struct Site {
+    double intensity = 0.0;  ///< macs / cim_writes of a miss dispatch
+    double dev_ps_per_mac = 0.0;
+    double host_ps_per_mac = 0.0;
+    std::uint64_t dev_obs = 0;
+    std::uint64_t host_obs = 0;
+    std::uint64_t dispatches = 0;
+  };
+
+  void retune_macs();
+
+  AdmissionParams params_;
+  double knob_macs_;
+  std::uint64_t knob_async_;
+  std::map<SiteKey, Site> sites_;
+  double host_ps_per_byte_ = 0.0;  ///< EWMA over host-path copies
+  std::uint64_t host_copy_obs_ = 0;
+  double enqueue_overhead_ps_ = 0.0;  ///< EWMA over async-path submissions
+  std::uint64_t async_copy_obs_ = 0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t probes_host_ = 0;
+  std::uint64_t probes_device_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+}  // namespace tdo::serve

@@ -1,0 +1,72 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace tdo::serve {
+
+void Batcher::add(const Request& request, support::Duration now) {
+  const BatchKey key = BatchKey::of(request);
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    if (!(it->key == key)) continue;
+    it->requests.push_back(request);
+    it->deadline = std::min(it->deadline, request.deadline);
+    if (it->requests.size() >= params_.max_batch) {
+      ready_.push_back(std::move(*it));
+      open_.erase(it);
+    }
+    return;
+  }
+  Batch batch;
+  batch.key = key;
+  batch.requests.push_back(request);
+  batch.deadline = request.deadline;
+  batch.oldest_enqueue = now;
+  if (batch.requests.size() >= params_.max_batch) {
+    ready_.push_back(std::move(batch));
+  } else {
+    open_.push_back(std::move(batch));
+  }
+}
+
+std::vector<Batch> Batcher::take_ready(support::Duration now) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->oldest_enqueue >= params_.max_wait) {
+      ready_.push_back(std::move(*it));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::stable_sort(ready_.begin(), ready_.end(), dispatch_order);
+  std::vector<Batch> out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+std::vector<Batch> Batcher::take_all(support::Duration now) {
+  for (Batch& batch : open_) ready_.push_back(std::move(batch));
+  open_.clear();
+  return take_ready(now);
+}
+
+std::optional<support::Duration> Batcher::next_close_time() const {
+  if (!ready_.empty()) {
+    // A ready batch dispatches at the caller's next pump; no waiting needed.
+    return support::Duration::zero();
+  }
+  std::optional<support::Duration> earliest;
+  for (const Batch& batch : open_) {
+    const support::Duration close = batch.oldest_enqueue + params_.max_wait;
+    if (!earliest || close < *earliest) earliest = close;
+  }
+  return earliest;
+}
+
+std::size_t Batcher::pending() const {
+  std::size_t total = 0;
+  for (const Batch& batch : open_) total += batch.requests.size();
+  for (const Batch& batch : ready_) total += batch.requests.size();
+  return total;
+}
+
+}  // namespace tdo::serve

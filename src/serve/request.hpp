@@ -1,0 +1,98 @@
+// Serving-layer request model (multi-tenant front end over the BLAS facade).
+//
+// TDO-CIM's runtime decides *where* one call runs; the ROADMAP's north star
+// is serving heavy traffic from many users, which additionally needs a layer
+// that decides *when* and *with whom* a call runs. A Request is one tenant's
+// inference-style BLAS call (sgemm/sgemv) tagged with a deadline class; the
+// scheduler (serve/scheduler.hpp) queues it per tenant, coalesces same-shape
+// same-weight requests into batched launches, and emits a Completion record
+// carrying the exact arrival/dispatch/done timeline for tail-latency
+// accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "cim/context_regs.hpp"
+#include "sim/system.hpp"
+#include "support/units.hpp"
+
+namespace tdo::serve {
+
+enum class Op : std::uint8_t { kSgemm, kSgemv };
+
+/// Latency expectation attached by the tenant. Classes are strict dispatch
+/// priorities (interactive preempts standard preempts batch at batch-close
+/// granularity — a running launch is never revoked).
+enum class DeadlineClass : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+inline constexpr std::size_t kDeadlineClasses = 3;
+
+[[nodiscard]] inline const char* to_string(DeadlineClass c) {
+  switch (c) {
+    case DeadlineClass::kInteractive: return "interactive";
+    case DeadlineClass::kStandard: return "standard";
+    case DeadlineClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+/// One asynchronous serving request. For kSgemm: c = alpha*a*b + beta*c with
+/// row-major m x k / k x n / m x n operands; the stationary operand (the
+/// "weights" in a serving workload) is `b` under StationaryOperand::kB.
+/// For kSgemv: y(=c) = alpha*A(=a)*x(=b) + beta*y, shapes via m/n.
+struct Request {
+  std::uint64_t id = 0;  ///< assigned by Scheduler::submit
+  std::uint32_t tenant = 0;
+  DeadlineClass deadline = DeadlineClass::kStandard;
+  Op op = Op::kSgemm;
+
+  std::uint64_t m = 0, n = 0, k = 0;
+  float alpha = 1.0f, beta = 0.0f;
+  sim::VirtAddr a = 0;  ///< activations (kSgemv: the matrix A)
+  sim::VirtAddr b = 0;  ///< weights / stationary operand (kSgemv: the vector x)
+  sim::VirtAddr c = 0;  ///< output
+  std::uint64_t lda = 0, ldb = 0, ldc = 0;
+  bool transpose = false;  ///< kSgemv only
+  cim::StationaryOperand stationary = cim::StationaryOperand::kB;
+  /// The stationary operand is reused across requests: consult the
+  /// weight-residency cache and route by affinity.
+  bool cacheable = true;
+
+  /// Arrival time; zero means "stamp with now at submit". An explicit value
+  /// in the past models open-loop load generation (the request queued at the
+  /// front end before the scheduler could look at it).
+  support::Duration arrival;
+
+  /// MAC count of the call (the admission controller's intensity numerator).
+  [[nodiscard]] std::uint64_t macs() const {
+    return op == Op::kSgemm ? m * n * k : m * n;
+  }
+  /// Crossbar weight writes a cache-miss dispatch pays (intensity
+  /// denominator): the stationary tile's cells.
+  [[nodiscard]] std::uint64_t cim_writes() const {
+    return op == Op::kSgemm ? k * n : m * n;
+  }
+};
+
+/// Timeline of one finished request.
+struct Completion {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  DeadlineClass deadline = DeadlineClass::kStandard;
+  support::Duration arrival;
+  support::Duration dispatch;  ///< when the scheduler launched its batch
+  support::Duration done;
+  int device = -1;       ///< accelerator that ran it; -1 for host/mixed
+  bool offloaded = false;  ///< at least one device job (vs full CPU fallback)
+  std::uint32_t batch_size = 1;  ///< requests coalesced into its launch
+
+  [[nodiscard]] support::Duration latency() const { return done - arrival; }
+  [[nodiscard]] support::Duration queue_delay() const {
+    return dispatch - arrival;
+  }
+};
+
+}  // namespace tdo::serve

@@ -1,0 +1,530 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace tdo::serve {
+
+namespace {
+/// Threshold that forces every fallback-eligible job to the host (probe).
+constexpr double kForceHostThreshold = std::numeric_limits<double>::max();
+}  // namespace
+
+Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
+    : params_{std::move(params)},
+      runtime_{runtime},
+      batcher_{params_.batcher},
+      admission_{params_.admission,
+                 runtime.config().stream.min_macs_per_write,
+                 runtime.config().xfer.min_async_bytes} {
+  auto& registry = runtime_.system().stats();
+  const std::string& p = params_.name;
+  registry.register_counter(p + ".requests", &submitted_);
+  registry.register_counter(p + ".rejected", &rejected_);
+  registry.register_counter(p + ".completed", &completed_);
+  registry.register_counter(p + ".launches", &launches_);
+  registry.register_counter(p + ".batched_launches", &batched_launches_);
+  registry.register_counter(p + ".coalesced_requests", &coalesced_requests_);
+  registry.register_counter(p + ".affinity_routed", &affinity_routed_);
+  registry.register_counter(p + ".queue_routed", &queue_routed_);
+  registry.register_counter(p + ".host_launches", &host_launches_);
+
+  auto& driver = runtime_.driver();
+  logs_.resize(driver.device_count());
+  for (std::size_t d = 0; d < driver.device_count(); ++d) {
+    driver.device(d).set_completion_observer(
+        [this, d](std::uint64_t completed, sim::Tick when) {
+          logs_[d].emplace_back(completed, when);
+        },
+        this);
+  }
+}
+
+Scheduler::~Scheduler() {
+  auto& driver = runtime_.driver();
+  for (std::size_t d = 0; d < driver.device_count(); ++d) {
+    driver.device(d).clear_completion_observer(this);
+  }
+  // The scheduler may die before the system it registered counters into.
+  auto& registry = runtime_.system().stats();
+  for (const support::Counter* counter :
+       {&submitted_, &rejected_, &completed_, &launches_, &batched_launches_,
+        &coalesced_requests_, &affinity_routed_, &queue_routed_,
+        &host_launches_}) {
+    registry.unregister_counter(counter);
+  }
+}
+
+support::Duration Scheduler::now() const {
+  return runtime_.system().global_time();
+}
+
+support::StatusOr<std::uint64_t> Scheduler::submit(Request request) {
+  auto [it, inserted] = tenants_.try_emplace(request.tenant);
+  if (inserted) ring_.push_back(request.tenant);
+  if (it->second.size() >= params_.max_queue_per_tenant) {
+    rejected_.add();
+    return support::resource_exhausted("tenant queue full");
+  }
+  request.id = next_id_++;
+  if (request.arrival == support::Duration::zero()) request.arrival = now();
+  it->second.push_back(request);
+  queued_ += 1;
+  submitted_.add();
+  return request.id;
+}
+
+std::optional<Request> Scheduler::pop_next_request() {
+  if (queued_ == 0) return std::nullopt;
+  // Class-major: the best head class wins; tenants rotate within it so a
+  // flooding tenant cannot starve a light one of the same class.
+  for (std::size_t c = 0; c < kDeadlineClasses; ++c) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      const std::size_t slot = (ring_cursor_ + i) % ring_.size();
+      auto& queue = tenants_[ring_[slot]];
+      if (queue.empty()) continue;
+      if (static_cast<std::size_t>(queue.front().deadline) != c) continue;
+      Request out = queue.front();
+      queue.pop_front();
+      queued_ -= 1;
+      ring_cursor_ = (slot + 1) % ring_.size();
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+support::Status Scheduler::pump() {
+  harvest();
+  const support::Duration t = now();
+  while (auto request = pop_next_request()) {
+    if (params_.batching) {
+      batcher_.add(*request, t);
+    } else {
+      Batch single;
+      single.key = BatchKey::of(*request);
+      single.deadline = request->deadline;
+      single.oldest_enqueue = t;
+      single.requests.push_back(*request);
+      TDO_RETURN_IF_ERROR(dispatch(std::move(single)));
+    }
+  }
+  if (params_.batching) {
+    // Batch under backpressure, never under idleness: waiting out max_wait
+    // while every accelerator starves buys no amortization, only latency —
+    // flush everything the moment the compute queues are empty.
+    auto& stream = runtime_.stream();
+    bool devices_idle = true;
+    for (std::size_t d = 0; d < stream.device_count(); ++d) {
+      devices_idle = devices_idle && stream.device_in_flight(d) == 0;
+    }
+    std::vector<Batch> ready =
+        devices_idle ? batcher_.take_all(now()) : batcher_.take_ready(now());
+    for (Batch& batch : ready) {
+      pending_dispatch_.push_back(std::move(batch));
+    }
+    std::stable_sort(pending_dispatch_.begin(), pending_dispatch_.end(),
+                     Batcher::dispatch_order);
+    // Capacity-gated dispatch: launch a batch only when its target
+    // accelerator has queue room — the affinity pin of the front batch may
+    // point at a full device, in which case later batches bound elsewhere
+    // skip ahead instead of the whole queue blocking inside the stream.
+    // One pass in priority order suffices: dispatching only consumes room,
+    // so a batch skipped here stays infeasible until the next pump.
+    for (std::size_t i = 0; i < pending_dispatch_.size();) {
+      const auto pin = placement_preview(pending_dispatch_[i]);
+      bool room = false;
+      if (pin) {
+        const auto d = static_cast<std::size_t>(*pin);
+        room = stream.device_in_flight(d) < effective_depth(d);
+      } else {
+        for (std::size_t d = 0; d < stream.device_count(); ++d) {
+          room = room || stream.device_in_flight(d) < effective_depth(d);
+        }
+      }
+      if (!room) {
+        ++i;
+        continue;
+      }
+      Batch batch = std::move(pending_dispatch_[i]);
+      pending_dispatch_.erase(pending_dispatch_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      TDO_RETURN_IF_ERROR(dispatch(std::move(batch), pin));
+    }
+  }
+  harvest();
+  return support::Status::ok();
+}
+
+bool Scheduler::tile_fits(const Request& request) const {
+  // Shapes whose stationary tile fits the crossbar run as one job per
+  // launch. Oversized shapes split into tile chains where only the first
+  // link is fallback-eligible — a forced-host probe could never measure a
+  // pure host run for them (and a batched launch would silently degrade to
+  // individually-routed calls, voiding the device pin).
+  const auto& tile = runtime_.accelerator().tile();
+  if (request.op == Op::kSgemv) {
+    // y = op(A)x: the crossbar reduces over the x-length and emits the
+    // y-length (sgemv_async's kk/outer tiling).
+    const std::uint64_t reduce = request.transpose ? request.m : request.n;
+    const std::uint64_t out = request.transpose ? request.n : request.m;
+    return reduce <= tile.rows() && out <= tile.cols();
+  }
+  return request.k <= tile.rows() &&
+         (request.stationary == cim::StationaryOperand::kB ? request.n
+                                                           : request.m) <=
+             tile.cols();
+}
+
+std::size_t Scheduler::effective_depth(std::size_t device) const {
+  return std::min(runtime_.config().stream.depth,
+                  runtime_.driver().device(device).params().work_queue_depth +
+                      1);
+}
+
+std::optional<int> Scheduler::placement_preview(const Batch& batch) {
+  const Request& head = batch.requests.front();
+  if (batch.requests.size() < 2 || head.op != Op::kSgemm ||
+      !params_.residency_affinity || !head.cacheable || !tile_fits(head)) {
+    return std::nullopt;
+  }
+  const bool stationary_b = head.stationary == cim::StationaryOperand::kB;
+  return runtime_.weight_affinity(head.m, head.n, head.k,
+                                  stationary_b ? head.b : head.a,
+                                  stationary_b ? head.ldb : head.lda,
+                                  head.stationary);
+}
+
+support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
+  const Request& head = batch.requests.front();
+  const SiteKey site{head.m, head.n, head.k};
+  const bool fits = tile_fits(head);
+  // Host probes only ride singleton single-tile launches — burning a
+  // coalesced batch on the host would distort both the measurement and the
+  // tail, and a multi-tile "host" run would execute mixed anyway.
+  const AdmitPath path = admission_.admit(
+      site, /*host_probe_ok=*/batch.requests.size() == 1 && fits);
+  const bool batched = batch.requests.size() >= 2 && head.op == Op::kSgemm &&
+                       fits && path != AdmitPath::kForceHost;
+
+  // --- placement: weight residency first, then shortest compute queue ---
+  //
+  // Only batched launches take a pinned device; per-request launches route
+  // inside the runtime (which does its own residency-affinity when the call
+  // is cacheable), so computing a placement for them would just be reported
+  // without being applied. The affinity result (`pinned`) comes from the
+  // caller's capacity-gate preview — one residency walk per batch.
+  auto& stream = runtime_.stream();
+  int device = -1;
+  if (batched) {
+    if (pinned) {
+      device = *pinned;
+      affinity_routed_.add();
+    }
+    if (device < 0) {
+      // Shortest compute queue; ties rotate so equally-idle accelerators
+      // share the cold-start load instead of device 0 absorbing it.
+      const std::size_t count = stream.device_count();
+      std::size_t best = place_cursor_ % count;
+      for (std::size_t offset = 1; offset < count; ++offset) {
+        const std::size_t d = (place_cursor_ + offset) % count;
+        if (stream.device_in_flight(d) < stream.device_in_flight(best)) {
+          best = d;
+        }
+      }
+      place_cursor_ = best + 1;
+      device = static_cast<int>(best);
+      queue_routed_.add();
+    }
+  }
+
+  // --- adaptive knobs (and per-launch probe overrides) ---
+  if (admission_.adaptive()) {
+    runtime_.xfer().set_min_async_bytes(admission_.min_async_bytes());
+    double threshold = admission_.min_macs_per_write();
+    if (path == AdmitPath::kForceHost) threshold = kForceHostThreshold;
+    if (path == AdmitPath::kForceDevice) threshold = 0.0;
+    stream.set_min_macs_per_write(threshold);
+  }
+
+  const auto residency_hits_before = runtime_.residency().report().hits;
+  // Jobs-accepted-so-far per device (completed + in flight): monotone, so a
+  // launch that both enqueues a job and retires another inside one blocking
+  // call (wait_for_space) still registers as growth.
+  auto& driver = runtime_.driver();
+  const auto accepted = [&](std::size_t d) {
+    return driver.device(d).jobs_completed() + stream.device_in_flight(d);
+  };
+  std::vector<std::uint64_t> accepted_before(stream.device_count());
+  for (std::size_t d = 0; d < stream.device_count(); ++d) {
+    accepted_before[d] = accepted(d);
+  }
+
+  InFlight inflight;
+  inflight.dispatch = now();
+  inflight.device = device;
+  inflight.batched = batched;
+  launches_.add();
+
+  // --- launch ---
+  support::Status status = support::Status::ok();
+  if (batched) {
+    std::vector<rt::GemmBatchItem> items;
+    items.reserve(batch.requests.size());
+    for (const Request& r : batch.requests) {
+      items.push_back(rt::GemmBatchItem{r.a, r.b, r.c});
+    }
+    status = runtime_.sgemm_batched_async(
+        head.m, head.n, head.k, head.alpha, items, head.lda, head.ldb,
+        head.beta, head.ldc, head.stationary, head.cacheable, device);
+    batched_launches_.add();
+    coalesced_requests_.add(batch.requests.size());
+  } else {
+    // Per-request launches: the only shape the stream's dynamic CPU
+    // fallback (and thus a kForceHost probe) can act on.
+    for (const Request& r : batch.requests) {
+      if (r.op == Op::kSgemm) {
+        status = runtime_.sgemm_async(r.m, r.n, r.k, r.alpha, r.a, r.lda, r.b,
+                                      r.ldb, r.beta, r.c, r.ldc, r.stationary,
+                                      r.cacheable);
+      } else {
+        status = runtime_.sgemv_async(r.transpose, r.m, r.n, r.alpha, r.a,
+                                      r.lda, r.b, r.beta, r.c, r.cacheable);
+      }
+      if (!status.is_ok()) break;
+    }
+  }
+  // Probe overrides last exactly one launch.
+  if (admission_.adaptive() && path != AdmitPath::kAuto) {
+    stream.set_min_macs_per_write(admission_.min_macs_per_write());
+  }
+  TDO_RETURN_IF_ERROR(status);
+
+  inflight.residency_hit =
+      runtime_.residency().report().hits > residency_hits_before;
+
+  // --- completion targets: devices this launch put work on ---
+  for (std::size_t d = 0; d < stream.device_count(); ++d) {
+    const std::uint64_t accepted_after = accepted(d);
+    if (accepted_after == accepted_before[d]) continue;
+    // Jobs serialize FIFO per accelerator and this launch's jobs are the
+    // last accepted, so the launch is done exactly when the device's
+    // completed count covers everything accepted so far — including jobs
+    // that already retired inside the dispatch call (their completion
+    // ticks are in the observer log).
+    inflight.targets.emplace_back(static_cast<int>(d), accepted_after);
+  }
+  inflight.offloaded = !inflight.targets.empty();
+  if (!inflight.offloaded) host_launches_.add();
+
+  inflight.requests = std::move(batch.requests);
+  if (inflight.targets.empty()) {
+    // Fully host-run (or already retired): completion is synchronous.
+    finalize(std::move(inflight), now().ticks());
+  } else {
+    inflight_.push_back(std::move(inflight));
+  }
+  return support::Status::ok();
+}
+
+void Scheduler::harvest() {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    sim::Tick done = 0;
+    bool all = true;
+    for (const auto& [device, target] : it->targets) {
+      const auto& log = logs_[static_cast<std::size_t>(device)];
+      bool met = false;
+      for (const auto& [completed, when] : log) {
+        if (completed >= target) {
+          done = std::max(done, when);
+          met = true;
+          break;
+        }
+      }
+      if (!met) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      InFlight finished = std::move(*it);
+      it = inflight_.erase(it);
+      finalize(std::move(finished), done);
+    } else {
+      ++it;
+    }
+  }
+  prune_logs();
+}
+
+void Scheduler::prune_logs() {
+  for (std::size_t d = 0; d < logs_.size(); ++d) {
+    // Keep entries any outstanding target could still need; without
+    // outstanding targets one trailing entry suffices (future targets are
+    // always larger than the current completed count).
+    std::uint64_t keep_from = std::numeric_limits<std::uint64_t>::max();
+    for (const InFlight& inflight : inflight_) {
+      for (const auto& [device, target] : inflight.targets) {
+        if (device == static_cast<int>(d)) {
+          keep_from = std::min(keep_from, target);
+        }
+      }
+    }
+    auto& log = logs_[d];
+    if (log.empty()) continue;
+    if (keep_from == std::numeric_limits<std::uint64_t>::max()) {
+      log.erase(log.begin(), log.end() - 1);
+      continue;
+    }
+    const auto first_needed = std::find_if(
+        log.begin(), log.end(),
+        [keep_from](const auto& entry) { return entry.first >= keep_from; });
+    if (first_needed != log.begin() && first_needed != log.end()) {
+      log.erase(log.begin(), first_needed);
+    }
+  }
+}
+
+void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
+  const support::Duration done = sim::from_ticks(done_tick);
+  const Request& head = inflight.requests.front();
+  const SiteKey site{head.m, head.n, head.k};
+  // Only single-request launches feed the admission EWMAs: the intensity
+  // threshold gates exactly those (batched jobs never take the CPU
+  // fallback, and aggregating a multi-request launch's MACs against one
+  // programming pass would inflate the site's intensity past what the
+  // per-job gate sees). A residency hit paid no programming — flagged so
+  // the miss-path EWMA stays unbiased.
+  if (inflight.requests.size() == 1) {
+    admission_.observe(site, inflight.offloaded, done - inflight.dispatch,
+                       head.macs(),
+                       inflight.residency_hit ? 0 : head.cim_writes());
+  }
+
+  const auto batch_size =
+      static_cast<std::uint32_t>(inflight.requests.size());
+  for (Request& r : inflight.requests) {
+    Completion completion;
+    completion.id = r.id;
+    completion.tenant = r.tenant;
+    completion.deadline = r.deadline;
+    completion.arrival = r.arrival;
+    completion.dispatch = inflight.dispatch;
+    completion.done = done;
+    completion.device = inflight.device;
+    completion.offloaded = inflight.offloaded;
+    completion.batch_size = batch_size;
+    class_latency_[static_cast<std::size_t>(r.deadline)].add(
+        completion.latency());
+    tenant_latency_[r.tenant].add(completion.latency());
+    completions_.push_back(completion);
+    completed_.add();
+  }
+}
+
+std::optional<sim::Tick> Scheduler::next_wake_tick() const {
+  std::optional<sim::Tick> wake;
+  const auto& events = runtime_.system().events();
+  if ((!inflight_.empty() || !pending_dispatch_.empty()) && !events.empty()) {
+    wake = events.next_when();
+  }
+  if (const auto close = batcher_.next_close_time()) {
+    // take_ready uses >=, so waking exactly at the close time suffices; an
+    // already-due batch means "pump now".
+    const sim::Tick close_tick = std::max(close->ticks(), events.now());
+    if (!wake || close_tick < *wake) wake = close_tick;
+  }
+  return wake;
+}
+
+bool Scheduler::quiescent() const {
+  return queued_ == 0 && batcher_.pending() == 0 &&
+         pending_dispatch_.empty() && inflight_.empty();
+}
+
+bool Scheduler::advance_to_next_event(std::optional<sim::Tick> external_wake) {
+  auto wake = next_wake_tick();
+  if (external_wake && (!wake || *external_wake < *wake)) {
+    wake = external_wake;
+  }
+  if (!wake) return false;
+  auto& events = runtime_.system().events();
+  if (*wake <= events.now()) {
+    // The wake point is already due — a batch close stamped from a clock
+    // that ran ahead, or completions whose ticks the caller leapt past.
+    // run_until executes every overdue event (advance_to would skip them,
+    // livelocking on work that never retires) and the one-tick nudge makes
+    // a due batch close visible to take_ready's age check.
+    events.run_until(events.now() + 1);
+  } else {
+    events.run_until(*wake);
+  }
+  return true;
+}
+
+support::Status Scheduler::drain() {
+  while (true) {
+    TDO_RETURN_IF_ERROR(pump());
+    if (quiescent()) break;
+    if (!advance_to_next_event()) {
+      // In-flight work without a pending event: force the runtime to drain
+      // (surfacing any device error) and try once more.
+      TDO_RETURN_IF_ERROR(runtime_.synchronize());
+      TDO_RETURN_IF_ERROR(pump());
+      if (quiescent()) break;
+      return support::internal_error("serve scheduler stalled");
+    }
+  }
+  return runtime_.synchronize();
+}
+
+support::Status Scheduler::upload(sim::VirtAddr dst, sim::VirtAddr src,
+                                  std::uint64_t bytes) {
+  if (admission_.adaptive()) {
+    runtime_.xfer().set_min_async_bytes(admission_.min_async_bytes());
+  }
+  const std::uint64_t host_before = runtime_.xfer().host_copies();
+  const support::Duration before = now();
+  TDO_RETURN_IF_ERROR(runtime_.host_to_dev(dst, src, bytes));
+  const bool host_path = runtime_.xfer().host_copies() > host_before;
+  admission_.observe_copy(bytes, host_path, now() - before);
+  return support::Status::ok();
+}
+
+void Scheduler::reset_latency_stats() {
+  for (auto& histogram : class_latency_) histogram.reset();
+  for (auto& [tenant, histogram] : tenant_latency_) histogram.reset();
+}
+
+std::vector<Completion> Scheduler::take_completions() {
+  std::vector<Completion> out = std::move(completions_);
+  completions_.clear();
+  return out;
+}
+
+const support::LatencyHistogram& Scheduler::tenant_latency(
+    std::uint32_t tenant) const {
+  static const support::LatencyHistogram kEmpty;
+  const auto it = tenant_latency_.find(tenant);
+  return it == tenant_latency_.end() ? kEmpty : it->second;
+}
+
+ServeReport Scheduler::report() const {
+  ServeReport rep;
+  rep.submitted = submitted_.value();
+  rep.rejected = rejected_.value();
+  rep.completed = completed_.value();
+  rep.launches = launches_.value();
+  rep.batched_launches = batched_launches_.value();
+  rep.coalesced_requests = coalesced_requests_.value();
+  rep.affinity_routed = affinity_routed_.value();
+  rep.queue_routed = queue_routed_.value();
+  rep.host_launches = host_launches_.value();
+  rep.admission = admission_.report();
+  return rep;
+}
+
+}  // namespace tdo::serve

@@ -1,0 +1,210 @@
+// Multi-tenant serving scheduler over the CIM runtime.
+//
+// Callers used to talk straight to the blocking/stream BLAS facade; nothing
+// batched, prioritized or admission-controlled concurrent requests. The
+// scheduler adds that system layer (the level Eva-CiM and CIMFlow argue CIM
+// must be judged at):
+//
+//   * per-tenant FIFO queues with a bounded depth (admission control) and a
+//     class-major round-robin pull — interactive heads dispatch before batch
+//     heads, tenants take turns within a class, so a tenant flooding 10x the
+//     load cannot starve a light tenant's tail latency;
+//   * dynamic batching (serve/batcher.hpp): same-shape, same-weight requests
+//     coalesce into one sgemm_batched launch, closed on max-size or max-wait;
+//   * residency-aware placement: a batch routes to the accelerator whose
+//     crossbars already hold its weights (CimRuntime::weight_affinity),
+//     falling back to the shortest compute queue;
+//   * DTO-style adaptive admission (serve/admission.hpp): per call-site
+//     EWMAs of observed device vs host-fallback latency continuously retune
+//     the stream's `min_macs_per_write` and the transfer engine's
+//     `min_async_bytes` instead of trusting the static knobs.
+//
+// The scheduler is cooperative, like everything in this simulator: submit()
+// never blocks, pump() moves requests through the pipeline, and drain()
+// advances simulated time (event queue) until every request completed.
+// Completion timestamps are exact — the scheduler attaches a completion
+// observer to every accelerator's job-done interrupt instead of polling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/cim_blas.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+#include "support/stats.hpp"
+#include "support/status.hpp"
+
+namespace tdo::serve {
+
+struct SchedulerParams {
+  BatcherParams batcher;
+  AdmissionParams admission;
+  /// Off: every request dispatches individually in pull order (the
+  /// no-batching FIFO baseline benches compare against).
+  bool batching = true;
+  /// Off: placement ignores weight residency (shortest queue only).
+  bool residency_affinity = true;
+  /// Per-tenant queue bound; submit() rejects beyond it (backpressure to the
+  /// front end instead of unbounded memory).
+  std::size_t max_queue_per_tenant = 1024;
+  /// Stats prefix for the serve.* counters.
+  std::string name = "serve";
+};
+
+/// Aggregate scheduler behaviour for reporting.
+struct ServeReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t launches = 0;          ///< runtime dispatches (batches incl.)
+  std::uint64_t batched_launches = 0;  ///< launches with >= 2 requests
+  std::uint64_t coalesced_requests = 0;  ///< requests riding batched launches
+  std::uint64_t affinity_routed = 0;   ///< placements by weight residency
+  std::uint64_t queue_routed = 0;      ///< placements by shortest queue
+  std::uint64_t host_launches = 0;     ///< launches that ran fully on host
+  AdmissionReport admission;
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerParams params, rt::CimRuntime& runtime);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Accepts one request (never blocks). Stamps arrival with the current
+  /// global time when the request carries none. kResourceExhausted when the
+  /// tenant's queue is full.
+  support::StatusOr<std::uint64_t> submit(Request request);
+
+  /// One scheduling round: harvest completions, pull queued requests in
+  /// fairness order into the batcher (or dispatch directly when batching is
+  /// off), dispatch every ready batch.
+  support::Status pump();
+
+  /// Next tick at which pump() can make progress: the earliest device event
+  /// or open-batch close time. nullopt when the scheduler is quiescent.
+  [[nodiscard]] std::optional<sim::Tick> next_wake_tick() const;
+
+  /// Advances simulated time to the next actionable point — the earlier of
+  /// next_wake_tick() and the caller's `external_wake` (e.g. an open-loop
+  /// arrival) — nudging one tick forward when the wake point is already due
+  /// (take_ready uses >=, so the age check must see time past the close).
+  /// Returns false when there is nothing to wake for. The single
+  /// time-advance rule shared by drain() and the bench drive loops.
+  bool advance_to_next_event(
+      std::optional<sim::Tick> external_wake = std::nullopt);
+
+  /// Runs pump() and advances simulated time until every submitted request
+  /// has completed, then synchronizes the runtime.
+  support::Status drain();
+
+  /// True when nothing is queued, batching, or in flight.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Host<->device transfer through the scheduler: same as the runtime call,
+  /// but the measured host-side cost feeds the adaptive min_async_bytes
+  /// knob.
+  support::Status upload(sim::VirtAddr dst, sim::VirtAddr src,
+                         std::uint64_t bytes);
+
+  /// Completions recorded since the last call (move-out).
+  [[nodiscard]] std::vector<Completion> take_completions();
+
+  /// Resets the latency histograms (class and tenant). ROI-style
+  /// measurement: benches warm the residency cache and the admission EWMAs
+  /// first, then measure steady-state serving — the same snapshot-around-ROI
+  /// discipline the rest of the harness uses.
+  void reset_latency_stats();
+
+  [[nodiscard]] const support::LatencyHistogram& class_latency(
+      DeadlineClass c) const {
+    return class_latency_[static_cast<std::size_t>(c)];
+  }
+  /// Per-tenant end-to-end latency histogram (empty histogram for a tenant
+  /// that never completed a request).
+  [[nodiscard]] const support::LatencyHistogram& tenant_latency(
+      std::uint32_t tenant) const;
+
+  [[nodiscard]] ServeReport report() const;
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
+  [[nodiscard]] const SchedulerParams& params() const { return params_; }
+
+ private:
+  struct InFlight {
+    std::vector<Request> requests;
+    support::Duration dispatch;
+    int device = -1;
+    bool offloaded = false;
+    bool batched = false;
+    bool residency_hit = false;
+    /// Per-device completed-jobs counts that signal this launch finished
+    /// (jobs serialize FIFO per accelerator, so "completed reaches N" is
+    /// exact). Empty means the launch finished synchronously on the host.
+    std::vector<std::pair<int, std::uint64_t>> targets;
+  };
+
+  [[nodiscard]] support::Duration now() const;
+  /// Whether the request's stationary tile fits one crossbar (single-job
+  /// launches; the precondition for batched launches and host probes).
+  [[nodiscard]] bool tile_fits(const Request& request) const;
+  /// The device a batched launch of `batch` would pin by residency
+  /// affinity; nullopt when any device would do (no pin / not batchable).
+  [[nodiscard]] std::optional<int> placement_preview(const Batch& batch);
+  /// The stream's true per-device in-flight bound: the configured depth
+  /// capped by the device's hardware FIFO (mirrors CimStream::enqueue).
+  [[nodiscard]] std::size_t effective_depth(std::size_t device) const;
+  void harvest();
+  /// Class-major, tenant-round-robin pull: the highest-priority head among
+  /// all tenant queues, tenants rotating within a class.
+  [[nodiscard]] std::optional<Request> pop_next_request();
+  support::Status dispatch(Batch batch,
+                           std::optional<int> pinned = std::nullopt);
+  void finalize(InFlight inflight, sim::Tick done_tick);
+  void prune_logs();
+
+  SchedulerParams params_;
+  rt::CimRuntime& runtime_;
+  Batcher batcher_;
+  AdmissionController admission_;
+
+  std::map<std::uint32_t, std::deque<Request>> tenants_;
+  std::vector<std::uint32_t> ring_;  ///< tenant ids, first-seen order
+  std::size_t ring_cursor_ = 0;
+  std::size_t place_cursor_ = 0;  ///< rotates shortest-queue tie-breaks
+  std::uint64_t next_id_ = 1;
+  std::uint64_t queued_ = 0;
+
+  std::vector<InFlight> inflight_;
+  /// Closed batches awaiting accelerator capacity, kept in (deadline class,
+  /// oldest member) order. pump() dispatches from the front while any
+  /// compute queue has room, so one tenant's backlog cannot head-of-line
+  /// block a later higher-priority batch behind a full queue.
+  std::vector<Batch> pending_dispatch_;
+  /// Per-device completion log fed by the accelerator observers:
+  /// (completed-jobs count, tick) per job-done interrupt.
+  std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>> logs_;
+
+  std::vector<Completion> completions_;
+  support::LatencyHistogram class_latency_[kDeadlineClasses];
+  std::map<std::uint32_t, support::LatencyHistogram> tenant_latency_;
+
+  support::Counter submitted_;
+  support::Counter rejected_;
+  support::Counter completed_;
+  support::Counter launches_;
+  support::Counter batched_launches_;
+  support::Counter coalesced_requests_;
+  support::Counter affinity_routed_;
+  support::Counter queue_routed_;
+  support::Counter host_launches_;
+};
+
+}  // namespace tdo::serve

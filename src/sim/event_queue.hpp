@@ -51,6 +51,12 @@ class EventQueue {
   Tick run_until(Tick limit);
 
   [[nodiscard]] Tick now() const { return now_; }
+  /// Tick of the earliest pending event; now() when the queue is empty.
+  /// Cooperative drivers (the serving scheduler's drain loop) use this to
+  /// advance time exactly to the next completion instead of polling.
+  [[nodiscard]] Tick next_when() const {
+    return queue_.empty() ? now_ : queue_.top().when;
+  }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }

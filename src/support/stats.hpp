@@ -16,6 +16,48 @@
 
 namespace tdo::support {
 
+/// HDR-style latency histogram over Duration samples (picosecond ticks).
+///
+/// Values are bucketed log-linearly: 32 linear sub-buckets per power-of-two
+/// octave, so every recorded value is represented with <= 1/32 (~3.1%)
+/// relative error while the whole 0 .. ~584-year range fits in a fixed
+/// ~2000-slot array. Values below 32 ps land in exact unit buckets. This is
+/// the serving layer's tail-latency primitive: p50/p95/p99 queries are
+/// nearest-rank over the bucket counts, and per-accelerator (or per-tenant)
+/// histograms merge by bucket-wise addition without losing resolution.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(Duration d);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Duration min() const;
+  [[nodiscard]] Duration max() const;
+  [[nodiscard]] Duration mean() const;
+  /// Nearest-rank quantile, p in [0, 1]: the representative value (bucket
+  /// midpoint; exact below 32 ps) of the bucket holding the ceil(p * count)-th
+  /// smallest sample. Returns zero on an empty histogram.
+  [[nodiscard]] Duration quantile(double p) const;
+
+ private:
+  /// 32 linear sub-buckets per octave.
+  static constexpr std::uint64_t kSubBuckets = 32;
+  static constexpr std::uint64_t kSubBucketBits = 5;
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t ps);
+  /// Representative (midpoint) value of bucket `index`, in picoseconds.
+  [[nodiscard]] static std::uint64_t bucket_value(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ps_ = 0.0;
+  std::uint64_t min_ps_ = 0;
+  std::uint64_t max_ps_ = 0;
+};
+
 /// Monotonically increasing event count (instructions, cache misses, writes).
 class Counter {
  public:
@@ -58,6 +100,12 @@ class StatsRegistry {
  public:
   void register_counter(std::string name, const Counter* counter);
   void register_energy(std::string name, const EnergyAccumulator* energy);
+
+  /// Deregisters every entry pointing at `counter` — registrants whose
+  /// lifetime is shorter than the registry (e.g. a serving scheduler built
+  /// on top of a long-lived runtime) must call this before dying, or a
+  /// later snapshot() dereferences freed memory.
+  void unregister_counter(const Counter* counter);
 
   [[nodiscard]] StatsSnapshot snapshot() const;
   void dump(std::ostream& os) const;

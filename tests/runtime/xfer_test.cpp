@@ -482,6 +482,64 @@ TEST(XferContentionTest, PinnedChannelSerializesEngineDmaAndCopy) {
   EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), payload), 0.0);
 }
 
+TEST(XferContentionTest, QueuedJobPrefetchWindowBlocksCopyDoubleBooking) {
+  // A queued job's stream-level weight-load prefetch runs in the running
+  // job's stream tail on the engine channel. That window is reserved on the
+  // Dma timeline at enqueue time, so a stream copy submitted while the job
+  // waits can no longer first-fit into (double-book) the prefetch slot: with
+  // one channel and a copy too large for the remaining gap, the copy must
+  // start at or after the running job's completion.
+  cim::AcceleratorParams accel;
+  accel.dma.channels = 1;
+  Platform p{async_copy_config(2), accel};
+  ASSERT_TRUE(p.runtime().init(0).is_ok());
+  const std::size_t m = 128, n = 64, k = 64;
+  const auto a1 = random_matrix(m * k, 1.0, 91);
+  const auto b1 = random_matrix(k * n, 1.0, 92);
+  const auto a2 = random_matrix(m * k, 1.0, 93);
+  const auto b2 = random_matrix(k * n, 1.0, 94);
+  const auto va_a1 = p.upload(a1);
+  const auto va_b1 = p.upload(b1);
+  const auto va_c1 = p.device_zeros(m * n);
+  const auto va_a2 = p.upload(a2);
+  const auto va_b2 = p.upload(b2);
+  const auto va_c2 = p.device_zeros(m * n);
+
+  // Job 1 launches; job 2 chains behind it and reserves its weight-DMA
+  // prefetch window at the tail of job 1's stream phase.
+  ASSERT_TRUE(p.runtime()
+                  .sgemm_async(m, n, k, 1.0f, va_a1, k, va_b1, n, 0.0f, va_c1,
+                               n, cim::StationaryOperand::kB)
+                  .is_ok());
+  ASSERT_TRUE(p.runtime()
+                  .sgemm_async(m, n, k, 1.0f, va_a2, k, va_b2, n, 0.0f, va_c2,
+                               n, cim::StationaryOperand::kB)
+                  .is_ok());
+  ASSERT_EQ(p.accel().in_flight(), 2u);
+
+  // A copy far larger than any idle gap inside job 1's stream phase: with
+  // the tail booked for the prefetch, first-fit must push it past job 1.
+  const std::size_t count = 512 * 512;
+  const auto payload = random_matrix(count, 2.0, 95);
+  const auto src = p.upload(payload);
+  auto dst = p.runtime().malloc_device(count * 4);
+  ASSERT_TRUE(dst.is_ok());
+  const std::uint64_t contended_before =
+      p.accel().dma().contended_copy_ticks();
+  ASSERT_TRUE(p.runtime().host_to_dev(*dst, src, count * 4).is_ok());
+  const sim::Tick now = p.system().events().now();
+  const sim::Tick job1_done = p.accel().busy_until();
+  ASSERT_GT(job1_done, now) << "job 1 already retired; scenario degenerate";
+
+  // start >= job1_done  =>  contended ticks >= the full remaining busy span.
+  EXPECT_GE(p.accel().dma().contended_copy_ticks() - contended_before,
+            job1_done - now)
+      << "copy was placed inside the reserved prefetch window";
+
+  ASSERT_TRUE(p.runtime().synchronize().is_ok());
+  EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), payload), 0.0);
+}
+
 TEST(XferContentionTest, SecondChannelAbsorbsTheCopyWhenIdle) {
   // Same workload, two channels (default): the copy migrates to the idle
   // channel instead of waiting, and hides more of its window under compute

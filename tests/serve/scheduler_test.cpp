@@ -1,0 +1,447 @@
+// Serving-scheduler tests: batch formation, residency-affinity placement,
+// adaptive admission, multi-tenant fairness, and a seeded randomized stress
+// layer (ServeSchedulerFuzz, re-run by CI with extra TDO_FUZZ_SEED values)
+// that diffs every scheduled request against a float reference.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "support/fixed_point.hpp"
+#include "testing/fixture.hpp"
+
+namespace tdo::serve {
+namespace {
+
+using support::Duration;
+using tdo::testing::Platform;
+using tdo::testing::random_matrix;
+using tdo::testing::ref_gemm;
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("TDO_FUZZ_SEED")) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    if (seed != 0) return seed;
+  }
+  return 20260729ull;
+}
+
+[[nodiscard]] double gemm_error_bound(double max_a, double max_b,
+                                      std::size_t k) {
+  return support::dot_quant_error_bound(max_a, max_b, k) + 1e-3;
+}
+
+/// A request against one weight set, outputs into a caller-owned C buffer.
+Request make_request(std::uint32_t tenant, std::uint64_t m, std::uint64_t n,
+                     std::uint64_t k, sim::VirtAddr a, sim::VirtAddr b,
+                     sim::VirtAddr c,
+                     DeadlineClass deadline = DeadlineClass::kStandard) {
+  Request r;
+  r.tenant = tenant;
+  r.deadline = deadline;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  r.lda = k;
+  r.ldb = n;
+  r.ldc = n;
+  return r;
+}
+
+// --- batcher unit behaviour ---
+
+TEST(BatcherTest, CoalescesByKeyAndClosesOnSize) {
+  Batcher batcher{BatcherParams{.max_batch = 3,
+                                .max_wait = Duration::from_us(100.0)}};
+  Request a = make_request(0, 8, 64, 64, 0x1000, 0x2000, 0x3000);
+  Request other_weights = make_request(0, 8, 64, 64, 0x1000, 0x9000, 0x4000);
+  const Duration t0 = Duration::from_us(1.0);
+  batcher.add(a, t0);
+  batcher.add(other_weights, t0);
+  batcher.add(a, t0);
+  EXPECT_TRUE(batcher.take_ready(t0).empty());  // nothing full, nothing aged
+  batcher.add(a, t0);                           // third same-key: closes
+  auto ready = batcher.take_ready(t0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].requests.size(), 3u);
+  EXPECT_EQ(batcher.pending(), 1u);  // the other-weights singleton stays open
+}
+
+TEST(BatcherTest, ClosesOnAgeAndOrdersByClass) {
+  Batcher batcher{BatcherParams{.max_batch = 8,
+                                .max_wait = Duration::from_us(10.0)}};
+  const Duration t0 = Duration::from_us(1.0);
+  batcher.add(make_request(0, 8, 64, 64, 0x1000, 0x2000, 0x3000,
+                           DeadlineClass::kBatch),
+              t0);
+  batcher.add(make_request(1, 8, 64, 64, 0x1000, 0x5000, 0x6000,
+                           DeadlineClass::kInteractive),
+              Duration::from_us(2.0));
+  EXPECT_TRUE(batcher.take_ready(Duration::from_us(5.0)).empty());
+  ASSERT_TRUE(batcher.next_close_time().has_value());
+  EXPECT_DOUBLE_EQ(batcher.next_close_time()->microseconds(), 11.0);
+  auto ready = batcher.take_ready(Duration::from_us(20.0));
+  ASSERT_EQ(ready.size(), 2u);
+  // Interactive dispatches first even though it arrived later.
+  EXPECT_EQ(ready[0].deadline, DeadlineClass::kInteractive);
+  EXPECT_EQ(ready[1].deadline, DeadlineClass::kBatch);
+}
+
+// --- admission controller unit behaviour ---
+
+TEST(AdmissionTest, BootstrapProbesBothPathsThenSettles) {
+  AdmissionParams params;
+  params.probe_period = 0;
+  AdmissionController admission{params, 0.0, 1024};
+  const SiteKey site{8, 64, 64};
+  EXPECT_EQ(admission.admit(site), AdmitPath::kForceDevice);
+  admission.observe(site, /*offloaded=*/true, Duration::from_us(100.0),
+                    8 * 64 * 64, 64 * 64);
+  EXPECT_EQ(admission.admit(site), AdmitPath::kForceHost);
+  admission.observe(site, /*offloaded=*/false, Duration::from_us(50.0),
+                    8 * 64 * 64, 64 * 64);
+  EXPECT_EQ(admission.admit(site), AdmitPath::kAuto);
+}
+
+TEST(AdmissionTest, ThresholdSeparatesHostAndDeviceWinners) {
+  AdmissionParams params;
+  AdmissionController admission{params, 0.0, 1024};
+  const SiteKey small{4, 64, 64};  // intensity 4: host wins
+  const SiteKey large{32, 64, 64};  // intensity 32: device wins
+  for (int i = 0; i < 4; ++i) {
+    admission.observe(small, true, Duration::from_us(200.0), 4 * 64 * 64,
+                      64 * 64);
+    admission.observe(small, false, Duration::from_us(40.0), 4 * 64 * 64,
+                      64 * 64);
+    admission.observe(large, true, Duration::from_us(250.0), 32 * 64 * 64,
+                      64 * 64);
+    admission.observe(large, false, Duration::from_us(400.0), 32 * 64 * 64,
+                      64 * 64);
+  }
+  // Smallest ladder rung above the losing intensity 4 is 8; 32 stays above.
+  EXPECT_DOUBLE_EQ(admission.min_macs_per_write(), 8.0);
+  EXPECT_GT(admission.report().retunes, 0u);
+  // Host probes are deferred (uncounted) when the launch cannot carry them.
+  const auto before = admission.report().probes_host;
+  const SiteKey fresh{2, 64, 64};
+  admission.observe(fresh, true, Duration::from_us(10.0), 2 * 64 * 64,
+                    64 * 64);
+  EXPECT_EQ(admission.admit(fresh, /*host_probe_ok=*/false), AdmitPath::kAuto);
+  EXPECT_EQ(admission.report().probes_host, before);
+}
+
+TEST(AdmissionTest, HitPathObservationsDoNotBiasTheKnee) {
+  AdmissionParams params;
+  AdmissionController admission{params, 0.0, 1024};
+  const SiteKey site{4, 64, 64};
+  admission.observe(site, true, Duration::from_us(200.0), 4 * 64 * 64,
+                    64 * 64);
+  admission.observe(site, false, Duration::from_us(40.0), 4 * 64 * 64,
+                    64 * 64);
+  const double knob = admission.min_macs_per_write();
+  // A flood of fast residency-hit launches (cim_writes == 0) must not drag
+  // the device EWMA below the host's and reopen offload for misses.
+  for (int i = 0; i < 64; ++i) {
+    admission.observe(site, true, Duration::from_us(1.0), 4 * 64 * 64, 0);
+  }
+  EXPECT_DOUBLE_EQ(admission.min_macs_per_write(), knob);
+}
+
+// --- scheduler end-to-end ---
+
+struct ServeFixture {
+  Platform platform;
+  std::uint64_t m, n, k;
+  std::vector<sim::VirtAddr> weights;
+  std::vector<std::vector<float>> weight_data;
+  std::vector<float> input;
+  sim::VirtAddr va_a = 0;
+
+  explicit ServeFixture(std::size_t accelerators, std::size_t weight_sets,
+                        std::uint64_t m_ = 8, std::uint64_t n_ = 64,
+                        std::uint64_t k_ = 64)
+      : platform{{}, {}, {}, accelerators}, m{m_}, n{n_}, k{k_} {
+    EXPECT_TRUE(platform.runtime().init(0).is_ok());
+    for (std::size_t w = 0; w < weight_sets; ++w) {
+      weight_data.push_back(random_matrix(k * n, 1.0, 500 + w));
+      weights.push_back(platform.upload(weight_data.back()));
+    }
+    input = random_matrix(m * k, 1.0, 7);
+    va_a = platform.upload(input);
+  }
+
+  [[nodiscard]] sim::VirtAddr fresh_output() {
+    return platform.device_zeros(m * n);
+  }
+
+  void check_result(sim::VirtAddr c, std::size_t w) {
+    std::vector<float> expected(m * n, 0.0f);
+    ref_gemm(m, n, k, 1.0f, input, k, weight_data[w], n, 0.0f, expected, n);
+    const auto got = platform.read_floats(c, m * n);
+    const double bound = gemm_error_bound(1.0, 1.0, k);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(got[i], expected[i], bound) << "element " << i;
+    }
+  }
+};
+
+TEST(SchedulerTest, BatchedLaunchesCoalesceAndMatchReference) {
+  ServeFixture fx{2, 2};
+  SchedulerParams params;
+  params.batcher.max_batch = 4;
+  params.admission.adaptive = false;
+  Scheduler scheduler{params, fx.platform.runtime()};
+
+  std::vector<std::pair<sim::VirtAddr, std::size_t>> outputs;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t w = static_cast<std::size_t>(i) % 2;
+    const sim::VirtAddr c = fx.fresh_output();
+    outputs.emplace_back(c, w);
+    ASSERT_TRUE(scheduler
+                    .submit(make_request(0, fx.m, fx.n, fx.k, fx.va_a,
+                                         fx.weights[w], c))
+                    .is_ok());
+  }
+  ASSERT_TRUE(scheduler.drain().is_ok());
+
+  const auto report = scheduler.report();
+  EXPECT_EQ(report.completed, 8u);
+  EXPECT_GT(report.batched_launches, 0u);
+  EXPECT_GT(report.coalesced_requests, 0u);
+  EXPECT_LT(report.launches, 8u);  // coalescing happened
+  const auto completions = scheduler.take_completions();
+  EXPECT_EQ(completions.size(), 8u);
+  for (const auto& [c, w] : outputs) fx.check_result(c, w);
+}
+
+TEST(SchedulerTest, AffinityRoutesRepeatsToResidentAccelerator) {
+  ServeFixture fx{2, 2};
+  SchedulerParams params;
+  params.batcher.max_batch = 2;  // every pair forms one pinned batched launch
+  params.admission.adaptive = false;
+  Scheduler scheduler{params, fx.platform.runtime()};
+
+  std::map<std::size_t, std::vector<int>> devices_by_weight;
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t w = 0; w < 2; ++w) {
+      for (int i = 0; i < 2; ++i) {
+        const sim::VirtAddr c = fx.fresh_output();
+        ASSERT_TRUE(scheduler
+                        .submit(make_request(0, fx.m, fx.n, fx.k, fx.va_a,
+                                             fx.weights[w], c))
+                        .is_ok());
+      }
+      ASSERT_TRUE(scheduler.drain().is_ok());
+      for (const auto& completion : scheduler.take_completions()) {
+        EXPECT_EQ(completion.batch_size, 2u);
+        devices_by_weight[w].push_back(completion.device);
+      }
+    }
+  }
+  const auto report = scheduler.report();
+  EXPECT_GT(report.affinity_routed, 0u);
+  // After the cold start, each weight set sticks to one accelerator.
+  for (const auto& [w, devices] : devices_by_weight) {
+    ASSERT_GE(devices.size(), 2u);
+    for (std::size_t i = 1; i < devices.size(); ++i) {
+      EXPECT_EQ(devices[i], devices[1]) << "weight " << w << " migrated";
+    }
+  }
+  const auto stream = fx.platform.runtime().stream().report();
+  EXPECT_GT(stream.residency_hits, 0u);
+}
+
+TEST(SchedulerTest, RejectsBeyondTenantQueueBound) {
+  ServeFixture fx{1, 1};
+  SchedulerParams params;
+  params.max_queue_per_tenant = 4;
+  params.admission.adaptive = false;
+  Scheduler scheduler{params, fx.platform.runtime()};
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto id = scheduler.submit(make_request(
+        0, fx.m, fx.n, fx.k, fx.va_a, fx.weights[0], fx.fresh_output()));
+    if (!id.is_ok()) {
+      EXPECT_EQ(id.status().code(), support::StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 4);
+  EXPECT_EQ(scheduler.report().rejected, 4u);
+  ASSERT_TRUE(scheduler.drain().is_ok());
+  EXPECT_EQ(scheduler.report().completed, 4u);
+}
+
+/// One tenant's closed-loop traffic: `clients` concurrent requests against
+/// `weight`, each client resubmitting on completion until its budget spends.
+struct TenantSpec {
+  std::uint32_t tenant = 0;
+  std::size_t weight = 0;
+  int clients = 1;
+};
+
+void run_closed_loop(ServeFixture& fx, Scheduler& scheduler,
+                     const std::vector<TenantSpec>& specs,
+                     int requests_per_client) {
+  struct Client {
+    std::uint32_t tenant = 0;
+    std::size_t weight = 0;
+    std::vector<sim::VirtAddr> outputs;
+    int submitted = 0;
+    bool busy = false;
+  };
+  std::vector<Client> clients;
+  for (const auto& spec : specs) {
+    for (int i = 0; i < spec.clients; ++i) {
+      Client client;
+      client.tenant = spec.tenant;
+      client.weight = spec.weight;
+      for (int p = 0; p < 4; ++p) client.outputs.push_back(fx.fresh_output());
+      clients.push_back(std::move(client));
+    }
+  }
+  std::map<std::uint64_t, std::size_t> owner;
+  const std::size_t target = clients.size() * requests_per_client;
+  std::size_t completed = 0;
+  while (completed < target) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      auto& client = clients[i];
+      if (client.busy || client.submitted >= requests_per_client) continue;
+      const sim::VirtAddr c =
+          client.outputs[client.submitted % client.outputs.size()];
+      auto id = scheduler.submit(make_request(client.tenant, fx.m, fx.n, fx.k,
+                                              fx.va_a,
+                                              fx.weights[client.weight], c));
+      ASSERT_TRUE(id.is_ok());
+      owner[*id] = i;
+      client.submitted += 1;
+      client.busy = true;
+      progressed = true;
+    }
+    ASSERT_TRUE(scheduler.pump().is_ok());
+    for (const auto& completion : scheduler.take_completions()) {
+      const auto it = owner.find(completion.id);
+      if (it != owner.end()) {
+        clients[it->second].busy = false;
+        owner.erase(it);
+      }
+      completed += 1;
+      progressed = true;
+    }
+    if (progressed) continue;
+    ASSERT_TRUE(scheduler.advance_to_next_event()) << "scheduler stalled";
+  }
+  ASSERT_TRUE(scheduler.drain().is_ok());
+}
+
+TEST(SchedulerTest, LightTenantTailBoundedUnderTenToOneFlood) {
+  // Satellite acceptance: under 2 tenants with 10:1 offered load, the light
+  // tenant's p99 stays bounded — within a small factor of what it sees with
+  // the flood absent, instead of queueing behind the heavy tenant's backlog.
+  const int kRequests = 10;
+  SchedulerParams params;
+  params.admission.adaptive = false;
+  Duration solo_p99;
+  {
+    ServeFixture fx{2, 2};
+    Scheduler scheduler{params, fx.platform.runtime()};
+    run_closed_loop(fx, scheduler, {TenantSpec{1, 1, 1}}, kRequests);
+    solo_p99 = scheduler.tenant_latency(1).quantile(0.99);
+  }
+  ServeFixture fx{2, 2};
+  Scheduler scheduler{params, fx.platform.runtime()};
+  run_closed_loop(fx, scheduler,
+                  {TenantSpec{0, 0, 10}, TenantSpec{1, 1, 1}}, kRequests);
+  const Duration light_p99 = scheduler.tenant_latency(1).quantile(0.99);
+  const Duration heavy_p99 = scheduler.tenant_latency(0).quantile(0.99);
+  ASSERT_GT(solo_p99.picoseconds(), 0.0);
+  ASSERT_GT(light_p99.picoseconds(), 0.0);
+  // Bounded interference: the light tenant's tail grows by at most a small
+  // factor, and never beyond the flooding tenant's own tail.
+  EXPECT_LE(light_p99.picoseconds(), solo_p99.picoseconds() * 6.0)
+      << "light p99 " << light_p99.to_string() << " vs solo "
+      << solo_p99.to_string();
+  EXPECT_LE(light_p99.picoseconds(), heavy_p99.picoseconds())
+      << "light p99 " << light_p99.to_string() << " vs heavy "
+      << heavy_p99.to_string();
+}
+
+TEST(ServeSchedulerFuzz, RandomizedMultiTenantLoadMatchesReference) {
+  const std::uint64_t seed = fuzz_seed();
+  support::Rng rng{seed};
+  ServeFixture fx{2, 3};
+  SchedulerParams params;
+  params.batcher.max_batch = 4;
+  params.batcher.max_wait = Duration::from_us(15.0);
+  params.admission.probe_period = 8;
+  Scheduler scheduler{params, fx.platform.runtime()};
+
+  struct Pending {
+    sim::VirtAddr c = 0;
+    std::size_t weight = 0;
+  };
+  std::map<std::uint64_t, Pending> pending;
+  const int total = 60;
+  int submitted = 0;
+  std::size_t completed = 0;
+  auto& events = fx.platform.system().events();
+  while (completed < static_cast<std::size_t>(total)) {
+    // Random burst of submissions across tenants and weight sets; every
+    // request gets a fresh C buffer so each one is independently checkable.
+    const int burst =
+        submitted < total
+            ? static_cast<int>(rng.uniform_int(0, 3))
+            : 0;
+    for (int i = 0; i < burst && submitted < total; ++i) {
+      const std::size_t w = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      const auto tenant = static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+      const auto deadline = static_cast<DeadlineClass>(rng.uniform_int(0, 2));
+      const sim::VirtAddr c = fx.fresh_output();
+      auto request = make_request(tenant, fx.m, fx.n, fx.k, fx.va_a,
+                                  fx.weights[w], c, deadline);
+      auto id = scheduler.submit(request);
+      ASSERT_TRUE(id.is_ok());
+      pending[*id] = Pending{c, w};
+      ++submitted;
+    }
+    ASSERT_TRUE(scheduler.pump().is_ok());
+    for (const auto& completion : scheduler.take_completions()) {
+      ASSERT_TRUE(pending.contains(completion.id));
+      completed += 1;
+    }
+    // Random time advance: sometimes wait for the next actionable point,
+    // sometimes leap ahead (run_until, so due completions still retire —
+    // advance_to past pending events is outside the event queue's
+    // contract).
+    if (rng.chance(0.5)) {
+      (void)scheduler.advance_to_next_event();
+    } else {
+      events.run_until(events.now() +
+                       static_cast<sim::Tick>(rng.uniform_int(100, 50000)));
+    }
+  }
+  ASSERT_TRUE(scheduler.drain().is_ok());
+
+  // Every request produced the reference result (quantization tolerance),
+  // regardless of batching, placement, probing, or fallback decisions.
+  EXPECT_EQ(pending.size(), static_cast<std::size_t>(total));
+  for (const auto& [id, record] : pending) {
+    fx.check_result(record.c, record.weight);
+  }
+  const auto report = scheduler.report();
+  EXPECT_EQ(report.completed, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(report.submitted, static_cast<std::uint64_t>(total));
+}
+
+}  // namespace
+}  // namespace tdo::serve

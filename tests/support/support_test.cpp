@@ -130,6 +130,69 @@ TEST(QuantTest, DotErrorBoundIsSane) {
   EXPECT_LE(std::abs(exact - approx), dot_quant_error_bound(2.0, 3.0, n));
 }
 
+TEST(LatencyHistogramTest, ExactQuantilesOnSmallValues) {
+  // Values below 32 ps land in exact unit buckets: nearest-rank quantiles of
+  // a known distribution must be exact.
+  LatencyHistogram h;
+  for (int v = 1; v <= 20; ++v) h.add(Duration::from_ps(v));
+  EXPECT_EQ(h.count(), 20u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50).picoseconds(), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95).picoseconds(), 19.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00).picoseconds(), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0).picoseconds(), 1.0);
+  EXPECT_DOUBLE_EQ(h.min().picoseconds(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max().picoseconds(), 20.0);
+  EXPECT_DOUBLE_EQ(h.mean().picoseconds(), 10.5);
+}
+
+TEST(LatencyHistogramTest, BoundedRelativeErrorOnMicrosecondScale) {
+  // Serving latencies live in the us..ms range; the log-linear buckets
+  // guarantee <= 1/32 relative error per sample, so nearest-rank quantiles
+  // of a uniform grid stay within ~2/32 of the exact answer.
+  LatencyHistogram h;
+  for (int v = 1; v <= 1000; ++v) h.add(Duration::from_us(v));
+  const double tolerance = 2.0 / 32.0;
+  EXPECT_NEAR(h.quantile(0.50).microseconds(), 500.0, 500.0 * tolerance);
+  EXPECT_NEAR(h.quantile(0.95).microseconds(), 950.0, 950.0 * tolerance);
+  EXPECT_NEAR(h.quantile(0.99).microseconds(), 990.0, 990.0 * tolerance);
+  EXPECT_DOUBLE_EQ(h.max().microseconds(), 1000.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedPopulation) {
+  // Per-accelerator histograms merge bucket-wise: the merged quantiles must
+  // equal those of one histogram fed the union of samples.
+  LatencyHistogram a, b, both;
+  Rng rng{99};
+  for (int i = 0; i < 500; ++i) {
+    const double us = rng.uniform(1.0, 300.0);
+    a.add(Duration::from_us(us));
+    both.add(Duration::from_us(us));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double us = rng.uniform(200.0, 2000.0);
+    b.add(Duration::from_us(us));
+    both.add(Duration::from_us(us));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  for (const double p : {0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(p).picoseconds(),
+                     both.quantile(p).picoseconds())
+        << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(a.min().picoseconds(), both.min().picoseconds());
+  EXPECT_DOUBLE_EQ(a.max().picoseconds(), both.max().picoseconds());
+  EXPECT_DOUBLE_EQ(a.mean().picoseconds(), both.mean().picoseconds());
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.add(Duration::from_us(5.0));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99).picoseconds(), 0.0);
+}
+
 TEST(RngTest, DeterministicAcrossInstances) {
   Rng a{123};
   Rng b{123};
