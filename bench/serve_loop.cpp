@@ -19,6 +19,7 @@
 //
 // `--smoke` shrinks everything for CI. See --help for the load knobs.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +27,9 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -46,6 +49,7 @@ using tdo::support::Duration;
 struct Options {
   bool smoke = false;
   bool dump = false;  ///< print per-request completion records
+  std::size_t threads = 0;  ///< submitter threads; 0 skips thread experiments
   std::size_t accelerators = 2;
   std::size_t tenants = 4;
   std::size_t clients_per_tenant = 4;
@@ -505,6 +509,323 @@ struct AdmissionOutcome {
   return outcome;
 }
 
+// --- thread-parallel submission experiments ---
+//
+// The container may have a single core, so every headline number here is
+// *simulated*: submitter threads advance per-shard simulated clocks
+// (SchedulerParams::submit_cost per request), and the tables read those
+// clocks back. Real OS threads still run the ring/atomic paths, so a
+// ThreadSanitizer build exercises the actual concurrency.
+
+/// Submit-scaling run: N real threads push pre-built requests through the
+/// scheduler's sharded submission ring, each charged `submit_cost` on its
+/// own simulated shard clock. Submitted-request throughput is the request
+/// count over the widest shard clock — deterministic regardless of OS
+/// interleaving (end-to-end completion rate can wiggle with dispatch order).
+struct SubmitScale {
+  std::size_t threads = 0;
+  double submit_rps = 0.0;
+  double e2e_rps = 0.0;
+  std::uint64_t ring_contended = 0;
+  std::uint64_t latency_contended = 0;
+  std::uint64_t stream_ring_contended = 0;
+  std::uint64_t rejected = 0;
+};
+
+[[nodiscard]] SubmitScale run_submit_scaling(const Options& opts,
+                                             std::size_t threads) {
+  Platform platform{opts.accelerators};
+  BENCH_CHECK(platform.runtime->init(0));
+  ServingState state{platform, opts};
+
+  tdo::serve::SchedulerParams params;
+  params.batcher.max_batch = opts.batch_max;
+  params.batcher.max_wait = Duration::from_us(opts.max_wait_us);
+  params.admission.probe_period = 0;
+  params.submit_cost = Duration::from_us(2.0).ticks();
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  const std::uint64_t total =
+      opts.tenants * opts.clients_per_tenant * opts.requests_per_client;
+  std::vector<tdo::serve::Request> requests;
+  requests.reserve(total);
+  for (std::uint64_t r = 0; r < total; ++r) {
+    requests.push_back(state.next_request(opts, r % state.clients.size()));
+  }
+
+  // Shard clocks start at current simulated time; their widest advance is
+  // the N-wide submission span.
+  scheduler.sync_submit_clocks();
+  const tdo::sim::Tick base = scheduler.max_submit_clock();
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::uint64_t r = t; r < total; r += threads) {
+        if (!scheduler.submit_from_thread(requests[r]).is_ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  const tdo::sim::Tick span = scheduler.max_submit_clock() - base;
+
+  // Join the submitters' timelines before driving: requests carry arrival
+  // stamps from the shard clocks, so simulated time first catches up to the
+  // last submission, then the driver pumps the backlog to completion.
+  platform.system.events().advance_to(scheduler.max_submit_clock());
+  const std::uint64_t accepted = total - rejected.load();
+  std::uint64_t completed = 0;
+  while (completed < accepted) {
+    BENCH_CHECK(scheduler.pump());
+    completed += scheduler.take_completions().size();
+    if (completed >= accepted) break;
+    if (!scheduler.advance_to_next_event()) BENCH_CHECK(scheduler.drain());
+  }
+  BENCH_CHECK(scheduler.drain());
+  completed += scheduler.take_completions().size();
+
+  SubmitScale result;
+  result.threads = threads;
+  result.submit_rps = static_cast<double>(accepted) /
+                      std::max(tdo::sim::from_ticks(span).seconds(), 1e-12);
+  result.e2e_rps =
+      static_cast<double>(completed) /
+      std::max(platform.system.global_time().seconds(), 1e-12);
+  result.ring_contended = scheduler.ring_lock_contended();
+  result.latency_contended = scheduler.latency_lock_contended();
+  result.stream_ring_contended = platform.runtime->stream().ring_lock_contended();
+  result.rejected = rejected.load();
+  return result;
+}
+
+/// Matched-arrival contended run: one external arrival schedule shared by
+/// every thread count, at a demand rate one submitter cannot sustain
+/// (submit_cost > gap). Request latency counts from the *external* arrival,
+/// so the front-end backlog a lone submitter accumulates shows up in p99 —
+/// and extra submitter threads remove it. Single-threaded simulated
+/// replay: fully deterministic.
+struct ContendedLoad {
+  std::size_t threads = 0;
+  Duration p50, p99;
+  Duration worst_wait;  ///< max submission-pipeline delay vs external arrival
+};
+
+[[nodiscard]] ContendedLoad run_contended_loop(const Options& opts,
+                                               std::size_t threads) {
+  Platform platform{opts.accelerators};
+  BENCH_CHECK(platform.runtime->init(0));
+  ServingState state{platform, opts};
+
+  tdo::serve::SchedulerParams params;
+  params.batcher.max_batch = opts.batch_max;
+  params.batcher.max_wait = Duration::from_us(opts.max_wait_us);
+  params.admission.probe_period = 0;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  const std::uint64_t total =
+      opts.tenants * opts.clients_per_tenant * opts.requests_per_client;
+  // Demand every 40 us; each submission pipelines 120 us of front-end work.
+  // One thread falls behind (3x oversubscribed), four keep up with margin.
+  const Duration gap = Duration::from_us(40.0);
+  const Duration submit_cost = Duration::from_us(120.0);
+  struct Slot {
+    Duration arrival, ready;
+    std::size_t client = 0;
+  };
+  std::vector<Slot> schedule;
+  schedule.reserve(total);
+  std::vector<Duration> clocks(threads, platform.system.global_time());
+  Duration at = platform.system.global_time() + Duration::from_us(1.0);
+  Duration worst_wait = Duration::zero();
+  for (std::uint64_t r = 0; r < total; ++r) {
+    Duration& clock = clocks[r % threads];
+    clock = std::max(clock, at) + submit_cost;
+    schedule.push_back(Slot{at, clock, r % state.clients.size()});
+    worst_wait = std::max(worst_wait, clock - at);
+    at += gap;
+  }
+
+  std::uint64_t completed = 0;
+  std::size_t next = 0;
+  while (completed < total) {
+    const Duration now = platform.system.global_time();
+    bool progressed = false;
+    while (next < schedule.size() && schedule[next].ready <= now) {
+      auto request = state.next_request(opts, schedule[next].client);
+      request.arrival = schedule[next].arrival;
+      BENCH_CHECK(scheduler.submit(request).status());
+      next += 1;
+      progressed = true;
+    }
+    BENCH_CHECK(scheduler.pump());
+    const auto done = scheduler.take_completions();
+    completed += done.size();
+    progressed = progressed || !done.empty();
+    if (progressed || completed >= total) continue;
+    std::optional<tdo::sim::Tick> wake;
+    if (next < schedule.size()) wake = schedule[next].ready.ticks();
+    if (!scheduler.advance_to_next_event(wake)) BENCH_CHECK(scheduler.drain());
+  }
+  BENCH_CHECK(scheduler.drain());
+  (void)scheduler.take_completions();
+
+  ContendedLoad result;
+  result.threads = threads;
+  tdo::support::LatencyHistogram all;
+  for (std::size_t c = 0; c < tdo::serve::kDeadlineClasses; ++c) {
+    all.merge(scheduler.class_latency(static_cast<tdo::serve::DeadlineClass>(c)));
+  }
+  result.p50 = all.quantile(0.50);
+  result.p99 = all.quantile(0.99);
+  result.worst_wait = worst_wait;
+  return result;
+}
+
+// --- pseudo-asynchronous host/device split experiment ---
+
+/// One measured point of the split sweep (or the auto-tuned run).
+struct SplitPoint {
+  double fraction = 0.0;
+  Duration elapsed;
+  std::uint64_t split_calls = 0;
+  std::uint64_t host_macs = 0;
+  std::uint64_t device_macs = 0;
+  Duration stripe_mean;  ///< mean host-stripe span (join latency per stripe)
+};
+
+[[nodiscard]] SplitPoint run_split_load(const Options& opts, double fraction,
+                                        std::size_t reps) {
+  tdo::rt::RuntimeConfig config;
+  config.split.enabled = true;
+  config.split.cpu_fraction = fraction;
+  config.split.pool.workers = 4;
+  config.stream.min_macs_per_write = 0.0;  // isolate the split effect
+  Platform platform{1, config};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  const std::uint64_t d = opts.smoke ? 128 : 256;
+  auto va_a = platform.upload(random_matrix(d * d, 1.0, opts.seed + 301));
+  auto va_b = platform.upload(random_matrix(d * d, 1.0, opts.seed + 302));
+  auto va_c = platform.upload(std::vector<float>(d * d, 0.0f));
+  BENCH_CHECK(va_a.status());
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(va_c.status());
+
+  const Duration t0 = platform.system.global_time();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    BENCH_CHECK(platform.runtime->sgemm_async(
+        d, d, d, 1.0f, *va_a, d, *va_b, d, 0.0f, *va_c, d,
+        tdo::cim::StationaryOperand::kB));
+    BENCH_CHECK(platform.runtime->synchronize());  // the stripe join point
+  }
+  SplitPoint point;
+  point.fraction = fraction;
+  point.elapsed = platform.system.global_time() - t0;
+  const auto& stats = platform.runtime->stats();
+  point.split_calls = stats.split_calls;
+  point.host_macs = stats.split_host_macs;
+  point.device_macs = stats.split_device_macs;
+  const auto pool = platform.runtime->host_pool().report();
+  if (pool.jobs > 0) {
+    point.stripe_mean = tdo::sim::from_ticks(pool.busy_ticks / pool.jobs);
+  }
+  return point;
+}
+
+struct SplitOutcome {
+  std::vector<SplitPoint> sweep;  ///< index = ladder rung (0 = device only)
+  int best_rung = 0;
+  double adaptive_fraction = 0.0;
+  int adaptive_rung = 0;
+  bool split_wins = false;
+  bool converged = false;
+};
+
+[[nodiscard]] SplitOutcome run_split_experiment(const Options& opts) {
+  tdo::serve::AdmissionController ladder{{}, 0.0, 0};
+  SplitOutcome outcome;
+  const std::size_t reps = opts.smoke ? 2 : 3;
+  const int rungs = 10;
+  Duration best = Duration::from_sec(1e18);
+  for (int i = 0; i <= rungs; ++i) {
+    SplitPoint point = run_split_load(opts, ladder.split_rung(i), reps);
+    if (opts.dump) {
+      std::printf(
+          "  static split %-7.4f -> %-12s (stripes %llu, host/dev MACs "
+          "%llu/%llu, stripe mean %s)\n",
+          point.fraction, point.elapsed.to_string().c_str(),
+          static_cast<unsigned long long>(point.split_calls),
+          static_cast<unsigned long long>(point.host_macs),
+          static_cast<unsigned long long>(point.device_macs),
+          point.stripe_mean.to_string().c_str());
+    }
+    if (point.elapsed < best) {
+      best = point.elapsed;
+      outcome.best_rung = i;
+    }
+    outcome.sweep.push_back(std::move(point));
+  }
+  outcome.split_wins =
+      outcome.best_rung > 0 && best < outcome.sweep.front().elapsed;
+
+  // Auto-tune: the scheduler feeds the admission controller's device and
+  // host EWMAs (device jobs + pool stripes + host probes) and pushes the
+  // quantized ideal fraction into the runtime at each dispatch.
+  tdo::rt::RuntimeConfig config;
+  config.split.enabled = true;
+  config.split.pool.workers = 4;
+  config.stream.min_macs_per_write = 0.0;
+  Platform platform{1, config};
+  BENCH_CHECK(platform.runtime->init(0));
+  tdo::serve::SchedulerParams params;
+  params.batching = false;
+  params.residency_affinity = false;
+  params.admission.adaptive = true;
+  params.admission.probe_period = 4;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  const std::uint64_t d = opts.smoke ? 128 : 256;
+  auto va_a = platform.upload(random_matrix(d * d, 1.0, opts.seed + 311));
+  auto va_b = platform.upload(random_matrix(d * d, 1.0, opts.seed + 312));
+  auto va_c = platform.upload(std::vector<float>(d * d, 0.0f));
+  BENCH_CHECK(va_a.status());
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(va_c.status());
+  const std::size_t adaptive_reps = opts.smoke ? 6 : 14;
+  for (std::size_t rep = 0; rep < adaptive_reps; ++rep) {
+    tdo::serve::Request request;
+    request.tenant = 0;
+    request.op = tdo::serve::Op::kSgemm;
+    request.m = d;
+    request.n = d;
+    request.k = d;
+    request.a = *va_a;
+    request.b = *va_b;
+    request.c = *va_c;
+    request.lda = d;
+    request.ldb = d;
+    request.ldc = d;
+    request.cacheable = false;
+    BENCH_CHECK(scheduler.submit(request).status());
+    BENCH_CHECK(scheduler.drain());
+  }
+  outcome.adaptive_fraction = platform.runtime->split_fraction();
+  outcome.adaptive_rung = ladder.split_rung_index(outcome.adaptive_fraction);
+  outcome.converged =
+      std::abs(outcome.adaptive_rung - outcome.best_rung) <= 1;
+  std::printf(
+      "  device-only %s; best static split %.4f (rung %d) -> %s; auto-tuned "
+      "%.4f (rung %d)\n",
+      outcome.sweep.front().elapsed.to_string().c_str(),
+      outcome.sweep[static_cast<std::size_t>(outcome.best_rung)].fraction,
+      outcome.best_rung, best.to_string().c_str(), outcome.adaptive_fraction,
+      outcome.adaptive_rung);
+  return outcome;
+}
+
 void add_result_row(tdo::support::TextTable& table, const std::string& name,
                     const LoadResult& r) {
   char throughput[32], p50[32], p95[32], p99[32], hit[32], fb[32], batch[32];
@@ -551,11 +872,14 @@ int main(int argc, char** argv) {
       opts.open_rate_rps = value();
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = static_cast<std::uint64_t>(value());
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<std::size_t>(value());
     } else {
       std::printf(
           "usage: bench_serve_loop [--smoke] [--tenants N] [--clients C]\n"
           "       [--requests R] [--weights W] [--alpha Z] [--accels A]\n"
-          "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n");
+          "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n"
+          "       [--threads T]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -609,6 +933,69 @@ int main(int argc, char** argv) {
   std::printf("\nAdmission convergence (static sweep vs adaptive EWMA):\n");
   const AdmissionOutcome admission = run_admission_experiment(opts);
 
+  std::printf("\nPseudo-async host/device split (%s GEMM, static sweep vs "
+              "auto-tune):\n",
+              opts.smoke ? "128^3" : "256^3");
+  const SplitOutcome split = run_split_experiment(opts);
+
+  std::vector<SubmitScale> scaling;
+  std::vector<ContendedLoad> contended;
+  if (opts.threads > 0) {
+    std::vector<std::size_t> ladder{1, 2, 4, 8};
+    if (std::find(ladder.begin(), ladder.end(), opts.threads) ==
+        ladder.end()) {
+      ladder.push_back(opts.threads);
+      std::sort(ladder.begin(), ladder.end());
+    }
+    TextTable submit_table("Thread-parallel submission (simulated clocks, "
+                           "submit cost 2 us)");
+    if (opts.dump) {
+      submit_table.set_header({"Threads", "Submit req/s", "Scaling",
+                               "E2E req/s", "Ring lock", "Latency lock",
+                               "Stream lock", "Rejected"});
+    } else {
+      submit_table.set_header(
+          {"Threads", "Submit req/s", "Scaling", "E2E req/s", "Rejected"});
+    }
+    for (const std::size_t threads : ladder) {
+      scaling.push_back(run_submit_scaling(opts, threads));
+      const SubmitScale& s = scaling.back();
+      char rps[32], scale[32], e2e[32];
+      std::snprintf(rps, sizeof rps, "%.0f", s.submit_rps);
+      std::snprintf(scale, sizeof scale, "%.2fx",
+                    s.submit_rps / scaling.front().submit_rps);
+      std::snprintf(e2e, sizeof e2e, "%.0f", s.e2e_rps);
+      if (opts.dump) {
+        submit_table.add_row({std::to_string(threads), rps, scale, e2e,
+                              std::to_string(s.ring_contended),
+                              std::to_string(s.latency_contended),
+                              std::to_string(s.stream_ring_contended),
+                              std::to_string(s.rejected)});
+      } else {
+        submit_table.add_row({std::to_string(threads), rps, scale, e2e,
+                              std::to_string(s.rejected)});
+      }
+    }
+    std::printf("\n");
+    submit_table.print(std::cout);
+
+    TextTable tail_table("Matched-arrival tail latency (demand 25k req/s, "
+                         "submit cost 120 us)");
+    tail_table.set_header(
+        {"Threads", "p50 us", "p99 us", "Worst front-end wait us"});
+    for (const std::size_t threads : ladder) {
+      contended.push_back(run_contended_loop(opts, threads));
+      const ContendedLoad& c = contended.back();
+      char p50[32], p99[32], wait[32];
+      std::snprintf(p50, sizeof p50, "%.1f", c.p50.microseconds());
+      std::snprintf(p99, sizeof p99, "%.1f", c.p99.microseconds());
+      std::snprintf(wait, sizeof wait, "%.1f", c.worst_wait.microseconds());
+      tail_table.add_row({std::to_string(threads), p50, p99, wait});
+    }
+    std::printf("\n");
+    tail_table.print(std::cout);
+  }
+
   std::printf(
       "\nDynamic batching coalesces the Zipf head into shared-weight "
       "launches,\nresidency affinity pins them to the accelerator already "
@@ -632,6 +1019,53 @@ int main(int argc, char** argv) {
                  "step of the best static threshold (rung %d)\n",
                  admission.adaptive_rung, admission.best_static_rung);
     ok = false;
+  }
+  // Thread-parallel and split gates are simulated-deterministic, but smoke
+  // shrinks the load below the margins they assume — report-only there.
+  if (!opts.smoke) {
+    if (!split.split_wins) {
+      std::fprintf(stderr,
+                   "FAILED: no static split fraction beats device-only "
+                   "(best rung %d)\n",
+                   split.best_rung);
+      ok = false;
+    }
+    if (!split.converged) {
+      std::fprintf(stderr,
+                   "FAILED: auto-tuned split fraction %.4f (rung %d) not "
+                   "within one ladder rung of the swept optimum (rung %d)\n",
+                   split.adaptive_fraction, split.adaptive_rung,
+                   split.best_rung);
+      ok = false;
+    }
+    if (opts.threads >= 2) {
+      const auto find_threads = [&](const auto& rows) {
+        std::size_t index = 0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i].threads == opts.threads) index = i;
+        }
+        return index;
+      };
+      const SubmitScale& wide = scaling[find_threads(scaling)];
+      const double ratio = wide.submit_rps / scaling.front().submit_rps;
+      if (ratio < 0.75 * static_cast<double>(opts.threads)) {
+        std::fprintf(stderr,
+                     "FAILED: %zu-thread submitted-request throughput only "
+                     "%.2fx the 1-thread rate (need >= %.2fx)\n",
+                     opts.threads, ratio,
+                     0.75 * static_cast<double>(opts.threads));
+        ok = false;
+      }
+      const ContendedLoad& tail = contended[find_threads(contended)];
+      if (!(tail.p99 < contended.front().p99)) {
+        std::fprintf(stderr,
+                     "FAILED: %zu-thread p99 %.1f us does not strictly beat "
+                     "the 1-thread p99 %.1f us\n",
+                     opts.threads, tail.p99.microseconds(),
+                     contended.front().p99.microseconds());
+        ok = false;
+      }
+    }
   }
   return ok ? 0 : 1;
 }

@@ -117,6 +117,10 @@ support::Status Accelerator::enqueue_job(const ContextRegs& image) {
     // the running job's stream tail: book that window on the channel
     // timeline now, so a later copy cannot first-fit into the same slot.
     if (queue_.size() == 1) reserve_queue_prefetch();
+    // The new job also extends the queue's estimated body-DMA chain:
+    // re-derive the advisory windows so copies account for it.
+    dma_->drop_advisory();
+    reserve_queue_body();
     return support::Status::ok();
   }
   apply_image(image);
@@ -253,10 +257,33 @@ void Accelerator::reserve_queue_prefetch() {
   dma_->reserve_engine(busy_until_ - window, busy_until_);
 }
 
+void Accelerator::reserve_queue_body() {
+  if (!params_.queue_body_reserve || queue_.empty()) return;
+  // Chain estimated launch points from the running job's completion: each
+  // queued job's weight DMA then its stream-body DMA occupy the engine
+  // channel in turn. The windows are advisory (estimates drop at the next
+  // launch, when the authoritative reservations take over), but they are
+  // what keeps a copy submitted against a deep queue from first-fitting
+  // into channel time the queue already owns.
+  sim::Tick t = busy_until_;
+  for (const QueuedJob& job : queue_) {
+    const sim::Tick weight = engine_->estimate_prefetch_dma(job.image).ticks();
+    const sim::Tick body = engine_->estimate_stream_dma(job.image).ticks();
+    if (weight + body > 0) {
+      dma_->reserve_engine_advisory(t, t + weight + body);
+    }
+    t += weight + body;
+  }
+}
+
 void Accelerator::start_job(support::Duration prefetch_credit) {
   jobs_.add();
   regs_.set_status(DeviceStatus::kBusy);
   dma_->retire_before(system_.events().now());
+  // This job's launch reserves its authoritative channel windows below;
+  // the enqueue-time advisory estimates (which end in the future, out of
+  // retire_before's reach) must go first or the body DMA double-books.
+  dma_->drop_advisory();
   last_timeline_ = engine_->launch(regs_, prefetch_credit);
   overlap_ticks_.add(last_timeline_.overlap);
   busy_until_ = last_timeline_.done;
@@ -286,6 +313,8 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
   // enqueue path reserves when a job becomes front under an already-running
   // job; this covers fronts inherited across a chain launch.)
   reserve_queue_prefetch();
+  // And the still-queued jobs' body DMA re-chains from the fresh busy_until_.
+  reserve_queue_body();
 
   // Completion chain: the engine's own done/error event (same tick, earlier
   // sequence) has already updated kStatus/kResult when this runs.

@@ -46,6 +46,12 @@ struct AcceleratorParams {
   /// Overlap a chained job's weight-load DMA with the running job's stream
   /// phase (requires the job's double-buffering flag).
   bool queue_prefetch = true;
+  /// Queue-aware channel reservation: book an advisory busy window for each
+  /// queued job's estimated stream-body DMA at enqueue time, so stream
+  /// copies submitted while jobs wait cannot first-fit into channel time
+  /// the queue will occupy after launch. Advisory windows are dropped and
+  /// replaced by the authoritative reservations at each job launch.
+  bool queue_body_reserve = true;
 };
 
 /// Address-space stride between accelerator instances on the system bus.
@@ -182,6 +188,10 @@ class Accelerator final : public sim::BusDevice {
   /// tail of the running job's stream phase on the engine's DMA channel — so
   /// stream copies cannot first-fit into a slot the prefetch will occupy.
   void reserve_queue_prefetch();
+  /// Re-derives the advisory body-DMA windows of every queued job, chained
+  /// from the running job's completion (queue_body_reserve). Callers drop
+  /// stale advisory windows first — this only inserts.
+  void reserve_queue_body();
 
   AcceleratorParams params_;
   sim::System& system_;

@@ -123,6 +123,25 @@ void Dma::reserve_engine(sim::Tick begin, sim::Tick end) {
                  w);
 }
 
+void Dma::reserve_engine_advisory(sim::Tick begin, sim::Tick end) {
+  if (end <= begin) return;
+  auto& windows = channels_[0];
+  const BusyWindow w{begin, end, /*engine=*/true, /*advisory=*/true};
+  windows.insert(std::upper_bound(windows.begin(), windows.end(), w,
+                                  [](const BusyWindow& a, const BusyWindow& b) {
+                                    return a.begin < b.begin;
+                                  }),
+                 w);
+}
+
+void Dma::drop_advisory() {
+  for (auto& windows : channels_) {
+    windows.erase(std::remove_if(windows.begin(), windows.end(),
+                                 [](const BusyWindow& w) { return w.advisory; }),
+                  windows.end());
+  }
+}
+
 Dma::CopySlot Dma::reserve_copy(sim::Tick earliest, sim::Tick duration) {
   retire_windows_before(earliest);
   // Earliest-finish channel wins; the dedicated copy channel (highest index)
@@ -155,7 +174,9 @@ sim::Tick Dma::engine_busy_overlap(std::uint32_t channel, sim::Tick lo,
   // so summing pairwise intersections is exact.
   sim::Tick covered = 0;
   for (const BusyWindow& w : channels_[channel]) {
-    if (!w.engine) continue;
+    // Advisory windows are estimates of *future* engine traffic; the
+    // authoritative launch-time reservation is what counts against overlap.
+    if (!w.engine || w.advisory) continue;
     const sim::Tick begin = std::max(lo, w.begin);
     const sim::Tick end = std::min(hi, w.end);
     if (end > begin) covered += end - begin;

@@ -93,6 +93,21 @@ class Dma {
   /// are inserted unconditionally (the job's schedule is already fixed).
   void reserve_engine(sim::Tick begin, sim::Tick end);
 
+  /// Advisory reservation on channel 0: the *estimated* body DMA of a job
+  /// still sitting in the accelerator work queue. Copies first-fit around it
+  /// exactly like a real engine window — a copy submitted while jobs are
+  /// queued must not book channel time their fills/stores will occupy after
+  /// launch — but the window is an estimate: drop_advisory() clears every
+  /// advisory window at the next job launch, when the authoritative
+  /// launch-time reservations replace it.
+  void reserve_engine_advisory(sim::Tick begin, sim::Tick end);
+
+  /// Drops every advisory window (call at job launch, where the engine's
+  /// own reservations supersede the enqueue-time estimates; without this
+  /// the same body traffic would be double-booked — advisory windows end in
+  /// the future, so retire_before never reaches them).
+  void drop_advisory();
+
   /// Where a copy chain of `duration` ticks was placed: the first-fit start
   /// (>= earliest) on the channel that finishes it soonest, preferring the
   /// dedicated copy channel (highest index) on ties.
@@ -151,7 +166,8 @@ class Dma {
   struct BusyWindow {
     sim::Tick begin = 0;
     sim::Tick end = 0;
-    bool engine = false;  ///< engine traffic (vs a stream copy)
+    bool engine = false;    ///< engine traffic (vs a stream copy)
+    bool advisory = false;  ///< queued-job estimate; dropped at job launch
   };
   void retire_windows_before(sim::Tick horizon);
   /// First tick >= earliest where `channel` has a gap of `duration` ticks.

@@ -275,6 +275,37 @@ support::Duration MicroEngine::estimate_prefetch_dma(
   return per_row * static_cast<double>(tile_rows);
 }
 
+support::Duration MicroEngine::estimate_stream_dma(
+    const ContextRegs& image) const {
+  const Opcode op = static_cast<Opcode>(image.read(Reg::kOpcode));
+  if (op != Opcode::kGemm && op != Opcode::kGemv && op != Opcode::kGemmBatched) {
+    return Duration::zero();
+  }
+  auto job = decode(image);
+  if (!job.is_ok()) return Duration::zero();
+
+  // Mirror stream_vectors' per-vector traffic: one input fill, one old-C
+  // read when beta != 0, one result store. Stationary-B streams rows
+  // (contiguous bursts); stationary-A streams columns (strided bursts).
+  const bool stationary_b = job->stationary == StationaryOperand::kB;
+  const std::uint64_t vectors = stationary_b ? job->m : job->n;
+  const std::uint64_t reduce = job->k;
+  const std::uint64_t out_len = stationary_b ? job->n : job->m;
+  const auto burst = [&](std::uint64_t bytes) {
+    return stationary_b ? dma_.estimate_block(bytes)
+                        : dma_.estimate_strided(bytes);
+  };
+  Duration per_vector = burst(reduce * 4) + burst(out_len * 4);
+  if (job->beta != 0.0f) per_vector = per_vector + burst(out_len * 4);
+  Duration total = per_vector * static_cast<double>(vectors);
+  if (op == Opcode::kGemmBatched) {
+    const std::uint64_t count =
+        std::max<std::uint64_t>(image.read(Reg::kBatchCount), 1);
+    total = total * static_cast<double>(count);
+  }
+  return total;
+}
+
 JobTimeline MicroEngine::launch(ContextRegs& regs,
                                 support::Duration prefetch_credit) {
   JobTimeline timeline;

@@ -95,6 +95,16 @@ class MicroEngine {
   [[nodiscard]] support::Duration estimate_prefetch_dma(
       const ContextRegs& image) const;
 
+  /// Advisory estimate of the stream-body DMA (vector fills, old-C reads
+  /// when beta != 0, result stores; batched jobs scale by their entry count)
+  /// a queued `image` will occupy on the engine channel *after* it launches.
+  /// Side-effect free — used to reserve an advisory busy window at enqueue
+  /// time so stream copies submitted while the job waits cannot first-fit
+  /// into channel time its body traffic will claim. A wrong estimate only
+  /// shifts copy placement; the launch-time reservation stays authoritative.
+  [[nodiscard]] support::Duration estimate_stream_dma(
+      const ContextRegs& image) const;
+
   /// Identity of a stationary tile programmed into one crossbar row window
   /// (for reuse detection within batched jobs, across jobs for the runtime's
   /// weight-residency cache, and for tests).

@@ -20,7 +20,14 @@ CimRuntime::CimRuntime(RuntimeConfig config, sim::System& system,
   xfer_ = std::make_unique<XferEngine>(config_.xfer, system);
   residency_ = std::make_unique<ResidencyCache>(config_.residency, *driver_,
                                                 system.stats());
+  pool_ = std::make_unique<HostWorkerPool>(system, config_.split.pool);
   stream_->attach_residency(residency_.get());
+  stream_->attach_host_pool(pool_.get());
+}
+
+void CimRuntime::set_split_fraction(double fraction) {
+  config_.split.cpu_fraction =
+      std::clamp(fraction, 0.0, config_.split.max_fraction);
 }
 
 support::Status CimRuntime::init(int device_index) {
@@ -228,7 +235,12 @@ support::StatusOr<bool> CimRuntime::striped_copy_back(const CopyDesc& desc) {
   std::vector<std::size_t> devices;  // distinct, insertion order
   for (std::size_t i = 0; i < stripes.size(); ++i) {
     const TrackedRect& s = stripes[i];
-    if (s.device < 0) return false;
+    // Unknown producers and host-pool stripes (pseudo-device past the last
+    // accelerator) cannot be drained per-device; take the full-drain path.
+    if (s.device < 0 ||
+        s.device >= static_cast<int>(driver_->device_count())) {
+      return false;
+    }
     if (s.rect.base < desc.src().base ||
         s.rect.span_end() > desc.src().span_end()) {
       return false;
@@ -498,6 +510,49 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
   const double q_b = support::QuantScale::for_max_abs(*max_b).scale;
 
   if (stationary == cim::StationaryOperand::kB) {
+    // Pseudo-asynchronous split (DTO's DTO_CPU_SIZE_FRACTION): peel the
+    // last rows of the M dimension off onto the host worker pool, which
+    // runs them concurrently with the accelerators' stripes; the two halves
+    // join at the next synchronization point. Row-splitting C keeps both
+    // halves element-disjoint, so the only ordering needed is the join.
+    std::uint64_t m_dev = m;
+    if (config_.split.enabled && pool_->enabled() &&
+        config_.split.cpu_fraction > 0.0 && m >= 2 &&
+        m * n * k >= config_.split.min_macs) {
+      const double fraction = std::clamp(config_.split.cpu_fraction, 0.0,
+                                         config_.split.max_fraction);
+      const std::uint64_t m_host = std::min<std::uint64_t>(
+          m - 1,
+          static_cast<std::uint64_t>(static_cast<double>(m) * fraction + 0.5));
+      if (m_host >= 1) {
+        HostStripeJob job;
+        job.m = m_host;
+        job.n = n;
+        job.k = k;
+        job.lda = lda;
+        job.ldb = ldb;
+        job.ldc = ldc;
+        job.pa_a = *pa_a + (m - m_host) * lda * kElem;
+        job.pa_b = *pa_b;
+        job.pa_c = *pa_c + (m - m_host) * ldc * kElem;
+        job.alpha = alpha;
+        job.beta = beta;
+        const HostPoolTicket ticket = pool_->submit(job);
+        if (ticket.accepted) {
+          m_dev = m - m_host;
+          stats_.split_calls += 1;
+          stats_.split_host_macs += m_host * n * k;
+          stats_.split_device_macs += m_dev * n * k;
+          // The stripe read A/B eagerly, so it leaves no deferred-read
+          // hazard; its C rows stay tracked until the join so later
+          // consumers order behind the pool.
+          stream_->note_write(
+              Rect{job.pa_c, ldc * kElem, n * kElem, m_host},
+              stream_->host_pool_device_id());
+        }
+      }
+    }
+
     // Stationary B tiles (k x n); stream rows of A; jj/kk tile loops. Each
     // jj column stripe is element-disjoint in C, so stripes round-robin
     // across accelerators (and are tracked per device for per-stripe
@@ -518,8 +573,8 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
         }
       }
       const int device = stationary_device(keys);
-      stream_->note_write(Rect{*pa_c + jj * kElem, ldc * kElem, njs * kElem, m},
-                          device);
+      stream_->note_write(
+          Rect{*pa_c + jj * kElem, ldc * kElem, njs * kElem, m_dev}, device);
       std::size_t tile_index = 0;
       for (std::uint64_t kk = 0; kk < k; kk += max_rows, ++tile_index) {
         const std::uint64_t ks = std::min(max_rows, k - kk);
@@ -531,10 +586,10 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
                                   static_cast<std::uint32_t>(njs)};
         const TilePlacement tile = place_tile(use_cache, key, device);
         const auto image = make_job_image(
-            m, njs, ks, alpha, beta_eff, *pa_a + kk * kElem, lda,
+            m_dev, njs, ks, alpha, beta_eff, *pa_a + kk * kElem, lda,
             *pa_b + (kk * ldb + jj) * kElem, ldb, *pa_c + jj * kElem, ldc,
             *max_a, *max_b, stationary, tile.skip, tile.row0);
-        TDO_RETURN_IF_ERROR(enqueue_job(image, m * njs * ks,
+        TDO_RETURN_IF_ERROR(enqueue_job(image, m_dev * njs * ks,
                                         tile.skip ? 0 : ks * njs, device,
                                         /*allow_cpu_fallback=*/kk == 0));
       }

@@ -21,6 +21,7 @@
 
 #include "cim/accelerator.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/host_pool.hpp"
 #include "runtime/residency.hpp"
 #include "runtime/stream.hpp"
 #include "runtime/xfer.hpp"
@@ -35,6 +36,23 @@ enum class ScaleMode {
   kHostScan,
   /// Assume a static data range (free, but may clip).
   kStatic,
+};
+
+/// DTO-style pseudo-asynchronous work splitting (DTO_CPU_SIZE_FRACTION):
+/// a large GEMM is cut into a host stripe (run on the worker pool) and a
+/// device stripe, executed concurrently and joined at the next sync point.
+struct SplitConfig {
+  bool enabled = false;
+  /// Fraction of the M dimension routed to the host worker pool. DTO ships
+  /// this as a static environment variable; the serving layer retunes it
+  /// online from the admission controller's device/host EWMAs.
+  double cpu_fraction = 0.0;
+  /// Safety clamp: never hand more than this to the (slower) host side.
+  double max_fraction = 0.5;
+  /// Jobs below this many MACs skip the split — the dispatch/join overhead
+  /// would dominate the stripe.
+  std::uint64_t min_macs = 1ull << 20;
+  HostPoolParams pool;
 };
 
 struct RuntimeConfig {
@@ -54,6 +72,8 @@ struct RuntimeConfig {
   /// Weight-residency cache: cross-call stationary-operand reuse with
   /// affinity routing. Applies to calls marked cacheable.
   ResidencyParams residency;
+  /// Pseudo-asynchronous host/device work splitting.
+  SplitConfig split;
 };
 
 /// Aggregate host-side costs attributable to the runtime (for reporting).
@@ -63,6 +83,10 @@ struct RuntimeStats {
   std::uint64_t batched_calls = 0;
   std::uint64_t bytes_copied = 0;
   std::uint64_t scale_scans = 0;
+  // Pseudo-async splitting.
+  std::uint64_t split_calls = 0;
+  std::uint64_t split_host_macs = 0;
+  std::uint64_t split_device_macs = 0;
 };
 
 /// One GEMM in a batched call (virtual addresses; dims shared by the batch).
@@ -187,10 +211,19 @@ class CimRuntime {
       std::uint64_t m, std::uint64_t n, std::uint64_t k, sim::VirtAddr stat,
       std::uint64_t ld_stat, cim::StationaryOperand stationary);
 
+  /// Retunes the pseudo-async split fraction at runtime (the admission
+  /// controller's continuous knob next to the binary offload decision).
+  /// Clamped to [0, split.max_fraction]; no-op splitting when 0.
+  void set_split_fraction(double fraction);
+  [[nodiscard]] double split_fraction() const {
+    return config_.split.cpu_fraction;
+  }
+
   [[nodiscard]] sim::System& system() { return system_; }
   [[nodiscard]] CimStream& stream() { return *stream_; }
   [[nodiscard]] XferEngine& xfer() { return *xfer_; }
   [[nodiscard]] ResidencyCache& residency() { return *residency_; }
+  [[nodiscard]] HostWorkerPool& host_pool() { return *pool_; }
   [[nodiscard]] CimDriver& driver() { return *driver_; }
   [[nodiscard]] cim::Accelerator& accelerator() { return accel_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
@@ -284,6 +317,7 @@ class CimRuntime {
   std::unique_ptr<CimStream> stream_;
   std::unique_ptr<XferEngine> xfer_;
   std::unique_ptr<ResidencyCache> residency_;
+  std::unique_ptr<HostWorkerPool> pool_;
   std::vector<DeviceBuffer> buffers_;
   /// Batch tables in flight; released by synchronize().
   std::vector<DeviceBuffer> staging_;

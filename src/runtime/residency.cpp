@@ -28,6 +28,7 @@ std::uint32_t ResidencyCache::device_capacity_rows(int device) const {
 
 std::optional<ResidencyCache::Placement> ResidencyCache::peek(
     const WeightKey& key) const {
+  support::SpinGuard guard{lock_};
   for (const Entry& entry : entries_) {
     if (entry.key == key) return Placement{entry.device, entry.row0};
   }
@@ -83,6 +84,7 @@ void ResidencyCache::erase_entry(std::size_t index) {
 
 ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
                                                 int device) {
+  support::SpinGuard guard{lock_};
   ++clock_;
   for (Entry& entry : entries_) {
     if (entry.device == device && entry.key == key) {
@@ -103,6 +105,7 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
 
 void ResidencyCache::on_programmed(int device, std::uint32_t row0,
                                    std::uint64_t rows) {
+  support::SpinGuard guard{lock_};
   for (std::size_t i = entries_.size(); i-- > 0;) {
     const Entry& entry = entries_[i];
     if (entry.device != device) continue;
@@ -117,7 +120,8 @@ void ResidencyCache::on_programmed(int device, std::uint32_t row0,
 
 void ResidencyCache::invalidate_overlapping(const Rect& r) {
   if (r.empty()) return;
-  ++epoch_;
+  support::SpinGuard guard{lock_};
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = entries_.size(); i-- > 0;) {
     if (entries_[i].key.rect.overlaps(r)) {
       invalidations_.add();
@@ -127,7 +131,8 @@ void ResidencyCache::invalidate_overlapping(const Rect& r) {
 }
 
 void ResidencyCache::invalidate_all() {
-  ++epoch_;
+  support::SpinGuard guard{lock_};
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   invalidations_.add(entries_.size());
   entries_.clear();
 }
@@ -139,7 +144,10 @@ ResidencyReport ResidencyCache::report() const {
   rep.evictions = evictions_.value();
   rep.invalidations = invalidations_.value();
   rep.weight_writes_saved8 = weight_writes_saved8_.value();
-  rep.entries = entries_.size();
+  {
+    support::SpinGuard guard{lock_};
+    rep.entries = entries_.size();
+  }
   return rep;
 }
 

@@ -27,6 +27,7 @@
 // reprogram, never correctness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -35,6 +36,7 @@
 #include "cim/context_regs.hpp"
 #include "runtime/xfer.hpp"
 #include "support/stats.hpp"
+#include "support/threading.hpp"
 
 namespace tdo::rt {
 
@@ -130,8 +132,13 @@ class ResidencyCache {
   void invalidate_all();
 
   /// Host-write generation: the number of invalidation events so far.
-  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
-  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t entries() const {
+    support::SpinGuard guard{lock_};
+    return entries_.size();
+  }
   [[nodiscard]] ResidencyReport report() const;
 
  private:
@@ -150,9 +157,13 @@ class ResidencyCache {
 
   ResidencyParams params_;
   CimDriver& driver_;
+  /// Guards entries_/clock_: affinity queries (peek) may come from a
+  /// different thread than the dispatching driver thread. Entry lists stay
+  /// small (tens of tiles), so a spinlock's short hold time fits.
+  mutable support::SpinLock lock_;
   std::vector<Entry> entries_;
   std::uint64_t clock_ = 0;
-  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
 
   support::Counter hits_;
   support::Counter misses_;

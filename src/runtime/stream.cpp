@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/host_pool.hpp"
 #include "runtime/residency.hpp"
 #include "support/log.hpp"
 
@@ -24,10 +25,12 @@ CimStream::CimStream(StreamParams params, sim::System& system,
   stats.register_counter(p + ".occupancy_peak", &occupancy_peak_);
   stats.register_counter(p + ".copies_enqueued", &copies_enqueued_);
   stats.register_counter(p + ".copy_bytes", &copy_bytes_);
+  stats.register_counter(p + ".ring_submitted", &ring_submitted_);
+  stats.register_counter(p + ".ring_rejected", &ring_rejected_);
 }
 
 bool CimStream::idle() const {
-  return in_flight() == 0 && tracker_.empty();
+  return in_flight() == 0 && tracker_.empty() && ring_.pending() == 0;
 }
 
 std::size_t CimStream::in_flight() const {
@@ -35,6 +38,7 @@ std::size_t CimStream::in_flight() const {
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
     total += driver_.device(d).in_flight() + driver_.device(d).copies_in_flight();
   }
+  if (pool_ != nullptr) total += pool_->in_flight();
   return total;
 }
 
@@ -46,6 +50,35 @@ void CimStream::note_occupancy() {
   if (occ > occupancy_seen_) {
     occupancy_peak_.add(occ - occupancy_seen_);
     occupancy_seen_ = occ;
+  }
+}
+
+support::Status CimStream::enqueue_from_thread(const Command& command) {
+  if (!ring_.push(command)) {
+    ring_rejected_.add();
+    return support::Status{support::StatusCode::kResourceExhausted,
+                           "stream submission ring shard full"};
+  }
+  ring_submitted_.add();
+  return support::Status::ok();
+}
+
+support::Status CimStream::pump_rings() {
+  support::Status result = support::Status::ok();
+  for (Command& command : ring_.drain_all()) {
+    auto status = enqueue(command);
+    if (!status.is_ok() && result.is_ok()) result = status;
+  }
+  return result;
+}
+
+void CimStream::drain_host_pool() {
+  if (pool_ == nullptr) return;
+  system_.settle_to_host_time();
+  while (!pool_->idle()) {
+    const sim::Tick done = pool_->busy_until();
+    (void)system_.events().run_until(done);
+    (void)system_.cpu().block_until(done);
   }
 }
 
@@ -134,11 +167,15 @@ support::Status CimStream::drain_one(std::size_t device) {
 
 support::Status CimStream::synchronize() {
   syncs_.add();
-  support::Status result = support::Status::ok();
+  support::Status result = pump_rings();
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
     auto status = drain_one(d);
     if (!status.is_ok()) result = status;
   }
+  // Join in-flight host-pool stripes: a synchronize is the pseudo-async
+  // join point, so host-stripe writes become visible (in simulated time)
+  // together with their device halves.
+  drain_host_pool();
   tracker_.clear();
   return result;
 }
@@ -166,6 +203,9 @@ StreamReport CimStream::report() const {
   rep.occupancy_peak = occupancy_peak_.value();
   rep.copies_enqueued = copies_enqueued_.value();
   rep.copy_bytes = copy_bytes_.value();
+  rep.ring_submitted = ring_submitted_.value();
+  rep.ring_rejected = ring_rejected_.value();
+  rep.ring_lock_contended = ring_.lock_contended();
   for (std::size_t d = 0; d < driver_.device_count(); ++d) {
     rep.overlapped_copy_bytes +=
         driver_.device(d).dma().overlapped_copy_bytes();

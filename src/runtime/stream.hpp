@@ -36,10 +36,12 @@
 #include "sim/system.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
+#include "support/threading.hpp"
 
 namespace tdo::rt {
 
 class ResidencyCache;
+class HostWorkerPool;
 
 struct StreamParams {
   /// Maximum commands in flight per accelerator (running + queued). Depth 1
@@ -94,6 +96,10 @@ struct StreamReport {
   /// 8-bit weight programs the devices skipped through stationary-tile
   /// reuse (summed across accelerators; the device-side ground truth).
   std::uint64_t weight_writes_saved8 = 0;
+  // Cross-thread submission ring (enqueue_from_thread / pump_rings).
+  std::uint64_t ring_submitted = 0;
+  std::uint64_t ring_rejected = 0;
+  std::uint64_t ring_lock_contended = 0;
 };
 
 class CimStream {
@@ -121,8 +127,29 @@ class CimStream {
   /// Dispatches one command: host CPU when below the intensity threshold or
   /// the queue is full (and fallback is allowed), otherwise into an
   /// accelerator work queue. Returns once the command is accepted — device
-  /// execution completes asynchronously.
+  /// execution completes asynchronously. Driver-thread only: the simulator
+  /// underneath is single-threaded; other threads use enqueue_from_thread.
   support::Status enqueue(const Command& command);
+
+  /// Thread-safe submission: pushes the command into the caller's shard of
+  /// the submission ring without touching the simulator. The driver thread
+  /// moves ring contents into the accelerator work queues at its next
+  /// pump_rings() / synchronize(). Fails with kResourceExhausted when the
+  /// caller's shard is full (backpressure; the caller retries or falls
+  /// back), never blocks.
+  support::Status enqueue_from_thread(const Command& command);
+
+  /// Driver thread: drains the submission ring into enqueue(). Returns the
+  /// first error; remaining commands are still dispatched.
+  support::Status pump_rings();
+
+  /// Commands sitting in submission-ring shards, not yet pumped.
+  [[nodiscard]] std::size_t ring_pending() const { return ring_.pending(); }
+  /// Contended spinlock acquisitions across ring shards (lock-pressure
+  /// visibility for bench --dump).
+  [[nodiscard]] std::uint64_t ring_lock_contended() const {
+    return ring_.lock_contended();
+  }
 
   /// Drains every accelerator (event-driven wait), surfaces any job error,
   /// and forgets the pending-write ranges.
@@ -196,6 +223,21 @@ class CimStream {
     residency_ = residency;
   }
 
+  /// Attaches the pseudo-async host worker pool: synchronize()/idle()
+  /// then also cover in-flight host stripes, so a join point ordering on
+  /// the stream orders on the pool too.
+  void attach_host_pool(HostWorkerPool* pool) { pool_ = pool; }
+
+  /// Hazard-tracker device id for rectangles written by host-pool stripes.
+  /// Past the last real accelerator, so the per-stripe copy-back never
+  /// mistakes a pool stripe for an accelerator's.
+  [[nodiscard]] int host_pool_device_id() const {
+    return static_cast<int>(driver_.device_count());
+  }
+
+  /// Runs the event queue until every in-flight host-pool stripe joined.
+  void drain_host_pool();
+
  private:
   /// Executes the command's GEMM on the host CPU model (exact float math,
   /// interpreter-style instruction charges) — the DTO-style fallback.
@@ -215,8 +257,10 @@ class CimStream {
   sim::System& system_;
   CimDriver& driver_;
   const ResidencyCache* residency_ = nullptr;
+  HostWorkerPool* pool_ = nullptr;
   std::size_t round_robin_ = 0;
   RectTracker tracker_;
+  support::ShardedRing<Command> ring_;
   std::vector<std::uint64_t> failed_seen_;  // per-device jobs_failed baseline
   std::uint64_t occupancy_seen_ = 0;
 
@@ -231,6 +275,8 @@ class CimStream {
   support::Counter occupancy_peak_;
   support::Counter copies_enqueued_;
   support::Counter copy_bytes_;
+  support::ShardedCounter ring_submitted_;
+  support::ShardedCounter ring_rejected_;
 };
 
 }  // namespace tdo::rt

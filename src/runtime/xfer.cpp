@@ -124,7 +124,7 @@ bool XferEngine::plan_view(CopyDesc::Dir dir, sim::VirtAddr dst,
   // Size threshold on the whole copy, not per segment: the descriptor chain
   // amortizes the submission round trip, so a tiny tail segment of a large
   // scattered copy must not force the host-memcpy path.
-  if (!params_.async_copies || total == 0 || total < params_.min_async_bytes) {
+  if (!params_.async_copies || total == 0 || total < min_async_bytes()) {
     return false;
   }
   if (rows > 1 && pitch < width) return false;  // self-overlapping view

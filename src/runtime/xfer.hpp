@@ -17,6 +17,7 @@
 // instead of forcing hazard synchronizations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -159,7 +160,9 @@ struct XferParams {
 class XferEngine {
  public:
   XferEngine(XferParams params, sim::System& system)
-      : params_{params}, system_{system} {
+      : params_{params},
+        min_async_bytes_{params.min_async_bytes},
+        system_{system} {
     system.stats().register_counter("xfer.host_copies", &host_copies_);
     system.stats().register_counter("xfer.host_copy_bytes", &host_copy_bytes_);
   }
@@ -204,8 +207,12 @@ class XferEngine {
   /// Retunes the async-copy size threshold at runtime (adaptive admission:
   /// the break-even size is re-derived from observed host-copy cost per byte
   /// vs the measured enqueue overhead instead of staying a static knob).
+  /// Atomic: the retuning thread and planning thread never tear the knob.
   void set_min_async_bytes(std::uint64_t bytes) {
-    params_.min_async_bytes = bytes;
+    min_async_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min_async_bytes() const {
+    return min_async_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -215,6 +222,8 @@ class XferEngine {
                                 std::uint64_t bytes);
 
   XferParams params_;
+  /// Live copy of params_.min_async_bytes (the one adaptively retuned).
+  std::atomic<std::uint64_t> min_async_bytes_;
   sim::System& system_;
   support::Counter host_copies_;
   support::Counter host_copy_bytes_;

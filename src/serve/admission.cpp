@@ -14,6 +14,7 @@ AdmissionController::AdmissionController(AdmissionParams params,
   if (params_.ladder_rungs < 1) params_.ladder_rungs = 1;
   if (params_.ladder_step <= 1.0) params_.ladder_step = 2.0;
   if (params_.ladder_base <= 0.0) params_.ladder_base = 1.0;
+  if (params_.split_rungs < 1) params_.split_rungs = 1;
 }
 
 double AdmissionController::rung(int index) const {
@@ -28,6 +29,22 @@ int AdmissionController::rung_index(double value) const {
       std::log(value / params_.ladder_base) / std::log(params_.ladder_step);
   const int index = static_cast<int>(std::lround(steps));
   return std::clamp(index, 0, params_.ladder_rungs - 1);
+}
+
+double AdmissionController::split_rung(int index) const {
+  if (index <= 0) return 0.0;
+  index = std::min(index, params_.split_rungs);
+  return 0.5 * std::pow(2.0, index - params_.split_rungs);
+}
+
+int AdmissionController::split_rung_index(double fraction) const {
+  if (fraction <= 0.0) return 0;
+  // Nearest rung in log space among i >= 1; fractions more than half a
+  // rung below the smallest one mean "no split".
+  const double steps =
+      std::log2(fraction / 0.5) + static_cast<double>(params_.split_rungs);
+  const int index = static_cast<int>(std::lround(steps));
+  return std::clamp(index, 0, params_.split_rungs);
 }
 
 AdmitPath AdmissionController::admit(const SiteKey& key, bool host_probe_ok) {
@@ -71,6 +88,48 @@ void AdmissionController::observe(const SiteKey& key, bool offloaded,
   obs += 1;
   observations_ += 1;
   retune_macs();
+  retune_split();
+}
+
+double AdmissionController::ideal_split(const Site& site) const {
+  if (site.dev_obs == 0 || site.host_obs == 0 || site.dev_ps_per_mac <= 0.0 ||
+      site.host_ps_per_mac <= 0.0) {
+    return -1.0;
+  }
+  // Both stripes finish together when rows are shared inversely to each
+  // path's per-MAC latency: host share f* = dev / (dev + host).
+  return site.dev_ps_per_mac / (site.dev_ps_per_mac + site.host_ps_per_mac);
+}
+
+double AdmissionController::split_fraction_for(const SiteKey& key) const {
+  const auto it = sites_.find(key);
+  if (it == sites_.end()) return knob_split_;
+  const double ideal = ideal_split(it->second);
+  if (ideal < 0.0) return knob_split_;
+  return split_rung(split_rung_index(ideal));
+}
+
+void AdmissionController::retune_split() {
+  if (!params_.tune_split) return;
+  // The global knob tracks the largest fully-observed site: only jobs above
+  // SplitConfig::min_macs split at all, so small sites must not drag the
+  // fraction toward their (overhead-dominated) host latencies.
+  const Site* best = nullptr;
+  std::uint64_t best_macs = 0;
+  for (const auto& [key, site] : sites_) {
+    if (ideal_split(site) < 0.0) continue;
+    const std::uint64_t macs = key.m * key.n * key.k;
+    if (best == nullptr || macs > best_macs) {
+      best = &site;
+      best_macs = macs;
+    }
+  }
+  if (best == nullptr) return;
+  const double target = split_rung(split_rung_index(ideal_split(*best)));
+  if (target != knob_split_) {
+    knob_split_ = target;
+    retunes_ += 1;
+  }
 }
 
 void AdmissionController::retune_macs() {
@@ -154,6 +213,7 @@ AdmissionReport AdmissionController::report() const {
   rep.retunes = retunes_;
   rep.min_macs_per_write = knob_macs_;
   rep.min_async_bytes = knob_async_;
+  rep.split_fraction = knob_split_;
   return rep;
 }
 

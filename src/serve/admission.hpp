@@ -61,6 +61,14 @@ struct AdmissionParams {
   /// min_async_bytes clamp range (the derived break-even can be noisy early).
   std::uint64_t min_async_floor = 256;
   std::uint64_t min_async_ceiling = 1ull << 20;
+  /// Pseudo-async split-fraction ladder: rung 0 is "no split", rung i in
+  /// [1, split_rungs] is 0.5 * 2^(i - split_rungs) — geometric down from
+  /// one half, because the optimum dev/(dev+host) share is often a percent
+  /// or less when the device is two orders of magnitude faster, and a
+  /// linear ladder would quantize every such optimum to zero.
+  int split_rungs = 10;
+  /// Master switch for retuning the split fraction from the EWMAs.
+  bool tune_split = true;
 };
 
 struct AdmissionReport {
@@ -68,9 +76,10 @@ struct AdmissionReport {
   std::uint64_t observations = 0;
   std::uint64_t probes_host = 0;
   std::uint64_t probes_device = 0;
-  std::uint64_t retunes = 0;  ///< knob changes (either knob)
+  std::uint64_t retunes = 0;  ///< knob changes (any knob)
   double min_macs_per_write = 0.0;
   std::uint64_t min_async_bytes = 0;
+  double split_fraction = 0.0;
 };
 
 class AdmissionController {
@@ -104,10 +113,26 @@ class AdmissionController {
   [[nodiscard]] double min_macs_per_write() const { return knob_macs_; }
   [[nodiscard]] std::uint64_t min_async_bytes() const { return knob_async_; }
 
+  /// Current pseudo-async split fraction (host-side share of a split job),
+  /// retuned from the device/host EWMAs: when both paths of a site are
+  /// observed, the join is earliest at f* = dev/(dev + host) — the row
+  /// share that makes both stripes finish together — snapped to the split
+  /// ladder. The global knob follows the largest observed site (only
+  /// large jobs split; see SplitConfig::min_macs).
+  [[nodiscard]] double split_fraction() const { return knob_split_; }
+  /// Site-specific split target; falls back to the global knob for sites
+  /// missing an EWMA on either path.
+  [[nodiscard]] double split_fraction_for(const SiteKey& site) const;
+
   /// Ladder rung value / index-of-nearest-rung (shared with the bench's
   /// static sweep so "within one step" is well defined).
   [[nodiscard]] double rung(int index) const;
   [[nodiscard]] int rung_index(double value) const;
+
+  /// Split-fraction ladder: split_rung(0) == 0 (no split); higher rungs
+  /// double up to one half. Nearest-in-log-space index, like rung_index.
+  [[nodiscard]] double split_rung(int index) const;
+  [[nodiscard]] int split_rung_index(double fraction) const;
 
   [[nodiscard]] AdmissionReport report() const;
 
@@ -122,10 +147,14 @@ class AdmissionController {
   };
 
   void retune_macs();
+  void retune_split();
+  /// Ideal (unquantized) host share for one site; < 0 when unobservable.
+  [[nodiscard]] double ideal_split(const Site& site) const;
 
   AdmissionParams params_;
   double knob_macs_;
   std::uint64_t knob_async_;
+  double knob_split_ = 0.0;
   std::map<SiteKey, Site> sites_;
   double host_ps_per_byte_ = 0.0;  ///< EWMA over host-path copies
   std::uint64_t host_copy_obs_ = 0;

@@ -19,7 +19,8 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
       batcher_{params_.batcher},
       admission_{params_.admission,
                  runtime.config().stream.min_macs_per_write,
-                 runtime.config().xfer.min_async_bytes} {
+                 runtime.config().xfer.min_async_bytes},
+      submit_ring_{params_.ring_capacity} {
   auto& registry = runtime_.system().stats();
   const std::string& p = params_.name;
   registry.register_counter(p + ".requests", &submitted_);
@@ -33,7 +34,10 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   registry.register_counter(p + ".host_launches", &host_launches_);
 
   auto& driver = runtime_.driver();
-  logs_.resize(driver.device_count());
+  // One completion log per accelerator plus one for the host worker pool:
+  // the pool is a pseudo-device target (pool_device_id()) whose stripe
+  // completions harvest through the same observer machinery.
+  logs_.resize(driver.device_count() + 1);
   for (std::size_t d = 0; d < driver.device_count(); ++d) {
     driver.device(d).set_completion_observer(
         [this, d](std::uint64_t completed, sim::Tick when) {
@@ -41,6 +45,11 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
         },
         this);
   }
+  const std::size_t pool_log = driver.device_count();
+  runtime_.host_pool().set_completion_observer(
+      [this, pool_log](std::uint64_t completed, sim::Tick when) {
+        logs_[pool_log].emplace_back(completed, when);
+      });
 }
 
 Scheduler::~Scheduler() {
@@ -48,18 +57,24 @@ Scheduler::~Scheduler() {
   for (std::size_t d = 0; d < driver.device_count(); ++d) {
     driver.device(d).clear_completion_observer(this);
   }
+  runtime_.host_pool().set_completion_observer(nullptr);
   // The scheduler may die before the system it registered counters into.
   auto& registry = runtime_.system().stats();
+  registry.unregister_counter(&submitted_);
+  registry.unregister_counter(&rejected_);
   for (const support::Counter* counter :
-       {&submitted_, &rejected_, &completed_, &launches_, &batched_launches_,
-        &coalesced_requests_, &affinity_routed_, &queue_routed_,
-        &host_launches_}) {
+       {&completed_, &launches_, &batched_launches_, &coalesced_requests_,
+        &affinity_routed_, &queue_routed_, &host_launches_}) {
     registry.unregister_counter(counter);
   }
 }
 
 support::Duration Scheduler::now() const {
   return runtime_.system().global_time();
+}
+
+int Scheduler::pool_device_id() const {
+  return static_cast<int>(runtime_.driver().device_count());
 }
 
 support::StatusOr<std::uint64_t> Scheduler::submit(Request request) {
@@ -69,12 +84,77 @@ support::StatusOr<std::uint64_t> Scheduler::submit(Request request) {
     rejected_.add();
     return support::resource_exhausted("tenant queue full");
   }
-  request.id = next_id_++;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   if (request.arrival == support::Duration::zero()) request.arrival = now();
   it->second.push_back(request);
   queued_ += 1;
   submitted_.add();
   return request.id;
+}
+
+support::StatusOr<std::uint64_t> Scheduler::submit_from_thread(
+    Request request) {
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (request.arrival == support::Duration::zero() && params_.submit_cost > 0) {
+    // Charge the front-end cost to this thread's shard clock: submitters on
+    // different shards advance independent timelines, which is exactly the
+    // N-wide submission the throughput table measures. Deliberately no read
+    // of global time here — the driver thread may be advancing it.
+    auto& clock =
+        submit_clocks_[support::thread_shard_id() % support::kStatShards].t;
+    const sim::Tick done =
+        clock.fetch_add(params_.submit_cost, std::memory_order_relaxed) +
+        params_.submit_cost;
+    request.arrival = sim::from_ticks(done);
+  }
+  const std::uint64_t id = request.id;
+  if (!submit_ring_.push(std::move(request))) {
+    rejected_.add();
+    return support::resource_exhausted("submission ring shard full");
+  }
+  submitted_.add();
+  return id;
+}
+
+void Scheduler::sync_submit_clocks() {
+  const sim::Tick t = now().ticks();
+  for (auto& clock : submit_clocks_) {
+    sim::Tick cur = clock.t.load(std::memory_order_relaxed);
+    while (cur < t && !clock.t.compare_exchange_weak(
+                          cur, t, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+sim::Tick Scheduler::max_submit_clock() const {
+  sim::Tick latest = 0;
+  for (const auto& clock : submit_clocks_) {
+    latest = std::max(latest, clock.t.load(std::memory_order_relaxed));
+  }
+  return latest;
+}
+
+void Scheduler::pump_submissions() {
+  if (submit_ring_.pending() == 0) return;
+  std::vector<Request> incoming = submit_ring_.drain_all();
+  // Shards concatenate in shard order; restore the global arrival order
+  // (ties broken by submission id) so fairness and batching see the same
+  // sequence a single-threaded submitter would have produced.
+  std::stable_sort(incoming.begin(), incoming.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.arrival.ticks() != b.arrival.ticks()) {
+                       return a.arrival.ticks() < b.arrival.ticks();
+                     }
+                     return a.id < b.id;
+                   });
+  const support::Duration t = now();
+  for (Request& request : incoming) {
+    auto [it, inserted] = tenants_.try_emplace(request.tenant);
+    if (inserted) ring_.push_back(request.tenant);
+    if (request.arrival == support::Duration::zero()) request.arrival = t;
+    it->second.push_back(std::move(request));
+    queued_ += 1;
+  }
 }
 
 std::optional<Request> Scheduler::pop_next_request() {
@@ -98,6 +178,7 @@ std::optional<Request> Scheduler::pop_next_request() {
 }
 
 support::Status Scheduler::pump() {
+  pump_submissions();
   harvest();
   const support::Duration t = now();
   while (auto request = pop_next_request()) {
@@ -244,6 +325,11 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
   // --- adaptive knobs (and per-launch probe overrides) ---
   if (admission_.adaptive()) {
     runtime_.xfer().set_min_async_bytes(admission_.min_async_bytes());
+    if (params_.admission.tune_split) {
+      // Push the site's quantized pseudo-async split share into the runtime
+      // so the upcoming sgemm splits at the EWMA-derived optimum.
+      runtime_.set_split_fraction(admission_.split_fraction_for(site));
+    }
     double threshold = admission_.min_macs_per_write();
     if (path == AdmitPath::kForceHost) threshold = kForceHostThreshold;
     if (path == AdmitPath::kForceDevice) threshold = 0.0;
@@ -262,6 +348,8 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
   for (std::size_t d = 0; d < stream.device_count(); ++d) {
     accepted_before[d] = accepted(d);
   }
+  auto& pool = runtime_.host_pool();
+  const rt::HostPoolReport pool_before = pool.report();
 
   InFlight inflight;
   inflight.dispatch = now();
@@ -317,7 +405,33 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
     // ticks are in the observer log).
     inflight.targets.emplace_back(static_cast<int>(d), accepted_after);
   }
-  inflight.offloaded = !inflight.targets.empty();
+  const rt::HostPoolReport pool_after = pool.report();
+  if (pool_after.jobs > pool_before.jobs) {
+    // A pseudo-async split put a CPU stripe on the host worker pool: the
+    // launch joins only when the pool's FIFO-retired completed count covers
+    // every stripe submitted so far, same contract as an accelerator.
+    inflight.targets.emplace_back(pool_device_id(), pool_after.jobs);
+    // The stripe doubles as a free host-path probe: its analytic span over
+    // its MACs is exactly the per-MAC host cost the split optimum needs,
+    // refreshed on every split launch instead of waiting for a forced
+    // probe. cim_writes = 0 keeps the site's intensity untouched.
+    const std::uint64_t stripe_macs = pool_after.macs - pool_before.macs;
+    const std::uint64_t stripe_ticks =
+        pool_after.busy_ticks - pool_before.busy_ticks;
+    if (stripe_macs > 0) {
+      admission_.observe(site, /*offloaded=*/false,
+                         sim::from_ticks(stripe_ticks), stripe_macs,
+                         /*cim_writes=*/0);
+    }
+  }
+  // Offloaded means "an accelerator ran part of it": the host worker pool
+  // is a completion target but not a device, so a hypothetical pool-only
+  // launch still counts as a host launch.
+  inflight.offloaded = false;
+  const int real_devices = static_cast<int>(stream.device_count());
+  for (const auto& [device, target] : inflight.targets) {
+    inflight.offloaded = inflight.offloaded || device < real_devices;
+  }
   if (!inflight.offloaded) host_launches_.add();
 
   inflight.requests = std::move(batch.requests);
@@ -428,6 +542,10 @@ void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
 std::optional<sim::Tick> Scheduler::next_wake_tick() const {
   std::optional<sim::Tick> wake;
   const auto& events = runtime_.system().events();
+  if (submit_ring_.pending() > 0) {
+    // Cross-thread submissions are waiting in the ring: pump immediately.
+    return events.now();
+  }
   if ((!inflight_.empty() || !pending_dispatch_.empty()) && !events.empty()) {
     wake = events.next_when();
   }
@@ -441,8 +559,9 @@ std::optional<sim::Tick> Scheduler::next_wake_tick() const {
 }
 
 bool Scheduler::quiescent() const {
-  return queued_ == 0 && batcher_.pending() == 0 &&
-         pending_dispatch_.empty() && inflight_.empty();
+  return submit_ring_.pending() == 0 && queued_ == 0 &&
+         batcher_.pending() == 0 && pending_dispatch_.empty() &&
+         inflight_.empty();
 }
 
 bool Scheduler::advance_to_next_event(std::optional<sim::Tick> external_wake) {
@@ -505,11 +624,22 @@ std::vector<Completion> Scheduler::take_completions() {
   return out;
 }
 
-const support::LatencyHistogram& Scheduler::tenant_latency(
+support::LatencyHistogram Scheduler::tenant_latency(
     std::uint32_t tenant) const {
-  static const support::LatencyHistogram kEmpty;
   const auto it = tenant_latency_.find(tenant);
-  return it == tenant_latency_.end() ? kEmpty : it->second;
+  return it == tenant_latency_.end() ? support::LatencyHistogram{}
+                                     : it->second.merged();
+}
+
+std::uint64_t Scheduler::latency_lock_contended() const {
+  std::uint64_t total = 0;
+  for (const auto& histogram : class_latency_) {
+    total += histogram.lock_contended();
+  }
+  for (const auto& [tenant, histogram] : tenant_latency_) {
+    total += histogram.lock_contended();
+  }
+  return total;
 }
 
 ServeReport Scheduler::report() const {

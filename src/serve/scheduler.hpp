@@ -24,8 +24,17 @@
 // advances simulated time (event queue) until every request completed.
 // Completion timestamps are exact — the scheduler attaches a completion
 // observer to every accelerator's job-done interrupt instead of polling.
+//
+// Concurrency (DESIGN.md section 11): submit_from_thread() is safe from any
+// OS thread — ids from an atomic counter, counters on per-thread shards,
+// requests pushed into the caller's shard of a submission ring that pump()
+// (driver thread) drains in arrival order. There is no global scheduler
+// lock; everything downstream of the ring runs on the driver thread, and
+// the host worker pool joins the completion machinery as one more
+// pseudo-device target.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -39,6 +48,7 @@
 #include "serve/request.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
+#include "support/threading.hpp"
 
 namespace tdo::serve {
 
@@ -53,6 +63,14 @@ struct SchedulerParams {
   /// Per-tenant queue bound; submit() rejects beyond it (backpressure to the
   /// front end instead of unbounded memory).
   std::size_t max_queue_per_tenant = 1024;
+  /// Simulated front-end cost of one submit_from_thread call, charged to the
+  /// submitting shard's clock (per-thread timelines: N submitters push N
+  /// requests in the simulated time one submitter pushes one). 0 disables
+  /// the clocks — arrivals stamp from global time when pump() drains them.
+  sim::Tick submit_cost = 0;
+  /// Per-shard capacity of the cross-thread submission ring; a full shard
+  /// rejects with kResourceExhausted (backpressure, like the tenant bound).
+  std::size_t ring_capacity = 4096;
   /// Stats prefix for the serve.* counters.
   std::string name = "serve";
 };
@@ -81,8 +99,37 @@ class Scheduler {
 
   /// Accepts one request (never blocks). Stamps arrival with the current
   /// global time when the request carries none. kResourceExhausted when the
-  /// tenant's queue is full.
+  /// tenant's queue is full. Driver-thread only — concurrent submitters use
+  /// submit_from_thread().
   support::StatusOr<std::uint64_t> submit(Request request);
+
+  /// Thread-safe submission from any thread: the id comes from an atomic
+  /// counter, the arrival (when the request carries none and submit_cost is
+  /// set) from the submitting shard's simulated clock, and the request lands
+  /// in the caller's shard of the submission ring — no global lock, no
+  /// contention between submitters on different shards. pump() drains the
+  /// ring in arrival order. kResourceExhausted when the caller's shard is
+  /// full; the ring capacity, not the per-tenant bound, is this path's
+  /// backpressure limit.
+  support::StatusOr<std::uint64_t> submit_from_thread(Request request);
+
+  /// Advances every submit-shard clock to at least the current global time.
+  /// Driver-thread only; call before a simulated submission phase so shard
+  /// clocks measure from "now" rather than from a previous phase's end.
+  void sync_submit_clocks();
+
+  /// Latest submit-shard clock: when the busiest simulated submitter
+  /// finished its last push.
+  [[nodiscard]] sim::Tick max_submit_clock() const;
+
+  /// Requests pushed by other threads and not yet drained by pump().
+  [[nodiscard]] std::size_t ring_pending() const {
+    return submit_ring_.pending();
+  }
+  /// Contended lock acquisitions across the submission ring's shards.
+  [[nodiscard]] std::uint64_t ring_lock_contended() const {
+    return submit_ring_.lock_contended();
+  }
 
   /// One scheduling round: harvest completions, pull queued requests in
   /// fairness order into the batcher (or dispatch directly when batching is
@@ -124,14 +171,18 @@ class Scheduler {
   /// discipline the rest of the harness uses.
   void reset_latency_stats();
 
-  [[nodiscard]] const support::LatencyHistogram& class_latency(
-      DeadlineClass c) const {
-    return class_latency_[static_cast<std::size_t>(c)];
+  /// Merged snapshot of the per-thread latency shards for one class.
+  /// Returned by value: recording threads keep adding while the caller
+  /// reads, so a reference would be a moving target.
+  [[nodiscard]] support::LatencyHistogram class_latency(DeadlineClass c) const {
+    return class_latency_[static_cast<std::size_t>(c)].merged();
   }
-  /// Per-tenant end-to-end latency histogram (empty histogram for a tenant
+  /// Per-tenant end-to-end latency snapshot (empty histogram for a tenant
   /// that never completed a request).
-  [[nodiscard]] const support::LatencyHistogram& tenant_latency(
+  [[nodiscard]] support::LatencyHistogram tenant_latency(
       std::uint32_t tenant) const;
+  /// Contended acquisitions across every latency-histogram shard lock.
+  [[nodiscard]] std::uint64_t latency_lock_contended() const;
 
   [[nodiscard]] ServeReport report() const;
   [[nodiscard]] AdmissionController& admission() { return admission_; }
@@ -145,13 +196,22 @@ class Scheduler {
     bool offloaded = false;
     bool batched = false;
     bool residency_hit = false;
-    /// Per-device completed-jobs counts that signal this launch finished
-    /// (jobs serialize FIFO per accelerator, so "completed reaches N" is
-    /// exact). Empty means the launch finished synchronously on the host.
+    /// Per-target completed-jobs counts that signal this launch finished
+    /// (jobs serialize FIFO per accelerator, and the host worker pool
+    /// retires FIFO too, so "completed reaches N" is exact). Device ids
+    /// < device_count are accelerators; pool_device_id() is the host
+    /// worker pool carrying a pseudo-async split's CPU stripe. Empty means
+    /// the launch finished synchronously on the driver thread.
     std::vector<std::pair<int, std::uint64_t>> targets;
   };
 
   [[nodiscard]] support::Duration now() const;
+  /// Drains the submission ring into the tenant queues in arrival order
+  /// (driver thread; the consumer side of submit_from_thread).
+  void pump_submissions();
+  /// Pseudo-device id the host worker pool's completions log under: one past
+  /// the last real accelerator.
+  [[nodiscard]] int pool_device_id() const;
   /// Whether the request's stationary tile fits one crossbar (single-job
   /// launches; the precondition for batched launches and host probes).
   [[nodiscard]] bool tile_fits(const Request& request) const;
@@ -179,8 +239,17 @@ class Scheduler {
   std::vector<std::uint32_t> ring_;  ///< tenant ids, first-seen order
   std::size_t ring_cursor_ = 0;
   std::size_t place_cursor_ = 0;  ///< rotates shortest-queue tie-breaks
-  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> next_id_{1};
   std::uint64_t queued_ = 0;
+
+  /// Cross-thread submission path: per-shard rings plus per-shard simulated
+  /// submitter clocks (each advanced by submit_cost per push, so N threads
+  /// submit N-wide in simulated time).
+  support::ShardedRing<Request> submit_ring_;
+  struct alignas(64) SubmitClock {
+    std::atomic<sim::Tick> t{0};
+  };
+  SubmitClock submit_clocks_[support::kStatShards];
 
   std::vector<InFlight> inflight_;
   /// Closed batches awaiting accelerator capacity, kept in (deadline class,
@@ -193,11 +262,14 @@ class Scheduler {
   std::vector<std::vector<std::pair<std::uint64_t, sim::Tick>>> logs_;
 
   std::vector<Completion> completions_;
-  support::LatencyHistogram class_latency_[kDeadlineClasses];
-  std::map<std::uint32_t, support::LatencyHistogram> tenant_latency_;
+  /// Sharded: finalize() records from the driver thread today, but the
+  /// shards let a future parallel retirement path (and concurrent readers
+  /// taking merged snapshots) proceed without a global histogram lock.
+  support::ShardedLatencyHistogram class_latency_[kDeadlineClasses];
+  std::map<std::uint32_t, support::ShardedLatencyHistogram> tenant_latency_;
 
-  support::Counter submitted_;
-  support::Counter rejected_;
+  support::ShardedCounter submitted_;
+  support::ShardedCounter rejected_;
   support::Counter completed_;
   support::Counter launches_;
   support::Counter batched_launches_;

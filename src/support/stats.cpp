@@ -5,6 +5,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "support/threading.hpp"
+
 namespace tdo::support {
 
 namespace {
@@ -123,26 +125,49 @@ Energy StatsSnapshot::energy_or(const std::string& name, Energy fallback) const 
   return it == energies_pj.end() ? fallback : Energy::from_pj(it->second);
 }
 
+std::uint64_t StatsRegistry::Entry::value() const {
+  return counter != nullptr ? counter->value() : sharded->value();
+}
+
 void StatsRegistry::register_counter(std::string name, const Counter* counter) {
-  counters_.emplace_back(std::move(name), counter);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  counters_.push_back(Entry{std::move(name), counter, nullptr});
+}
+
+void StatsRegistry::register_counter(std::string name,
+                                     const ShardedCounter* counter) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  counters_.push_back(Entry{std::move(name), nullptr, counter});
 }
 
 void StatsRegistry::register_energy(std::string name,
                                     const EnergyAccumulator* energy) {
+  const std::lock_guard<std::mutex> lock{mutex_};
   energies_.emplace_back(std::move(name), energy);
 }
 
 void StatsRegistry::unregister_counter(const Counter* counter) {
+  const std::lock_guard<std::mutex> lock{mutex_};
   counters_.erase(std::remove_if(counters_.begin(), counters_.end(),
-                                 [counter](const auto& entry) {
-                                   return entry.second == counter;
+                                 [counter](const Entry& entry) {
+                                   return entry.counter == counter;
+                                 }),
+                  counters_.end());
+}
+
+void StatsRegistry::unregister_counter(const ShardedCounter* counter) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  counters_.erase(std::remove_if(counters_.begin(), counters_.end(),
+                                 [counter](const Entry& entry) {
+                                   return entry.sharded == counter;
                                  }),
                   counters_.end());
 }
 
 StatsSnapshot StatsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
   StatsSnapshot snap;
-  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const Entry& entry : counters_) snap.counters[entry.name] = entry.value();
   for (const auto& [name, energy] : energies_) {
     snap.energies_pj[name] = energy->total().picojoules();
   }
@@ -150,8 +175,9 @@ StatsSnapshot StatsRegistry::snapshot() const {
 }
 
 void StatsRegistry::dump(std::ostream& os) const {
-  for (const auto& [name, counter] : counters_) {
-    os << std::left << std::setw(42) << name << counter->value() << '\n';
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (const Entry& entry : counters_) {
+    os << std::left << std::setw(42) << entry.name << entry.value() << '\n';
   }
   for (const auto& [name, energy] : energies_) {
     os << std::left << std::setw(42) << name << energy->total().to_string() << '\n';
@@ -159,9 +185,10 @@ void StatsRegistry::dump(std::ostream& os) const {
 }
 
 std::vector<std::string> StatsRegistry::counter_names() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
   std::vector<std::string> names;
   names.reserve(counters_.size());
-  for (const auto& [name, _] : counters_) names.push_back(name);
+  for (const Entry& entry : counters_) names.push_back(entry.name);
   return names;
 }
 

@@ -6,8 +6,10 @@
 // by inserting ROI markers" (Section IV-a).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -59,14 +61,30 @@ class LatencyHistogram {
 };
 
 /// Monotonically increasing event count (instructions, cache misses, writes).
+///
+/// add() is a relaxed atomic increment, so completion observers and stats
+/// snapshots running on different threads never tear or drop counts. For
+/// counters on genuinely contended hot paths prefer ShardedCounter
+/// (support/threading.hpp), which avoids the shared cache line entirely.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  void reset() { value_ = 0; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_{other.value_.load(std::memory_order_relaxed)} {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Accumulated energy attributable to one component.
@@ -94,11 +112,21 @@ struct StatsSnapshot {
                                  Energy fallback = Energy::zero()) const;
 };
 
+class ShardedCounter;  // support/threading.hpp
+
 /// Registry of named stats. Components register members at construction; the
 /// registry does not own them, so registrants must outlive it or deregister.
+///
+/// Registration and snapshotting are guarded by a mutex so schedulers and
+/// benches on different threads can (de)register and snapshot concurrently.
+/// Counter reads themselves are atomic, and sharded counters are merged at
+/// snapshot time, so snapshot() totals are exact even while submitter
+/// threads are still incrementing.
 class StatsRegistry {
  public:
   void register_counter(std::string name, const Counter* counter);
+  /// Sharded (per-thread) counter; snapshot() sums its shards on read.
+  void register_counter(std::string name, const ShardedCounter* counter);
   void register_energy(std::string name, const EnergyAccumulator* energy);
 
   /// Deregisters every entry pointing at `counter` — registrants whose
@@ -106,6 +134,7 @@ class StatsRegistry {
   /// on top of a long-lived runtime) must call this before dying, or a
   /// later snapshot() dereferences freed memory.
   void unregister_counter(const Counter* counter);
+  void unregister_counter(const ShardedCounter* counter);
 
   [[nodiscard]] StatsSnapshot snapshot() const;
   void dump(std::ostream& os) const;
@@ -114,7 +143,17 @@ class StatsRegistry {
   [[nodiscard]] std::vector<std::string> counter_names() const;
 
  private:
-  std::vector<std::pair<std::string, const Counter*>> counters_;
+  /// Exactly one of the pointers is set per entry.
+  struct Entry {
+    std::string name;
+    const Counter* counter = nullptr;
+    const ShardedCounter* sharded = nullptr;
+
+    [[nodiscard]] std::uint64_t value() const;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> counters_;
   std::vector<std::pair<std::string, const EnergyAccumulator*>> energies_;
 };
 

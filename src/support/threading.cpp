@@ -1,0 +1,15 @@
+#include "support/threading.hpp"
+
+namespace tdo::support {
+
+namespace {
+std::atomic<std::size_t> next_thread_id{0};
+}  // namespace
+
+std::size_t thread_shard_id() {
+  thread_local const std::size_t id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace tdo::support

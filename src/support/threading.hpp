@@ -1,0 +1,226 @@
+// Thread-parallel support primitives: sharded counters/histograms and a
+// contention-counting spinlock.
+//
+// The runtime's hot submission paths (stream enqueue, scheduler submit,
+// completion retirement) are fed by multiple OS threads. Following DTO's
+// work-queue design, writers land on per-thread *shards* — cache-line padded
+// so two submitters never false-share — and readers merge shards on demand.
+// Stats collection therefore never takes a global lock on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace tdo::support {
+
+/// Test-and-set spinlock that counts contended acquisitions.
+///
+/// Used only for short critical sections (ring push/pop, histogram shard
+/// add). The `contended()` count is exported through bench --dump so lock
+/// pressure is observable: a healthy sharded design keeps it near zero even
+/// at 8 submitter threads.
+class SpinLock {
+ public:
+  void lock() {
+    if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+  /// Number of lock() calls that found the lock already held.
+  [[nodiscard]] std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+/// RAII guard for SpinLock (std::lock_guard works too; this avoids the
+/// <mutex> include in hot headers).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) : lock_{lock} { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+/// Number of shards used by ShardedCounter / ShardedLatencyHistogram.
+/// A power of two >= any realistic submitter-thread count; threads beyond
+/// it wrap around and share (still correct, just more contended).
+inline constexpr std::size_t kStatShards = 16;
+
+/// Stable, small id for the calling thread, assigned on first use.
+/// Monotonically increasing across the process; callers shard by
+/// `thread_shard_id() % kStatShards`.
+[[nodiscard]] std::size_t thread_shard_id();
+
+/// Monotonic counter safe for concurrent writers: each thread increments its
+/// own cache-line-padded shard with a relaxed atomic; value() sums shards.
+/// Totals are exact (every add lands in exactly one shard) — this is what
+/// makes `serve.*` counters race-free under multi-threaded benches.
+class ShardedCounter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[thread_shard_id() % kStatShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kStatShards];
+};
+
+/// LatencyHistogram with per-thread shards merged on read.
+///
+/// add() locks only the caller's own shard (uncontended unless two threads
+/// map to the same shard), so recording a sample never serializes against
+/// other submitters or against a concurrent merged() reader on another
+/// shard. merged() returns a value — callers treat it as a snapshot.
+class ShardedLatencyHistogram {
+ public:
+  void add(Duration d) {
+    auto& shard = shards_[thread_shard_id() % kStatShards];
+    SpinGuard guard{shard.lock};
+    shard.histogram.add(d);
+  }
+
+  /// Bucket-wise merge of every shard, taken shard-by-shard under each
+  /// shard's lock.
+  [[nodiscard]] LatencyHistogram merged() const {
+    LatencyHistogram out;
+    for (const auto& shard : shards_) {
+      SpinGuard guard{shard.lock};
+      out.merge(shard.histogram);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) {
+      SpinGuard guard{shard.lock};
+      shard.histogram.reset();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      SpinGuard guard{shard.lock};
+      total += shard.histogram.count();
+    }
+    return total;
+  }
+
+  /// Sum of contended-acquisition counts across shard locks.
+  [[nodiscard]] std::uint64_t lock_contended() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.lock.contended();
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable SpinLock lock;
+    LatencyHistogram histogram;
+  };
+  Shard shards_[kStatShards];
+};
+
+/// Sharded multi-producer submission ring (DTO-style shared work queue).
+///
+/// Producer threads push into their own cache-line-padded shard under a
+/// per-shard spinlock; the single consumer (the simulation driver thread)
+/// drains every shard in one pass. Producers on different shards never
+/// contend with each other, and the consumer contends with at most one
+/// producer per shard swap. Bounded: push() refuses beyond
+/// `shard_capacity` items per shard, giving callers a backpressure signal
+/// instead of unbounded memory growth.
+template <typename T>
+class ShardedRing {
+ public:
+  explicit ShardedRing(std::size_t shard_capacity = 4096)
+      : capacity_{shard_capacity} {}
+
+  /// Thread-safe; false when the caller's shard is full.
+  bool push(T item) {
+    Shard& shard = shards_[thread_shard_id() % kStatShards];
+    SpinGuard guard{shard.lock};
+    if (shard.items.size() >= capacity_) return false;
+    shard.items.push_back(std::move(item));
+    pending_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Swaps out every shard's contents (consumer side). Items of one shard
+  /// keep their push order; shards are concatenated in shard order —
+  /// callers needing a global order sort by a key carried in T.
+  [[nodiscard]] std::vector<T> drain_all() {
+    std::vector<T> out;
+    for (auto& shard : shards_) {
+      std::vector<T> grabbed;
+      {
+        SpinGuard guard{shard.lock};
+        grabbed.swap(shard.items);
+      }
+      pending_.fetch_sub(grabbed.size(), std::memory_order_relaxed);
+      for (T& item : grabbed) out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  /// Items pushed but not yet drained (approximate while producers run).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t lock_contended() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.lock.contended();
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    SpinLock lock;
+    std::vector<T> items;
+  };
+  std::size_t capacity_;
+  std::atomic<std::size_t> pending_{0};
+  Shard shards_[kStatShards];
+};
+
+}  // namespace tdo::support

@@ -540,6 +540,72 @@ TEST(XferContentionTest, QueuedJobPrefetchWindowBlocksCopyDoubleBooking) {
   EXPECT_EQ(max_abs_error(p.read_floats(*dst, count), payload), 0.0);
 }
 
+TEST(XferContentionTest, QueuedBodyReservationPushesCopyPastQueuedStream) {
+  // Mutation regression for queue-aware body reservation: a queued job's
+  // *stream-body* DMA (not just its weight prefetch) is advisory-reserved on
+  // the engine channel at enqueue time. With one channel, a copy submitted
+  // while the job waits must therefore first-fit past the queued job's
+  // estimated body traffic — strictly later than the same copy placed with
+  // the reservation disabled. Deleting the reservation (the mutation) makes
+  // both runs place the copy identically and the test fail.
+  struct Run {
+    std::uint64_t contended = 0;
+    double copy_err = 0.0;
+  };
+  const auto run = [](bool reserve_body) {
+    cim::AcceleratorParams accel;
+    accel.dma.channels = 1;  // with a second channel the copy rides it free
+    accel.queue_body_reserve = reserve_body;
+    Platform p{async_copy_config(2), accel};
+    EXPECT_TRUE(p.runtime().init(0).is_ok());
+    const std::size_t m = 128, n = 64, k = 64;
+    const auto a1 = random_matrix(m * k, 1.0, 101);
+    const auto b1 = random_matrix(k * n, 1.0, 102);
+    const auto a2 = random_matrix(m * k, 1.0, 103);
+    const auto b2 = random_matrix(k * n, 1.0, 104);
+    const auto va_a1 = p.upload(a1);
+    const auto va_b1 = p.upload(b1);
+    const auto va_c1 = p.device_zeros(m * n);
+    const auto va_a2 = p.upload(a2);
+    const auto va_b2 = p.upload(b2);
+    const auto va_c2 = p.device_zeros(m * n);
+    EXPECT_TRUE(p.runtime()
+                    .sgemm_async(m, n, k, 1.0f, va_a1, k, va_b1, n, 0.0f,
+                                 va_c1, n, cim::StationaryOperand::kB)
+                    .is_ok());
+    EXPECT_TRUE(p.runtime()
+                    .sgemm_async(m, n, k, 1.0f, va_a2, k, va_b2, n, 0.0f,
+                                 va_c2, n, cim::StationaryOperand::kB)
+                    .is_ok());
+    EXPECT_EQ(p.accel().in_flight(), 2u) << "job 2 did not queue";
+
+    // Too large for any idle gap inside job 1's stream phase: without the
+    // body reservation the copy starts at job 1's completion; with it, the
+    // first-fit must also clear job 2's estimated weight+body chain.
+    const std::size_t count = 512 * 512;
+    const auto payload = random_matrix(count, 2.0, 105);
+    const auto src = p.upload(payload);
+    auto dst = p.runtime().malloc_device(count * 4);
+    EXPECT_TRUE(dst.is_ok());
+    const std::uint64_t contended_before =
+        p.accel().dma().contended_copy_ticks();
+    EXPECT_TRUE(p.runtime().host_to_dev(*dst, src, count * 4).is_ok());
+    Run result;
+    result.contended =
+        p.accel().dma().contended_copy_ticks() - contended_before;
+    EXPECT_TRUE(p.runtime().synchronize().is_ok());
+    result.copy_err = max_abs_error(p.read_floats(*dst, count), payload);
+    return result;
+  };
+  const Run reserved = run(true);
+  const Run unreserved = run(false);
+  EXPECT_GT(reserved.contended, unreserved.contended)
+      << "body reservation did not move the copy past the queued job's"
+         " stream traffic";
+  EXPECT_EQ(reserved.copy_err, 0.0);
+  EXPECT_EQ(unreserved.copy_err, 0.0);
+}
+
 TEST(XferContentionTest, SecondChannelAbsorbsTheCopyWhenIdle) {
   // Same workload, two channels (default): the copy migrates to the idle
   // channel instead of waiting, and hides more of its window under compute

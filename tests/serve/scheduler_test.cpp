@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "serve/admission.hpp"
@@ -441,6 +442,95 @@ TEST(ServeSchedulerFuzz, RandomizedMultiTenantLoadMatchesReference) {
   const auto report = scheduler.report();
   EXPECT_EQ(report.completed, static_cast<std::uint64_t>(total));
   EXPECT_EQ(report.submitted, static_cast<std::uint64_t>(total));
+}
+
+TEST(ServeSchedulerFuzz, ThreadedSubmissionMatchesSingleThreadReference) {
+  // Satellite (c): N real submitter threads push a seeded request plan
+  // through submit_from_thread, and every output buffer must equal — bit
+  // for bit — a single-threaded reference run of the same plan. Adaptive
+  // admission stays off so both runs take the identical device path (host
+  // probes would mix exact float results into one run but not the other);
+  // batching and placement may differ between runs, but the device path's
+  // per-request numerics depend only on the request's operands.
+  const std::uint64_t seed = fuzz_seed();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kTotal = 48;
+  struct Plan {
+    std::uint32_t tenant = 0;
+    std::size_t weight = 0;
+    DeadlineClass deadline = DeadlineClass::kStandard;
+  };
+  std::vector<Plan> plan;
+  support::Rng rng{seed};
+  for (std::size_t r = 0; r < kTotal; ++r) {
+    plan.push_back(Plan{
+        static_cast<std::uint32_t>(rng.uniform_int(0, 3)),
+        static_cast<std::size_t>(rng.uniform_int(0, 2)),
+        static_cast<DeadlineClass>(rng.uniform_int(0, 2))});
+  }
+
+  // Both runs build identical fixtures (same seeds, same allocation order),
+  // so request contents — including buffer addresses — match exactly.
+  const auto run = [&](bool threaded) -> std::vector<std::vector<float>> {
+    ServeFixture fx{2, 3};
+    SchedulerParams params;
+    params.batcher.max_batch = 4;
+    params.batcher.max_wait = Duration::from_us(15.0);
+    params.admission.adaptive = false;
+    Scheduler scheduler{params, fx.platform.runtime()};
+    std::vector<sim::VirtAddr> outputs;
+    outputs.reserve(kTotal);
+    for (std::size_t r = 0; r < kTotal; ++r) {
+      outputs.push_back(fx.fresh_output());
+    }
+    if (threaded) {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t r = t; r < kTotal; r += kThreads) {
+            auto id = scheduler.submit_from_thread(
+                make_request(plan[r].tenant, fx.m, fx.n, fx.k, fx.va_a,
+                             fx.weights[plan[r].weight], outputs[r],
+                             plan[r].deadline));
+            ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      EXPECT_EQ(scheduler.ring_pending(), kTotal);
+    } else {
+      for (std::size_t r = 0; r < kTotal; ++r) {
+        EXPECT_TRUE(scheduler
+                        .submit(make_request(plan[r].tenant, fx.m, fx.n, fx.k,
+                                             fx.va_a,
+                                             fx.weights[plan[r].weight],
+                                             outputs[r], plan[r].deadline))
+                        .is_ok());
+      }
+    }
+    EXPECT_TRUE(scheduler.drain().is_ok());
+    const auto report = scheduler.report();
+    EXPECT_EQ(report.submitted, kTotal);
+    EXPECT_EQ(report.completed, kTotal);
+    EXPECT_EQ(scheduler.take_completions().size(), kTotal);
+    std::vector<std::vector<float>> results;
+    results.reserve(kTotal);
+    for (std::size_t r = 0; r < kTotal; ++r) {
+      results.push_back(fx.platform.read_floats(outputs[r], fx.m * fx.n));
+      fx.check_result(outputs[r], plan[r].weight);  // and vs the reference
+    }
+    return results;
+  };
+
+  const auto threaded = run(true);
+  const auto reference = run(false);
+  ASSERT_EQ(threaded.size(), reference.size());
+  for (std::size_t r = 0; r < kTotal; ++r) {
+    for (std::size_t i = 0; i < threaded[r].size(); ++i) {
+      ASSERT_EQ(threaded[r][i], reference[r][i])
+          << "request " << r << " element " << i;
+    }
+  }
 }
 
 }  // namespace

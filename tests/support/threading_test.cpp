@@ -1,0 +1,180 @@
+// Thread-parallel support primitives under real OS threads: mutual
+// exclusion, exact sharded totals, concurrent histogram recording, and the
+// sharded submission ring's ordering/backpressure contract. These tests are
+// the ones the ThreadSanitizer CI job leans on hardest.
+#include "support/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tdo::support {
+namespace {
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock lock;
+  std::uint64_t shared = 0;  // plain (non-atomic): the lock must protect it
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        SpinGuard guard{lock};
+        shared += 1;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(SpinLockTest, TryLockFailsWhileHeldAndContendedCounts) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+  // An uncontended lock/unlock sequence must not count as contended.
+  EXPECT_EQ(lock.contended(), 0u);
+}
+
+TEST(ThreadShardTest, IdIsStablePerThreadAndDistinctAcrossThreads) {
+  const std::size_t main_id = thread_shard_id();
+  EXPECT_EQ(thread_shard_id(), main_id);  // stable within a thread
+  std::vector<std::size_t> ids(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t] = thread_shard_id();
+      EXPECT_EQ(thread_shard_id(), ids[t]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<std::size_t> all = ids;
+  all.push_back(main_id);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "thread shard ids must be process-unique";
+}
+
+TEST(ShardedCounterTest, TotalsAreExactUnderConcurrentWriters) {
+  ShardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIters; ++i) counter.add();
+      counter.add(5);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * (kIters + 5));
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ShardedLatencyHistogramTest, ConcurrentAddsAllLandInTheMerge) {
+  ShardedLatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kIters; ++i) {
+        histogram.add(Duration::from_us(1.0 + t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  const LatencyHistogram merged = histogram.merged();
+  EXPECT_EQ(merged.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  // All samples sit in [1 us, 4 us]; the merged quantiles must too (bucket
+  // midpoints can sit slightly above the largest raw sample).
+  EXPECT_GE(merged.quantile(0.0).microseconds(), 0.9);
+  EXPECT_LE(merged.quantile(1.0).microseconds(), 4.5);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(ShardedRingTest, DrainPreservesPerThreadPushOrderAndLosesNothing) {
+  // Value = producer * 1e6 + sequence, so we can verify per-producer FIFO
+  // order after the shard-ordered concatenation. Capacity covers the whole
+  // load even if every producer happens to wrap onto one shard.
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kItems = 3000;
+  ShardedRing<std::uint64_t> ring{kThreads * kItems};
+  std::vector<std::thread> threads;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        ASSERT_TRUE(ring.push(t * 1000000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.pending(), kThreads * kItems);
+  const std::vector<std::uint64_t> drained = ring.drain_all();
+  ASSERT_EQ(drained.size(), kThreads * kItems);
+  EXPECT_EQ(ring.pending(), 0u);
+  std::vector<std::uint64_t> next_seq(kThreads, 0);
+  for (const std::uint64_t value : drained) {
+    const std::uint64_t producer = value / 1000000;
+    ASSERT_LT(producer, kThreads);
+    EXPECT_EQ(value % 1000000, next_seq[producer]);
+    next_seq[producer] += 1;
+  }
+  for (std::uint64_t t = 0; t < kThreads; ++t) EXPECT_EQ(next_seq[t], kItems);
+}
+
+TEST(ShardedRingTest, PerShardCapacityBoundsAndRecoversAfterDrain) {
+  ShardedRing<int> ring{4};  // single-threaded: everything lands in one shard
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99)) << "5th push into a capacity-4 shard must fail";
+  EXPECT_EQ(ring.pending(), 4u);
+  const auto drained = ring.drain_all();
+  ASSERT_EQ(drained.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(drained[i], i);
+  EXPECT_TRUE(ring.push(5));  // space freed by the drain
+  EXPECT_EQ(ring.pending(), 1u);
+}
+
+TEST(ShardedRingTest, ConcurrentProducersWithLiveConsumer) {
+  // Single consumer drains while producers run — the ring's actual serving
+  // deployment shape. Every pushed item must surface exactly once.
+  ShardedRing<std::uint64_t> ring;
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kItems = 5000;
+  std::vector<std::thread> threads;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        while (!ring.push(t * 1000000 + i)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> seen;
+  while (seen.size() < kThreads * kItems) {
+    for (std::uint64_t value : ring.drain_all()) seen.push_back(value);
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.pending(), 0u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+  ASSERT_EQ(seen.size(), kThreads * kItems);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(seen[t * kItems + i], t * 1000000 + i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdo::support
