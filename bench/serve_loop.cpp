@@ -35,6 +35,7 @@
 #include "bench_util.hpp"
 #include "cim/accelerator.hpp"
 #include "serve/scheduler.hpp"
+#include "topo/topology.hpp"
 #include "sim/system.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -61,27 +62,60 @@ struct Options {
   double open_rate_rps = 20000.0;
   std::uint64_t seed = 42;
   std::uint64_t m = 16, n = 64, k = 64;
+  /// Two-tier fabric shape (--topology near:N,far:M[xL]); nullopt keeps the
+  /// legacy flat fleet of `accelerators` identical devices.
+  std::optional<tdo::topo::TopologySpec> topology;
 };
 
-/// A fully wired platform plus the serving state one load run needs.
+/// A fully wired platform plus the serving state one load run needs. With a
+/// TopologySpec the fleet splits into a near tier plus a far pool behind one
+/// shared link: far devices see their DMA derated by the link multiplier
+/// (bandwidth down, burst setup up) and signal completions through the link's
+/// withhold-response path, and the runtime gets the topology for
+/// placement-cost routing.
 struct Platform {
   tdo::sim::System system;
+  std::unique_ptr<tdo::topo::Link> far_link;
+  tdo::topo::Topology topology;
   std::vector<std::unique_ptr<tdo::cim::Accelerator>> accels;
   std::unique_ptr<tdo::rt::CimRuntime> runtime;
 
   explicit Platform(std::size_t accelerators,
-                    tdo::rt::RuntimeConfig config = {}) {
+                    tdo::rt::RuntimeConfig config = {},
+                    const std::optional<tdo::topo::TopologySpec>& spec = {}) {
     tdo::cim::AcceleratorParams accel_params;
-    accels.push_back(std::make_unique<tdo::cim::Accelerator>(accel_params,
-                                                             system));
+    const std::size_t count =
+        spec.has_value() ? spec->device_count() : accelerators;
+    if (spec.has_value() && spec->far > 0) {
+      tdo::topo::LinkParams lp;
+      lp.latency_multiplier = spec->far_multiplier;
+      lp.name = "farlink";
+      far_link = std::make_unique<tdo::topo::Link>(lp);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const bool is_far = spec.has_value() && i >= spec->near;
+      auto params = tdo::cim::instance_params(accel_params, i);
+      if (is_far) {
+        params.dma.bandwidth_bytes_per_sec /= spec->far_multiplier;
+        params.dma.burst_setup = Duration::from_ps(
+            params.dma.burst_setup.picoseconds() * spec->far_multiplier);
+      }
+      accels.push_back(
+          std::make_unique<tdo::cim::Accelerator>(params, system));
+      if (is_far) {
+        accels.back()->set_response_link(far_link.get());
+        topology.add_device(tdo::topo::Topology::kFarTier, far_link.get());
+      } else {
+        topology.add_device(tdo::topo::Topology::kNearTier);
+      }
+    }
     config.stream.depth = 2;
     runtime = std::make_unique<tdo::rt::CimRuntime>(config, system,
                                                     *accels.front());
-    for (std::size_t i = 1; i < accelerators; ++i) {
-      accels.push_back(std::make_unique<tdo::cim::Accelerator>(
-          tdo::cim::instance_params(accel_params, i), system));
-      runtime->add_accelerator(*accels.back());
+    for (std::size_t i = 1; i < count; ++i) {
+      runtime->add_accelerator(*accels[i]);
     }
+    if (spec.has_value()) runtime->set_topology(&topology);
   }
 
   [[nodiscard]] tdo::support::StatusOr<tdo::sim::VirtAddr> upload(
@@ -105,6 +139,15 @@ struct LoadResult {
   double mean_batch = 1.0;
   tdo::serve::ServeReport serve;
   std::vector<tdo::serve::Completion> completions;  // --dump diagnostics
+  /// Per-device load split, captured so --dump can print per-tier queue and
+  /// occupancy columns after the Platform itself is gone.
+  struct DeviceLoad {
+    int tier = 0;
+    std::uint64_t jobs = 0;  ///< device-side jobs completed (lifetime)
+  };
+  std::vector<DeviceLoad> devices;
+  std::uint64_t link_contended_ticks = 0;
+  std::uint64_t link_responses = 0;
 };
 
 #define BENCH_CHECK(expr)                                        \
@@ -248,13 +291,21 @@ struct RoiBase {
           ? 1.0
           : static_cast<double>(result.serve.completed - roi.serve_completed) /
                 static_cast<double>(launches);
+  for (std::size_t d = 0; d < platform.accels.size(); ++d) {
+    result.devices.push_back(LoadResult::DeviceLoad{
+        platform.topology.tier(d), platform.accels[d]->jobs_completed()});
+  }
+  if (platform.far_link) {
+    result.link_contended_ticks = platform.far_link->contended_ticks();
+    result.link_responses = platform.far_link->responses();
+  }
   return result;
 }
 
 /// Closed loop: every client keeps exactly one request in flight.
 [[nodiscard]] LoadResult run_closed_loop(const Options& opts, bool batching,
                                          bool affinity, bool adaptive) {
-  Platform platform{opts.accelerators};
+  Platform platform{opts.accelerators, {}, opts.topology};
   BENCH_CHECK(platform.runtime->init(0));
   ServingState state{platform, opts};
 
@@ -331,7 +382,7 @@ struct RoiBase {
 /// of completion progress (arrival stamps predate submission when the
 /// scheduler falls behind, so latency includes front-end backlog).
 [[nodiscard]] LoadResult run_open_loop(const Options& opts) {
-  Platform platform{opts.accelerators};
+  Platform platform{opts.accelerators, {}, opts.topology};
   BENCH_CHECK(platform.runtime->init(0));
   ServingState state{platform, opts};
 
@@ -534,7 +585,7 @@ struct SubmitScale {
 
 [[nodiscard]] SubmitScale run_submit_scaling(const Options& opts,
                                              std::size_t threads) {
-  Platform platform{opts.accelerators};
+  Platform platform{opts.accelerators, {}, opts.topology};
   BENCH_CHECK(platform.runtime->init(0));
   ServingState state{platform, opts};
 
@@ -615,7 +666,7 @@ struct ContendedLoad {
 
 [[nodiscard]] ContendedLoad run_contended_loop(const Options& opts,
                                                std::size_t threads) {
-  Platform platform{opts.accelerators};
+  Platform platform{opts.accelerators, {}, opts.topology};
   BENCH_CHECK(platform.runtime->init(0));
   ServingState state{platform, opts};
 
@@ -874,12 +925,21 @@ int main(int argc, char** argv) {
       opts.seed = static_cast<std::uint64_t>(value());
     } else if (arg == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<std::size_t>(value());
+    } else if (arg == "--topology" && i + 1 < argc) {
+      const auto spec = tdo::topo::parse_topology_spec(argv[++i]);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "bad --topology (want near:N,far:M[xL]): %s\n",
+                     argv[i]);
+        return 1;
+      }
+      opts.topology = *spec;
+      opts.accelerators = spec->device_count();
     } else {
       std::printf(
           "usage: bench_serve_loop [--smoke] [--tenants N] [--clients C]\n"
           "       [--requests R] [--weights W] [--alpha Z] [--accels A]\n"
           "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n"
-          "       [--threads T]\n");
+          "       [--threads T] [--topology near:N,far:M[xL]]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -914,18 +974,46 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   if (opts.dump) {
+    const auto tier_of = [&](int device) {
+      if (!opts.topology.has_value() || device < 0) return 0;
+      return device >= static_cast<int>(opts.topology->near) ? 1 : 0;
+    };
     for (const auto* run : {&baseline, &full}) {
       std::printf("\n-- completions (%s) --\n",
                   run == &baseline ? "baseline" : "batch+affinity");
       for (const auto& c : run->completions) {
         std::printf(
             "  id %3llu tenant %u cls %-11s arr %9.1f disp %9.1f done %9.1f "
-            "lat %8.1f us batch %u dev %d %s\n",
+            "lat %8.1f us batch %u dev %d tier %d %s\n",
             static_cast<unsigned long long>(c.id), c.tenant,
             tdo::serve::to_string(c.deadline), c.arrival.microseconds(),
             c.dispatch.microseconds(), c.done.microseconds(),
             c.latency().microseconds(), c.batch_size, c.device,
-            c.offloaded ? "dev" : "host");
+            tier_of(c.device), c.offloaded ? "dev" : "host");
+      }
+      // Per-tier queue/occupancy split: scheduler-side routed requests
+      // ("queue") vs device-side jobs actually retired ("jobs"; batching
+      // and runtime-internal launches make the two differ).
+      std::printf("-- per-device load (%s) --\n",
+                  run == &baseline ? "baseline" : "batch+affinity");
+      std::vector<std::uint64_t> routed(run->devices.size(), 0);
+      for (const auto& c : run->completions) {
+        if (c.device >= 0 && static_cast<std::size_t>(c.device) < routed.size()) {
+          ++routed[static_cast<std::size_t>(c.device)];
+        }
+      }
+      for (std::size_t d = 0; d < run->devices.size(); ++d) {
+        std::printf("  dev %zu tier %-4s queue %4llu jobs %4llu\n", d,
+                    run->devices[d].tier == 1 ? "far" : "near",
+                    static_cast<unsigned long long>(routed[d]),
+                    static_cast<unsigned long long>(run->devices[d].jobs));
+      }
+      if (opts.topology.has_value() && opts.topology->far > 0) {
+        std::printf("  far link: contended ticks %llu, responses %llu, "
+                    "far-routed %llu\n",
+                    static_cast<unsigned long long>(run->link_contended_ticks),
+                    static_cast<unsigned long long>(run->link_responses),
+                    static_cast<unsigned long long>(run->serve.far_routed));
       }
     }
   }

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "pcm/endurance.hpp"
 #include "runtime/cim_blas.hpp"
 #include "sim/system.hpp"
+#include "topo/topology.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -48,6 +50,8 @@ struct LoopConfig {
   std::size_t requests = 64;
   std::uint64_t m = 32, n = 64, k = 64;
   double zipf_s = 1.0;
+  /// Two-tier fabric (--topology near:N,far:M[xL]); nullopt = flat fleet.
+  std::optional<tdo::topo::TopologySpec> topology;
 };
 
 struct LoopResult {
@@ -59,23 +63,53 @@ struct LoopResult {
   double edp = 0.0;
   double lifetime_x = 1.0;
   bool correct = true;
+  std::uint64_t near_jobs = 0;  ///< per-tier occupancy (--dump columns)
+  std::uint64_t far_jobs = 0;
+  std::uint64_t link_contended = 0;
+  std::uint64_t withheld = 0;
 };
 
 [[nodiscard]] tdo::support::StatusOr<LoopResult> run_loop(const LoopConfig& cfg) {
   tdo::sim::System system;
   tdo::cim::AcceleratorParams accel_params;
-  tdo::cim::Accelerator accel{accel_params, system};
+  std::unique_ptr<tdo::topo::Link> far_link;
+  tdo::topo::Topology topology;
+  const std::size_t count =
+      cfg.topology.has_value() ? cfg.topology->device_count()
+                               : cfg.accelerators;
+  if (cfg.topology.has_value() && cfg.topology->far > 0) {
+    tdo::topo::LinkParams lp;
+    lp.latency_multiplier = cfg.topology->far_multiplier;
+    lp.name = "farlink";
+    far_link = std::make_unique<tdo::topo::Link>(lp);
+  }
+  std::vector<std::unique_ptr<tdo::cim::Accelerator>> accels;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool is_far = cfg.topology.has_value() && i >= cfg.topology->near;
+    auto params = tdo::cim::instance_params(accel_params, i);
+    if (is_far) {
+      // The pooling hop derates every far DMA burst by the link multiplier.
+      params.dma.bandwidth_bytes_per_sec /= cfg.topology->far_multiplier;
+      params.dma.burst_setup = Duration::from_ps(
+          params.dma.burst_setup.picoseconds() * cfg.topology->far_multiplier);
+    }
+    accels.push_back(std::make_unique<tdo::cim::Accelerator>(params, system));
+    if (is_far) {
+      accels.back()->set_response_link(far_link.get());
+      topology.add_device(tdo::topo::Topology::kFarTier, far_link.get());
+    } else {
+      topology.add_device(tdo::topo::Topology::kNearTier);
+    }
+  }
   tdo::rt::RuntimeConfig rt_config;
   rt_config.stream.depth = 2;
   rt_config.residency.enabled = cfg.cache;
   rt_config.residency.capacity_rows = cfg.capacity_rows;
-  tdo::rt::CimRuntime runtime{rt_config, system, accel};
-  std::vector<std::unique_ptr<tdo::cim::Accelerator>> extra;
-  for (std::size_t i = 1; i < cfg.accelerators; ++i) {
-    extra.push_back(std::make_unique<tdo::cim::Accelerator>(
-        tdo::cim::instance_params(accel_params, i), system));
-    runtime.add_accelerator(*extra.back());
+  tdo::rt::CimRuntime runtime{rt_config, system, *accels.front()};
+  for (std::size_t i = 1; i < count; ++i) {
+    runtime.add_accelerator(*accels[i]);
   }
+  if (cfg.topology.has_value()) runtime.set_topology(&topology);
   TDO_RETURN_IF_ERROR(runtime.init(0));
 
   const std::uint64_t elems_b = cfg.k * cfg.n;
@@ -138,11 +172,22 @@ struct LoopResult {
 
   LoopResult result;
   result.runtime = t1 - t0;
-  auto report = accel.report();
-  for (const auto& a : extra) {
-    const auto rep = a->report();
+  auto report = accels.front()->report();
+  for (std::size_t i = 1; i < accels.size(); ++i) {
+    const auto rep = accels[i]->report();
     report.weight_writes8 += rep.weight_writes8;
     report.weight_writes_saved8 += rep.weight_writes_saved8;
+  }
+  for (std::size_t i = 0; i < accels.size(); ++i) {
+    if (topology.tier(i) == tdo::topo::Topology::kFarTier) {
+      result.far_jobs += accels[i]->jobs_completed();
+    } else {
+      result.near_jobs += accels[i]->jobs_completed();
+    }
+  }
+  if (far_link) {
+    result.link_contended = far_link->contended_ticks();
+    result.withheld = far_link->responses();
   }
   result.weight_writes = report.weight_writes8;
   result.weight_writes_saved = report.weight_writes_saved8;
@@ -195,23 +240,36 @@ int main(int argc, char** argv) {
   // what-if tool for sizing per-accelerator row capacity under a workload's
   // real popularity curve.
   bool smoke = false;
+  bool dump = false;
   double alpha = 1.0;
   std::size_t weight_sets = 8;
   std::size_t requests = 64;
+  std::optional<tdo::topo::TopologySpec> topology;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--dump") {
+      dump = true;
     } else if (arg == "--alpha" && i + 1 < argc) {
       alpha = std::atof(argv[++i]);
     } else if (arg == "--weight-sets" && i + 1 < argc) {
       weight_sets = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--requests" && i + 1 < argc) {
       requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--topology" && i + 1 < argc) {
+      const auto spec = tdo::topo::parse_topology_spec(argv[++i]);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "bad --topology (want near:N,far:M[xL]): %s\n",
+                     argv[i]);
+        return 1;
+      }
+      topology = *spec;
     } else {
       std::printf(
-          "usage: bench_sweep_residency [--smoke] [--alpha Z] "
-          "[--weight-sets W] [--requests R]\n");
+          "usage: bench_sweep_residency [--smoke] [--dump] [--alpha Z] "
+          "[--weight-sets W]\n"
+          "       [--requests R] [--topology near:N,far:M[xL]]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -219,6 +277,9 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> accel_counts = smoke ? std::vector<std::size_t>{2}
                                                 : std::vector<std::size_t>{1, 2, 4};
+  // A topology spec fixes the fleet shape, so the accelerator-count
+  // dimension collapses to that one configuration.
+  if (topology.has_value()) accel_counts = {topology->device_count()};
   // Capacities in crossbar rows: 64 holds one 64-row tile per accelerator,
   // 128 two, 256 (the full crossbar) four.
   std::vector<std::uint32_t> capacities =
@@ -231,9 +292,15 @@ int main(int argc, char** argv) {
                 "%zu weight sets",
                 alpha, weight_sets);
   TextTable table(title);
-  table.set_header({"Accels", "Cap rows", "Cache", "Hit rate", "Writes8",
-                    "Saved8", "Evictions", "Runtime", "EDP", "Lifetime x",
-                    "Correct"});
+  std::vector<std::string> header{"Accels", "Cap rows", "Cache", "Hit rate",
+                                  "Writes8", "Saved8", "Evictions", "Runtime",
+                                  "EDP", "Lifetime x", "Correct"};
+  if (dump) {
+    // Per-tier queue/occupancy split (all jobs land near on a flat fleet).
+    header.insert(header.end(),
+                  {"Near jobs", "Far jobs", "Link cont.", "Withheld"});
+  }
+  table.set_header(header);
 
   bool all_correct = true;
   for (const std::size_t accelerators : accel_counts) {
@@ -246,6 +313,7 @@ int main(int argc, char** argv) {
         cfg.zipf_s = alpha;
         cfg.weight_sets = weight_sets;
         cfg.requests = smoke ? 12 : requests;
+        cfg.topology = topology;
         const auto result = run_loop(cfg);
         if (!result.is_ok()) {
           std::cerr << result.status() << "\n";
@@ -255,14 +323,22 @@ int main(int argc, char** argv) {
         std::snprintf(hit, sizeof hit, "%.1f%%", result->hit_rate * 100.0);
         std::snprintf(edp, sizeof edp, "%.3e", result->edp);
         std::snprintf(life, sizeof life, "%.2f", result->lifetime_x);
-        table.add_row({std::to_string(accelerators),
-                       capacity == 0 ? "full" : std::to_string(capacity),
-                       cache ? "on" : "off", hit,
-                       std::to_string(result->weight_writes),
-                       std::to_string(result->weight_writes_saved),
-                       std::to_string(result->evictions),
-                       result->runtime.to_string(), edp, life,
-                       result->correct ? "yes" : "NO"});
+        std::vector<std::string> row{std::to_string(accelerators),
+                                     capacity == 0 ? "full"
+                                                   : std::to_string(capacity),
+                                     cache ? "on" : "off", hit,
+                                     std::to_string(result->weight_writes),
+                                     std::to_string(result->weight_writes_saved),
+                                     std::to_string(result->evictions),
+                                     result->runtime.to_string(), edp, life,
+                                     result->correct ? "yes" : "NO"};
+        if (dump) {
+          row.insert(row.end(), {std::to_string(result->near_jobs),
+                                 std::to_string(result->far_jobs),
+                                 std::to_string(result->link_contended),
+                                 std::to_string(result->withheld)});
+        }
+        table.add_row(row);
         all_correct = all_correct && result->correct;
       }
     }

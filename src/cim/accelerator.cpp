@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/log.hpp"
+#include "topo/topology.hpp"
 
 namespace tdo::cim {
 
@@ -41,6 +42,7 @@ Accelerator::Accelerator(AcceleratorParams params, sim::System& system)
   stats.register_counter(p + ".copies", &copies_);
   stats.register_counter(p + ".copy_segments", &copy_segments_);
   stats.register_counter(p + ".overlap_ticks", &overlap_ticks_);
+  stats.register_counter(p + ".withheld_responses", &withheld_responses_);
   stats.register_counter(p + ".weight_writes_saved8",
                          &engine_->weight_writes_saved_counter());
   stats.register_energy(p + ".energy.write", &e_write_);
@@ -330,7 +332,27 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
       last_error_ = regs_.read(Reg::kResult);
     }
     if (completion_observer_) {
-      completion_observer_(completed_.value(), system_.events().now());
+      if (response_link_ != nullptr) {
+        // Withhold-response: the completion message serializes over the
+        // pool link; the host observes the completion only at its delivery
+        // tick. Responses of concurrent far jobs contend on the link's
+        // single timeline, and delivery ticks stay monotone in completion
+        // order, so observers still see a non-decreasing completed count.
+        withheld_responses_.add();
+        const sim::Tick now = system_.events().now();
+        response_link_->retire_before(now);
+        const sim::Tick deliver = response_link_->delivery(
+            now, response_link_->params().response_bytes);
+        const std::uint64_t completed_count = completed_.value();
+        system_.events().schedule_at(
+            deliver, params_.name + ".response", [this, completed_count] {
+              if (completion_observer_) {
+                completion_observer_(completed_count, system_.events().now());
+              }
+            });
+      } else {
+        completion_observer_(completed_.value(), system_.events().now());
+      }
     }
     if (queue_.empty()) return;
     const QueuedJob job = queue_.front();

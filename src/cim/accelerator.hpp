@@ -29,6 +29,10 @@
 #include "sim/system.hpp"
 #include "support/stats.hpp"
 
+namespace tdo::topo {
+class Link;
+}  // namespace tdo::topo
+
 namespace tdo::cim {
 
 struct AcceleratorParams {
@@ -151,6 +155,18 @@ class Accelerator final : public sim::BusDevice {
       completion_observer_owner_ = nullptr;
     }
   }
+  /// Withhold-response signaling for far-pool devices: with a link attached,
+  /// the completion observer no longer fires at the device's done tick but at
+  /// the tick the completion response has serialized over the link (the
+  /// topo::Link busy-window timeline, so concurrent far-pool responses
+  /// contend). Device-local state — kStatus, kCompleted, job chaining — still
+  /// advances at the done tick; only the host-visible signal is withheld.
+  void set_response_link(topo::Link* link) { response_link_ = link; }
+  [[nodiscard]] topo::Link* response_link() const { return response_link_; }
+  /// Completions whose observer signal was deferred onto the link.
+  [[nodiscard]] std::uint64_t withheld_responses() const {
+    return withheld_responses_.value();
+  }
   /// Scatter-gather segments executed by stream copy chains on this device.
   [[nodiscard]] std::uint64_t copy_segments() const {
     return copy_segments_.value();
@@ -229,8 +245,10 @@ class Accelerator final : public sim::BusDevice {
   std::uint64_t last_error_ = 0;
   CompletionObserver completion_observer_;
   const void* completion_observer_owner_ = nullptr;
+  topo::Link* response_link_ = nullptr;
 
   support::Counter jobs_;
+  support::Counter withheld_responses_;
   support::Counter queued_jobs_;
   support::Counter completed_;
   support::Counter failed_;

@@ -65,6 +65,8 @@ enum class Opcode : std::uint64_t {
   kGemm = 2,         // C = alpha*A*B + beta*C
   kGemmBatched = 3,  // batch of GEMMs sharing the stationary operand if equal
   kCopy = 4,         // rectangle DMA copy on the DMA channel (never the engine)
+  kProgram = 5,      // program the stationary tile only, no stream phase (the
+                     // runtime's prefetch-on-miss and migration-adoption path)
 };
 
 /// Which operand is held stationary in the crossbar (Section III-B).

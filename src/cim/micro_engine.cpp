@@ -244,7 +244,8 @@ support::StatusOr<MicroEngine::PhaseTimes> MicroEngine::run_gemm(
 support::Duration MicroEngine::estimate_prefetch_dma(
     const ContextRegs& image) const {
   const Opcode op = static_cast<Opcode>(image.read(Reg::kOpcode));
-  if (op != Opcode::kGemm && op != Opcode::kGemv && op != Opcode::kGemmBatched) {
+  if (op != Opcode::kGemm && op != Opcode::kGemv &&
+      op != Opcode::kGemmBatched && op != Opcode::kProgram) {
     return Duration::zero();
   }
   auto job = decode(image);
@@ -397,6 +398,30 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
           body_dma = body_dma + phases->weight_dma;
         }
       }
+      break;
+    }
+    case Opcode::kProgram: {
+      // Program-only job: loads the stationary tile into its crossbar row
+      // window and completes without a stream phase. Carries the runtime's
+      // prefetch-on-miss programming (hidden under the previous job's stream
+      // phase via the normal chained-prefetch credit) and the adoption step
+      // of peer-to-peer residency migration.
+      auto job = decode(regs);
+      if (!job.is_ok()) return fail(job.status());
+      const bool stationary_b = job->stationary == StationaryOperand::kB;
+      const std::uint64_t tile_rows = job->k;
+      const std::uint64_t tile_cols = stationary_b ? job->n : job->m;
+      if (job->tile_row0 + tile_rows > tile_.rows() ||
+          tile_cols > tile_.cols()) {
+        return fail(support::invalid_argument(
+            "operand tile exceeds crossbar geometry; the caller must tile"));
+      }
+      const WeightPhase weights = load_weights(*job);
+      weight_phase += weights.total;
+      total = weight_phase;
+      prefetchable = weights.dma;
+      prefetchable_bytes = weights.dma_bytes;
+      allow_prefetch = job->double_buffering;
       break;
     }
     case Opcode::kCopy:

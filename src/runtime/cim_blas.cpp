@@ -404,10 +404,45 @@ cim::ContextRegs CimRuntime::make_job_image(
   return image;
 }
 
-int CimRuntime::stationary_device(std::span<const WeightKey> keys) {
-  for (const WeightKey& key : keys) {
-    if (const auto resident = residency_->peek(key)) return resident->device;
+int CimRuntime::topo_place() {
+  if (topology_ == nullptr || placement_ == topo::Placement::kBlind ||
+      !topology_->has_far()) {
+    return -1;
   }
+  const std::size_t count = stream_->device_count();
+  if (count == 0) return -1;
+  const std::size_t start = place_cursor_++ % count;
+  int best = -1;
+  double best_cost = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t d = (start + i) % count;
+    // Marginal cost of one more job on device d: its queue depth weighted by
+    // the link's latency multiplier. Near devices win while idle; once their
+    // queues run ~multiplier jobs deep, a far pool becomes cheaper and the
+    // placement spills — the DTO_IS_NUMA_AWARE break-even, derived from load
+    // instead of a static flag.
+    const double mult = topology_->latency_multiplier(static_cast<int>(d));
+    const double cost =
+        static_cast<double>(stream_->device_in_flight(d) + 1) * mult;
+    if (best < 0 || cost < best_cost) {
+      best = static_cast<int>(d);
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+int CimRuntime::stationary_device(std::span<const WeightKey> keys) {
+  // Buffer-centric placement: the accelerator already holding a resident
+  // tile wins regardless of tier — reprogramming a crossbar costs more than
+  // any link penalty. Caller-centric placement skips the residency override
+  // (host locality wins; the DTO_IS_NUMA_AWARE=0 analogue).
+  if (placement_ != topo::Placement::kCallerCentric) {
+    for (const WeightKey& key : keys) {
+      if (const auto resident = residency_->peek(key)) return resident->device;
+    }
+  }
+  if (const int device = topo_place(); device >= 0) return device;
   return static_cast<int>(stream_->next_device());
 }
 
@@ -416,11 +451,183 @@ CimRuntime::TilePlacement CimRuntime::place_tile(bool use_cache,
                                                  int device) {
   if (use_cache) {
     const auto acq = residency_->acquire(key, device);
-    if (acq.cached) return TilePlacement{acq.hit, acq.row0};
+    if (acq.cached) {
+      return TilePlacement{acq.hit, acq.row0, acq.migrated, acq.shadow_base,
+                           acq.shadow_ld};
+    }
   }
   // Uncached: the job programs rows [0, key.rows); resident tiles there die.
   residency_->on_programmed(device, 0, key.rows);
   return TilePlacement{};
+}
+
+cim::ContextRegs CimRuntime::make_program_image(const WeightKey& key,
+                                                std::uint32_t row0) const {
+  const bool stationary_b = key.layout == cim::StationaryOperand::kB;
+  cim::ContextRegs image;
+  image.write(cim::Reg::kOpcode,
+              static_cast<std::uint64_t>(cim::Opcode::kProgram));
+  // Dimensions that decode() accepts and that land the stationary tile as
+  // key.rows x key.cols: the moving operands are never dereferenced (no
+  // stream phase), so they alias the stationary pointer.
+  const std::uint64_t k = key.rows;
+  const std::uint64_t n = stationary_b ? key.cols : 1;
+  const std::uint64_t m = stationary_b ? 1 : key.cols;
+  image.write(cim::Reg::kM, m);
+  image.write(cim::Reg::kN, n);
+  image.write(cim::Reg::kK, k);
+  if (stationary_b) {
+    image.write(cim::Reg::kPaB, key.rect.base);
+    image.write(cim::Reg::kLdb, key.ld);
+    image.write_f64(cim::Reg::kScaleB, key.scale);
+    image.write(cim::Reg::kPaA, key.rect.base);
+    image.write(cim::Reg::kLda, std::max<std::uint64_t>(k, 1));
+    image.write_f64(cim::Reg::kScaleA, 1.0);
+    image.write(cim::Reg::kPaC, key.rect.base);
+    image.write(cim::Reg::kLdc, n);
+  } else {
+    image.write(cim::Reg::kPaA, key.rect.base);
+    image.write(cim::Reg::kLda, key.ld);
+    image.write_f64(cim::Reg::kScaleA, key.scale);
+    image.write(cim::Reg::kPaB, key.rect.base);
+    image.write(cim::Reg::kLdb, 1);
+    image.write_f64(cim::Reg::kScaleB, 1.0);
+    image.write(cim::Reg::kPaC, key.rect.base);
+    image.write(cim::Reg::kLdc, 1);
+  }
+  image.write_f32(cim::Reg::kAlpha, 1.0f);
+  image.write_f32(cim::Reg::kBeta, 0.0f);
+  image.write(cim::Reg::kStationary, static_cast<std::uint64_t>(key.layout));
+  image.write(cim::Reg::kTileRow, row0);
+  std::uint64_t flags = 0;
+  if (config_.double_buffering) flags |= cim::JobFlags::kDoubleBuffering;
+  image.write(cim::Reg::kFlags, flags);
+  return image;
+}
+
+void CimRuntime::prefetch_predicted(const WeightKey& current, int device) {
+  if (!config_.residency.prefetch_on_miss || !residency_->enabled()) return;
+  if (current.rect.empty()) return;
+  const auto next = residency_->predict_next(current);
+  if (!next || next->rect.empty() || next->rows == 0 || next->cols == 0) return;
+  if (residency_->peek(*next)) return;  // resident: nothing to hide
+  // Never force a drain for a speculation: skip when the predicted operand
+  // is still being produced by an in-flight command.
+  if (stream_->writes_overlap(next->rect)) return;
+  std::uint32_t row0 = 0;
+  if (!residency_->prefill(*next, device, &row0)) return;
+  const auto image = make_program_image(*next, row0);
+  stream_->note_read(next->rect, device);
+  const std::uint64_t writes =
+      static_cast<std::uint64_t>(next->rows) * next->cols;
+  // Behind the jobs just enqueued on this device, the kProgram's weight DMA
+  // hides under their stream phase (the same queue-prefetch credit chained
+  // jobs use). If the enqueue fails the prefilled entry over-promises; the
+  // device-side validation turns the resulting stale hit into a reprogram.
+  const auto status = enqueue_job(image, /*macs=*/0, writes, device,
+                                  /*allow_cpu_fallback=*/false);
+  if (!status.is_ok()) {
+    TDO_LOG(kWarn, "cim.rt") << "residency prefetch enqueue failed: "
+                             << status.message();
+  }
+}
+
+support::Status CimRuntime::migrate_residency(const WeightKey& key,
+                                              int to_device,
+                                              bool peer_to_peer) {
+  if (!initialized_) {
+    return support::failed_precondition("polly_cimInit must be called first");
+  }
+  if (!residency_->enabled()) {
+    return support::failed_precondition("weight-residency cache is disabled");
+  }
+  if (to_device < 0 ||
+      static_cast<std::size_t>(to_device) >= driver_->device_count()) {
+    return support::invalid_argument("migration target device out of range");
+  }
+  const auto placement = residency_->peek(key);
+  if (!placement) {
+    return support::not_found("stationary tile is not resident");
+  }
+  const int from_device = placement->device;
+  if (from_device == to_device) return support::Status::ok();
+
+  // Destination crossbar window first — nothing to undo when it cannot fit.
+  std::uint32_t row0 = 0;
+  if (!residency_->reserve_rows(to_device, key.rows, &row0)) {
+    return support::resource_exhausted(
+        "destination crossbar cannot hold the migrating tile");
+  }
+  // The staging copy packs the tile's rows tight; it lives as long as the
+  // runtime because future hits validate against its address.
+  const std::uint64_t bytes = key.rect.width * key.rect.rows;
+  auto staging = driver_->alloc_buffer(bytes);
+  if (!staging.is_ok()) return staging.status();
+  migration_staging_.push_back(*staging);
+  const Rect staging_rect{staging->pa, key.rect.width, key.rect.width,
+                          key.rect.rows};
+  const std::uint64_t shadow_ld = key.rect.width / kElem;
+
+  // Order against in-flight producers of the tile bytes (RAW) and anything
+  // still touching the staging window, then move the bytes.
+  TDO_RETURN_IF_ERROR(sync_for_operands({key.rect}, {staging_rect}));
+  if (peer_to_peer) {
+    // One dev->dev hop: the adopting device's DMA pulls the tile directly
+    // from the source pool — no host staging buffer, no host round trip.
+    CimStream::Command command;
+    command.kind = CimStream::Command::Kind::kCopy;
+    command.device = to_device;
+    command.copy.dir = CopyDesc::Dir::kDevToDev;
+    command.copy.segments = {CopySeg{key.rect, staging_rect}};
+    TDO_RETURN_IF_ERROR(stream_->enqueue(command));
+  } else {
+    // Host-bounce reference path: tile crosses to a host-side staging
+    // buffer, then crosses again to the destination. The second hop reads
+    // what the first wrote, so the hazard machinery serializes them — two
+    // full transfers plus a drain, which is exactly what peer-to-peer saves.
+    auto bounce = driver_->alloc_buffer(bytes);
+    if (!bounce.is_ok()) return bounce.status();
+    migration_staging_.push_back(*bounce);
+    const Rect bounce_rect{bounce->pa, key.rect.width, key.rect.width,
+                           key.rect.rows};
+    CimStream::Command out;
+    out.kind = CimStream::Command::Kind::kCopy;
+    out.device = from_device;
+    out.copy.dir = CopyDesc::Dir::kDevToHost;
+    out.copy.segments = {CopySeg{key.rect, bounce_rect}};
+    TDO_RETURN_IF_ERROR(stream_->enqueue(out));
+    TDO_RETURN_IF_ERROR(sync_for_operands({bounce_rect}, {staging_rect}));
+    CimStream::Command in;
+    in.kind = CimStream::Command::Kind::kCopy;
+    in.device = to_device;
+    in.copy.dir = CopyDesc::Dir::kHostToDev;
+    in.copy.segments = {CopySeg{bounce_rect, staging_rect}};
+    TDO_RETURN_IF_ERROR(stream_->enqueue(in));
+  }
+
+  // Adopt: program the destination crossbar from the staging copy (the
+  // functional bytes already landed — copies execute eagerly — and the
+  // kProgram queues behind nothing else on the destination's engine).
+  WeightKey shadow_key = key;
+  shadow_key.rect = staging_rect;
+  shadow_key.ld = shadow_ld;
+  stream_->note_read(staging_rect, to_device);
+  const auto image = make_program_image(shadow_key, row0);
+  TDO_RETURN_IF_ERROR(enqueue_job(
+      image, /*macs=*/0,
+      static_cast<std::uint64_t>(key.rows) * key.cols, to_device,
+      /*allow_cpu_fallback=*/false));
+
+  // Re-home the cache entry. A miss here means a host write invalidated the
+  // entry mid-migration: the destination crossbar then holds an unclaimed
+  // stale tile and the next use of these weights simply reprograms — the
+  // degradation is a wasted program, never a wrong result.
+  if (!residency_->rehome(key, from_device, to_device, row0, staging_rect,
+                          shadow_ld)) {
+    TDO_LOG(kDebug, "cim.rt")
+        << "tile invalidated mid-migration; destination reprograms on next use";
+  }
+  return support::Status::ok();
 }
 
 support::Status CimRuntime::enqueue_job(const cim::ContextRegs& image,
@@ -585,14 +792,23 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
                                   static_cast<std::uint32_t>(ks),
                                   static_cast<std::uint32_t>(njs)};
         const TilePlacement tile = place_tile(use_cache, key, device);
+        // Migrated tiles: the destination crossbar was programmed from the
+        // peer-to-peer staging copy, so the job's stationary pointer must
+        // reference it for the device-side validation to match.
+        const sim::PhysAddr pa_b_eff = tile.skip && tile.migrated
+                                           ? tile.shadow_base
+                                           : *pa_b + (kk * ldb + jj) * kElem;
+        const std::uint64_t ldb_eff =
+            tile.skip && tile.migrated ? tile.shadow_ld : ldb;
         const auto image = make_job_image(
             m_dev, njs, ks, alpha, beta_eff, *pa_a + kk * kElem, lda,
-            *pa_b + (kk * ldb + jj) * kElem, ldb, *pa_c + jj * kElem, ldc,
+            pa_b_eff, ldb_eff, *pa_c + jj * kElem, ldc,
             *max_a, *max_b, stationary, tile.skip, tile.row0);
         TDO_RETURN_IF_ERROR(enqueue_job(image, m_dev * njs * ks,
                                         tile.skip ? 0 : ks * njs, device,
                                         /*allow_cpu_fallback=*/kk == 0));
       }
+      if (use_cache && !keys.empty()) prefetch_predicted(keys.back(), device);
     }
     return support::Status::ok();
   }
@@ -624,14 +840,20 @@ support::Status CimRuntime::sgemm_async(std::uint64_t m, std::uint64_t n,
                                 static_cast<std::uint32_t>(ks),
                                 static_cast<std::uint32_t>(ms)};
       const TilePlacement tile = place_tile(use_cache, key, device);
+      const sim::PhysAddr pa_a_eff = tile.skip && tile.migrated
+                                         ? tile.shadow_base
+                                         : *pa_a + (ii * lda + kk) * kElem;
+      const std::uint64_t lda_eff =
+          tile.skip && tile.migrated ? tile.shadow_ld : lda;
       const auto image = make_job_image(
-          ms, n, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
+          ms, n, ks, alpha, beta_eff, pa_a_eff, lda_eff,
           *pa_b + kk * ldb * kElem, ldb, *pa_c + ii * ldc * kElem, ldc, *max_a,
           *max_b, stationary, tile.skip, tile.row0);
       TDO_RETURN_IF_ERROR(enqueue_job(image, ms * n * ks,
                                       tile.skip ? 0 : ks * ms, device,
                                       /*allow_cpu_fallback=*/kk == 0));
     }
+    if (use_cache && !keys.empty()) prefetch_predicted(keys.back(), device);
   }
   return support::Status::ok();
 }
@@ -712,14 +934,20 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
                                   static_cast<std::uint32_t>(ks),
                                   static_cast<std::uint32_t>(ms)};
         const TilePlacement tile = place_tile(use_cache, key, device);
+        const sim::PhysAddr pa_a_eff = tile.skip && tile.migrated
+                                           ? tile.shadow_base
+                                           : *pa_a + (ii * lda + kk) * kElem;
+        const std::uint64_t lda_eff =
+            tile.skip && tile.migrated ? tile.shadow_ld : lda;
         const auto image = make_job_image(
-            ms, 1, ks, alpha, beta_eff, *pa_a + (ii * lda + kk) * kElem, lda,
+            ms, 1, ks, alpha, beta_eff, pa_a_eff, lda_eff,
             *pa_x + kk * kElem, 1, *pa_y + ii * kElem, 1, *max_a, *max_x,
             cim::StationaryOperand::kA, tile.skip, tile.row0);
         TDO_RETURN_IF_ERROR(enqueue_job(image, ms * ks,
                                         tile.skip ? 0 : ks * ms, device,
                                         /*allow_cpu_fallback=*/kk == 0));
       }
+      if (use_cache && !keys.empty()) prefetch_predicted(keys.back(), device);
     }
     return support::Status::ok();
   }
@@ -752,15 +980,21 @@ support::Status CimRuntime::sgemv_async(bool transpose, std::uint64_t m,
                                 static_cast<std::uint32_t>(ks),
                                 static_cast<std::uint32_t>(njs)};
       const TilePlacement tile = place_tile(use_cache, key, device);
+      const sim::PhysAddr pa_stat_eff = tile.skip && tile.migrated
+                                            ? tile.shadow_base
+                                            : *pa_a + (kk * lda + jj) * kElem;
+      const std::uint64_t ld_stat_eff =
+          tile.skip && tile.migrated ? tile.shadow_ld : lda;
       // One streamed "row of A" = x^T; output row = y^T.
       const auto image = make_job_image(
           1, njs, ks, alpha, beta_eff, *pa_x + kk * kElem, ks,
-          *pa_a + (kk * lda + jj) * kElem, lda, *pa_y + jj * kElem, njs,
+          pa_stat_eff, ld_stat_eff, *pa_y + jj * kElem, njs,
           *max_x, *max_a, cim::StationaryOperand::kB, tile.skip, tile.row0);
       TDO_RETURN_IF_ERROR(enqueue_job(image, njs * ks,
                                       tile.skip ? 0 : ks * njs, device,
                                       /*allow_cpu_fallback=*/kk == 0));
     }
+    if (use_cache && !keys.empty()) prefetch_predicted(keys.back(), device);
   }
   return support::Status::ok();
 }
@@ -921,7 +1155,9 @@ support::Status CimRuntime::sgemm_batched_async(
   }
   for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
     if (chunk_devices[chunk] < 0) {
-      chunk_devices[chunk] = static_cast<int>(stream_->next_device());
+      const int placed = topo_place();
+      chunk_devices[chunk] =
+          placed >= 0 ? placed : static_cast<int>(stream_->next_device());
     }
   }
 
@@ -989,6 +1225,7 @@ support::Status CimRuntime::sgemm_batched_async(
         tile.skip ? 0 : tile_rows * tile_cols, device,
         /*allow_cpu_fallback=*/false));
   }
+  if (use_cache) prefetch_predicted(key, chunk_devices[0]);
   return support::Status::ok();
 }
 

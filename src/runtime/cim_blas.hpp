@@ -27,6 +27,7 @@
 #include "runtime/xfer.hpp"
 #include "sim/system.hpp"
 #include "support/status.hpp"
+#include "topo/topology.hpp"
 
 namespace tdo::rt {
 
@@ -219,6 +220,33 @@ class CimRuntime {
     return config_.split.cpu_fraction;
   }
 
+  /// Attaches the fabric topology (near/far accelerator tiers with link
+  /// models). Placement then weighs each device's queue depth by its link
+  /// latency multiplier instead of blind round-robin: near devices absorb
+  /// work until their queues are ~multiplier jobs deep, at which point a far
+  /// pool becomes the cheaper marginal placement. Null (the default) keeps
+  /// the flat single-tier behaviour. The topology must outlive the runtime;
+  /// device indices follow add_accelerator() registration order.
+  void set_topology(topo::Topology* topology) { topology_ = topology; }
+  [[nodiscard]] topo::Topology* topology() const { return topology_; }
+  /// Placement policy (DTO_IS_NUMA_AWARE analogue). kBufferCentric (default)
+  /// routes to the device already holding resident weights, then near-first
+  /// by link-weighted queue depth; kCallerCentric ignores residency (host
+  /// locality wins); kBlind keeps the flat round-robin.
+  void set_placement(topo::Placement policy) { placement_ = policy; }
+  [[nodiscard]] topo::Placement placement() const { return placement_; }
+
+  /// Migrates a resident stationary tile to `to_device` without losing the
+  /// crossbar programming investment: the tile's bytes cross peer-to-peer as
+  /// a dev->dev DMA segment into a staging buffer, an Opcode::kProgram job
+  /// adopts them into the destination crossbar, and the cache entry re-homes
+  /// with the staging rectangle as its shadow operand. `peer_to_peer` false
+  /// selects the host-bounce reference path (two serialized transfers
+  /// through a host staging buffer) — the baseline the topology bench beats.
+  /// Asynchronous: the caller synchronizes (or keeps dispatching) as usual.
+  support::Status migrate_residency(const WeightKey& key, int to_device,
+                                    bool peer_to_peer = true);
+
   [[nodiscard]] sim::System& system() { return system_; }
   [[nodiscard]] CimStream& stream() { return *stream_; }
   [[nodiscard]] XferEngine& xfer() { return *xfer_; }
@@ -255,8 +283,34 @@ class CimRuntime {
   struct TilePlacement {
     bool skip = false;
     std::uint32_t row0 = 0;
+    /// Migrated entries: substitute this staging rectangle for the job's
+    /// stationary pointer so the device-side validation matches what the
+    /// adoption actually programmed (bit-exact bytes, identical results).
+    bool migrated = false;
+    sim::PhysAddr shadow_base = 0;
+    std::uint64_t shadow_ld = 0;
   };
   TilePlacement place_tile(bool use_cache, const WeightKey& key, int device);
+
+  /// Topology-aware device pick: minimizes (queue depth + 1) x link latency
+  /// multiplier across devices, rotating the scan start so equal-cost
+  /// devices still round-robin. Returns -1 when no topology is attached,
+  /// placement is kBlind, or the fabric has no far tier (flat round-robin is
+  /// then already optimal).
+  [[nodiscard]] int topo_place();
+
+  /// Builds an Opcode::kProgram register image: program `key`'s stationary
+  /// tile at crossbar rows [row0, row0 + key.rows), no stream phase. Only
+  /// the stationary pointer is dereferenced; the remaining operands alias it
+  /// with dimensions decode() accepts.
+  [[nodiscard]] cim::ContextRegs make_program_image(const WeightKey& key,
+                                                    std::uint32_t row0) const;
+
+  /// Prefetch-on-miss: when the predictor knows which weight set follows
+  /// `current`, speculatively programs it (Opcode::kProgram) behind the jobs
+  /// just enqueued on `device` — its weight-load DMA hides under the current
+  /// job's stream phase, so the successor call's weight phase disappears.
+  void prefetch_predicted(const WeightKey& current, int device);
 
   /// Affinity routing for one stripe's chain of stationary tiles: the
   /// accelerator already holding any of them (so the reuse request can
@@ -318,9 +372,17 @@ class CimRuntime {
   std::unique_ptr<XferEngine> xfer_;
   std::unique_ptr<ResidencyCache> residency_;
   std::unique_ptr<HostWorkerPool> pool_;
+  topo::Topology* topology_ = nullptr;
+  topo::Placement placement_ = topo::Placement::kBufferCentric;
+  /// Rotates the topology-aware scan start so equal-cost devices round-robin.
+  std::size_t place_cursor_ = 0;
   std::vector<DeviceBuffer> buffers_;
   /// Batch tables in flight; released by synchronize().
   std::vector<DeviceBuffer> staging_;
+  /// Staging copies of migrated stationary tiles. Each lives as long as the
+  /// runtime: resident entries reference them as shadow operands and the
+  /// destination crossbar validates future hits against their addresses.
+  std::vector<DeviceBuffer> migration_staging_;
   std::map<ScaleKey, double> scale_cache_;
   RuntimeStats stats_;
   bool initialized_ = false;

@@ -125,7 +125,24 @@ support::StatusOr<cim::DeviceStatus> CimDriver::wait(std::size_t device) {
 support::Status CimDriver::submit_queued(const cim::ContextRegs& image,
                                          std::size_t device) {
   charge_syscall();
-  charge_submit_costs();
+  const auto op = static_cast<cim::Opcode>(image.read(cim::Reg::kOpcode));
+  if (op == cim::Opcode::kProgram) {
+    // A program-only job reads nothing but its stationary tile, so the
+    // coherence clean is range-granular like submit_copy's — a full-cache
+    // clean here would put ~L1+L2 walk time on every speculative prefetch
+    // and migration adoption, dwarfing the work it hides.
+    const bool stationary_b =
+        static_cast<cim::StationaryOperand>(image.read(cim::Reg::kStationary)) ==
+        cim::StationaryOperand::kB;
+    const std::uint64_t cols =
+        stationary_b ? image.read(cim::Reg::kN) : image.read(cim::Reg::kM);
+    const std::uint64_t bytes = image.read(cim::Reg::kK) * cols * 4;
+    flushes_.add();
+    system_.cpu().charge_instructions(params_.flush_instructions_per_line *
+                                      (bytes / 64 + 1));
+  } else {
+    charge_submit_costs();
+  }
   // The register image travels through the same uncached PMIO window; the
   // device latches it into its work queue, so the writes are legal even
   // while a job is running.

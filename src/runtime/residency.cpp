@@ -16,6 +16,9 @@ ResidencyCache::ResidencyCache(ResidencyParams params, CimDriver& driver,
   stats.register_counter(p + ".evictions", &evictions_);
   stats.register_counter(p + ".invalidations", &invalidations_);
   stats.register_counter(p + ".weight_writes_saved8", &weight_writes_saved8_);
+  stats.register_counter(p + ".prefetches", &prefetches_);
+  stats.register_counter(p + ".prefetch_hits", &prefetch_hits_);
+  stats.register_counter(p + ".migrations", &migrations_);
 }
 
 std::uint32_t ResidencyCache::device_capacity_rows(int device) const {
@@ -86,12 +89,28 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
                                                 int device) {
   support::SpinGuard guard{lock_};
   ++clock_;
+  if (params_.prefetch_on_miss) {
+    if (last_acquired_ && !(*last_acquired_ == key)) {
+      note_successor(*last_acquired_, key);
+    }
+    last_acquired_ = key;
+  }
   for (Entry& entry : entries_) {
     if (entry.device == device && entry.key == key) {
       entry.lru = clock_;
       hits_.add();
+      if (entry.prefetched) {
+        prefetch_hits_.add();
+        entry.prefetched = false;
+      }
       weight_writes_saved8_.add(static_cast<std::uint64_t>(key.rows) * key.cols);
-      return Acquire{/*hit=*/true, /*cached=*/true, entry.row0};
+      Acquire out{/*hit=*/true, /*cached=*/true, entry.row0};
+      if (entry.migrated) {
+        out.migrated = true;
+        out.shadow_base = entry.shadow_rect.base;
+        out.shadow_ld = entry.shadow_ld;
+      }
+      return out;
     }
   }
   misses_.add();
@@ -99,8 +118,78 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
   if (!allocate_rows(device, key.rows, &row0)) {
     return Acquire{/*hit=*/false, /*cached=*/false, 0};
   }
-  entries_.push_back(Entry{key, device, row0, clock_});
+  Entry entry;
+  entry.key = key;
+  entry.device = device;
+  entry.row0 = row0;
+  entry.lru = clock_;
+  entries_.push_back(entry);
   return Acquire{/*hit=*/false, /*cached=*/true, row0};
+}
+
+void ResidencyCache::note_successor(const WeightKey& prev,
+                                    const WeightKey& next) {
+  for (Successor& edge : successors_) {
+    if (edge.prev == prev) {
+      edge.next = next;
+      return;
+    }
+  }
+  if (successors_.size() >= kMaxSuccessors) successors_.erase(successors_.begin());
+  successors_.push_back(Successor{prev, next});
+}
+
+std::optional<WeightKey> ResidencyCache::predict_next(
+    const WeightKey& current) const {
+  if (!params_.prefetch_on_miss) return std::nullopt;
+  support::SpinGuard guard{lock_};
+  for (const Successor& edge : successors_) {
+    if (edge.prev == current) return edge.next;
+  }
+  return std::nullopt;
+}
+
+bool ResidencyCache::prefill(const WeightKey& key, int device,
+                             std::uint32_t* row0) {
+  support::SpinGuard guard{lock_};
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return false;  // already resident somewhere
+  }
+  if (!allocate_rows(device, key.rows, row0)) return false;
+  ++clock_;
+  Entry entry;
+  entry.key = key;
+  entry.device = device;
+  entry.row0 = *row0;
+  entry.lru = clock_;
+  entry.prefetched = true;
+  entries_.push_back(entry);
+  prefetches_.add();
+  return true;
+}
+
+bool ResidencyCache::reserve_rows(int device, std::uint32_t rows,
+                                  std::uint32_t* row0) {
+  support::SpinGuard guard{lock_};
+  return allocate_rows(device, rows, row0);
+}
+
+bool ResidencyCache::rehome(const WeightKey& key, int from_device,
+                            int to_device, std::uint32_t to_row0,
+                            const Rect& shadow_rect, std::uint64_t shadow_ld) {
+  support::SpinGuard guard{lock_};
+  for (Entry& entry : entries_) {
+    if (entry.device != from_device || !(entry.key == key)) continue;
+    entry.device = to_device;
+    entry.row0 = to_row0;
+    entry.migrated = true;
+    entry.shadow_rect = shadow_rect;
+    entry.shadow_ld = shadow_ld;
+    entry.lru = ++clock_;
+    migrations_.add();
+    return true;
+  }
+  return false;  // invalidated mid-migration: the next use reprograms
 }
 
 void ResidencyCache::on_programmed(int device, std::uint32_t row0,
@@ -144,6 +233,9 @@ ResidencyReport ResidencyCache::report() const {
   rep.evictions = evictions_.value();
   rep.invalidations = invalidations_.value();
   rep.weight_writes_saved8 = weight_writes_saved8_.value();
+  rep.prefetches = prefetches_.value();
+  rep.prefetch_hits = prefetch_hits_.value();
+  rep.migrations = migrations_.value();
   {
     support::SpinGuard guard{lock_};
     rep.entries = entries_.size();

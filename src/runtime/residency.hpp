@@ -49,6 +49,13 @@ struct ResidencyParams {
   /// Crossbar rows usable for resident tiles per accelerator; 0 means the
   /// device's full crossbar. Sweeping this models smaller weight caches.
   std::uint32_t capacity_rows = 0;
+  /// Prefetch-on-miss: learn the successor of each stationary tile and let
+  /// the runtime program the predicted-next weight set (Opcode::kProgram)
+  /// while the current job streams — the next call's weight phase then
+  /// disappears into the previous job's stream phase. Off by default: the
+  /// predictor costs an entry slot per speculation and existing workloads
+  /// assert exact hit/miss counts.
+  bool prefetch_on_miss = false;
   /// Stats prefix for the residency.* counters.
   std::string name = "residency";
 };
@@ -82,6 +89,12 @@ struct ResidencyReport {
   /// device reports its own figure; the two agree unless a hit job fell
   /// back or the engine rejected a stale request.
   std::uint64_t weight_writes_saved8 = 0;
+  /// Prefetch speculations issued (prefill) and the subset that paid off:
+  /// a later acquire landing on an entry the predictor programmed ahead.
+  std::uint64_t prefetches = 0;
+  std::uint64_t prefetch_hits = 0;
+  /// Entries re-homed accelerator-to-accelerator (peer-to-peer migration).
+  std::uint64_t migrations = 0;
   std::uint64_t entries = 0;  ///< currently resident tiles, all devices
 };
 
@@ -107,6 +120,14 @@ class ResidencyCache {
     bool hit = false;     ///< tile already resident on `device`: skip programming
     bool cached = false;  ///< entry exists after the call (hit or filled)
     std::uint32_t row0 = 0;
+    /// Migrated entries only: the crossbar was programmed from the
+    /// peer-to-peer staging copy, not the original operand. The caller must
+    /// substitute this rectangle for the job's stationary pointer so the
+    /// device-side reuse validation matches what was actually programmed
+    /// (the bytes are bit-exact, so results are unchanged).
+    bool migrated = false;
+    sim::PhysAddr shadow_base = 0;
+    std::uint64_t shadow_ld = 0;
   };
 
   /// Counting lookup-or-fill on `device`. On a hit the entry's LRU stamp is
@@ -120,6 +141,35 @@ class ResidencyCache {
   /// A job outside the cache programs crossbar rows [row0, row0 + rows) on
   /// `device`: retire entries it overwrites.
   void on_programmed(int device, std::uint32_t row0, std::uint64_t rows);
+
+  /// Successor prediction (prefetch_on_miss): the tile acquire() saw follow
+  /// the previously acquired one most recently. Empty when the predictor is
+  /// off or `current` has no recorded successor.
+  [[nodiscard]] std::optional<WeightKey> predict_next(
+      const WeightKey& current) const;
+
+  /// Speculatively fills an entry for a predicted tile: allocates a crossbar
+  /// row window on `device` (evicting LRU entries as needed) and records the
+  /// entry flagged prefetched, without counting a miss. The caller then
+  /// enqueues the Opcode::kProgram job that actually programs the window.
+  /// Returns false when the key is already resident anywhere or cannot fit.
+  bool prefill(const WeightKey& key, int device, std::uint32_t* row0);
+
+  /// Allocates a contiguous crossbar row window on `device` without creating
+  /// an entry — the migration path reserves the destination window before
+  /// programming it. Driver-thread only: nothing else may allocate between
+  /// this call and the rehome() that claims the window.
+  bool reserve_rows(int device, std::uint32_t rows, std::uint32_t* row0);
+
+  /// Completes a peer-to-peer migration: re-homes `key`'s entry from
+  /// `from_device` to `to_device` at `to_row0`, recording the staging copy's
+  /// rectangle as the entry's shadow (future hits substitute it into the
+  /// job's stationary pointer). Returns false when the entry is gone — a
+  /// host write invalidated it mid-migration; the destination crossbar then
+  /// holds an unclaimed stale tile and the next use simply reprograms.
+  bool rehome(const WeightKey& key, int from_device, int to_device,
+              std::uint32_t to_row0, const Rect& shadow_rect,
+              std::uint64_t shadow_ld);
 
   /// Epoch invalidation: a host-visible write landed in `r` — bump the
   /// host-write generation and eagerly kill every entry whose rectangle
@@ -147,7 +197,27 @@ class ResidencyCache {
     int device = -1;
     std::uint32_t row0 = 0;
     std::uint64_t lru = 0;  ///< last-use stamp (monotone clock)
+    /// Filled by prefill(); the first hit credits prefetch_hits and clears.
+    bool prefetched = false;
+    /// Migrated entries: the crossbar tile was programmed from this staging
+    /// rectangle (the peer-to-peer copy), not from key.rect. key.rect keeps
+    /// the original operand identity — lookups and host-write invalidation
+    /// still key on it — while hits substitute the shadow into the job's
+    /// stationary pointer so the device-side validation matches.
+    bool migrated = false;
+    Rect shadow_rect;
+    std::uint64_t shadow_ld = 0;
   };
+
+  /// One learned successor edge for the prefetch predictor (bounded FIFO).
+  struct Successor {
+    WeightKey prev;
+    WeightKey next;
+  };
+  static constexpr std::size_t kMaxSuccessors = 64;
+
+  /// Records `prev -> next` in the successor table (lock held).
+  void note_successor(const WeightKey& prev, const WeightKey& next);
 
   [[nodiscard]] std::uint32_t device_capacity_rows(int device) const;
   /// Finds (or frees, by LRU eviction on `device`) a contiguous row window
@@ -164,12 +234,19 @@ class ResidencyCache {
   std::vector<Entry> entries_;
   std::uint64_t clock_ = 0;
   std::atomic<std::uint64_t> epoch_{0};
+  /// Prefetch predictor state: the most recently acquired key and the
+  /// learned successor edges (both only maintained when prefetch_on_miss).
+  std::optional<WeightKey> last_acquired_;
+  std::vector<Successor> successors_;
 
   support::Counter hits_;
   support::Counter misses_;
   support::Counter evictions_;
   support::Counter invalidations_;
   support::Counter weight_writes_saved8_;
+  support::Counter prefetches_;
+  support::Counter prefetch_hits_;
+  support::Counter migrations_;
 };
 
 }  // namespace tdo::rt

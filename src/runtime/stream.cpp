@@ -222,6 +222,9 @@ StreamReport CimStream::report() const {
     rep.residency_misses = res.misses;
     rep.residency_evictions = res.evictions;
     rep.residency_invalidations = res.invalidations;
+    rep.residency_prefetches = res.prefetches;
+    rep.residency_prefetch_hits = res.prefetch_hits;
+    rep.residency_migrations = res.migrations;
   }
   return rep;
 }

@@ -93,6 +93,11 @@ struct StreamReport {
   std::uint64_t residency_misses = 0;
   std::uint64_t residency_evictions = 0;
   std::uint64_t residency_invalidations = 0;
+  /// Prefetch-on-miss speculations issued / paid off, and entries re-homed
+  /// accelerator-to-accelerator (peer-to-peer migration).
+  std::uint64_t residency_prefetches = 0;
+  std::uint64_t residency_prefetch_hits = 0;
+  std::uint64_t residency_migrations = 0;
   /// 8-bit weight programs the devices skipped through stationary-tile
   /// reuse (summed across accelerators; the device-side ground truth).
   std::uint64_t weight_writes_saved8 = 0;

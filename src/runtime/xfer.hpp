@@ -107,10 +107,13 @@ struct CopySeg {
 /// back-to-back on one DMA channel (no host-memcpy fallback).
 struct CopyDesc {
   /// Informational tag for traces: shared memory is flat, so the DMA moves
-  /// bytes identically in both directions.
+  /// bytes identically in all directions. kDevToDev marks a peer-to-peer
+  /// segment chain (residency migration) that never bounces through a host
+  /// staging buffer — both rectangles are device-resident.
   enum class Dir : std::uint64_t {
     kHostToDev = 0,
     kDevToHost = 1,
+    kDevToDev = 2,
   };
   Dir dir = Dir::kHostToDev;
   std::vector<CopySeg> segments;

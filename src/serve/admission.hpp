@@ -30,11 +30,16 @@
 
 namespace tdo::serve {
 
-/// Call-site identity for admission statistics: the kernel shape. (Tenants
-/// sharing a shape share a site — the offload tradeoff is a property of the
-/// kernel, not of who submitted it.)
+/// Call-site identity for admission statistics: the kernel shape plus the
+/// memory tier the launch is expected to land on. (Tenants sharing a shape
+/// share a site — the offload tradeoff is a property of the kernel, not of
+/// who submitted it. The tier splits the EWMAs because the same shape has a
+/// different device-path cost behind a far CXL-style link: the offload
+/// break-even knee sits higher there, and folding both tiers into one site
+/// would average the knees away.)
 struct SiteKey {
   std::uint64_t m = 0, n = 0, k = 0;
+  int tier = 0;  ///< topo::Topology tier of the anticipated placement
   auto operator<=>(const SiteKey&) const = default;
 };
 

@@ -31,6 +31,7 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   registry.register_counter(p + ".coalesced_requests", &coalesced_requests_);
   registry.register_counter(p + ".affinity_routed", &affinity_routed_);
   registry.register_counter(p + ".queue_routed", &queue_routed_);
+  registry.register_counter(p + ".far_routed", &far_routed_);
   registry.register_counter(p + ".host_launches", &host_launches_);
 
   auto& driver = runtime_.driver();
@@ -64,7 +65,7 @@ Scheduler::~Scheduler() {
   registry.unregister_counter(&rejected_);
   for (const support::Counter* counter :
        {&completed_, &launches_, &batched_launches_, &coalesced_requests_,
-        &affinity_routed_, &queue_routed_, &host_launches_}) {
+        &affinity_routed_, &queue_routed_, &far_routed_, &host_launches_}) {
     registry.unregister_counter(counter);
   }
 }
@@ -266,6 +267,41 @@ std::size_t Scheduler::effective_depth(std::size_t device) const {
                       1);
 }
 
+std::size_t Scheduler::cheapest_device() const {
+  auto& stream = runtime_.stream();
+  const topo::Topology* topo = runtime_.topology();
+  const std::size_t count = stream.device_count();
+  // Marginal cost of one more job on device d: queue depth scaled by the
+  // link latency multiplier. A near device stays cheapest until its queue
+  // is ~multiplier jobs deeper than a far pool's — the load-derived
+  // break-even, same rule as CimRuntime's buffer-centric placement.
+  const auto cost = [&](std::size_t d) {
+    const double mult =
+        topo != nullptr ? topo->latency_multiplier(static_cast<int>(d)) : 1.0;
+    return static_cast<double>(stream.device_in_flight(d) + 1) * mult;
+  };
+  std::size_t best = place_cursor_ % count;
+  double best_cost = cost(best);
+  for (std::size_t offset = 1; offset < count; ++offset) {
+    const std::size_t d = (place_cursor_ + offset) % count;
+    const double c = cost(d);
+    if (c < best_cost) {
+      best = d;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+int Scheduler::device_tier(int device) const {
+  const topo::Topology* topo = runtime_.topology();
+  if (topo == nullptr || device < 0 ||
+      device >= static_cast<int>(runtime_.driver().device_count())) {
+    return topo::Topology::kNearTier;
+  }
+  return topo->tier(device);
+}
+
 std::optional<int> Scheduler::placement_preview(const Batch& batch) {
   const Request& head = batch.requests.front();
   if (batch.requests.size() < 2 || head.op != Op::kSgemm ||
@@ -281,7 +317,16 @@ std::optional<int> Scheduler::placement_preview(const Batch& batch) {
 
 support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
   const Request& head = batch.requests.front();
-  const SiteKey site{head.m, head.n, head.k};
+  // The admission site carries the memory tier the launch is expected to
+  // land on: the affinity pin when the batch has one, otherwise wherever
+  // the cost-weighted queue scan would put new work right now. Per-request
+  // launches route inside the runtime under the same placement rule, so the
+  // anticipated tier is the dispatched tier in the steady state — and
+  // finalize() rebuilds the identical key from InFlight::tier, keeping
+  // admit() and observe() on the same per-tier EWMAs.
+  const int tier =
+      device_tier(pinned ? *pinned : static_cast<int>(cheapest_device()));
+  const SiteKey site{head.m, head.n, head.k, tier};
   const bool fits = tile_fits(head);
   // Host probes only ride singleton single-tile launches — burning a
   // coalesced batch on the host would distort both the measurement and the
@@ -306,20 +351,16 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
       affinity_routed_.add();
     }
     if (device < 0) {
-      // Shortest compute queue; ties rotate so equally-idle accelerators
-      // share the cold-start load instead of device 0 absorbing it.
-      const std::size_t count = stream.device_count();
-      std::size_t best = place_cursor_ % count;
-      for (std::size_t offset = 1; offset < count; ++offset) {
-        const std::size_t d = (place_cursor_ + offset) % count;
-        if (stream.device_in_flight(d) < stream.device_in_flight(best)) {
-          best = d;
-        }
-      }
+      // Cheapest compute queue (multiplier-weighted when a topology is
+      // attached; plain shortest queue otherwise); ties rotate so
+      // equally-idle accelerators share the cold-start load instead of
+      // device 0 absorbing it.
+      const std::size_t best = cheapest_device();
       place_cursor_ = best + 1;
       device = static_cast<int>(best);
       queue_routed_.add();
     }
+    if (device_tier(device) == topo::Topology::kFarTier) far_routed_.add();
   }
 
   // --- adaptive knobs (and per-launch probe overrides) ---
@@ -354,6 +395,7 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
   InFlight inflight;
   inflight.dispatch = now();
   inflight.device = device;
+  inflight.tier = tier;
   inflight.batched = batched;
   launches_.add();
 
@@ -505,7 +547,7 @@ void Scheduler::prune_logs() {
 void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
   const support::Duration done = sim::from_ticks(done_tick);
   const Request& head = inflight.requests.front();
-  const SiteKey site{head.m, head.n, head.k};
+  const SiteKey site{head.m, head.n, head.k, inflight.tier};
   // Only single-request launches feed the admission EWMAs: the intensity
   // threshold gates exactly those (batched jobs never take the CPU
   // fallback, and aggregating a multi-request launch's MACs against one
@@ -652,6 +694,7 @@ ServeReport Scheduler::report() const {
   rep.coalesced_requests = coalesced_requests_.value();
   rep.affinity_routed = affinity_routed_.value();
   rep.queue_routed = queue_routed_.value();
+  rep.far_routed = far_routed_.value();
   rep.host_launches = host_launches_.value();
   rep.admission = admission_.report();
   return rep;

@@ -85,6 +85,7 @@ struct ServeReport {
   std::uint64_t coalesced_requests = 0;  ///< requests riding batched launches
   std::uint64_t affinity_routed = 0;   ///< placements by weight residency
   std::uint64_t queue_routed = 0;      ///< placements by shortest queue
+  std::uint64_t far_routed = 0;        ///< batched placements on far-tier devices
   std::uint64_t host_launches = 0;     ///< launches that ran fully on host
   AdmissionReport admission;
 };
@@ -193,6 +194,9 @@ class Scheduler {
     std::vector<Request> requests;
     support::Duration dispatch;
     int device = -1;
+    /// Memory tier the launch's admission site was stamped with at dispatch
+    /// (finalize must rebuild the identical SiteKey for its observe call).
+    int tier = 0;
     bool offloaded = false;
     bool batched = false;
     bool residency_hit = false;
@@ -221,6 +225,15 @@ class Scheduler {
   /// The stream's true per-device in-flight bound: the configured depth
   /// capped by the device's hardware FIFO (mirrors CimStream::enqueue).
   [[nodiscard]] std::size_t effective_depth(std::size_t device) const;
+  /// Cost-cheapest device for new work right now: queue depth weighted by
+  /// the device's link latency multiplier when the runtime carries a
+  /// topology (mirrors CimRuntime's topology-aware placement); plain
+  /// shortest queue otherwise. Scans from place_cursor_ without advancing
+  /// it, so previews and actual placements see the same rotation.
+  [[nodiscard]] std::size_t cheapest_device() const;
+  /// Topology tier of `device` (kNearTier when no topology is attached or
+  /// the id is out of range, e.g. the host pool pseudo-device).
+  [[nodiscard]] int device_tier(int device) const;
   void harvest();
   /// Class-major, tenant-round-robin pull: the highest-priority head among
   /// all tenant queues, tenants rotating within a class.
@@ -276,6 +289,7 @@ class Scheduler {
   support::Counter coalesced_requests_;
   support::Counter affinity_routed_;
   support::Counter queue_routed_;
+  support::Counter far_routed_;
   support::Counter host_launches_;
 };
 

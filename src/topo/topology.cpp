@@ -1,0 +1,90 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace tdo::topo {
+
+sim::Tick Link::reserve(sim::Tick earliest, sim::Tick duration) {
+  // First-fit on the single timeline (windows sorted by begin): slide the
+  // candidate past every window it would collide with — one forward pass.
+  sim::Tick start = earliest;
+  for (const BusyWindow& w : windows_) {
+    if (w.end <= start) continue;
+    if (w.begin >= start + duration) break;
+    start = w.end;
+  }
+  contended_ticks_.add(start - earliest);
+  const BusyWindow w{start, start + duration};
+  windows_.insert(std::upper_bound(windows_.begin(), windows_.end(), w,
+                                   [](const BusyWindow& a, const BusyWindow& b) {
+                                     return a.begin < b.begin;
+                                   }),
+                  w);
+  return start;
+}
+
+void Link::retire_before(sim::Tick horizon) {
+  windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                [horizon](const BusyWindow& w) {
+                                  return w.end <= horizon;
+                                }),
+                 windows_.end());
+}
+
+void Link::register_stats(support::StatsRegistry& registry) const {
+  registry.register_counter(params_.name + ".contended_ticks",
+                            &contended_ticks_);
+  registry.register_counter(params_.name + ".responses", &responses_);
+  registry.register_counter(params_.name + ".response_bytes",
+                            &response_bytes_);
+}
+
+namespace {
+
+bool parse_count(std::string_view text, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::optional<TopologySpec> parse_topology_spec(std::string_view spec) {
+  TopologySpec out;
+  out.near = 0;  // explicit spec replaces the defaults entirely
+  out.far = 0;
+  bool any = false;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view part = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const std::string_view key = part.substr(0, colon);
+    std::string_view value = part.substr(colon + 1);
+    if (key == "near") {
+      if (!parse_count(value, out.near)) return std::nullopt;
+    } else if (key == "far") {
+      const std::size_t x = value.find('x');
+      if (x != std::string_view::npos) {
+        const std::string mult(value.substr(x + 1));
+        char* end = nullptr;
+        out.far_multiplier = std::strtod(mult.c_str(), &end);
+        if (end != mult.c_str() + mult.size() || out.far_multiplier < 1.0) {
+          return std::nullopt;
+        }
+        value = value.substr(0, x);
+      }
+      if (!parse_count(value, out.far)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    any = true;
+  }
+  if (!any || out.device_count() == 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace tdo::topo

@@ -1,0 +1,180 @@
+// Two-tier accelerator fabric (CXL-style disaggregated CIM pools).
+//
+// Near-tier accelerators sit on the host bus at uniform distance, exactly as
+// the paper's Figure 2 (a) platform models them. Far-tier accelerators live
+// behind a pooling link with a latency multiplier in the 3-10x range typical
+// of CXL-attached memory: their DMA engines are derated by the multiplier,
+// and their completion signals ride the link as withhold-response messages —
+// the host observes a far job's completion only when the response message has
+// serialized over the link, not when the device raised it.
+//
+// The link itself is a contended resource. It reuses the cim::Dma busy-window
+// timeline idiom: every response (and every peer-to-peer migration burst)
+// occupies a [start, end) window on the link's single timeline, placed
+// first-fit at or after its ready tick, so concurrent far-pool traffic
+// serializes instead of overlapping for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace tdo::topo {
+
+struct LinkParams {
+  /// Latency derate applied to devices behind this link (>= 1). Near links
+  /// use 1.0; CXL-style far pools use 3-10x.
+  double latency_multiplier = 4.0;
+  /// Serialization bandwidth of the link itself (response messages and
+  /// peer-to-peer migration bursts charge this, not the device DMA).
+  double bandwidth_bytes_per_sec = 12.8e9;
+  /// One-way propagation added to every message crossing the link.
+  support::Duration base_latency = support::Duration::from_ns(120);
+  /// Size of a completion response message (descriptor + status writeback).
+  std::uint64_t response_bytes = 64;
+  std::string name = "link";
+};
+
+/// One pooling link: a single busy-window timeline shared by every device
+/// behind it (the cim::Dma channel idiom, collapsed to one channel).
+class Link {
+ public:
+  explicit Link(LinkParams params) : params_{std::move(params)} {
+    if (params_.latency_multiplier < 1.0) params_.latency_multiplier = 1.0;
+  }
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Time for `bytes` to serialize over the link (setup = base propagation).
+  [[nodiscard]] support::Duration transfer_time(std::uint64_t bytes) const {
+    return params_.base_latency +
+           support::Duration::from_sec(static_cast<double>(bytes) /
+                                       params_.bandwidth_bytes_per_sec);
+  }
+
+  /// Reserves a window of `duration` ticks first-fit at or after `earliest`.
+  /// Returns the granted start tick; (start - earliest) is contention.
+  sim::Tick reserve(sim::Tick earliest, sim::Tick duration);
+
+  /// Withhold-response signaling: a far device finished at `done`; its
+  /// completion message of `bytes` crosses the link. Returns the tick the
+  /// host actually observes the completion (window start + serialization).
+  sim::Tick delivery(sim::Tick done, std::uint64_t bytes) {
+    const sim::Tick duration = transfer_time(bytes).ticks();
+    const sim::Tick start = reserve(done, duration);
+    responses_.add();
+    response_bytes_.add(bytes);
+    return start + duration;
+  }
+
+  /// Drops windows ending at or before `horizon` (same contract as
+  /// Dma::retire_before: queries never look behind the current tick).
+  void retire_before(sim::Tick horizon);
+
+  /// Ticks link messages waited behind earlier traffic.
+  [[nodiscard]] std::uint64_t contended_ticks() const {
+    return contended_ticks_.value();
+  }
+  [[nodiscard]] std::uint64_t responses() const { return responses_.value(); }
+  [[nodiscard]] std::uint64_t response_bytes() const {
+    return response_bytes_.value();
+  }
+
+  void register_stats(support::StatsRegistry& registry) const;
+
+ private:
+  struct BusyWindow {
+    sim::Tick begin = 0;
+    sim::Tick end = 0;
+  };
+
+  LinkParams params_;
+  std::vector<BusyWindow> windows_;  ///< sorted by begin
+  support::Counter contended_ticks_;
+  support::Counter responses_;
+  support::Counter response_bytes_;
+};
+
+/// Placement policy over the fabric (the DTO_IS_NUMA_AWARE analogue).
+enum class Placement {
+  /// Topology-blind: devices are interchangeable (pre-tier behaviour; the
+  /// bench baseline).
+  kBlind = 0,
+  /// Caller-centric: work placed near the caller — fill the near tier to its
+  /// queue depth first, spill to the far pool only under pressure.
+  kCallerCentric = 1,
+  /// Buffer-centric: work follows its resident weights regardless of tier;
+  /// falls back to caller-centric when nothing is resident.
+  kBufferCentric = 2,
+};
+
+/// The fabric map: per-device tier id and link. Near devices (tier 0) have no
+/// link; far devices (tier 1+) share the Link of their pool. Consulted by the
+/// runtime (stationary placement, migration), the residency cache (re-homing)
+/// and the serving scheduler (queue placement, per-tier admission sites).
+class Topology {
+ public:
+  static constexpr int kNearTier = 0;
+  static constexpr int kFarTier = 1;
+
+  /// Registers the next device (ids are assigned in add order, matching
+  /// CimDriver::add_device order). `link` may be nullptr for near devices.
+  void add_device(int tier, Link* link = nullptr) {
+    nodes_.push_back(Node{tier, link});
+  }
+
+  [[nodiscard]] std::size_t device_count() const { return nodes_.size(); }
+
+  /// Devices the topology was never told about are near: an empty map makes
+  /// every consumer behave exactly as before the tier existed.
+  [[nodiscard]] int tier(std::size_t device) const {
+    return device < nodes_.size() ? nodes_[device].tier : kNearTier;
+  }
+  [[nodiscard]] Link* link(std::size_t device) const {
+    return device < nodes_.size() ? nodes_[device].link : nullptr;
+  }
+  [[nodiscard]] double latency_multiplier(std::size_t device) const {
+    const Link* l = link(device);
+    return l == nullptr ? 1.0 : l->params().latency_multiplier;
+  }
+  [[nodiscard]] bool has_far() const {
+    for (const Node& node : nodes_) {
+      if (node.tier != kNearTier) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t tier_size(int tier) const {
+    std::size_t n = 0;
+    for (const Node& node : nodes_) n += node.tier == tier ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Node {
+    int tier = kNearTier;
+    Link* link = nullptr;
+  };
+  std::vector<Node> nodes_;
+};
+
+/// Parsed form of the bench CLI knob `--topology near:N,far:M[xL]`.
+struct TopologySpec {
+  std::size_t near = 1;
+  std::size_t far = 0;
+  double far_multiplier = 4.0;
+
+  [[nodiscard]] std::size_t device_count() const { return near + far; }
+};
+
+/// Parses "near:N,far:M" or "near:N,far:Mx<mult>" (e.g. "near:2,far:2x4").
+/// Either part may be omitted; returns nullopt on malformed input.
+[[nodiscard]] std::optional<TopologySpec> parse_topology_spec(
+    std::string_view spec);
+
+}  // namespace tdo::topo

@@ -182,7 +182,7 @@ TEST(AdmissionSplitLadderTest, RungAndIndexAreInverse) {
 }
 
 TEST(AdmissionSplitLadderTest, RetuneTracksDeviceToHostLatencyRatio) {
-  const serve::SiteKey site{64, 64, 64};
+  const serve::SiteKey site{64, 64, 64, 0};
   const std::uint64_t macs = 64 * 64 * 64;
   {
     // Equal per-MAC latencies: both stripes finish together at f* = 1/2.
@@ -199,7 +199,7 @@ TEST(AdmissionSplitLadderTest, RetuneTracksDeviceToHostLatencyRatio) {
     admission.observe(site, false, Duration::from_us(300.0), macs, 0);
     EXPECT_DOUBLE_EQ(admission.split_fraction(), 0.25);
     // A site with no observations falls back to the global knob.
-    EXPECT_DOUBLE_EQ(admission.split_fraction_for(serve::SiteKey{8, 8, 8}),
+    EXPECT_DOUBLE_EQ(admission.split_fraction_for(serve::SiteKey{8, 8, 8, 0}),
                      0.25);
   }
   {

@@ -18,13 +18,17 @@
 //     schedule, never the bytes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "runtime/cim_blas.hpp"
+#include "runtime/residency.hpp"
 #include "runtime/stream.hpp"
 #include "runtime/xfer.hpp"
+#include "support/fixed_point.hpp"
 #include "support/rng.hpp"
 #include "testing/fixture.hpp"
 
@@ -354,6 +358,98 @@ TEST(XferFuzzTest, RandomScatterGatherPlansMatchSynchronousHostPath) {
   EXPECT_GT(report.copy_segments, report.copies_enqueued)
       << "no plan ever split into a multi-segment chain (seed " << seed << ")";
   EXPECT_LE(report.overlapped_copy_bytes, report.copy_bytes);
+}
+
+// --- layer 3: dev->dev migration segments vs host-bounce reference ---
+
+/// One random migration trial: primes a random stationary tile on a
+/// two-device runtime, migrates it over the requested path, optionally
+/// migrates it back (the reverse dev->dev hop), reruns the GEMM, and
+/// returns the final output.
+struct MigrationTrial {
+  std::uint64_t m = 0, n = 0, k = 0;
+  std::uint64_t seed = 0;
+  bool migrate_back = false;
+};
+
+std::vector<float> apply_migration_trial(const MigrationTrial& trial,
+                                         bool peer_to_peer) {
+  RuntimeConfig config;
+  config.stream.depth = 2;
+  config.xfer.min_async_bytes = 1024;
+  testing::Platform p{config, {}, {}, /*accelerators=*/2};
+  EXPECT_TRUE(p.runtime().init(0).is_ok());
+  const auto a = testing::random_matrix(trial.m * trial.k, 1.0, trial.seed);
+  const auto b =
+      testing::random_matrix(trial.k * trial.n, 1.0, trial.seed + 1);
+  const auto va_a = p.upload(a);
+  const auto va_b = p.upload(b);
+  const auto va_c = p.device_zeros(trial.m * trial.n);
+  const auto gemm = [&] {
+    EXPECT_TRUE(p.runtime()
+                    .sgemm_with_stationary(
+                        trial.m, trial.n, trial.k, 1.0f, va_a, trial.k, va_b,
+                        trial.n, 0.0f, va_c, trial.n,
+                        cim::StationaryOperand::kB, /*cacheable=*/true)
+                    .is_ok());
+  };
+  gemm();
+  EXPECT_TRUE(p.runtime().synchronize().is_ok());
+
+  auto pa_b = p.system().mmu().translate(va_b);
+  EXPECT_TRUE(pa_b.is_ok());
+  double max_abs = 0.0;
+  for (const float v : b) {
+    max_abs = std::max(max_abs, static_cast<double>(std::fabs(v)));
+  }
+  WeightKey key;
+  key.rect = Rect{*pa_b, trial.n * 4, trial.n * 4, trial.k};
+  key.ld = trial.n;
+  key.scale = support::QuantScale::for_max_abs(max_abs).scale;
+  key.layout = cim::StationaryOperand::kB;
+  key.rows = static_cast<std::uint32_t>(trial.k);
+  key.cols = static_cast<std::uint32_t>(trial.n);
+
+  const auto placed = p.runtime().residency().peek(key);
+  EXPECT_TRUE(placed.has_value());
+  const int other = placed->device == 0 ? 1 : 0;
+  EXPECT_TRUE(p.runtime().migrate_residency(key, other, peer_to_peer).is_ok());
+  if (trial.migrate_back) {
+    // Reverse hop while the first adoption may still be in flight — chains
+    // two dev->dev segment plans through the hazard machinery.
+    EXPECT_TRUE(p.runtime()
+                    .migrate_residency(key, placed->device, peer_to_peer)
+                    .is_ok());
+  }
+  EXPECT_TRUE(p.runtime().synchronize().is_ok());
+  gemm();
+  EXPECT_TRUE(p.runtime().synchronize().is_ok());
+  EXPECT_GT(p.runtime().residency().report().migrations, 0u);
+  return p.read_floats(va_c, trial.m * trial.n);
+}
+
+TEST(XferFuzzTest, RandomDevToDevMigrationsMatchHostBouncePath) {
+  const std::uint64_t seed = fuzz_seed();
+  support::Rng rng{seed};
+  for (std::uint64_t iter = 0; iter < 16; ++iter) {
+    MigrationTrial trial;
+    trial.m = static_cast<std::uint64_t>(rng.uniform_int(4, 32));
+    trial.n = static_cast<std::uint64_t>(rng.uniform_int(8, 64));
+    trial.k = static_cast<std::uint64_t>(rng.uniform_int(8, 64));
+    trial.seed = seed * 1000 + iter;
+    trial.migrate_back = rng.chance(0.5);
+    const auto p2p = apply_migration_trial(trial, /*peer_to_peer=*/true);
+    const auto bounce = apply_migration_trial(trial, /*peer_to_peer=*/false);
+    if (HasFatalFailure()) return;
+    ASSERT_EQ(p2p.size(), bounce.size());
+    for (std::size_t i = 0; i < p2p.size(); ++i) {
+      ASSERT_EQ(p2p[i], bounce[i])
+          << "dev->dev and host-bounce results diverged: seed " << seed
+          << " iter " << iter << " element " << i << " (m=" << trial.m
+          << " n=" << trial.n << " k=" << trial.k
+          << (trial.migrate_back ? ", round trip)" : ")");
+    }
+  }
 }
 
 }  // namespace

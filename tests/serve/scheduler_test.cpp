@@ -103,7 +103,7 @@ TEST(AdmissionTest, BootstrapProbesBothPathsThenSettles) {
   AdmissionParams params;
   params.probe_period = 0;
   AdmissionController admission{params, 0.0, 1024};
-  const SiteKey site{8, 64, 64};
+  const SiteKey site{8, 64, 64, 0};
   EXPECT_EQ(admission.admit(site), AdmitPath::kForceDevice);
   admission.observe(site, /*offloaded=*/true, Duration::from_us(100.0),
                     8 * 64 * 64, 64 * 64);
@@ -116,8 +116,8 @@ TEST(AdmissionTest, BootstrapProbesBothPathsThenSettles) {
 TEST(AdmissionTest, ThresholdSeparatesHostAndDeviceWinners) {
   AdmissionParams params;
   AdmissionController admission{params, 0.0, 1024};
-  const SiteKey small{4, 64, 64};  // intensity 4: host wins
-  const SiteKey large{32, 64, 64};  // intensity 32: device wins
+  const SiteKey small{4, 64, 64, 0};  // intensity 4: host wins
+  const SiteKey large{32, 64, 64, 0};  // intensity 32: device wins
   for (int i = 0; i < 4; ++i) {
     admission.observe(small, true, Duration::from_us(200.0), 4 * 64 * 64,
                       64 * 64);
@@ -133,7 +133,7 @@ TEST(AdmissionTest, ThresholdSeparatesHostAndDeviceWinners) {
   EXPECT_GT(admission.report().retunes, 0u);
   // Host probes are deferred (uncounted) when the launch cannot carry them.
   const auto before = admission.report().probes_host;
-  const SiteKey fresh{2, 64, 64};
+  const SiteKey fresh{2, 64, 64, 0};
   admission.observe(fresh, true, Duration::from_us(10.0), 2 * 64 * 64,
                     64 * 64);
   EXPECT_EQ(admission.admit(fresh, /*host_probe_ok=*/false), AdmitPath::kAuto);
@@ -143,7 +143,7 @@ TEST(AdmissionTest, ThresholdSeparatesHostAndDeviceWinners) {
 TEST(AdmissionTest, HitPathObservationsDoNotBiasTheKnee) {
   AdmissionParams params;
   AdmissionController admission{params, 0.0, 1024};
-  const SiteKey site{4, 64, 64};
+  const SiteKey site{4, 64, 64, 0};
   admission.observe(site, true, Duration::from_us(200.0), 4 * 64 * 64,
                     64 * 64);
   admission.observe(site, false, Duration::from_us(40.0), 4 * 64 * 64,
