@@ -3,11 +3,50 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace tdo::benchutil {
+
+/// Scoped `--trace out.json` support for a whole bench run: starts the
+/// tracer on construction (when a path was given) and exports + stops on
+/// destruction. Benches that need finer control (bench_serve_loop's traced
+/// experiment) drive obs::Tracer directly instead.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path) : path_{std::move(path)} {
+    if (!path_.empty()) obs::Tracer::instance().start({});
+  }
+  ~TraceSession() { finish(); }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void finish() {
+    if (path_.empty() || finished_) return;
+    finished_ = true;
+    auto& tracer = obs::Tracer::instance();
+    tracer.pump();
+    std::ofstream out(path_, std::ios::binary);
+    if (out) {
+      tracer.export_json(out);
+      std::printf("trace: %zu events -> %s (%llu dropped)\n",
+                  tracer.collected_count(), path_.c_str(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      std::fprintf(stderr, "trace: cannot open %s\n", path_.c_str());
+    }
+    tracer.stop();
+  }
+
+ private:
+  std::string path_;
+  bool finished_ = false;
+};
 
 /// Zipf(s) sampler over {0, ..., count-1} via inverse-CDF on a precomputed
 /// table (rank 0 most popular).

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -34,6 +35,8 @@
 
 #include "bench_util.hpp"
 #include "cim/accelerator.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "topo/topology.hpp"
 #include "sim/system.hpp"
@@ -65,6 +68,12 @@ struct Options {
   /// Two-tier fabric shape (--topology near:N,far:M[xL]); nullopt keeps the
   /// legacy flat fleet of `accelerators` identical devices.
   std::optional<tdo::topo::TopologySpec> topology;
+  /// Fabric placement policy for every scheduler in this run (--placement).
+  tdo::topo::Placement placement = tdo::topo::Placement::kBufferCentric;
+  bool placement_set = false;  ///< --placement given explicitly
+  /// Non-empty: run the traced serving experiment and write Perfetto JSON
+  /// here (--trace out.json).
+  std::string trace_path;
 };
 
 /// A fully wired platform plus the serving state one load run needs. With a
@@ -312,6 +321,7 @@ struct RoiBase {
   tdo::serve::SchedulerParams params;
   params.batching = batching;
   params.residency_affinity = affinity;
+  params.placement = opts.placement;
   params.admission.adaptive = adaptive;
   params.admission.probe_period = 0;  // bootstrap probes only (steady load)
   params.batcher.max_batch = opts.batch_max;
@@ -877,6 +887,188 @@ struct SplitOutcome {
   return outcome;
 }
 
+// --- simulation-time tracing experiment (--trace) ---
+
+/// What the traced run proved, for the bench's self-gates.
+struct TraceOutcome {
+  std::vector<tdo::obs::RequestPath> paths;
+  std::size_t span_track_kinds = 0;  ///< of {engine, dma, link, sched, pool}
+  std::size_t events = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;
+  bool reconciled = true;  ///< every path: segment sum == e2e exactly
+  bool joined_any = false;  ///< at least one request joined an engine job
+};
+
+/// Dedicated traced serving run (the headline experiments above deliberately
+/// run untraced so their numbers stay bit-identical with tracing off). The
+/// fleet is forced two-tier and the pseudo-async split is enabled so every
+/// span family — engine jobs, DMA copy windows, far-link responses,
+/// host-pool stripes, per-class request spans — appears in one trace.
+[[nodiscard]] TraceOutcome run_traced(const Options& opts) {
+  tdo::obs::Tracer::instance().start({});
+
+  tdo::rt::RuntimeConfig config;
+  config.split.enabled = true;
+  config.split.cpu_fraction = 1.0 / 16.0;
+  config.split.min_macs = 1;  // serve-sized GEMMs sit below the default gate
+  config.split.pool.workers = 2;
+  // Serve-sized activation uploads (m*k floats) ride the async DMA path so
+  // the trace carries dma/<accel>.ch<k> copy-window spans.
+  config.xfer.min_async_bytes = 256;
+  std::optional<tdo::topo::TopologySpec> spec = opts.topology;
+  if (!spec.has_value()) {
+    tdo::topo::TopologySpec two_tier;
+    two_tier.near = 1;
+    two_tier.far = 2;
+    two_tier.far_multiplier = 2.0;
+    spec = two_tier;
+  }
+  Platform platform{spec->device_count(), config, spec};
+  BENCH_CHECK(platform.runtime->init(0));
+  ServingState state{platform, opts};
+
+  tdo::serve::SchedulerParams params;
+  // Caller-centric by default: near fills to depth first and the overflow
+  // spills to the far pool, so far-link response spans are guaranteed under
+  // closed-loop pressure. An explicit --placement wins.
+  params.placement = opts.placement_set
+                         ? opts.placement
+                         : tdo::topo::Placement::kCallerCentric;
+  params.batcher.max_batch = opts.batch_max;
+  params.batcher.max_wait = Duration::from_us(opts.max_wait_us);
+  // Static knobs: adaptive admission would override the forced split
+  // fraction with its cold EWMA and starve the host-pool track.
+  params.admission.adaptive = false;
+  params.admission.probe_period = 0;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  auto& tracer = tdo::obs::Tracer::instance();
+  TraceOutcome outcome;
+  const std::uint64_t target =
+      opts.tenants * opts.clients_per_tenant * opts.requests_per_client;
+  std::map<std::uint64_t, std::size_t> owner;
+  while (outcome.completed < target) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < state.clients.size(); ++i) {
+      auto& client = state.clients[i];
+      if (client.busy || client.submitted >= opts.requests_per_client) {
+        continue;
+      }
+      const tdo::serve::Request request = state.next_request(opts, i);
+      // Fresh activations arrive through the measured upload path — the
+      // copy's DMA window (and any contention stall) lands in the trace.
+      BENCH_CHECK(scheduler.upload(request.a, request.a,
+                                   opts.m * opts.k * sizeof(float)));
+      auto id = scheduler.submit(request);
+      BENCH_CHECK(id.status());
+      owner[*id] = i;
+      progressed = true;
+    }
+    BENCH_CHECK(scheduler.pump());
+    tracer.pump();  // keep the driver shard bounded on long runs
+    for (const auto& completion : scheduler.take_completions()) {
+      const auto it = owner.find(completion.id);
+      if (it != owner.end()) {
+        state.clients[it->second].busy = false;
+        owner.erase(it);
+      }
+      outcome.completed += 1;
+      progressed = true;
+    }
+    if (progressed || outcome.completed >= target) continue;
+    if (!scheduler.advance_to_next_event()) BENCH_CHECK(scheduler.drain());
+  }
+  BENCH_CHECK(scheduler.drain());
+  outcome.completed += scheduler.take_completions().size();
+
+  tracer.pump();
+  const std::vector<tdo::obs::TraceEvent> events = tracer.sorted_events();
+  outcome.events = events.size();
+  outcome.dropped = tracer.dropped();
+  outcome.paths = tdo::obs::decompose(events);
+  for (const auto& path : outcome.paths) {
+    outcome.reconciled =
+        outcome.reconciled && path.segment_sum() == path.e2e();
+    outcome.joined_any = outcome.joined_any || path.device_joined;
+  }
+  bool engine = false, dma = false, link = false, sched = false, pool = false;
+  for (const auto& event : events) {
+    if (event.phase != tdo::obs::Phase::kSpan) continue;
+    engine = engine || event.track.rfind("engine/", 0) == 0;
+    dma = dma || event.track.rfind("dma/", 0) == 0;
+    link = link || event.track.rfind("link/", 0) == 0;
+    sched = sched || event.track.rfind("sched/", 0) == 0;
+    pool = pool || event.track.rfind("host_pool/", 0) == 0;
+  }
+  outcome.span_track_kinds = static_cast<std::size_t>(engine) + dma + link +
+                             sched + pool;
+
+  std::ofstream out(opts.trace_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --trace path %s\n",
+                 opts.trace_path.c_str());
+    std::exit(1);
+  }
+  tracer.export_json(out);
+  tracer.stop();
+  return outcome;
+}
+
+/// Tail-decomposition table: per deadline class, the mean and the p99
+/// request's latency split into the seven critical-path segments.
+void print_decomposition(const std::vector<tdo::obs::RequestPath>& paths) {
+  tdo::support::TextTable table(
+      "Critical-path decomposition (per class, us)");
+  std::vector<std::string> header{"Class", "Metric", "n", "e2e"};
+  for (std::size_t s = 0; s < tdo::obs::kSegmentCount; ++s) {
+    header.emplace_back(tdo::obs::segment_name(s));
+  }
+  table.set_header(header);
+
+  const auto us = [](double ticks) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", ticks / 1e6);
+    return std::string(buf);
+  };
+  for (std::size_t c = 0; c < tdo::serve::kDeadlineClasses; ++c) {
+    const char* cls =
+        tdo::serve::to_string(static_cast<tdo::serve::DeadlineClass>(c));
+    std::vector<const tdo::obs::RequestPath*> in_class;
+    for (const auto& path : paths) {
+      if (path.cls == cls) in_class.push_back(&path);
+    }
+    if (in_class.empty()) continue;
+    std::sort(in_class.begin(), in_class.end(),
+              [](const auto* a, const auto* b) { return a->e2e() < b->e2e(); });
+
+    std::vector<std::string> mean_row{cls, "mean",
+                                      std::to_string(in_class.size())};
+    double e2e_sum = 0.0;
+    std::array<double, tdo::obs::kSegmentCount> seg_sum{};
+    for (const auto* path : in_class) {
+      e2e_sum += static_cast<double>(path->e2e());
+      for (std::size_t s = 0; s < tdo::obs::kSegmentCount; ++s) {
+        seg_sum[s] += static_cast<double>(path->seg[s]);
+      }
+    }
+    const double n = static_cast<double>(in_class.size());
+    mean_row.push_back(us(e2e_sum / n));
+    for (const double sum : seg_sum) mean_row.push_back(us(sum / n));
+    table.add_row(mean_row);
+
+    const std::size_t rank = (in_class.size() * 99 + 99) / 100;  // ceil(.99n)
+    const auto* p99 = in_class[rank - 1];
+    std::vector<std::string> tail_row{cls, "p99", "1",
+                                      us(static_cast<double>(p99->e2e()))};
+    for (const std::uint64_t seg : p99->seg) {
+      tail_row.push_back(us(static_cast<double>(seg)));
+    }
+    table.add_row(tail_row);
+  }
+  table.print(std::cout);
+}
+
 void add_result_row(tdo::support::TextTable& table, const std::string& name,
                     const LoadResult& r) {
   char throughput[32], p50[32], p95[32], p99[32], hit[32], fb[32], batch[32];
@@ -925,6 +1117,23 @@ int main(int argc, char** argv) {
       opts.seed = static_cast<std::uint64_t>(value());
     } else if (arg == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<std::size_t>(value());
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+    } else if (arg == "--placement" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      opts.placement_set = true;
+      if (policy == "blind") {
+        opts.placement = tdo::topo::Placement::kBlind;
+      } else if (policy == "caller") {
+        opts.placement = tdo::topo::Placement::kCallerCentric;
+      } else if (policy == "buffer") {
+        opts.placement = tdo::topo::Placement::kBufferCentric;
+      } else {
+        std::fprintf(stderr,
+                     "bad --placement (want blind|caller|buffer): %s\n",
+                     policy.c_str());
+        return 1;
+      }
     } else if (arg == "--topology" && i + 1 < argc) {
       const auto spec = tdo::topo::parse_topology_spec(argv[++i]);
       if (!spec.has_value()) {
@@ -939,7 +1148,8 @@ int main(int argc, char** argv) {
           "usage: bench_serve_loop [--smoke] [--tenants N] [--clients C]\n"
           "       [--requests R] [--weights W] [--alpha Z] [--accels A]\n"
           "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n"
-          "       [--threads T] [--topology near:N,far:M[xL]]\n");
+          "       [--threads T] [--topology near:N,far:M[xL]]\n"
+          "       [--trace out.json] [--placement blind|caller|buffer]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -1016,6 +1226,23 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(run->serve.far_routed));
       }
     }
+  }
+
+  std::optional<TraceOutcome> trace;
+  if (!opts.trace_path.empty()) {
+    trace = run_traced(opts);
+    std::printf(
+        "\nTrace: %zu events -> %s (%llu dropped); %zu/%zu request spans "
+        "device-joined; %zu/5 span track kinds\n",
+        trace->events, opts.trace_path.c_str(),
+        static_cast<unsigned long long>(trace->dropped),
+        [&] {
+          std::size_t joined = 0;
+          for (const auto& p : trace->paths) joined += p.device_joined ? 1 : 0;
+          return joined;
+        }(),
+        trace->paths.size(), trace->span_track_kinds);
+    if (opts.dump) print_decomposition(trace->paths);
   }
 
   std::printf("\nAdmission convergence (static sweep vs adaptive EWMA):\n");
@@ -1107,6 +1334,39 @@ int main(int argc, char** argv) {
                  "step of the best static threshold (rung %d)\n",
                  admission.adaptive_rung, admission.best_static_rung);
     ok = false;
+  }
+  if (trace.has_value()) {
+    if (!trace->reconciled) {
+      std::fprintf(stderr,
+                   "FAILED: critical-path segments do not sum to the "
+                   "end-to-end latency on every request span\n");
+      ok = false;
+    }
+    if (trace->paths.size() != trace->completed) {
+      std::fprintf(stderr,
+                   "FAILED: %zu request spans for %llu completions\n",
+                   trace->paths.size(),
+                   static_cast<unsigned long long>(trace->completed));
+      ok = false;
+    }
+    if (trace->span_track_kinds < 5) {
+      std::fprintf(stderr,
+                   "FAILED: only %zu of the 5 span track kinds (engine, dma, "
+                   "link, sched, host_pool) appear in the trace\n",
+                   trace->span_track_kinds);
+      ok = false;
+    }
+    if (!trace->joined_any) {
+      std::fprintf(stderr,
+                   "FAILED: no request span joined its engine job span\n");
+      ok = false;
+    }
+    if (trace->dropped != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %llu trace events dropped (shard overflow)\n",
+                   static_cast<unsigned long long>(trace->dropped));
+      ok = false;
+    }
   }
   // Thread-parallel and split gates are simulated-deterministic, but smoke
   // shrinks the load below the margins they assume — report-only there.

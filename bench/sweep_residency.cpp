@@ -244,6 +244,7 @@ int main(int argc, char** argv) {
   double alpha = 1.0;
   std::size_t weight_sets = 8;
   std::size_t requests = 64;
+  std::string trace_path;
   std::optional<tdo::topo::TopologySpec> topology;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -251,6 +252,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "--alpha" && i + 1 < argc) {
       alpha = std::atof(argv[++i]);
     } else if (arg == "--weight-sets" && i + 1 < argc) {
@@ -269,10 +272,12 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: bench_sweep_residency [--smoke] [--dump] [--alpha Z] "
           "[--weight-sets W]\n"
-          "       [--requests R] [--topology near:N,far:M[xL]]\n");
+          "       [--requests R] [--topology near:N,far:M[xL]] "
+          "[--trace out.json]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
+  tdo::benchutil::TraceSession trace{trace_path};
   using tdo::support::TextTable;
 
   std::vector<std::size_t> accel_counts = smoke ? std::vector<std::size_t>{2}

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "polybench/harness.hpp"
 #include "support/table.hpp"
 
@@ -37,7 +38,16 @@ struct Sample {
 
 int main(int argc, char** argv) {
   using tdo::support::TextTable;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  tdo::benchutil::TraceSession trace{trace_path};
   auto workload = tdo::pb::make_workload(
       "gemm", smoke ? tdo::pb::Preset::kTest : tdo::pb::Preset::kPaper);
   if (!workload.is_ok()) {

@@ -380,6 +380,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t requests = 64;
   std::size_t weight_sets = 6;
+  std::string trace_path;
   tdo::topo::TopologySpec spec;
   spec.near = 2;
   spec.far = 2;
@@ -387,6 +388,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "--requests" && i + 1 < argc) {
       requests = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--weight-sets" && i + 1 < argc) {
@@ -401,7 +404,8 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "usage: bench_sweep_topology [--smoke] [--requests R] "
-          "[--weight-sets W] [--topology near:N,far:M[xL]]\n");
+          "[--weight-sets W] [--topology near:N,far:M[xL]] "
+          "[--trace out.json]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -409,6 +413,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "the sweep needs at least one far device\n");
     return 1;
   }
+  tdo::benchutil::TraceSession trace{trace_path};
   using tdo::support::TextTable;
 
   const std::vector<double> multipliers =

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "topo/topology.hpp"
 
@@ -150,6 +151,7 @@ void Accelerator::trigger() {
     (void)start_copy(regs_);
     return;
   }
+  current_job_enqueued_ = system_.events().now();
   start_job(support::Duration::zero());
 }
 
@@ -211,6 +213,16 @@ support::Status Accelerator::start_copy(const ContextRegs& image) {
     const sim::Tick covered = hi - start;
     active_copies_.back().hidden =
         covered - dma_->engine_busy_overlap(slot.channel, start, hi);
+  }
+  if (obs::enabled()) {
+    // The copy-window span: `wait` is the contention stall the first-fit
+    // reservation imposed before the chain could start.
+    obs::Tracer::instance().span(
+        "dma/" + params_.name + ".ch" + std::to_string(slot.channel), "copy",
+        start, duration.ticks(),
+        {{"bytes", bytes},
+         {"segs", seg_count > 1 ? seg_count : 1},
+         {"wait", start - now}});
   }
   system_.events().schedule_at(done, params_.name + ".copy_done", [this, id] {
     --copies_in_flight_;
@@ -324,12 +336,26 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
       params_.queue_prefetch ? last_timeline_.stream_phase()
                              : support::Duration::zero();
   system_.events().schedule_at(busy_until_, params_.name + ".advance",
-                               [this, stream_phase] {
+                               [this, stream_phase,
+                                timeline = last_timeline_,
+                                enq = current_job_enqueued_] {
     completed_.add();
     regs_.write(Reg::kCompleted, completed_.value());
     if (regs_.status() == DeviceStatus::kError) {
       failed_.add();
       last_error_ = regs_.read(Reg::kResult);
+    }
+    if (obs::enabled()) {
+      // One span per retired job on this engine's track. `completed` is the
+      // FIFO retirement ordinal — the analyzer joins a request's completion
+      // target {dev, completed} with exactly this span.
+      obs::Tracer::instance().span(
+          "engine/" + params_.name, "job", timeline.trigger,
+          timeline.done - timeline.trigger,
+          {{"dev", device_ordinal_ + 1},
+           {"enq", enq},
+           {"wp", timeline.weights_programmed},
+           {"completed", completed_.value()}});
     }
     if (completion_observer_) {
       if (response_link_ != nullptr) {
@@ -363,6 +389,7 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
     // the stream phase, not all of it.
     const sim::Tick now = system_.events().now();
     const support::Duration queued_for = sim::from_ticks(now - job.enqueued);
+    current_job_enqueued_ = job.enqueued;
     start_job(std::min(stream_phase, queued_for));
   });
 }

@@ -174,6 +174,12 @@ class Accelerator final : public sim::BusDevice {
   /// kResult of the most recent failed job (support::StatusCode value).
   [[nodiscard]] std::uint64_t last_error_code() const { return last_error_; }
 
+  /// Driver-assigned device index. Trace events carry it so the analyzer can
+  /// join a request's completion target with this engine's job spans without
+  /// a name table.
+  void set_device_ordinal(std::size_t ordinal) { device_ordinal_ = ordinal; }
+  [[nodiscard]] std::size_t device_ordinal() const { return device_ordinal_; }
+
   [[nodiscard]] ContextRegs& regs() { return regs_; }
   [[nodiscard]] CimTile& tile() { return *tile_; }
   [[nodiscard]] Dma& dma() { return *dma_; }
@@ -241,6 +247,8 @@ class Accelerator final : public sim::BusDevice {
   std::uint64_t next_copy_id_ = 0;
   sim::Tick busy_until_ = 0;
   sim::Tick dma_busy_until_ = 0;  // DMA-channel (stream copy) timeline
+  std::size_t device_ordinal_ = 0;
+  sim::Tick current_job_enqueued_ = 0;  // trace: running job's enqueue tick
   std::size_t copies_in_flight_ = 0;
   std::uint64_t last_error_ = 0;
   CompletionObserver completion_observer_;

@@ -1,0 +1,93 @@
+#include "obs/critical_path.hpp"
+
+#include <map>
+
+namespace tdo::obs {
+
+namespace {
+
+std::uint64_t arg_or(const TraceEvent& event, const char* key,
+                     std::uint64_t fallback = 0) {
+  for (const auto& [name, value] : event.args) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+struct EngineJob {
+  std::uint64_t trigger = 0;
+  std::uint64_t weights_programmed = 0;
+  std::uint64_t end = 0;
+};
+
+}  // namespace
+
+const char* segment_name(std::size_t segment) {
+  switch (segment) {
+    case kSegQueue: return "queue_wait";
+    case kSegBatchForm: return "batch_form";
+    case kSegDispatch: return "dispatch";
+    case kSegDmaWait: return "dma_wait";
+    case kSegWeights: return "weight_program";
+    case kSegStream: return "compute_stream";
+    case kSegLink: return "link_delivery";
+    default: return "?";
+  }
+}
+
+std::vector<RequestPath> decompose(const std::vector<TraceEvent>& events) {
+  // Engine job spans joined on {device ordinal, jobs-completed count}: job
+  // retirement on one accelerator is FIFO, so the pair names one job.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EngineJob> jobs;
+  for (const TraceEvent& event : events) {
+    if (event.phase != Phase::kSpan || event.name != "job") continue;
+    if (event.track.rfind("engine/", 0) != 0) continue;
+    EngineJob job;
+    job.trigger = event.ts;
+    job.weights_programmed = arg_or(event, "wp", event.ts);
+    job.end = event.ts + event.dur;
+    jobs[{arg_or(event, "dev"), arg_or(event, "completed")}] = job;
+  }
+
+  std::vector<RequestPath> paths;
+  for (const TraceEvent& event : events) {
+    if (event.phase != Phase::kSpan || event.name != "request") continue;
+    if (event.track.rfind("sched/", 0) != 0) continue;
+    RequestPath path;
+    path.id = arg_or(event, "id");
+    path.tenant = arg_or(event, "tenant");
+    path.cls = event.track.substr(6);
+    path.arrival = event.ts;
+    path.done = event.ts + event.dur;
+
+    std::uint64_t cursor = path.arrival;
+    auto step = [&path, &cursor](std::uint64_t checkpoint, Segment segment) {
+      if (checkpoint > path.done) checkpoint = path.done;
+      if (checkpoint > cursor) {
+        path.seg[segment] += checkpoint - cursor;
+        cursor = checkpoint;
+      }
+    };
+    step(arg_or(event, "pull", path.arrival), kSegQueue);
+    step(arg_or(event, "close", cursor), kSegBatchForm);
+    step(arg_or(event, "launch", cursor), kSegDispatch);
+
+    const std::uint64_t dev = arg_or(event, "dev");  // device ordinal + 1
+    if (dev > 0) {
+      const auto it = jobs.find({dev, arg_or(event, "target")});
+      if (it != jobs.end()) {
+        path.device_joined = true;
+        step(it->second.trigger, kSegDmaWait);
+        step(it->second.weights_programmed, kSegWeights);
+        step(it->second.end, kSegStream);
+      }
+    }
+    // Remainder: link delivery past the device-done tick, or host compute
+    // when no engine span defines the completion.
+    step(path.done, path.device_joined ? kSegLink : kSegStream);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace tdo::obs

@@ -1,0 +1,71 @@
+// Post-hoc critical-path attribution over a recorded trace.
+//
+// Every serving request span (track `sched/<class>`, name `request`) carries
+// its checkpoint ticks as args: pull (left the tenant queue), close (batch
+// closed / dispatch began), launch (the runtime launch call returned), plus
+// the identity of the completion-defining device target. The analyzer joins
+// that span with the matching engine job span (track `engine/<accel>`,
+// joined on {dev, completed-count}) and walks the checkpoints with a
+// monotone cursor:
+//
+//   arrival -> pull        queue wait
+//   pull    -> close       batch-form wait
+//   close   -> launch      dispatch
+//   launch  -> trigger     DMA / work-queue contention before the job fires
+//   trigger -> wp          weight-program phase
+//   wp      -> job end     compute stream phase
+//   job end -> done        far-link response delivery
+//
+// Each step adds max(0, checkpoint - cursor) and clamps the cursor up, so
+// the seven segments always sum *exactly* to the end-to-end latency — the
+// reconciliation invariant the tests and the bench gate enforce.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tdo::obs {
+
+enum Segment : std::size_t {
+  kSegQueue = 0,
+  kSegBatchForm,
+  kSegDispatch,
+  kSegDmaWait,
+  kSegWeights,
+  kSegStream,
+  kSegLink,
+  kSegmentCount,
+};
+
+[[nodiscard]] const char* segment_name(std::size_t segment);
+
+struct RequestPath {
+  std::uint64_t id = 0;
+  std::uint64_t tenant = 0;
+  std::string cls;  // scheduler class track suffix ("interactive", ...)
+  std::uint64_t arrival = 0;
+  std::uint64_t done = 0;
+  std::array<std::uint64_t, kSegmentCount> seg{};
+  /// True when the completion-defining engine job span was found; false for
+  /// host-synchronous or host-pool-critical requests (their post-launch time
+  /// lands in kSegStream).
+  bool device_joined = false;
+
+  [[nodiscard]] std::uint64_t e2e() const { return done - arrival; }
+  [[nodiscard]] std::uint64_t segment_sum() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : seg) total += s;
+    return total;
+  }
+};
+
+/// Decomposes every request span in `events` (a Tracer::sorted_events()
+/// stream). Output order follows the sorted stream, so it is deterministic.
+[[nodiscard]] std::vector<RequestPath> decompose(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace tdo::obs

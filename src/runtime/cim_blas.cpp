@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tdo::rt {
@@ -551,6 +552,7 @@ support::Status CimRuntime::migrate_residency(const WeightKey& key,
   }
   const int from_device = placement->device;
   if (from_device == to_device) return support::Status::ok();
+  const sim::Tick migrate_begin = system_.events().now();
 
   // Destination crossbar window first — nothing to undo when it cannot fit.
   std::uint32_t row0 = 0;
@@ -626,6 +628,18 @@ support::Status CimRuntime::migrate_residency(const WeightKey& key,
                           shadow_ld)) {
     TDO_LOG(kDebug, "cim.rt")
         << "tile invalidated mid-migration; destination reprograms on next use";
+  }
+  if (obs::enabled()) {
+    // Host-side orchestration window of the migration (the copies and the
+    // adopting kProgram trace their own spans on the dma/engine tracks).
+    const sim::Tick migrate_end = system_.events().now();
+    obs::Tracer::instance().span(
+        "residency", "migrate_window", migrate_begin,
+        migrate_end - migrate_begin,
+        {{"from", static_cast<std::uint64_t>(from_device)},
+         {"to", static_cast<std::uint64_t>(to_device)},
+         {"bytes", bytes},
+         {"p2p", peer_to_peer ? 1u : 0u}});
   }
   return support::Status::ok();
 }

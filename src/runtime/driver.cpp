@@ -9,12 +9,14 @@ CimDriver::CimDriver(DriverParams params, sim::System& system,
                      cim::Accelerator& accel)
     : params_{params}, system_{system}, accels_{&accel},
       cma_{system.mmu().cma_region()} {
+  accel.set_device_ordinal(0);
   system.stats().register_counter("driver.ioctls", &ioctls_);
   system.stats().register_counter("driver.cache_flushes", &flushes_);
 }
 
 std::size_t CimDriver::add_device(cim::Accelerator& accel) {
   accels_.push_back(&accel);
+  accel.set_device_ordinal(accels_.size() - 1);
   return accels_.size() - 1;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tdo::rt {
@@ -104,6 +105,13 @@ HostPoolTicket HostWorkerPool::submit(const HostStripeJob& job) {
   TDO_LOG(kDebug, "rt.host_pool")
       << "stripe " << job.m << "x" << job.n << "x" << job.k << " on worker "
       << worker << " [" << start << ", " << done << ")";
+  if (obs::enabled()) {
+    obs::Tracer::instance().span(
+        params_.name + "/w" + std::to_string(worker), "stripe", start,
+        done - start,
+        {{"seq", static_cast<std::uint64_t>(index) + 1},
+         {"macs", stripe_macs}});
+  }
 
   ticket.accepted = true;
   ticket.worker = static_cast<int>(worker);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "runtime/driver.hpp"
 #include "support/log.hpp"
 
@@ -74,6 +75,12 @@ bool ResidencyCache::allocate_rows(int device, std::uint32_t rows,
     }
     if (victim == entries_.size()) return false;  // nothing left to evict
     evictions_.add();
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "residency", "evict", obs::Tracer::instance().last_tick(),
+          {{"dev", static_cast<std::uint64_t>(device)},
+           {"row", entries_[victim].row0}});
+    }
     TDO_LOG(kDebug, "cim.residency")
         << "evicting tile at device " << device << " row "
         << entries_[victim].row0 << " (LRU)";
@@ -99,6 +106,11 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
     if (entry.device == device && entry.key == key) {
       entry.lru = clock_;
       hits_.add();
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "residency", "hit", obs::Tracer::instance().last_tick(),
+            {{"dev", static_cast<std::uint64_t>(device)}, {"row", entry.row0}});
+      }
       if (entry.prefetched) {
         prefetch_hits_.add();
         entry.prefetched = false;
@@ -114,6 +126,11 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
     }
   }
   misses_.add();
+  if (obs::enabled()) {
+    obs::Tracer::instance().instant(
+        "residency", "miss", obs::Tracer::instance().last_tick(),
+        {{"dev", static_cast<std::uint64_t>(device)}});
+  }
   std::uint32_t row0 = 0;
   if (!allocate_rows(device, key.rows, &row0)) {
     return Acquire{/*hit=*/false, /*cached=*/false, 0};
@@ -124,6 +141,11 @@ ResidencyCache::Acquire ResidencyCache::acquire(const WeightKey& key,
   entry.row0 = row0;
   entry.lru = clock_;
   entries_.push_back(entry);
+  if (obs::enabled()) {
+    obs::Tracer::instance().instant(
+        "residency", "program", obs::Tracer::instance().last_tick(),
+        {{"dev", static_cast<std::uint64_t>(device)}, {"row", row0}});
+  }
   return Acquire{/*hit=*/false, /*cached=*/true, row0};
 }
 
@@ -165,6 +187,11 @@ bool ResidencyCache::prefill(const WeightKey& key, int device,
   entry.prefetched = true;
   entries_.push_back(entry);
   prefetches_.add();
+  if (obs::enabled()) {
+    obs::Tracer::instance().instant(
+        "residency", "prefetch", obs::Tracer::instance().last_tick(),
+        {{"dev", static_cast<std::uint64_t>(device)}, {"row", *row0}});
+  }
   return true;
 }
 
@@ -187,6 +214,13 @@ bool ResidencyCache::rehome(const WeightKey& key, int from_device,
     entry.shadow_ld = shadow_ld;
     entry.lru = ++clock_;
     migrations_.add();
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "residency", "migrate", obs::Tracer::instance().last_tick(),
+          {{"from", static_cast<std::uint64_t>(from_device)},
+           {"to", static_cast<std::uint64_t>(to_device)},
+           {"row", to_row0}});
+    }
     return true;
   }
   return false;  // invalidated mid-migration: the next use reprograms
@@ -202,6 +236,12 @@ void ResidencyCache::on_programmed(int device, std::uint32_t row0,
     const std::uint64_t hi = lo + entry.key.rows;
     if (lo < row0 + rows && row0 < hi) {
       evictions_.add();
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "residency", "evict", obs::Tracer::instance().last_tick(),
+            {{"dev", static_cast<std::uint64_t>(device)},
+             {"row", entry.row0}});
+      }
       erase_entry(i);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "runtime/host_pool.hpp"
 #include "runtime/residency.hpp"
 #include "support/log.hpp"
@@ -101,6 +102,11 @@ support::Status CimStream::enqueue(const Command& command) {
     if (intensity < params_.min_macs_per_write) {
       fallbacks_threshold_.add();
       cpu_fallbacks_.add();
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "stream/" + params_.name, "cpu_fallback_threshold",
+            system_.events().now(), {{"macs", command.macs}});
+      }
       return run_on_host(command.image);
     }
   }
@@ -114,6 +120,11 @@ support::Status CimStream::enqueue(const Command& command) {
     if (params_.fallback_when_full && command.allow_cpu_fallback) {
       fallbacks_queue_full_.add();
       cpu_fallbacks_.add();
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "stream/" + params_.name, "cpu_fallback_queue_full",
+            system_.events().now(), {{"macs", command.macs}});
+      }
       return run_on_host(command.image);
     }
     driver_.wait_for_space(dev, depth - 1);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace tdo::serve {
 
 AdmissionController::AdmissionController(AdmissionParams params,
@@ -129,6 +131,12 @@ void AdmissionController::retune_split() {
   if (target != knob_split_) {
     knob_split_ = target;
     retunes_ += 1;
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "admission", "retune_split", obs::Tracer::instance().last_tick(),
+          {{"rung_permille",
+            static_cast<std::uint64_t>(knob_split_ * 1000.0)}});
+    }
   }
 }
 
@@ -163,6 +171,11 @@ void AdmissionController::retune_macs() {
   if (target != knob_macs_) {
     knob_macs_ = target;
     retunes_ += 1;
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "admission", "retune_macs", obs::Tracer::instance().last_tick(),
+          {{"knob", static_cast<std::uint64_t>(knob_macs_)}});
+    }
   }
 }
 
@@ -201,6 +214,11 @@ void AdmissionController::observe_copy(std::uint64_t bytes, bool host_path,
   if (snapped != knob_async_) {
     knob_async_ = snapped;
     retunes_ += 1;
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "admission", "retune_async", obs::Tracer::instance().last_tick(),
+          {{"knob", knob_async_}});
+    }
   }
 }
 

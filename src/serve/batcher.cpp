@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace tdo::serve {
 
 void Batcher::add(const Request& request, support::Duration now) {
@@ -11,6 +13,11 @@ void Batcher::add(const Request& request, support::Duration now) {
     it->requests.push_back(request);
     it->deadline = std::min(it->deadline, request.deadline);
     if (it->requests.size() >= params_.max_batch) {
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "batcher", "close_size", now.ticks(),
+            {{"size", static_cast<std::uint64_t>(it->requests.size())}});
+      }
       ready_.push_back(std::move(*it));
       open_.erase(it);
     }
@@ -22,8 +29,15 @@ void Batcher::add(const Request& request, support::Duration now) {
   batch.deadline = request.deadline;
   batch.oldest_enqueue = now;
   if (batch.requests.size() >= params_.max_batch) {
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant("batcher", "close_size", now.ticks(),
+                                      {{"size", 1}});
+    }
     ready_.push_back(std::move(batch));
   } else {
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant("batcher", "open", now.ticks());
+    }
     open_.push_back(std::move(batch));
   }
 }
@@ -31,6 +45,12 @@ void Batcher::add(const Request& request, support::Duration now) {
 std::vector<Batch> Batcher::take_ready(support::Duration now) {
   for (auto it = open_.begin(); it != open_.end();) {
     if (now - it->oldest_enqueue >= params_.max_wait) {
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "batcher", "close_age", now.ticks(),
+            {{"size", static_cast<std::uint64_t>(it->requests.size())},
+             {"age", (now - it->oldest_enqueue).ticks()}});
+      }
       ready_.push_back(std::move(*it));
       it = open_.erase(it);
     } else {
@@ -44,7 +64,14 @@ std::vector<Batch> Batcher::take_ready(support::Duration now) {
 }
 
 std::vector<Batch> Batcher::take_all(support::Duration now) {
-  for (Batch& batch : open_) ready_.push_back(std::move(batch));
+  for (Batch& batch : open_) {
+    if (obs::enabled()) {
+      obs::Tracer::instance().instant(
+          "batcher", "close_flush", now.ticks(),
+          {{"size", static_cast<std::uint64_t>(batch.requests.size())}});
+    }
+    ready_.push_back(std::move(batch));
+  }
   open_.clear();
   return take_ready(now);
 }

@@ -66,6 +66,11 @@ struct Request {
   /// front end before the scheduler could look at it).
   support::Duration arrival;
 
+  /// When the scheduler pulled this request out of its tenant queue (stamped
+  /// by pop_next_request; the first checkpoint of the trace span's
+  /// critical-path walk — arrival..pulled is pure queue wait).
+  support::Duration pulled;
+
   /// MAC count of the call (the admission controller's intensity numerator).
   [[nodiscard]] std::uint64_t macs() const {
     return op == Op::kSgemm ? m * n * k : m * n;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tdo::serve {
@@ -21,6 +22,7 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
                  runtime.config().stream.min_macs_per_write,
                  runtime.config().xfer.min_async_bytes},
       submit_ring_{params_.ring_capacity} {
+  runtime_.set_placement(params_.placement);
   auto& registry = runtime_.system().stats();
   const std::string& p = params_.name;
   registry.register_counter(p + ".requests", &submitted_);
@@ -33,6 +35,11 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   registry.register_counter(p + ".queue_routed", &queue_routed_);
   registry.register_counter(p + ".far_routed", &far_routed_);
   registry.register_counter(p + ".host_launches", &host_launches_);
+  for (std::size_t c = 0; c < kDeadlineClasses; ++c) {
+    registry.register_histogram(
+        p + ".latency." + to_string(static_cast<DeadlineClass>(c)),
+        &class_latency_[c]);
+  }
 
   auto& driver = runtime_.driver();
   // One completion log per accelerator plus one for the host worker pool:
@@ -67,6 +74,9 @@ Scheduler::~Scheduler() {
        {&completed_, &launches_, &batched_launches_, &coalesced_requests_,
         &affinity_routed_, &queue_routed_, &far_routed_, &host_launches_}) {
     registry.unregister_counter(counter);
+  }
+  for (const auto& histogram : class_latency_) {
+    registry.unregister_histogram(&histogram);
   }
 }
 
@@ -170,6 +180,7 @@ std::optional<Request> Scheduler::pop_next_request() {
       if (static_cast<std::size_t>(queue.front().deadline) != c) continue;
       Request out = queue.front();
       queue.pop_front();
+      out.pulled = now();
       queued_ -= 1;
       ring_cursor_ = (slot + 1) % ring_.size();
       return out;
@@ -181,6 +192,12 @@ std::optional<Request> Scheduler::pop_next_request() {
 support::Status Scheduler::pump() {
   pump_submissions();
   harvest();
+  if (obs::enabled() && queued_ > 0) {
+    // Queue-depth counter track: renders as the backlog area chart above
+    // the per-class request spans.
+    obs::Tracer::instance().counter("sched", "queued", now().ticks(),
+                                    queued_);
+  }
   const support::Duration t = now();
   while (auto request = pop_next_request()) {
     if (params_.batching) {
@@ -271,6 +288,18 @@ std::size_t Scheduler::cheapest_device() const {
   auto& stream = runtime_.stream();
   const topo::Topology* topo = runtime_.topology();
   const std::size_t count = stream.device_count();
+  // Caller-centric placement spills to the far pool only once every near
+  // queue is full; until then far devices price out of the scan entirely.
+  const bool caller_centric =
+      params_.placement == topo::Placement::kCallerCentric && topo != nullptr;
+  bool near_room = false;
+  if (caller_centric) {
+    for (std::size_t d = 0; d < count; ++d) {
+      near_room = near_room ||
+                  (topo->tier(d) == topo::Topology::kNearTier &&
+                   stream.device_in_flight(d) < effective_depth(d));
+    }
+  }
   // Marginal cost of one more job on device d: queue depth scaled by the
   // link latency multiplier. A near device stays cheapest until its queue
   // is ~multiplier jobs deeper than a far pool's — the load-derived
@@ -278,7 +307,13 @@ std::size_t Scheduler::cheapest_device() const {
   const auto cost = [&](std::size_t d) {
     const double mult =
         topo != nullptr ? topo->latency_multiplier(static_cast<int>(d)) : 1.0;
-    return static_cast<double>(stream.device_in_flight(d) + 1) * mult;
+    const double far_penalty =
+        caller_centric && near_room &&
+                topo->tier(d) != topo::Topology::kNearTier
+            ? 1e18
+            : 0.0;
+    return static_cast<double>(stream.device_in_flight(d) + 1) * mult +
+           far_penalty;
   };
   std::size_t best = place_cursor_ % count;
   double best_cost = cost(best);
@@ -305,7 +340,10 @@ int Scheduler::device_tier(int device) const {
 std::optional<int> Scheduler::placement_preview(const Batch& batch) {
   const Request& head = batch.requests.front();
   if (batch.requests.size() < 2 || head.op != Op::kSgemm ||
-      !params_.residency_affinity || !head.cacheable || !tile_fits(head)) {
+      !params_.residency_affinity || !head.cacheable || !tile_fits(head) ||
+      params_.placement == topo::Placement::kCallerCentric) {
+    // Caller-centric placement never pins by residency: work stays near the
+    // caller (shortest near queue), mirroring stationary_device's rule.
     return std::nullopt;
   }
   const bool stationary_b = head.stationary == cim::StationaryOperand::kB;
@@ -432,6 +470,7 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
     stream.set_min_macs_per_write(admission_.min_macs_per_write());
   }
   TDO_RETURN_IF_ERROR(status);
+  inflight.launch_end = now().ticks();
 
   inflight.residency_hit =
       runtime_.residency().report().hits > residency_hits_before;
@@ -495,7 +534,13 @@ void Scheduler::harvest() {
       bool met = false;
       for (const auto& [completed, when] : log) {
         if (completed >= target) {
-          done = std::max(done, when);
+          if (when >= done) {
+            // The target that defines the launch's done tick is the
+            // critical one — the trace span joins its engine job.
+            done = when;
+            it->critical_device = device;
+            it->critical_target = target;
+          }
           met = true;
           break;
         }
@@ -558,6 +603,38 @@ void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
     admission_.observe(site, inflight.offloaded, done - inflight.dispatch,
                        head.macs(),
                        inflight.residency_hit ? 0 : head.cim_writes());
+  }
+
+  // Per-request trace span on the class track, carrying every scheduler-side
+  // checkpoint plus the engine-job join key ({dev, target}; dev = 0 when the
+  // completion was synchronous or pool-defined, so the analyzer books the
+  // post-launch remainder as compute instead of chasing a device join).
+  if (obs::enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    const int real_devices =
+        static_cast<int>(runtime_.driver().device_count());
+    const bool device_critical = inflight.critical_device >= 0 &&
+                                 inflight.critical_device < real_devices;
+    const std::uint64_t dev_arg =
+        device_critical
+            ? static_cast<std::uint64_t>(inflight.critical_device) + 1
+            : 0;
+    for (const Request& r : inflight.requests) {
+      // A submit-shard clock can stamp arrivals ahead of the driver clock;
+      // clamp so the span never underflows (zero-length is honest there).
+      const std::uint64_t arrival =
+          std::min<std::uint64_t>(r.arrival.ticks(), done_tick);
+      tracer.span(
+          std::string("sched/") + to_string(r.deadline), "request", arrival,
+          done_tick - arrival,
+          {{"id", r.id},
+           {"tenant", r.tenant},
+           {"dev", dev_arg},
+           {"target", device_critical ? inflight.critical_target : 0},
+           {"pull", r.pulled.ticks()},
+           {"close", inflight.dispatch.ticks()},
+           {"launch", inflight.launch_end}});
+    }
   }
 
   const auto batch_size =

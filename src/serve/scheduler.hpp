@@ -49,6 +49,7 @@
 #include "support/stats.hpp"
 #include "support/status.hpp"
 #include "support/threading.hpp"
+#include "topo/topology.hpp"
 
 namespace tdo::serve {
 
@@ -60,6 +61,12 @@ struct SchedulerParams {
   bool batching = true;
   /// Off: placement ignores weight residency (shortest queue only).
   bool residency_affinity = true;
+  /// Fabric placement policy, pushed into the runtime at construction.
+  /// kBufferCentric (default) follows resident weights across tiers;
+  /// kCallerCentric fills the near tier to its queue depth first and spills
+  /// far only under pressure (batched placement skips the residency walk);
+  /// kBlind ignores the topology entirely.
+  topo::Placement placement = topo::Placement::kBufferCentric;
   /// Per-tenant queue bound; submit() rejects beyond it (backpressure to the
   /// front end instead of unbounded memory).
   std::size_t max_queue_per_tenant = 1024;
@@ -200,6 +207,15 @@ class Scheduler {
     bool offloaded = false;
     bool batched = false;
     bool residency_hit = false;
+    /// Tick the runtime launch call returned on the driver thread (the
+    /// `launch` checkpoint of the per-request trace span).
+    sim::Tick launch_end = 0;
+    /// The completion-defining target (the one whose met tick equals the
+    /// launch's done tick), captured by harvest() so finalize() can stamp
+    /// the request span with the engine-job join key. -1 device when the
+    /// launch finished synchronously.
+    int critical_device = -1;
+    std::uint64_t critical_target = 0;
     /// Per-target completed-jobs counts that signal this launch finished
     /// (jobs serialize FIFO per accelerator, and the host worker pool
     /// retires FIFO too, so "completed reaches N" is exact). Device ids

@@ -20,6 +20,14 @@ void set_log_level(LogLevel level);
 /// Emits one formatted line (used by the TDO_LOG macro; rarely called raw).
 void log_message(LogLevel level, const char* component, const std::string& text);
 
+/// Optional secondary sink: every line that passes the global threshold is
+/// also handed to the tap (obs/trace.hpp mirrors Warn+ lines onto the trace
+/// timeline). A plain function pointer so installing/clearing is one atomic
+/// store; pass nullptr to remove.
+using LogTap = void (*)(LogLevel level, const char* component,
+                        const std::string& text);
+void set_log_tap(LogTap tap);
+
 namespace detail {
 /// Stream-collects one log statement, emitting on destruction.
 class LogLine {

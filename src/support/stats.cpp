@@ -155,6 +155,23 @@ void StatsRegistry::unregister_counter(const Counter* counter) {
                   counters_.end());
 }
 
+void StatsRegistry::register_histogram(
+    std::string name, const ShardedLatencyHistogram* histogram) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  histograms_.emplace_back(std::move(name), histogram);
+}
+
+void StatsRegistry::unregister_histogram(
+    const ShardedLatencyHistogram* histogram) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  histograms_.erase(
+      std::remove_if(histograms_.begin(), histograms_.end(),
+                     [histogram](const auto& entry) {
+                       return entry.second == histogram;
+                     }),
+      histograms_.end());
+}
+
 void StatsRegistry::unregister_counter(const ShardedCounter* counter) {
   const std::lock_guard<std::mutex> lock{mutex_};
   counters_.erase(std::remove_if(counters_.begin(), counters_.end(),
@@ -171,6 +188,16 @@ StatsSnapshot StatsRegistry::snapshot() const {
   for (const auto& [name, energy] : energies_) {
     snap.energies_pj[name] = energy->total().picojoules();
   }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram merged = histogram->merged();
+    snap.counters[name + ".count"] = merged.count();
+    snap.counters[name + ".mean_ps"] =
+        static_cast<std::uint64_t>(merged.mean().picoseconds());
+    snap.counters[name + ".p50_ps"] =
+        static_cast<std::uint64_t>(merged.quantile(0.50).picoseconds());
+    snap.counters[name + ".p99_ps"] =
+        static_cast<std::uint64_t>(merged.quantile(0.99).picoseconds());
+  }
   return snap;
 }
 
@@ -181,6 +208,13 @@ void StatsRegistry::dump(std::ostream& os) const {
   }
   for (const auto& [name, energy] : energies_) {
     os << std::left << std::setw(42) << name << energy->total().to_string() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram merged = histogram->merged();
+    os << std::left << std::setw(42) << name << "n=" << merged.count()
+       << " mean=" << merged.mean().to_string()
+       << " p50=" << merged.quantile(0.50).to_string()
+       << " p99=" << merged.quantile(0.99).to_string() << '\n';
   }
 }
 

@@ -112,7 +112,8 @@ struct StatsSnapshot {
                                  Energy fallback = Energy::zero()) const;
 };
 
-class ShardedCounter;  // support/threading.hpp
+class ShardedCounter;           // support/threading.hpp
+class ShardedLatencyHistogram;  // support/threading.hpp
 
 /// Registry of named stats. Components register members at construction; the
 /// registry does not own them, so registrants must outlive it or deregister.
@@ -128,6 +129,10 @@ class StatsRegistry {
   /// Sharded (per-thread) counter; snapshot() sums its shards on read.
   void register_counter(std::string name, const ShardedCounter* counter);
   void register_energy(std::string name, const EnergyAccumulator* energy);
+  /// Latency histogram; snapshot()/dump() surface `<name>.count` plus
+  /// mean/p50/p99 picosecond summaries derived at read time.
+  void register_histogram(std::string name,
+                          const ShardedLatencyHistogram* histogram);
 
   /// Deregisters every entry pointing at `counter` — registrants whose
   /// lifetime is shorter than the registry (e.g. a serving scheduler built
@@ -135,6 +140,10 @@ class StatsRegistry {
   /// later snapshot() dereferences freed memory.
   void unregister_counter(const Counter* counter);
   void unregister_counter(const ShardedCounter* counter);
+  /// Symmetric detach for histograms — short-lived registrants (a serving
+  /// scheduler torn down before its runtime) must call this or a later
+  /// snapshot() dereferences freed memory.
+  void unregister_histogram(const ShardedLatencyHistogram* histogram);
 
   [[nodiscard]] StatsSnapshot snapshot() const;
   void dump(std::ostream& os) const;
@@ -155,6 +164,8 @@ class StatsRegistry {
   mutable std::mutex mutex_;
   std::vector<Entry> counters_;
   std::vector<std::pair<std::string, const EnergyAccumulator*>> energies_;
+  std::vector<std::pair<std::string, const ShardedLatencyHistogram*>>
+      histograms_;
 };
 
 }  // namespace tdo::support

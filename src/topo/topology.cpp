@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "obs/trace.hpp"
+
 namespace tdo::topo {
 
 sim::Tick Link::reserve(sim::Tick earliest, sim::Tick duration) {
@@ -22,6 +24,19 @@ sim::Tick Link::reserve(sim::Tick earliest, sim::Tick duration) {
                                    }),
                   w);
   return start;
+}
+
+sim::Tick Link::delivery(sim::Tick done, std::uint64_t bytes) {
+  const sim::Tick duration = transfer_time(bytes).ticks();
+  const sim::Tick start = reserve(done, duration);
+  responses_.add();
+  response_bytes_.add(bytes);
+  if (obs::enabled()) {
+    obs::Tracer::instance().span("link/" + params_.name, "response", start,
+                                 duration,
+                                 {{"bytes", bytes}, {"wait", start - done}});
+  }
+  return start + duration;
 }
 
 void Link::retire_before(sim::Tick horizon) {

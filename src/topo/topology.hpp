@@ -65,13 +65,8 @@ class Link {
   /// Withhold-response signaling: a far device finished at `done`; its
   /// completion message of `bytes` crosses the link. Returns the tick the
   /// host actually observes the completion (window start + serialization).
-  sim::Tick delivery(sim::Tick done, std::uint64_t bytes) {
-    const sim::Tick duration = transfer_time(bytes).ticks();
-    const sim::Tick start = reserve(done, duration);
-    responses_.add();
-    response_bytes_.add(bytes);
-    return start + duration;
-  }
+  /// Traced as a span on `link/<name>` with the contention stall in args.
+  sim::Tick delivery(sim::Tick done, std::uint64_t bytes);
 
   /// Drops windows ending at or before `horizon` (same contract as
   /// Dma::retire_before: queries never look behind the current tick).
