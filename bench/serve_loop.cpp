@@ -17,9 +17,15 @@
 //      static threshold; the bench FAILS unless the adaptive controller
 //      lands within one ladder rung of it.
 //
+// `--overload` runs only the overload-hardening suite instead: calibrated
+// shed-vs-no-shed interactive tails, weighted-DRR shares, the tenant-scale
+// flat-cost table, and (with --threads) a cross-thread flood of the
+// pump-time per-tenant bound.
+//
 // `--smoke` shrinks everything for CI. See --help for the load knobs.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +58,7 @@ using tdo::support::Duration;
 
 struct Options {
   bool smoke = false;
+  bool overload = false;  ///< run only the overload-hardening suite
   bool dump = false;  ///< print per-request completion records
   std::size_t threads = 0;  ///< submitter threads; 0 skips thread experiments
   std::size_t accelerators = 2;
@@ -745,6 +752,546 @@ struct ContendedLoad {
   return result;
 }
 
+// --- overload-hardening experiments (--overload) ---
+//
+// The suite that gates this PR's serving-layer hardening: calibrated
+// overload points (shed vs no-shed vs uncontended interactive p99), the
+// weighted-DRR share table, the tenant-scale flat-cost table, and — with
+// --threads — a cross-thread flood that exercises the pump-time per-tenant
+// bound under real submitters. `--overload` runs only this suite, so CI can
+// gate it separately from the headline serving experiments.
+
+/// One calibrated load point: batch-class heavies from tenant 0 paced at
+/// `load_factor` x the measured service rate, a modest interactive stream
+/// from tenant 1 across the first 85% of the heavy horizon (steady-state
+/// overload only — once arrivals stop, shedding winds down and the residual
+/// backlog coalesces into full-width batches, a drain-down artifact the
+/// shed-vs-no-shed comparison is not about).
+struct OverloadPoint {
+  double load_factor = 0.0;
+  Duration interactive_p50, interactive_p99;
+  std::uint64_t interactive_done = 0;
+  std::uint64_t shed = 0;
+  Duration heavy_service;
+};
+
+[[nodiscard]] OverloadPoint run_overload_point(const Options& opts,
+                                               bool shed_enabled,
+                                               double load_factor) {
+  Platform platform{1};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  constexpr std::uint64_t kHeavyM = 64, kLightM = 8, kN = 64, kK = 64;
+  constexpr std::size_t kPool = 8;
+  auto va_b = platform.upload(random_matrix(kK * kN, 1.0, opts.seed + 500));
+  auto heavy_a =
+      platform.upload(random_matrix(kHeavyM * kK, 1.0, opts.seed + 501));
+  auto light_a =
+      platform.upload(random_matrix(kLightM * kK, 1.0, opts.seed + 502));
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(heavy_a.status());
+  BENCH_CHECK(light_a.status());
+  std::vector<tdo::sim::VirtAddr> heavy_c, light_c;
+  for (std::size_t p = 0; p < kPool; ++p) {
+    auto hc = platform.upload(std::vector<float>(kHeavyM * kN, 0.0f));
+    auto lc = platform.upload(std::vector<float>(kLightM * kN, 0.0f));
+    BENCH_CHECK(hc.status());
+    BENCH_CHECK(lc.status());
+    heavy_c.push_back(*hc);
+    light_c.push_back(*lc);
+  }
+
+  tdo::serve::SchedulerParams params;
+  params.shed.enabled = shed_enabled;
+  params.batcher.max_batch = 4;
+  params.batcher.max_wait = Duration::from_us(10.0);
+  // Static admission: the shedder's capacity estimate is the scheduler's own
+  // service EWMA, and adaptive knob retunes under overload would move the
+  // host/device knee mid-run.
+  params.admission.adaptive = false;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  const auto make = [&](bool heavy, std::size_t index) {
+    tdo::serve::Request request;
+    request.tenant = heavy ? 0 : 1;
+    request.deadline = heavy ? tdo::serve::DeadlineClass::kBatch
+                             : tdo::serve::DeadlineClass::kInteractive;
+    request.op = tdo::serve::Op::kSgemm;
+    request.m = heavy ? kHeavyM : kLightM;
+    request.n = kN;
+    request.k = kK;
+    request.a = heavy ? *heavy_a : *light_a;
+    request.b = *va_b;
+    request.c = heavy ? heavy_c[index % kPool] : light_c[index % kPool];
+    request.lda = kK;
+    request.ldb = kN;
+    request.ldc = kN;
+    request.cacheable = true;
+    return request;
+  };
+
+  // Warm the service EWMA and measure the uncontended heavy service time
+  // that calibrates the offered load.
+  auto& events = platform.system.events();
+  for (int i = 0; i < 12; ++i) {
+    BENCH_CHECK(scheduler.submit(make(true, i)).status());
+    BENCH_CHECK(scheduler.drain());
+    BENCH_CHECK(scheduler.submit(make(false, i)).status());
+    BENCH_CHECK(scheduler.drain());
+  }
+  const tdo::sim::Tick measure_start = events.now();
+  for (int i = 0; i < 8; ++i) {
+    BENCH_CHECK(scheduler.submit(make(true, i)).status());
+    BENCH_CHECK(scheduler.drain());
+  }
+  const tdo::sim::Tick heavy_service =
+      std::max<tdo::sim::Tick>((events.now() - measure_start) / 8, 1);
+  (void)scheduler.take_completions();
+  scheduler.reset_latency_stats();
+
+  constexpr int kHeavy = 96;
+  constexpr int kLight = 24;
+  tdo::support::Rng rng{opts.seed ^ 0x0f0adull};
+  struct Arrival {
+    tdo::sim::Tick at = 0;
+    bool heavy = false;
+  };
+  const tdo::sim::Tick start = events.now();
+  const tdo::sim::Tick heavy_gap = std::max<tdo::sim::Tick>(
+      static_cast<tdo::sim::Tick>(static_cast<double>(heavy_service) /
+                                  load_factor),
+      1);
+  std::vector<Arrival> schedule;
+  schedule.reserve(kHeavy + kLight);
+  for (int i = 0; i < kHeavy; ++i) {
+    const auto jitter = static_cast<tdo::sim::Tick>(
+        rng.uniform_int(0, static_cast<std::int64_t>(heavy_gap / 4) + 1));
+    schedule.push_back(Arrival{
+        start + static_cast<tdo::sim::Tick>(i) * heavy_gap + jitter, true});
+  }
+  const tdo::sim::Tick light_gap =
+      std::max<tdo::sim::Tick>(
+          static_cast<tdo::sim::Tick>(kHeavy) * heavy_gap * 85 /
+              (100 * kLight),
+          1);
+  for (int i = 0; i < kLight; ++i) {
+    const auto jitter = static_cast<tdo::sim::Tick>(
+        rng.uniform_int(0, static_cast<std::int64_t>(light_gap / 4) + 1));
+    schedule.push_back(Arrival{
+        start + static_cast<tdo::sim::Tick>(i) * light_gap + jitter, false});
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+
+  std::size_t next = 0;
+  std::size_t sequence = 0;
+  while (next < schedule.size()) {
+    if (events.now() >= schedule[next].at) {
+      BENCH_CHECK(
+          scheduler.submit(make(schedule[next].heavy, sequence)).status());
+      sequence += 1;
+      next += 1;
+      continue;
+    }
+    BENCH_CHECK(scheduler.pump());
+    (void)scheduler.take_completions();
+    scheduler.advance_to_next_event(schedule[next].at);
+  }
+  BENCH_CHECK(scheduler.drain());
+  (void)scheduler.take_completions();
+
+  OverloadPoint point;
+  point.load_factor = load_factor;
+  const auto interactive =
+      scheduler.class_latency(tdo::serve::DeadlineClass::kInteractive);
+  point.interactive_p50 = interactive.quantile(0.50);
+  point.interactive_p99 = interactive.quantile(0.99);
+  point.interactive_done = interactive.count();
+  point.shed = scheduler.report().shed;
+  point.heavy_service = tdo::sim::from_ticks(heavy_service);
+  return point;
+}
+
+/// Weighted-DRR share measurement: three tenants with 3:2:1 weights, all
+/// backlogged on one device with batching off (completion order is pull
+/// order), shares counted over a window cut before the heaviest tenant's
+/// queue can run dry.
+struct DrrShares {
+  struct Tenant {
+    std::uint32_t weight = 0;
+    double share = 0.0;
+    double expected = 0.0;
+  };
+  std::vector<Tenant> tenants;
+  bool within_tolerance = true;
+};
+
+[[nodiscard]] DrrShares run_drr_shares(const Options& opts) {
+  Platform platform{1};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  constexpr std::uint64_t kM = 8, kN = 32, kK = 32;
+  constexpr std::size_t kPool = 8;
+  auto va_b = platform.upload(random_matrix(kK * kN, 1.0, opts.seed + 510));
+  auto va_a = platform.upload(random_matrix(kM * kK, 1.0, opts.seed + 511));
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(va_a.status());
+  std::vector<tdo::sim::VirtAddr> va_c;
+  for (std::size_t p = 0; p < kPool; ++p) {
+    auto c = platform.upload(std::vector<float>(kM * kN, 0.0f));
+    BENCH_CHECK(c.status());
+    va_c.push_back(*c);
+  }
+
+  const std::vector<std::uint32_t> weights{3, 2, 1};
+  const std::size_t per_tenant = opts.smoke ? 48 : 120;
+  tdo::serve::SchedulerParams params;
+  params.batching = false;  // completion order == DRR pull order
+  params.admission.adaptive = false;
+  params.max_queue_per_tenant = per_tenant;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    scheduler.set_tenant_weight(static_cast<std::uint32_t>(t), weights[t]);
+  }
+
+  for (std::size_t r = 0; r < per_tenant; ++r) {
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      tdo::serve::Request request;
+      request.tenant = static_cast<std::uint32_t>(t);
+      request.deadline = tdo::serve::DeadlineClass::kStandard;
+      request.op = tdo::serve::Op::kSgemm;
+      request.m = kM;
+      request.n = kN;
+      request.k = kK;
+      request.a = *va_a;
+      request.b = *va_b;
+      request.c = va_c[(r * weights.size() + t) % kPool];
+      request.lda = kK;
+      request.ldb = kN;
+      request.ldc = kN;
+      BENCH_CHECK(scheduler.submit(request).status());
+    }
+  }
+  BENCH_CHECK(scheduler.drain());
+  const auto completions = scheduler.take_completions();
+
+  // While every tenant is backlogged each DRR round serves 3+2+1; the
+  // heaviest tenant runs dry first, after per_tenant * (sum/max) total
+  // completions — cut the window 10% short of that.
+  std::uint32_t sum_w = 0, max_w = 0;
+  for (const std::uint32_t w : weights) {
+    sum_w += w;
+    max_w = std::max(max_w, w);
+  }
+  const std::size_t window =
+      per_tenant * sum_w / max_w * 9 / 10;
+  std::vector<std::size_t> counts(weights.size(), 0);
+  for (std::size_t i = 0; i < window && i < completions.size(); ++i) {
+    counts[completions[i].tenant] += 1;
+  }
+  DrrShares shares;
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    DrrShares::Tenant row;
+    row.weight = weights[t];
+    row.share = static_cast<double>(counts[t]) / static_cast<double>(window);
+    row.expected =
+        static_cast<double>(weights[t]) / static_cast<double>(sum_w);
+    shares.within_tolerance =
+        shares.within_tolerance &&
+        std::abs(row.share / row.expected - 1.0) <= 0.15;
+    shares.tenants.push_back(row);
+  }
+  return shares;
+}
+
+/// One row of the tenant-scale table: host nanoseconds of scheduling work
+/// per served request with the per-tenant maps holding `tenants` entries.
+/// The maps are pre-populated through set_tenant_weight (registration is the
+/// cheap part); the timed region drives a fixed request count through the
+/// full submit -> pump -> complete path, so the measured cost is the DRR
+/// active-list churn plus map lookups — flat when pop_next_request is O(1),
+/// linear in `tenants` if a full-scan scheduler ever regresses.
+struct ScalePoint {
+  std::size_t tenants = 0;
+  double ns_per_request = 0.0;
+};
+
+[[nodiscard]] ScalePoint run_scale_point(const Options& opts,
+                                         std::size_t tenants) {
+  Platform platform{1};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  constexpr std::uint64_t kM = 4, kN = 32, kK = 32;
+  constexpr std::size_t kPool = 16;
+  auto va_b = platform.upload(random_matrix(kK * kN, 1.0, opts.seed + 520));
+  auto va_a = platform.upload(random_matrix(kM * kK, 1.0, opts.seed + 521));
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(va_a.status());
+  std::vector<tdo::sim::VirtAddr> va_c;
+  for (std::size_t p = 0; p < kPool; ++p) {
+    auto c = platform.upload(std::vector<float>(kM * kN, 0.0f));
+    BENCH_CHECK(c.status());
+    va_c.push_back(*c);
+  }
+
+  tdo::serve::SchedulerParams params;
+  params.admission.adaptive = false;
+  params.track_tenant_latency = false;  // a histogram per tenant dominates
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+  for (std::size_t t = 0; t < tenants; ++t) {
+    scheduler.set_tenant_weight(static_cast<std::uint32_t>(t), 1);
+  }
+
+  const std::size_t requests = opts.smoke ? 1024 : 4096;
+  const std::size_t stride = std::max<std::size_t>(tenants / requests, 1);
+  const auto run_trial = [&]() -> double {
+    std::size_t submitted = 0, completed = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (completed < requests) {
+      while (submitted < requests && submitted - completed < 64) {
+        tdo::serve::Request request;
+        request.tenant =
+            static_cast<std::uint32_t>((submitted * stride) % tenants);
+        request.deadline = tdo::serve::DeadlineClass::kStandard;
+        request.op = tdo::serve::Op::kSgemm;
+        request.m = kM;
+        request.n = kN;
+        request.k = kK;
+        request.a = *va_a;
+        request.b = *va_b;
+        request.c = va_c[submitted % kPool];
+        request.lda = kK;
+        request.ldb = kN;
+        request.ldc = kN;
+        BENCH_CHECK(scheduler.submit(request).status());
+        submitted += 1;
+      }
+      BENCH_CHECK(scheduler.pump());
+      completed += scheduler.take_completions().size();
+      if (completed < requests && !scheduler.advance_to_next_event()) {
+        BENCH_CHECK(scheduler.drain());
+        completed += scheduler.take_completions().size();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(requests);
+  };
+  // Two trials, keep the faster: the first also warms allocator and caches.
+  const double first = run_trial();
+  const double second = run_trial();
+  ScalePoint point;
+  point.tenants = tenants;
+  point.ns_per_request = std::min(first, second);
+  return point;
+}
+
+/// Cross-thread flood for the pump-time tenant bound: N submitter threads
+/// push well past max_queue_per_tenant through the sharded ring while the
+/// driver is idle, then the driver drains. Every ring-accepted request must
+/// come back exactly once — as a completion or a pump-time rejection.
+struct FloodOutcome {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< pump-time per-tenant bound drops
+  bool accounted = false;
+};
+
+[[nodiscard]] FloodOutcome run_overload_flood(const Options& opts) {
+  Platform platform{1};
+  BENCH_CHECK(platform.runtime->init(0));
+
+  constexpr std::uint64_t kM = 4, kN = 32, kK = 32;
+  auto va_b = platform.upload(random_matrix(kK * kN, 1.0, opts.seed + 530));
+  auto va_a = platform.upload(random_matrix(kM * kK, 1.0, opts.seed + 531));
+  auto va_c = platform.upload(std::vector<float>(kM * kN, 0.0f));
+  BENCH_CHECK(va_b.status());
+  BENCH_CHECK(va_a.status());
+  BENCH_CHECK(va_c.status());
+
+  tdo::serve::SchedulerParams params;
+  params.admission.adaptive = false;
+  params.max_queue_per_tenant = 32;
+  tdo::serve::Scheduler scheduler{params, *platform.runtime};
+
+  constexpr std::uint32_t kTenants = 4;
+  const std::size_t per_thread = 256;
+  std::atomic<std::uint64_t> ring_rejected{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(opts.threads);
+  for (std::size_t t = 0; t < opts.threads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t r = 0; r < per_thread; ++r) {
+        tdo::serve::Request request;
+        request.tenant = static_cast<std::uint32_t>((t + r) % kTenants);
+        request.deadline = tdo::serve::DeadlineClass::kStandard;
+        request.op = tdo::serve::Op::kSgemm;
+        request.m = kM;
+        request.n = kN;
+        request.k = kK;
+        request.a = *va_a;
+        request.b = *va_b;
+        request.c = *va_c;
+        request.lda = kK;
+        request.ldb = kN;
+        request.ldc = kN;
+        if (!scheduler.submit_from_thread(request).is_ok()) {
+          ring_rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  BENCH_CHECK(scheduler.drain());
+  (void)scheduler.take_completions();
+
+  FloodOutcome outcome;
+  outcome.accepted =
+      opts.threads * per_thread - ring_rejected.load();
+  const auto report = scheduler.report();
+  outcome.completed = report.completed;
+  outcome.rejected = report.rejected;
+  outcome.accounted =
+      outcome.completed + outcome.rejected == outcome.accepted;
+  return outcome;
+}
+
+[[nodiscard]] int run_overload_suite(const Options& opts) {
+  using tdo::support::TextTable;
+  bool ok = true;
+
+  constexpr double kOverloadFactor = 3.0;  // offered load vs capacity
+  const OverloadPoint uncontended =
+      run_overload_point(opts, /*shed_enabled=*/true, 0.5);
+  const OverloadPoint shed =
+      run_overload_point(opts, /*shed_enabled=*/true, kOverloadFactor);
+  const OverloadPoint no_shed =
+      run_overload_point(opts, /*shed_enabled=*/false, kOverloadFactor);
+
+  TextTable points("Overload shedding - interactive tail (1 accelerator, "
+                   "batch-class flood)");
+  points.set_header({"Config", "Load", "Intr p50 us", "Intr p99 us",
+                     "Intr done", "Shed"});
+  const auto add_point = [&](const std::string& name,
+                             const OverloadPoint& p) {
+    char load[32], p50[32], p99[32];
+    std::snprintf(load, sizeof load, "%.1fx", p.load_factor);
+    std::snprintf(p50, sizeof p50, "%.1f", p.interactive_p50.microseconds());
+    std::snprintf(p99, sizeof p99, "%.1f", p.interactive_p99.microseconds());
+    points.add_row({name, load, p50, p99,
+                    std::to_string(p.interactive_done),
+                    std::to_string(p.shed)});
+  };
+  add_point("shed uncontended", uncontended);
+  add_point("shed overloaded", shed);
+  add_point("no-shed overloaded", no_shed);
+  points.print(std::cout);
+
+  if (shed.shed == 0) {
+    std::fprintf(stderr,
+                 "FAILED: shedding never fired at %.1fx offered load\n",
+                 kOverloadFactor);
+    ok = false;
+  }
+  if (uncontended.shed != 0) {
+    std::fprintf(stderr,
+                 "FAILED: shedding fired %llu times at 0.5x offered load\n",
+                 static_cast<unsigned long long>(uncontended.shed));
+    ok = false;
+  }
+  if (!(shed.interactive_p99 < no_shed.interactive_p99)) {
+    std::fprintf(stderr,
+                 "FAILED: shed interactive p99 %.1f us does not strictly "
+                 "beat the no-shed reference %.1f us\n",
+                 shed.interactive_p99.microseconds(),
+                 no_shed.interactive_p99.microseconds());
+    ok = false;
+  }
+  if (!(shed.interactive_p99.picoseconds() <=
+        3.0 * uncontended.interactive_p99.picoseconds())) {
+    std::fprintf(stderr,
+                 "FAILED: shed interactive p99 %.1f us exceeds 3x the "
+                 "uncontended value %.1f us\n",
+                 shed.interactive_p99.microseconds(),
+                 uncontended.interactive_p99.microseconds());
+    ok = false;
+  }
+
+  const DrrShares shares = run_drr_shares(opts);
+  TextTable drr("Weighted DRR shares (backlogged, batching off)");
+  drr.set_header({"Tenant", "Weight", "Share", "Expected", "Error"});
+  for (std::size_t t = 0; t < shares.tenants.size(); ++t) {
+    const auto& row = shares.tenants[t];
+    char share[32], expected[32], error[32];
+    std::snprintf(share, sizeof share, "%.1f%%", row.share * 100.0);
+    std::snprintf(expected, sizeof expected, "%.1f%%", row.expected * 100.0);
+    std::snprintf(error, sizeof error, "%+.1f%%",
+                  (row.share / row.expected - 1.0) * 100.0);
+    drr.add_row({std::to_string(t), std::to_string(row.weight), share,
+                 expected, error});
+  }
+  std::printf("\n");
+  drr.print(std::cout);
+  if (!shares.within_tolerance) {
+    std::fprintf(stderr,
+                 "FAILED: a weighted-DRR share is more than 15%% off its "
+                 "configured weight\n");
+    ok = false;
+  }
+
+  std::vector<std::size_t> scales{100, 1000, 10000};
+  if (!opts.smoke) scales.push_back(100000);
+  TextTable scale("Tenant-scale pump cost (fixed request count, "
+                  "pre-registered tenants)");
+  scale.set_header({"Tenants", "ns/request", "vs 10^2"});
+  std::vector<ScalePoint> scale_points;
+  for (const std::size_t tenants : scales) {
+    scale_points.push_back(run_scale_point(opts, tenants));
+    const ScalePoint& p = scale_points.back();
+    char ns[32], ratio[32];
+    std::snprintf(ns, sizeof ns, "%.0f", p.ns_per_request);
+    std::snprintf(ratio, sizeof ratio, "%.2fx",
+                  p.ns_per_request / scale_points.front().ns_per_request);
+    scale.add_row({std::to_string(tenants), ns, ratio});
+  }
+  std::printf("\n");
+  scale.print(std::cout);
+  const double worst_ratio =
+      scale_points.back().ns_per_request /
+      scale_points.front().ns_per_request;
+  if (worst_ratio > 1.25) {
+    std::fprintf(stderr,
+                 "FAILED: per-request pump cost grows %.2fx from %zu to %zu "
+                 "tenants (flat-cost gate is 1.25x)\n",
+                 worst_ratio, scales.front(), scales.back());
+    ok = false;
+  }
+
+  if (opts.threads > 0) {
+    const FloodOutcome flood = run_overload_flood(opts);
+    std::printf("\nCross-thread flood (%zu threads, tenant bound 32): "
+                "%llu accepted -> %llu completed + %llu rejected at pump\n",
+                opts.threads,
+                static_cast<unsigned long long>(flood.accepted),
+                static_cast<unsigned long long>(flood.completed),
+                static_cast<unsigned long long>(flood.rejected));
+    if (!flood.accounted) {
+      std::fprintf(stderr,
+                   "FAILED: flood accounting mismatch (accepted != "
+                   "completed + rejected)\n");
+      ok = false;
+    }
+    if (flood.rejected == 0) {
+      std::fprintf(stderr,
+                   "FAILED: the pump-time per-tenant bound never rejected "
+                   "during the flood\n");
+      ok = false;
+    }
+  }
+
+  return ok ? 0 : 1;
+}
+
 // --- pseudo-asynchronous host/device split experiment ---
 
 /// One measured point of the split sweep (or the auto-tuned run).
@@ -1093,6 +1640,8 @@ int main(int argc, char** argv) {
     auto value = [&]() -> double { return std::atof(argv[++i]); };
     if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--overload") {
+      opts.overload = true;
     } else if (arg == "--dump") {
       opts.dump = true;
     } else if (arg == "--tenants" && i + 1 < argc) {
@@ -1145,11 +1694,12 @@ int main(int argc, char** argv) {
       opts.accelerators = spec->device_count();
     } else {
       std::printf(
-          "usage: bench_serve_loop [--smoke] [--tenants N] [--clients C]\n"
-          "       [--requests R] [--weights W] [--alpha Z] [--accels A]\n"
-          "       [--batch-max B] [--max-wait-us U] [--rate-rps X] [--seed S]\n"
-          "       [--threads T] [--topology near:N,far:M[xL]]\n"
-          "       [--trace out.json] [--placement blind|caller|buffer]\n");
+          "usage: bench_serve_loop [--smoke] [--overload] [--tenants N]\n"
+          "       [--clients C] [--requests R] [--weights W] [--alpha Z]\n"
+          "       [--accels A] [--batch-max B] [--max-wait-us U]\n"
+          "       [--rate-rps X] [--seed S] [--threads T]\n"
+          "       [--topology near:N,far:M[xL]] [--trace out.json]\n"
+          "       [--placement blind|caller|buffer]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -1159,6 +1709,7 @@ int main(int argc, char** argv) {
     opts.requests_per_client = 6;
     opts.weight_sets = 4;
   }
+  if (opts.overload) return run_overload_suite(opts);
 
   using tdo::support::TextTable;
   TextTable table("Serving scheduler - Zipf(" +

@@ -97,8 +97,20 @@ class HostWorkerPool {
   /// Latest `done` tick across workers (0 when never used).
   [[nodiscard]] sim::Tick busy_until() const;
 
-  void set_completion_observer(CompletionObserver observer) {
+  /// Owner-tagged like cim::Accelerator's observer: the tag lets a scheduler
+  /// clear only its own registration on destruction, so a second scheduler's
+  /// observer survives the first one's teardown.
+  void set_completion_observer(CompletionObserver observer,
+                               const void* owner = nullptr) {
     observer_ = std::move(observer);
+    observer_owner_ = owner;
+  }
+  /// No-op when another owner has since replaced the registration.
+  void clear_completion_observer(const void* owner) {
+    if (observer_owner_ == owner) {
+      observer_ = nullptr;
+      observer_owner_ = nullptr;
+    }
   }
 
   [[nodiscard]] HostPoolReport report() const;
@@ -109,6 +121,7 @@ class HostWorkerPool {
   HostPoolParams params_;
   std::vector<sim::Tick> worker_busy_until_;
   CompletionObserver observer_;
+  const void* observer_owner_ = nullptr;
   /// Per-stripe done flags in submission order plus the retire pointer:
   /// completions retire FIFO so "completed reaches N" is an exact join
   /// condition even when stripes finish out of order across workers.

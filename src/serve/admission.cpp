@@ -222,6 +222,21 @@ void AdmissionController::observe_copy(std::uint64_t bytes, bool host_path,
   }
 }
 
+double AdmissionController::device_ps_per_mac() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const auto& [key, site] : sites_) {
+    if (site.dev_obs == 0 || site.dev_ps_per_mac <= 0.0) continue;
+    // Weight by dispatch traffic so the estimate tracks the live mix; a
+    // site observed but never re-dispatched still contributes its dev_obs.
+    const double w =
+        static_cast<double>(std::max(site.dispatches, site.dev_obs));
+    weighted += site.dev_ps_per_mac * w;
+    weight += w;
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
 AdmissionReport AdmissionController::report() const {
   AdmissionReport rep;
   rep.sites = sites_.size();

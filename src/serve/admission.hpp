@@ -129,6 +129,16 @@ class AdmissionController {
   /// missing an EWMA on either path.
   [[nodiscard]] double split_fraction_for(const SiteKey& site) const;
 
+  /// Fleet-level device-path cost estimate: the dispatch-weighted mean of
+  /// the per-site device EWMAs (picoseconds per MAC), over sites with at
+  /// least one device observation. This is the denominator of the overload
+  /// shedder's capacity estimate — device_count / device_ps_per_mac() is the
+  /// sustainable aggregate MAC rate. 0 when nothing has been observed yet
+  /// (the shedder must stay open until the EWMAs warm up). The EWMAs measure
+  /// dispatch-to-done, so queueing inside the stream inflates the estimate
+  /// under load — a conservative bias the shed headroom absorbs.
+  [[nodiscard]] double device_ps_per_mac() const;
+
   /// Ladder rung value / index-of-nearest-rung (shared with the bench's
   /// static sweep so "within one step" is well defined).
   [[nodiscard]] double rung(int index) const;

@@ -10,6 +10,15 @@ void Batcher::add(const Request& request, support::Duration now) {
   const BatchKey key = BatchKey::of(request);
   for (auto it = open_.begin(); it != open_.end(); ++it) {
     if (!(it->key == key)) continue;
+    // A strictly-higher-priority join (e.g. interactive into a batch-class
+    // batch) promotes the whole batch; if the batch is already at least
+    // half-full, split it off now — promotion alone still leaves the
+    // newcomer waiting out the old members' age clock (up to max_wait when
+    // the batch just opened), and half of max_batch is where the remaining
+    // amortization no longer buys the wait. Under-half batches keep the
+    // join-and-promote path: a small batch dispatches soon anyway, and
+    // splitting it would forfeit most of the coalescing.
+    const bool preempts = request.deadline < it->deadline;
     it->requests.push_back(request);
     it->deadline = std::min(it->deadline, request.deadline);
     if (it->requests.size() >= params_.max_batch) {
@@ -17,6 +26,15 @@ void Batcher::add(const Request& request, support::Duration now) {
         obs::Tracer::instance().instant(
             "batcher", "close_size", now.ticks(),
             {{"size", static_cast<std::uint64_t>(it->requests.size())}});
+      }
+      ready_.push_back(std::move(*it));
+      open_.erase(it);
+    } else if (preempts && it->requests.size() * 2 >= params_.max_batch) {
+      if (obs::enabled()) {
+        obs::Tracer::instance().instant(
+            "batcher", "close_split", now.ticks(),
+            {{"size", static_cast<std::uint64_t>(it->requests.size())},
+             {"class", static_cast<std::uint64_t>(it->deadline)}});
       }
       ready_.push_back(std::move(*it));
       open_.erase(it);

@@ -76,7 +76,10 @@ class Batcher {
   explicit Batcher(BatcherParams params) : params_{params} {}
 
   /// Adds one request at time `now`, opening a batch for its key if none is
-  /// open. A batch that reaches max_batch moves to the ready list.
+  /// open. A batch that reaches max_batch moves to the ready list, as does a
+  /// batch at least half of max_batch whose priority a strictly-higher-class
+  /// join just promoted (preemptive split: the interactive newcomer must not
+  /// sit out the old members' age clock).
   void add(const Request& request, support::Duration now);
 
   /// Closes every open batch whose oldest member has waited >= max_wait,

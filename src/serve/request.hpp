@@ -61,6 +61,14 @@ struct Request {
   /// weight-residency cache and route by affinity.
   bool cacheable = true;
 
+  /// Tenant share weight for the scheduler's deficit round robin: a weight-w
+  /// tenant receives w requests of service per DRR round against a weight-1
+  /// competitor in the same deadline class. 0 means "keep the tenant's
+  /// current weight" (default 1); a positive value re-registers the tenant's
+  /// weight on enqueue, so front ends can carry the share contract on the
+  /// request itself instead of a separate registration call.
+  std::uint32_t weight = 0;
+
   /// Arrival time; zero means "stamp with now at submit". An explicit value
   /// in the past models open-loop load generation (the request queued at the
   /// front end before the scheduler could look at it).
@@ -83,10 +91,23 @@ struct Request {
 };
 
 /// Timeline of one finished request.
+///
+/// "Finished" includes requests the scheduler dropped: overload shedding and
+/// pump-time rejection surface a completion-style record too (outcome kShed /
+/// kRejected, done stamped at the drop tick, device -1), so closed-loop
+/// clients waiting on an id always unblock. Dropped records never enter the
+/// latency histograms or the completed counter.
 struct Completion {
+  enum class Outcome : std::uint8_t {
+    kDone = 0,      ///< ran to completion; latency fields are meaningful
+    kShed = 1,      ///< dropped by overload shedding before dispatch
+    kRejected = 2,  ///< dropped at pump time (per-tenant bound on ring path)
+  };
+
   std::uint64_t id = 0;
   std::uint32_t tenant = 0;
   DeadlineClass deadline = DeadlineClass::kStandard;
+  Outcome outcome = Outcome::kDone;
   support::Duration arrival;
   support::Duration dispatch;  ///< when the scheduler launched its batch
   support::Duration done;

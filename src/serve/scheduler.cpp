@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -27,6 +28,7 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   const std::string& p = params_.name;
   registry.register_counter(p + ".requests", &submitted_);
   registry.register_counter(p + ".rejected", &rejected_);
+  registry.register_counter(p + ".shed", &shed_);
   registry.register_counter(p + ".completed", &completed_);
   registry.register_counter(p + ".launches", &launches_);
   registry.register_counter(p + ".batched_launches", &batched_launches_);
@@ -57,7 +59,8 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   runtime_.host_pool().set_completion_observer(
       [this, pool_log](std::uint64_t completed, sim::Tick when) {
         logs_[pool_log].emplace_back(completed, when);
-      });
+      },
+      this);
 }
 
 Scheduler::~Scheduler() {
@@ -65,14 +68,17 @@ Scheduler::~Scheduler() {
   for (std::size_t d = 0; d < driver.device_count(); ++d) {
     driver.device(d).clear_completion_observer(this);
   }
-  runtime_.host_pool().set_completion_observer(nullptr);
+  // Owner-tagged like the per-device observers above: a second scheduler's
+  // registration must survive this one's teardown.
+  runtime_.host_pool().clear_completion_observer(this);
   // The scheduler may die before the system it registered counters into.
   auto& registry = runtime_.system().stats();
   registry.unregister_counter(&submitted_);
   registry.unregister_counter(&rejected_);
   for (const support::Counter* counter :
-       {&completed_, &launches_, &batched_launches_, &coalesced_requests_,
-        &affinity_routed_, &queue_routed_, &far_routed_, &host_launches_}) {
+       {&shed_, &completed_, &launches_, &batched_launches_,
+        &coalesced_requests_, &affinity_routed_, &queue_routed_, &far_routed_,
+        &host_launches_}) {
     registry.unregister_counter(counter);
   }
   for (const auto& histogram : class_latency_) {
@@ -90,17 +96,125 @@ int Scheduler::pool_device_id() const {
 
 support::StatusOr<std::uint64_t> Scheduler::submit(Request request) {
   auto [it, inserted] = tenants_.try_emplace(request.tenant);
-  if (inserted) ring_.push_back(request.tenant);
-  if (it->second.size() >= params_.max_queue_per_tenant) {
+  TenantState& state = it->second;
+  if (state.queued >= params_.max_queue_per_tenant) {
     rejected_.add();
+    if (inserted) note_idle_if(it->first, state);  // only possible at bound 0
     return support::resource_exhausted("tenant queue full");
   }
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   if (request.arrival == support::Duration::zero()) request.arrival = now();
-  it->second.push_back(request);
-  queued_ += 1;
+  note_arrival(request);
+  const std::uint64_t id = request.id;
+  enqueue(it->first, state, std::move(request));
   submitted_.add();
-  return request.id;
+  return id;
+}
+
+void Scheduler::set_tenant_weight(std::uint32_t tenant, std::uint32_t weight) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  it->second.weight = std::max<std::uint32_t>(1, weight);
+  // A registered-but-idle tenant still ages out (taking the registration
+  // with it); arming the clock here keeps pre-registration from pinning
+  // state for tenants that never send traffic.
+  if (inserted) note_idle_if(tenant, it->second);
+}
+
+void Scheduler::enqueue(std::uint32_t tenant, TenantState& state,
+                        Request&& request) {
+  if (request.weight > 0) {
+    state.weight = std::max<std::uint32_t>(1, request.weight);
+  }
+  const auto c = static_cast<std::size_t>(request.deadline);
+  state.queues[c].push_back(std::move(request));
+  state.queued += 1;
+  queued_ += 1;
+  if (!state.active[c]) {
+    state.active[c] = true;
+    state.deficit[c] = 0;  // fresh turn when it reaches the head
+    active_[c].push_back(tenant);
+  }
+}
+
+void Scheduler::drop_request(Request&& request, Completion::Outcome outcome) {
+  Completion completion;
+  completion.id = request.id;
+  completion.tenant = request.tenant;
+  completion.deadline = request.deadline;
+  completion.outcome = outcome;
+  completion.arrival = request.arrival;
+  completion.dispatch = now();
+  completion.done = now();
+  completion.device = -1;
+  completions_.push_back(completion);
+}
+
+void Scheduler::note_arrival(const Request& request) {
+  if (!params_.shed.enabled) return;
+  arrival_macs_window_ +=
+      static_cast<double>(std::max<std::uint64_t>(1, request.macs()));
+}
+
+void Scheduler::note_idle_if(std::uint32_t tenant, TenantState& state) {
+  if (params_.tenant_idle_timeout == support::Duration::zero()) return;
+  if (state.queued != 0 || state.inflight != 0) return;
+  state.idle_since = now().ticks();
+  if (!state.idle_pending) {
+    state.idle_pending = true;
+    idle_fifo_.emplace_back(tenant, state.idle_since);
+  }
+}
+
+void Scheduler::evict_idle() {
+  if (params_.tenant_idle_timeout == support::Duration::zero()) return;
+  const sim::Tick timeout = params_.tenant_idle_timeout.ticks();
+  const sim::Tick t = now().ticks();
+  while (!idle_fifo_.empty()) {
+    const auto [tenant, since] = idle_fifo_.front();
+    // Push ticks are monotone: once the front is too fresh, so is the rest.
+    if (since + timeout > t) break;
+    idle_fifo_.pop_front();
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) continue;
+    TenantState& state = it->second;
+    if (state.queued != 0 || state.inflight != 0) {
+      // Went busy since; the next busy->idle transition re-arms.
+      state.idle_pending = false;
+      continue;
+    }
+    if (state.idle_since != since) {
+      // Busy and idle again since this entry was queued: re-arm with the
+      // newer transition tick (push order stays monotone — it's "now or
+      // earlier" relative to future pushes).
+      idle_fifo_.emplace_back(tenant, state.idle_since);
+      continue;
+    }
+    // A shed-emptied queue can leave a stale active-list entry; eviction
+    // would dangle it, so wait for the pop side to retire it first.
+    bool listed = false;
+    for (std::size_t c = 0; c < kDeadlineClasses; ++c) {
+      listed = listed || state.active[c];
+    }
+    if (listed) {
+      state.idle_pending = false;
+      continue;
+    }
+    tenants_.erase(it);
+    tenant_latency_.erase(tenant);
+  }
+}
+
+std::size_t Scheduler::effective_pull_budget() const {
+  if (params_.pull_budget > 0) return params_.pull_budget;
+  auto& stream = runtime_.stream();
+  std::size_t depth = 0;
+  for (std::size_t d = 0; d < stream.device_count(); ++d) {
+    depth += effective_depth(d);
+  }
+  const std::size_t per_launch =
+      params_.batching ? std::max<std::size_t>(params_.batcher.max_batch, 1)
+                       : 1;
+  return std::max<std::size_t>(2 * depth * per_launch, 16);
 }
 
 support::StatusOr<std::uint64_t> Scheduler::submit_from_thread(
@@ -161,36 +275,180 @@ void Scheduler::pump_submissions() {
   const support::Duration t = now();
   for (Request& request : incoming) {
     auto [it, inserted] = tenants_.try_emplace(request.tenant);
-    if (inserted) ring_.push_back(request.tenant);
+    TenantState& state = it->second;
     if (request.arrival == support::Duration::zero()) request.arrival = t;
-    it->second.push_back(std::move(request));
-    queued_ += 1;
+    if (state.queued >= params_.max_queue_per_tenant) {
+      // submit() rejects at the door; this path's submitter already parted
+      // with the request (it sits in the drained ring), so enforce the same
+      // per-tenant bound here and surface the rejection as a completion
+      // record the client can join on. Counted in serve.rejected like the
+      // front-door rejections (serve.requests already counted it at the
+      // ring push, unlike the front door — the report's submitted/rejected
+      // split is per-path, not a balance).
+      rejected_.add();
+      drop_request(std::move(request), Completion::Outcome::kRejected);
+      if (inserted) note_idle_if(it->first, state);
+      continue;
+    }
+    note_arrival(request);
+    enqueue(it->first, state, std::move(request));
   }
 }
 
 std::optional<Request> Scheduler::pop_next_request() {
   if (queued_ == 0) return std::nullopt;
-  // Class-major: the best head class wins; tenants rotate within it so a
-  // flooding tenant cannot starve a light one of the same class.
+  // Class-major: the best class with queued work anywhere wins — per-class
+  // queues, so an interactive request is visible even when the same tenant
+  // queued a batch request first (the old FIFO-front scan's blind spot).
+  // Within a class, weighted DRR: the head tenant of the active list serves
+  // one request against its deficit (quantum = weight, unit request cost),
+  // rotating to the back when the turn's credit is spent. Every iteration
+  // below retires either a request or a stale list entry, so the amortized
+  // cost per pulled request is O(1) no matter how many tenants exist.
   for (std::size_t c = 0; c < kDeadlineClasses; ++c) {
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      const std::size_t slot = (ring_cursor_ + i) % ring_.size();
-      auto& queue = tenants_[ring_[slot]];
-      if (queue.empty()) continue;
-      if (static_cast<std::size_t>(queue.front().deadline) != c) continue;
-      Request out = queue.front();
-      queue.pop_front();
-      out.pulled = now();
+    auto& list = active_[c];
+    while (!list.empty()) {
+      const std::uint32_t tenant = list.front();
+      const auto it = tenants_.find(tenant);
+      if (it == tenants_.end()) {  // evicted behind a stale entry
+        list.pop_front();
+        continue;
+      }
+      TenantState& state = it->second;
+      auto& queue = state.queues[c];
+      if (queue.empty()) {
+        // Shedding emptied the queue after activation; retire the entry.
+        state.active[c] = false;
+        state.deficit[c] = 0;
+        list.pop_front();
+        continue;
+      }
+      if (state.deficit[c] == 0) state.deficit[c] = state.weight;  // new turn
+      Request out = queue.pop_front();
+      state.deficit[c] -= 1;
+      state.queued -= 1;
+      state.inflight += 1;
       queued_ -= 1;
-      ring_cursor_ = (slot + 1) % ring_.size();
+      pulled_unfinished_ += 1;
+      if (queue.empty()) {
+        state.active[c] = false;
+        state.deficit[c] = 0;
+        list.pop_front();
+      } else if (state.deficit[c] == 0) {
+        list.pop_front();
+        list.push_back(tenant);
+      }
+      out.pulled = now();
       return out;
     }
   }
   return std::nullopt;
 }
 
+void Scheduler::maybe_shed() {
+  if (!params_.shed.enabled) return;
+  const support::Duration t = now();
+  if (shed_window_start_ == support::Duration::zero()) {
+    shed_window_start_ = t;
+    return;
+  }
+  const support::Duration elapsed = t - shed_window_start_;
+  if (elapsed < params_.shed.eval_window || elapsed.picoseconds() <= 0.0) {
+    return;
+  }
+  const double rate = arrival_macs_window_ / elapsed.picoseconds();
+  // Windows are irregular (one per pump past eval_window), so weight each
+  // sample by the span it covers: a 20-window idle stretch nearly replaces
+  // the EWMA with its long-run mean, while a barely-elapsed window moves it
+  // one ewma_alpha step.
+  const double spans =
+      elapsed.picoseconds() / params_.shed.eval_window.picoseconds();
+  const double alpha = 1.0 - std::pow(1.0 - params_.shed.ewma_alpha, spans);
+  arrival_rate_ = arrival_rate_seeded_
+                      ? (1.0 - alpha) * arrival_rate_ + alpha * rate
+                      : rate;
+  arrival_rate_seeded_ = true;
+  arrival_macs_window_ = 0.0;
+  shed_window_start_ = t;
+  const double ps_per_mac = service_obs_ > 0
+                                ? service_ps_per_mac_
+                                : admission_.device_ps_per_mac();
+  if (ps_per_mac <= 0.0) return;  // EWMAs not warmed up: stay open
+  const double capacity =
+      static_cast<double>(runtime_.stream().device_count()) / ps_per_mac;
+  if (arrival_rate_ <= capacity * params_.shed.headroom) {
+    shed_streak_ = 0;
+    return;
+  }
+  // A lone over-gate window is an absorbed burst (a jittered arrival pair
+  // landing in one short window reads as a 2x rate spike at half load);
+  // sustained overload breaches every window, so requiring two in a row
+  // costs one eval_window of reaction time.
+  shed_streak_ += 1;
+  if (shed_streak_ < 2) return;
+  // The elapsed span's overhang: what actually arrived in the window beyond
+  // what the fleet retires in the same span (the smoothed EWMA arms the
+  // gate; the raw sample doses the drop, so sustained overload sheds
+  // exactly its excess instead of one nominal window's worth per decision).
+  shed_excess((rate - capacity) * elapsed.picoseconds());
+}
+
+std::size_t Scheduler::shed_excess(double excess_macs) {
+  std::size_t dropped = 0;
+  for (std::size_t c = kDeadlineClasses - 1; c >= 1 && excess_macs > 0.0;
+       --c) {
+    // Batch first, then standard; interactive (class 0) is never shed.
+    auto& list = active_[c];
+    while (excess_macs > 0.0 && !list.empty()) {
+      const std::uint32_t tenant = list.front();
+      const auto it = tenants_.find(tenant);
+      if (it == tenants_.end()) {
+        list.pop_front();
+        continue;
+      }
+      TenantState& state = it->second;
+      auto& queue = state.queues[c];
+      if (queue.empty()) {
+        state.active[c] = false;
+        state.deficit[c] = 0;
+        list.pop_front();
+        continue;
+      }
+      // Newest request of the rotating tenant: tails carry the least sunk
+      // queueing investment, and rotating spreads the cut across tenants
+      // instead of zeroing whoever sits at the head.
+      Request victim = queue.pop_back();
+      state.queued -= 1;
+      queued_ -= 1;
+      excess_macs -=
+          static_cast<double>(std::max<std::uint64_t>(1, victim.macs()));
+      shed_.add();
+      dropped += 1;
+      drop_request(std::move(victim), Completion::Outcome::kShed);
+      if (queue.empty()) {
+        state.active[c] = false;
+        state.deficit[c] = 0;
+        list.pop_front();
+        note_idle_if(tenant, state);
+      } else {
+        list.pop_front();
+        list.push_back(tenant);
+      }
+    }
+  }
+  if (dropped > 0 && obs::enabled()) {
+    obs::Tracer::instance().instant(
+        "sched", "shed", now().ticks(),
+        {{"dropped", static_cast<std::uint64_t>(dropped)},
+         {"queued", queued_}});
+  }
+  return dropped;
+}
+
 support::Status Scheduler::pump() {
   pump_submissions();
+  maybe_shed();
+  evict_idle();
   harvest();
   if (obs::enabled() && queued_ > 0) {
     // Queue-depth counter track: renders as the backlog area chart above
@@ -198,61 +456,78 @@ support::Status Scheduler::pump() {
     obs::Tracer::instance().counter("sched", "queued", now().ticks(),
                                     queued_);
   }
-  const support::Duration t = now();
-  while (auto request = pop_next_request()) {
-    if (params_.batching) {
-      batcher_.add(*request, t);
-    } else {
-      Batch single;
-      single.key = BatchKey::of(*request);
-      single.deadline = request->deadline;
-      single.oldest_enqueue = t;
-      single.requests.push_back(*request);
-      TDO_RETURN_IF_ERROR(dispatch(std::move(single)));
-    }
-  }
-  if (params_.batching) {
-    // Batch under backpressure, never under idleness: waiting out max_wait
-    // while every accelerator starves buys no amortization, only latency —
-    // flush everything the moment the compute queues are empty.
-    auto& stream = runtime_.stream();
-    bool devices_idle = true;
-    for (std::size_t d = 0; d < stream.device_count(); ++d) {
-      devices_idle = devices_idle && stream.device_in_flight(d) == 0;
-    }
-    std::vector<Batch> ready =
-        devices_idle ? batcher_.take_all(now()) : batcher_.take_ready(now());
-    for (Batch& batch : ready) {
-      pending_dispatch_.push_back(std::move(batch));
-    }
-    std::stable_sort(pending_dispatch_.begin(), pending_dispatch_.end(),
-                     Batcher::dispatch_order);
-    // Capacity-gated dispatch: launch a batch only when its target
-    // accelerator has queue room — the affinity pin of the front batch may
-    // point at a full device, in which case later batches bound elsewhere
-    // skip ahead instead of the whole queue blocking inside the stream.
-    // One pass in priority order suffices: dispatching only consumes room,
-    // so a batch skipped here stays infeasible until the next pump.
-    for (std::size_t i = 0; i < pending_dispatch_.size();) {
-      const auto pin = placement_preview(pending_dispatch_[i]);
-      bool room = false;
-      if (pin) {
-        const auto d = static_cast<std::size_t>(*pin);
-        room = stream.device_in_flight(d) < effective_depth(d);
+  // Budgeted pull: stop pulling once `budget` pulled requests are still
+  // unfinished. The backlog then waits in the tenant queues — where DRR
+  // weights, the per-tenant bound, and shedding act — instead of draining
+  // wholesale into the batcher, whose dispatch order would erase the
+  // weighted shares. The outer loop re-enters when a dispatch finalized
+  // synchronously (host-path launches) and thereby freed budget mid-pump;
+  // every iteration either pulls or dispatches something, so it terminates.
+  const std::size_t budget = effective_pull_budget();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const support::Duration t = now();
+    while (pulled_unfinished_ < budget) {
+      auto request = pop_next_request();
+      if (!request) break;
+      progress = true;
+      if (params_.batching) {
+        batcher_.add(*request, t);
       } else {
-        for (std::size_t d = 0; d < stream.device_count(); ++d) {
-          room = room || stream.device_in_flight(d) < effective_depth(d);
-        }
+        Batch single;
+        single.key = BatchKey::of(*request);
+        single.deadline = request->deadline;
+        single.oldest_enqueue = t;
+        single.requests.push_back(*request);
+        TDO_RETURN_IF_ERROR(dispatch(std::move(single)));
       }
-      if (!room) {
-        ++i;
-        continue;
-      }
-      Batch batch = std::move(pending_dispatch_[i]);
-      pending_dispatch_.erase(pending_dispatch_.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-      TDO_RETURN_IF_ERROR(dispatch(std::move(batch), pin));
     }
+    if (params_.batching) {
+      // Batch under backpressure, never under idleness: waiting out max_wait
+      // while every accelerator starves buys no amortization, only latency —
+      // flush everything the moment the compute queues are empty.
+      auto& stream = runtime_.stream();
+      bool devices_idle = true;
+      for (std::size_t d = 0; d < stream.device_count(); ++d) {
+        devices_idle = devices_idle && stream.device_in_flight(d) == 0;
+      }
+      std::vector<Batch> ready =
+          devices_idle ? batcher_.take_all(now()) : batcher_.take_ready(now());
+      for (Batch& batch : ready) {
+        pending_dispatch_.push_back(std::move(batch));
+      }
+      std::stable_sort(pending_dispatch_.begin(), pending_dispatch_.end(),
+                       Batcher::dispatch_order);
+      // Capacity-gated dispatch: launch a batch only when its target
+      // accelerator has queue room — the affinity pin of the front batch may
+      // point at a full device, in which case later batches bound elsewhere
+      // skip ahead instead of the whole queue blocking inside the stream.
+      // One pass in priority order suffices: dispatching only consumes room,
+      // so a batch skipped here stays infeasible until the next pump.
+      for (std::size_t i = 0; i < pending_dispatch_.size();) {
+        const auto pin = placement_preview(pending_dispatch_[i]);
+        bool room = false;
+        if (pin) {
+          const auto d = static_cast<std::size_t>(*pin);
+          room = stream.device_in_flight(d) < effective_depth(d);
+        } else {
+          for (std::size_t d = 0; d < stream.device_count(); ++d) {
+            room = room || stream.device_in_flight(d) < effective_depth(d);
+          }
+        }
+        if (!room) {
+          ++i;
+          continue;
+        }
+        Batch batch = std::move(pending_dispatch_[i]);
+        pending_dispatch_.erase(pending_dispatch_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        progress = true;
+        TDO_RETURN_IF_ERROR(dispatch(std::move(batch), pin));
+      }
+    }
+    progress = progress && queued_ > 0 && pulled_unfinished_ < budget;
   }
   harvest();
   return support::Status::ok();
@@ -435,7 +710,6 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
   inflight.device = device;
   inflight.tier = tier;
   inflight.batched = batched;
-  launches_.add();
 
   // --- launch ---
   support::Status status = support::Status::ok();
@@ -448,8 +722,6 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
     status = runtime_.sgemm_batched_async(
         head.m, head.n, head.k, head.alpha, items, head.lda, head.ldb,
         head.beta, head.ldc, head.stationary, head.cacheable, device);
-    batched_launches_.add();
-    coalesced_requests_.add(batch.requests.size());
   } else {
     // Per-request launches: the only shape the stream's dynamic CPU
     // fallback (and thus a kForceHost probe) can act on.
@@ -470,6 +742,14 @@ support::Status Scheduler::dispatch(Batch batch, std::optional<int> pinned) {
     stream.set_min_macs_per_write(admission_.min_macs_per_write());
   }
   TDO_RETURN_IF_ERROR(status);
+  // Launch counters only after the status check: a failed launch has no
+  // completion to match, and counting it would skew every launches-derived
+  // ratio (batched share, coalescing factor) against phantom work.
+  launches_.add();
+  if (batched) {
+    batched_launches_.add();
+    coalesced_requests_.add(batch.requests.size());
+  }
   inflight.launch_end = now().ticks();
 
   inflight.residency_hit =
@@ -605,6 +885,25 @@ void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
                        inflight.residency_hit ? 0 : head.cim_writes());
   }
 
+  // Shedder capacity: dispatch-to-done per MAC across every offloaded
+  // launch, batched or not. Queueing is included on purpose — it biases
+  // capacity low under load, which with ShedParams::headroom errs toward
+  // shedding rather than letting the backlog grow unbounded.
+  if (params_.shed.enabled && inflight.offloaded) {
+    std::uint64_t launch_macs = 0;
+    for (const Request& r : inflight.requests) launch_macs += r.macs();
+    if (launch_macs > 0) {
+      const double sample = (done - inflight.dispatch).picoseconds() /
+                            static_cast<double>(launch_macs);
+      service_ps_per_mac_ =
+          service_obs_ == 0
+              ? sample
+              : (1.0 - params_.shed.ewma_alpha) * service_ps_per_mac_ +
+                    params_.shed.ewma_alpha * sample;
+      service_obs_ += 1;
+    }
+  }
+
   // Per-request trace span on the class track, carrying every scheduler-side
   // checkpoint plus the engine-job join key ({dev, target}; dev = 0 when the
   // completion was synchronous or pool-defined, so the analyzer books the
@@ -652,9 +951,18 @@ void Scheduler::finalize(InFlight inflight, sim::Tick done_tick) {
     completion.batch_size = batch_size;
     class_latency_[static_cast<std::size_t>(r.deadline)].add(
         completion.latency());
-    tenant_latency_[r.tenant].add(completion.latency());
+    if (params_.track_tenant_latency) {
+      tenant_latency_[r.tenant].add(completion.latency());
+    }
     completions_.push_back(completion);
     completed_.add();
+    if (pulled_unfinished_ > 0) pulled_unfinished_ -= 1;
+    const auto it = tenants_.find(r.tenant);
+    if (it != tenants_.end()) {
+      TenantState& state = it->second;
+      if (state.inflight > 0) state.inflight -= 1;
+      note_idle_if(r.tenant, state);
+    }
   }
 }
 
@@ -747,15 +1055,12 @@ support::LatencyHistogram Scheduler::tenant_latency(
     std::uint32_t tenant) const {
   const auto it = tenant_latency_.find(tenant);
   return it == tenant_latency_.end() ? support::LatencyHistogram{}
-                                     : it->second.merged();
+                                     : it->second;
 }
 
 std::uint64_t Scheduler::latency_lock_contended() const {
   std::uint64_t total = 0;
   for (const auto& histogram : class_latency_) {
-    total += histogram.lock_contended();
-  }
-  for (const auto& [tenant, histogram] : tenant_latency_) {
     total += histogram.lock_contended();
   }
   return total;
@@ -765,6 +1070,7 @@ ServeReport Scheduler::report() const {
   ServeReport rep;
   rep.submitted = submitted_.value();
   rep.rejected = rejected_.value();
+  rep.shed = shed_.value();
   rep.completed = completed_.value();
   rep.launches = launches_.value();
   rep.batched_launches = batched_launches_.value();

@@ -5,10 +5,20 @@
 // scheduler adds that system layer (the level Eva-CiM and CIMFlow argue CIM
 // must be judged at):
 //
-//   * per-tenant FIFO queues with a bounded depth (admission control) and a
-//     class-major round-robin pull — interactive heads dispatch before batch
-//     heads, tenants take turns within a class, so a tenant flooding 10x the
-//     load cannot starve a light tenant's tail latency;
+//   * per-tenant, per-class FIFO queues with a bounded depth (admission
+//     control) and a class-major weighted deficit-round-robin pull —
+//     interactive work dispatches before batch work even when it sits behind
+//     a batch-class request in the same tenant's backlog (per-class queues,
+//     not FIFO fronts), tenants share a class's bandwidth in proportion to
+//     their configured weights, and the pull itself is O(1) per request
+//     (active-tenant lists, no ring scan), so scheduling cost stays flat at
+//     10^5-10^6 tenants. Tenants idle past `tenant_idle_timeout` are evicted
+//     so the per-tenant maps stay bounded too;
+//   * overload shedding: when the measured arrival-rate EWMA exceeds the
+//     capacity the admission EWMAs imply (device_count / device-ps-per-MAC),
+//     the excess is dropped from the queue tails batch-class first — never
+//     interactive — each drop surfacing a Completion with Outcome::kShed so
+//     closed-loop clients unblock;
 //   * dynamic batching (serve/batcher.hpp): same-shape, same-weight requests
 //     coalesce into one sgemm_batched launch, closed on max-size or max-wait;
 //   * residency-aware placement: a batch routes to the accelerator whose
@@ -37,9 +47,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/cim_blas.hpp"
@@ -53,9 +64,33 @@
 
 namespace tdo::serve {
 
+/// Open-loop overload control: when the measured arrival rate (MACs per
+/// picosecond, EWMA over eval_window-sized windows) exceeds the measured
+/// service capacity, the scheduler sheds the excess from the queue tails by
+/// deadline class — batch first, then standard, never interactive. Capacity
+/// comes from the scheduler's own dispatch-to-done EWMA over offloaded
+/// launches (admission's device_ps_per_mac() is the fallback until that
+/// warms up); until either estimate exists the shedder stays open.
+struct ShedParams {
+  bool enabled = false;
+  /// Shed only past headroom * capacity: the EWMAs measure dispatch-to-done
+  /// (queueing included), which biases capacity low under load, and a
+  /// serving system should absorb brief bursts rather than drop at 1.01x.
+  double headroom = 1.1;
+  /// Smoothing factor for the arrival-rate EWMA.
+  double ewma_alpha = 0.3;
+  /// Arrival-rate measurement window; each elapsed window folds one rate
+  /// sample into the EWMA (weighted by the span it covers — windows are
+  /// irregular) and triggers at most one shed decision. Shedding requires
+  /// two consecutive over-gate windows, so an isolated burst is absorbed at
+  /// the cost of one window of reaction time.
+  support::Duration eval_window = support::Duration::from_us(25.0);
+};
+
 struct SchedulerParams {
   BatcherParams batcher;
   AdmissionParams admission;
+  ShedParams shed;
   /// Off: every request dispatches individually in pull order (the
   /// no-batching FIFO baseline benches compare against).
   bool batching = true;
@@ -78,6 +113,28 @@ struct SchedulerParams {
   /// Per-shard capacity of the cross-thread submission ring; a full shard
   /// rejects with kResourceExhausted (backpressure, like the tenant bound).
   std::size_t ring_capacity = 4096;
+  /// Pulled-but-unfinished request bound: pump() stops pulling from the
+  /// tenant queues once this many pulled requests are still in the batcher,
+  /// the pending-dispatch queue, or in flight. Without the bound every pump
+  /// would drain the whole backlog into the batcher and dispatch order —
+  /// not DRR — would decide tenant shares; with it the backlog stays in the
+  /// tenant queues where weights, per-tenant bounds, and shedding act. 0
+  /// derives a default from the fleet: 2 x total effective stream depth x
+  /// max_batch (enough to keep every device fed through one full pump
+  /// cycle).
+  std::size_t pull_budget = 0;
+  /// Per-tenant end-to-end latency histograms (tenant_latency()). On by
+  /// default; benches pushing 10^5+ tenants turn it off — a histogram per
+  /// tenant is ~16KB, which dominates the per-tenant footprint at scale.
+  bool track_tenant_latency = true;
+  /// A tenant idle (no queued requests, nothing in flight) for this long is
+  /// evicted from the per-tenant maps — state and latency histogram both —
+  /// so the maps track the active set, not every tenant ever seen. A
+  /// re-appearing tenant re-registers from the request (weight field) or
+  /// set_tenant_weight. 0 disables eviction. The default is one simulated
+  /// second: far past any serving-path timescale, so only truly departed
+  /// tenants age out.
+  support::Duration tenant_idle_timeout = support::Duration::from_us(1.0e6);
   /// Stats prefix for the serve.* counters.
   std::string name = "serve";
 };
@@ -86,6 +143,7 @@ struct SchedulerParams {
 struct ServeReport {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;  ///< dropped by overload shedding (serve.shed)
   std::uint64_t completed = 0;
   std::uint64_t launches = 0;          ///< runtime dispatches (batches incl.)
   std::uint64_t batched_launches = 0;  ///< launches with >= 2 requests
@@ -120,6 +178,28 @@ class Scheduler {
   /// full; the ring capacity, not the per-tenant bound, is this path's
   /// backpressure limit.
   support::StatusOr<std::uint64_t> submit_from_thread(Request request);
+
+  /// Registers (or updates) a tenant's DRR share weight: a weight-w tenant
+  /// receives w requests of service per round against a weight-1 competitor
+  /// in the same deadline class. Clamped to >= 1. Requests can carry the
+  /// weight themselves (Request::weight); this call exists for front ends
+  /// that register tenants ahead of traffic. The registration lives in the
+  /// per-tenant state, so it ages out with the tenant under
+  /// tenant_idle_timeout. Driver-thread only.
+  void set_tenant_weight(std::uint32_t tenant, std::uint32_t weight);
+
+  /// Drops up to `excess_macs` worth of queued work from the queue tails,
+  /// batch class first, then standard — never interactive — rotating across
+  /// tenants within a class so no single tenant absorbs the whole cut. Each
+  /// victim surfaces a Completion with Outcome::kShed and counts in
+  /// serve.shed. Returns the number of requests dropped. pump() calls this
+  /// from the arrival-rate trigger (ShedParams); public so tests and benches
+  /// can exercise the ordering policy directly.
+  std::size_t shed_excess(double excess_macs);
+
+  /// Tenants currently tracked (the active set plus not-yet-evicted idle
+  /// tenants) — the quantity tenant_idle_timeout keeps bounded.
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
 
   /// Advances every submit-shard clock to at least the current global time.
   /// Driver-thread only; call before a simulated submission phase so shard
@@ -170,7 +250,9 @@ class Scheduler {
   support::Status upload(sim::VirtAddr dst, sim::VirtAddr src,
                          std::uint64_t bytes);
 
-  /// Completions recorded since the last call (move-out).
+  /// Completions recorded since the last call (move-out). Includes dropped
+  /// requests (Outcome::kShed / kRejected) so closed-loop clients always
+  /// unblock; drops never enter the latency histograms.
   [[nodiscard]] std::vector<Completion> take_completions();
 
   /// Resets the latency histograms (class and tenant). ROI-style
@@ -186,10 +268,13 @@ class Scheduler {
     return class_latency_[static_cast<std::size_t>(c)].merged();
   }
   /// Per-tenant end-to-end latency snapshot (empty histogram for a tenant
-  /// that never completed a request).
+  /// that never completed a request, was evicted, or when
+  /// track_tenant_latency is off).
   [[nodiscard]] support::LatencyHistogram tenant_latency(
       std::uint32_t tenant) const;
-  /// Contended acquisitions across every latency-histogram shard lock.
+  /// Contended acquisitions across the class-histogram shard locks. (The
+  /// per-tenant histograms are plain driver-thread structures — at 10^5+
+  /// tenants a sharded histogram per tenant would cost ~256KB each.)
   [[nodiscard]] std::uint64_t latency_lock_contended() const;
 
   [[nodiscard]] ServeReport report() const;
@@ -225,10 +310,89 @@ class Scheduler {
     std::vector<std::pair<int, std::uint64_t>> targets;
   };
 
+  /// Compact FIFO for one tenant x class queue. A std::deque allocates ~2KB
+  /// the moment it is constructed, which at 10^5-10^6 tenants (x3 classes)
+  /// dominates memory; this vector-plus-head-index FIFO allocates nothing
+  /// while empty and compacts lazily, with amortized O(1) push/pop.
+  struct RequestQueue {
+    std::vector<Request> items;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const { return head >= items.size(); }
+    [[nodiscard]] std::size_t size() const { return items.size() - head; }
+    void push_back(Request&& r) { items.push_back(std::move(r)); }
+    [[nodiscard]] Request pop_front() {
+      Request out = std::move(items[head]);
+      head += 1;
+      if (head >= items.size()) {
+        items.clear();
+        head = 0;
+      } else if (head > 32 && head * 2 > items.size()) {
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      return out;
+    }
+    [[nodiscard]] Request pop_back() {
+      Request out = std::move(items.back());
+      items.pop_back();
+      if (head >= items.size()) {
+        items.clear();
+        head = 0;
+      }
+      return out;
+    }
+  };
+
+  /// Everything the scheduler tracks per tenant: the per-class queues, the
+  /// DRR share state, and the idle-eviction bookkeeping. One flat struct so
+  /// a tenant costs one hash-map slot (~200B empty), not entries across
+  /// parallel maps.
+  struct TenantState {
+    std::uint32_t weight = 1;  ///< DRR quantum (requests per round)
+    RequestQueue queues[kDeadlineClasses];
+    /// Remaining credit in the tenant's current DRR turn for each class; 0
+    /// means "top up with `weight` when the tenant next reaches the head of
+    /// the active list".
+    std::uint32_t deficit[kDeadlineClasses] = {};
+    /// Whether the tenant currently has an entry in active_[c]. May lag the
+    /// queue emptying (shedding leaves the entry for the pop side to lazily
+    /// retire); a non-empty queue always implies an entry.
+    bool active[kDeadlineClasses] = {};
+    std::size_t queued = 0;     ///< total across the class queues
+    std::uint64_t inflight = 0; ///< pulled (batcher/pending/launched), not
+                                ///< yet finalized
+    sim::Tick idle_since = 0;   ///< last busy->idle transition
+    bool idle_pending = false;  ///< an idle_fifo_ entry refers to this tenant
+  };
+
   [[nodiscard]] support::Duration now() const;
   /// Drains the submission ring into the tenant queues in arrival order
-  /// (driver thread; the consumer side of submit_from_thread).
+  /// (driver thread; the consumer side of submit_from_thread). Enforces
+  /// params_.max_queue_per_tenant — the bound submit() applies — rejecting
+  /// overflow with an Outcome::kRejected completion record, since this
+  /// path's submitters already parted with the request.
   void pump_submissions();
+  /// Appends `request` to its tenant x class queue, registering a carried
+  /// weight and activating the tenant in the class's DRR list.
+  void enqueue(std::uint32_t tenant, TenantState& state, Request&& request);
+  /// Records a dropped request as a completion-style record (no latency
+  /// histogram entry, no completed count).
+  void drop_request(Request&& request, Completion::Outcome outcome);
+  /// Accumulates one arrival into the shed window (no-op when shedding is
+  /// off).
+  void note_arrival(const Request& request);
+  /// Folds the elapsed arrival window into the rate EWMA and sheds the
+  /// excess when the rate exceeds headroom x capacity.
+  void maybe_shed();
+  /// Arms the idle-eviction clock when the tenant just went fully idle.
+  void note_idle_if(std::uint32_t tenant, TenantState& state);
+  /// Evicts tenants idle past tenant_idle_timeout (amortized O(1): one FIFO
+  /// entry per idle transition, validated against the tenant's live state).
+  void evict_idle();
+  /// params_.pull_budget, or the fleet-derived default when 0.
+  [[nodiscard]] std::size_t effective_pull_budget() const;
   /// Pseudo-device id the host worker pool's completions log under: one past
   /// the last real accelerator.
   [[nodiscard]] int pool_device_id() const;
@@ -251,8 +415,11 @@ class Scheduler {
   /// the id is out of range, e.g. the host pool pseudo-device).
   [[nodiscard]] int device_tier(int device) const;
   void harvest();
-  /// Class-major, tenant-round-robin pull: the highest-priority head among
-  /// all tenant queues, tenants rotating within a class.
+  /// Class-major weighted DRR pull: the best non-empty class wins; within
+  /// it, the tenant at the head of the class's active list serves one
+  /// request per call against its deficit (quantum = weight, unit cost per
+  /// request), rotating to the back when the turn's credit is spent.
+  /// Amortized O(1) — no scan over idle tenants.
   [[nodiscard]] std::optional<Request> pop_next_request();
   support::Status dispatch(Batch batch,
                            std::optional<int> pinned = std::nullopt);
@@ -264,12 +431,38 @@ class Scheduler {
   Batcher batcher_;
   AdmissionController admission_;
 
-  std::map<std::uint32_t, std::deque<Request>> tenants_;
-  std::vector<std::uint32_t> ring_;  ///< tenant ids, first-seen order
-  std::size_t ring_cursor_ = 0;
+  std::unordered_map<std::uint32_t, TenantState> tenants_;
+  /// Per-class DRR rotation: tenant ids with (nominally) queued work of that
+  /// class, served from the front, rotated to the back when a turn's
+  /// deficit is spent.
+  std::deque<std::uint32_t> active_[kDeadlineClasses];
+  /// Idle-eviction clock: one (tenant, idle-transition tick) entry per
+  /// busy->idle transition, popped once older than tenant_idle_timeout and
+  /// validated against the tenant's live state (monotone push ticks, so the
+  /// front is always the oldest candidate).
+  std::deque<std::pair<std::uint32_t, sim::Tick>> idle_fifo_;
   std::size_t place_cursor_ = 0;  ///< rotates shortest-queue tie-breaks
   std::atomic<std::uint64_t> next_id_{1};
   std::uint64_t queued_ = 0;
+  /// Requests pulled from the tenant queues and not yet finalized (batcher +
+  /// pending_dispatch_ + inflight_); pump() pulls only below the budget.
+  std::size_t pulled_unfinished_ = 0;
+
+  /// Overload-shedding state (driver thread): MACs arrived in the current
+  /// eval window, the window's start, and the cross-window rate EWMA.
+  double arrival_macs_window_ = 0.0;
+  support::Duration shed_window_start_;
+  double arrival_rate_ = 0.0;  ///< MACs per picosecond, EWMA
+  bool arrival_rate_seeded_ = false;
+  int shed_streak_ = 0;  ///< consecutive over-gate windows; shed needs two
+  /// Capacity estimate for the shedder: dispatch-to-done picoseconds per MAC
+  /// over every offloaded launch (batched launches included — admission only
+  /// ever sees singletons), fed by finalize() when shedding is enabled. Kept
+  /// scheduler-side so shedding works with static admission knobs and an
+  /// overloaded fleet cannot flip the admission threshold toward the
+  /// synchronous host path.
+  double service_ps_per_mac_ = 0.0;
+  std::uint64_t service_obs_ = 0;
 
   /// Cross-thread submission path: per-shard rings plus per-shard simulated
   /// submitter clocks (each advanced by submit_cost per push, so N threads
@@ -295,10 +488,14 @@ class Scheduler {
   /// shards let a future parallel retirement path (and concurrent readers
   /// taking merged snapshots) proceed without a global histogram lock.
   support::ShardedLatencyHistogram class_latency_[kDeadlineClasses];
-  std::map<std::uint32_t, support::ShardedLatencyHistogram> tenant_latency_;
+  /// Plain driver-thread histograms (one sharded histogram per tenant is
+  /// ~256KB — untenable at 10^5+ tenants); gated by track_tenant_latency
+  /// and evicted with the tenant.
+  std::unordered_map<std::uint32_t, support::LatencyHistogram> tenant_latency_;
 
   support::ShardedCounter submitted_;
   support::ShardedCounter rejected_;
+  support::Counter shed_;
   support::Counter completed_;
   support::Counter launches_;
   support::Counter batched_launches_;

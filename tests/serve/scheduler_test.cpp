@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -95,6 +96,45 @@ TEST(BatcherTest, ClosesOnAgeAndOrdersByClass) {
   // Interactive dispatches first even though it arrived later.
   EXPECT_EQ(ready[0].deadline, DeadlineClass::kInteractive);
   EXPECT_EQ(ready[1].deadline, DeadlineClass::kBatch);
+}
+
+TEST(BatcherTest, PreemptiveJoinSplitsHalfFullLowerClassBatch) {
+  // An interactive join into a >= half-full batch-class batch closes it
+  // immediately: promotion alone would still make the newcomer wait out the
+  // old members' age clock.
+  Batcher batcher{BatcherParams{.max_batch = 4,
+                                .max_wait = Duration::from_us(100.0)}};
+  const Duration t0 = Duration::from_us(1.0);
+  const Request heavy = make_request(0, 8, 64, 64, 0x1000, 0x2000, 0x3000,
+                                     DeadlineClass::kBatch);
+  batcher.add(heavy, t0);
+  batcher.add(heavy, t0);  // size 2 == half of max_batch
+  EXPECT_TRUE(batcher.take_ready(t0).empty());
+  batcher.add(make_request(1, 8, 64, 64, 0x1000, 0x2000, 0x4000,
+                           DeadlineClass::kInteractive),
+              t0);
+  auto ready = batcher.take_ready(t0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].requests.size(), 3u);
+  EXPECT_EQ(ready[0].deadline, DeadlineClass::kInteractive);
+
+  // Same-class joins never split, no matter how full the batch is.
+  batcher.add(heavy, t0);
+  batcher.add(heavy, t0);
+  batcher.add(heavy, t0);
+  EXPECT_TRUE(batcher.take_ready(t0).empty());
+  EXPECT_EQ(batcher.pending(), 3u);
+
+  // An under-half batch keeps the join-and-promote path: splitting a small
+  // batch would forfeit most of the coalescing it was opened for.
+  Batcher wide{BatcherParams{.max_batch = 8,
+                             .max_wait = Duration::from_us(100.0)}};
+  wide.add(heavy, t0);
+  wide.add(make_request(1, 8, 64, 64, 0x1000, 0x2000, 0x4000,
+                        DeadlineClass::kInteractive),
+           t0);
+  EXPECT_TRUE(wide.take_ready(t0).empty());  // size 2, half of 8 is 4
+  EXPECT_EQ(wide.pending(), 2u);
 }
 
 // --- admission controller unit behaviour ---
@@ -280,6 +320,114 @@ TEST(SchedulerTest, RejectsBeyondTenantQueueBound) {
   EXPECT_EQ(scheduler.report().rejected, 4u);
   ASSERT_TRUE(scheduler.drain().is_ok());
   EXPECT_EQ(scheduler.report().completed, 4u);
+}
+
+TEST(SchedulerTest, ThreadedPathEnforcesTenantBoundAtPump) {
+  // Regression: submit_from_thread lands requests in the submission ring
+  // without consulting the per-tenant bound (it cannot — the tenant queues
+  // are driver-thread state). pump() must apply the same bound when it
+  // drains the ring, rejecting the overflow with completion-style records
+  // instead of silently queueing past max_queue_per_tenant.
+  ServeFixture fx{1, 1};
+  SchedulerParams params;
+  params.max_queue_per_tenant = 4;
+  params.admission.adaptive = false;
+  Scheduler scheduler{params, fx.platform.runtime()};
+  constexpr std::size_t kThreads = 2;
+  constexpr std::size_t kTotal = 16;
+  std::vector<sim::VirtAddr> outputs;
+  outputs.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) outputs.push_back(fx.fresh_output());
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = t; r < kTotal; r += kThreads) {
+        auto id = scheduler.submit_from_thread(make_request(
+            0, fx.m, fx.n, fx.k, fx.va_a, fx.weights[0], outputs[r]));
+        ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(scheduler.ring_pending(), kTotal);  // the ring accepted them all
+  ASSERT_TRUE(scheduler.drain().is_ok());
+
+  const auto report = scheduler.report();
+  EXPECT_EQ(report.rejected, kTotal - 4);  // everything past the bound
+  EXPECT_EQ(report.completed, 4u);
+  std::size_t done = 0;
+  std::size_t rejected = 0;
+  for (const auto& completion : scheduler.take_completions()) {
+    if (completion.outcome == Completion::Outcome::kRejected) {
+      rejected += 1;
+    } else if (completion.outcome == Completion::Outcome::kDone) {
+      done += 1;
+    }
+  }
+  EXPECT_EQ(done, 4u);
+  EXPECT_EQ(rejected, kTotal - 4);  // rejections surface as joinable records
+}
+
+TEST(SchedulerTest, FailedLaunchDoesNotCountAsLaunched) {
+  // A launch whose runtime call errors (here: untranslatable operands) has
+  // no completion to match; counting it would skew every launches-derived
+  // ratio against phantom work.
+  ServeFixture fx{1, 1};
+  SchedulerParams params;
+  params.batching = false;
+  params.admission.adaptive = false;
+  Scheduler scheduler{params, fx.platform.runtime()};
+  const Request bad = make_request(0, fx.m, fx.n, fx.k, 0xdead0000, 0xbeef0000,
+                                   0xcafe0000);
+  ASSERT_TRUE(scheduler.submit(bad).is_ok());
+  EXPECT_FALSE(scheduler.pump().is_ok());
+  EXPECT_EQ(scheduler.report().launches, 0u);
+  EXPECT_EQ(scheduler.report().completed, 0u);
+}
+
+TEST(SchedulerTest, SecondSchedulerSurvivesFirstSchedulerTeardown) {
+  // Two schedulers over one runtime: the completion observers (per-device
+  // and host worker pool) are owner-tagged, so destroying the first must not
+  // clear the second's registrations. The split config forces the second
+  // scheduler's launch to put a CPU stripe on the host worker pool — without
+  // the owner tag on the pool observer, that stripe's completion would never
+  // log and the drain below would stall.
+  rt::RuntimeConfig config;
+  config.split.enabled = true;
+  config.split.cpu_fraction = 0.25;
+  config.split.min_macs = 1;
+  config.split.pool.workers = 2;
+  Platform platform{config, {}, {}, 1};
+  ASSERT_TRUE(platform.runtime().init(0).is_ok());
+  const std::uint64_t m = 8, n = 64, k = 64;
+  const auto weight_data = random_matrix(k * n, 1.0, 500);
+  const auto input = random_matrix(m * k, 1.0, 7);
+  const sim::VirtAddr vb = platform.upload(weight_data);
+  const sim::VirtAddr va = platform.upload(input);
+  const sim::VirtAddr vc = platform.device_zeros(m * n);
+
+  SchedulerParams p1;
+  p1.batching = false;
+  p1.admission.adaptive = false;
+  p1.name = "serve1";
+  auto first = std::make_unique<Scheduler>(p1, platform.runtime());
+  SchedulerParams p2 = p1;
+  p2.name = "serve2";
+  Scheduler second{p2, platform.runtime()};
+  first.reset();  // must not strip `second`'s observers
+
+  ASSERT_TRUE(second.submit(make_request(0, m, n, k, va, vb, vc)).is_ok());
+  ASSERT_TRUE(second.drain().is_ok());
+  EXPECT_EQ(second.report().completed, 1u);
+  // The launch really did ride the pool (pseudo-async split happened).
+  EXPECT_GT(platform.runtime().host_pool().jobs_completed(), 0u);
+  std::vector<float> expected(m * n, 0.0f);
+  ref_gemm(m, n, k, 1.0f, input, k, weight_data, n, 0.0f, expected, n);
+  const auto got = platform.read_floats(vc, m * n);
+  const double bound = gemm_error_bound(1.0, 1.0, k);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(got[i], expected[i], bound) << "element " << i;
+  }
 }
 
 /// One tenant's closed-loop traffic: `clients` concurrent requests against
