@@ -4,10 +4,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/rng.hpp"
 
@@ -17,6 +20,11 @@ namespace tdo::benchutil {
 /// tracer on construction (when a path was given) and exports + stops on
 /// destruction. Benches that need finer control (bench_serve_loop's traced
 /// experiment) drive obs::Tracer directly instead.
+///
+/// A traced bench run is a correctness gate, not best-effort telemetry: if
+/// any shard ring overflowed (dropped events), downstream consumers
+/// (energy attribution, critical-path decomposition) would silently
+/// under-count, so finish() fails the whole bench instead.
 class TraceSession {
  public:
   explicit TraceSession(std::string path) : path_{std::move(path)} {
@@ -31,6 +39,10 @@ class TraceSession {
     finished_ = true;
     auto& tracer = obs::Tracer::instance();
     tracer.pump();
+    // Sampled metrics ride along as Perfetto counter tracks so the
+    // trajectory lines up under the spans in the same UI.
+    obs::MetricsRegistry::instance().append_counter_tracks();
+    tracer.pump();
     std::ofstream out(path_, std::ios::binary);
     if (out) {
       tracer.export_json(out);
@@ -40,6 +52,13 @@ class TraceSession {
     } else {
       std::fprintf(stderr, "trace: cannot open %s\n", path_.c_str());
     }
+    if (tracer.dropped() != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %llu trace events dropped (shard overflow)\n",
+                   static_cast<unsigned long long>(tracer.dropped()));
+      tracer.stop();
+      std::exit(1);
+    }
     tracer.stop();
   }
 
@@ -47,6 +66,151 @@ class TraceSession {
   std::string path_;
   bool finished_ = false;
 };
+
+/// Minimal ordered JSON document builder for the machine-readable bench
+/// results (`BENCH_<name>.json`). Insertion order is preserved and doubles
+/// print with enough digits to round-trip, so the same run produces
+/// byte-identical files — which is what lets tools/bench_diff.py gate on
+/// them in CI without flakiness.
+class Json {
+ public:
+  static Json object() { return Json{Kind::kObject}; }
+  static Json array() { return Json{Kind::kArray}; }
+  static Json number(std::uint64_t v) {
+    Json j{Kind::kUint};
+    j.uint_ = v;
+    return j;
+  }
+  static Json number(double v) {
+    Json j{Kind::kDouble};
+    j.double_ = v;
+    return j;
+  }
+  static Json string(std::string v) {
+    Json j{Kind::kString};
+    j.string_ = std::move(v);
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j{Kind::kBool};
+    j.bool_ = v;
+    return j;
+  }
+
+  Json& set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  void dump(std::ostream& os) const {
+    switch (kind_) {
+      case Kind::kObject: {
+        os << '{';
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+          if (!first) os << ',';
+          first = false;
+          write_string(os, key);
+          os << ':';
+          value.dump(os);
+        }
+        os << '}';
+        break;
+      }
+      case Kind::kArray: {
+        os << '[';
+        bool first = true;
+        for (const Json& value : items_) {
+          if (!first) os << ',';
+          first = false;
+          value.dump(os);
+        }
+        os << ']';
+        break;
+      }
+      case Kind::kUint:
+        os << uint_;
+        break;
+      case Kind::kDouble: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        os << buf;
+        break;
+      }
+      case Kind::kString:
+        write_string(os, string_);
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+    }
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kUint, kDouble, kString, kBool };
+  explicit Json(Kind kind) : kind_{kind} {}
+
+  static void write_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          os << "\\\"";
+          break;
+        case '\\':
+          os << "\\\\";
+          break;
+        case '\n':
+          os << "\\n";
+          break;
+        case '\t':
+          os << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            os << buf;
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  bool bool_ = false;
+};
+
+/// Writes `BENCH_<name>.json` in the working directory, wrapping `body`
+/// in the shared `tdo.bench.v1` envelope. Silent on success: the benches'
+/// stdout is part of the determinism contract, so machine-readable output
+/// must not perturb it.
+inline void write_bench_json(const std::string& name, Json body) {
+  Json root = Json::object();
+  root.set("schema", Json::string("tdo.bench.v1"));
+  root.set("bench", Json::string(name));
+  root.set("results", std::move(body));
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+    return;
+  }
+  root.dump(out);
+  out << '\n';
+}
 
 /// Zipf(s) sampler over {0, ..., count-1} via inverse-CDF on a precomputed
 /// table (rank 0 most popular).

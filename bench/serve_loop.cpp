@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +43,9 @@
 #include "bench_util.hpp"
 #include "cim/accelerator.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/energy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 #include "topo/topology.hpp"
@@ -81,6 +85,9 @@ struct Options {
   /// Non-empty: run the traced serving experiment and write Perfetto JSON
   /// here (--trace out.json).
   std::string trace_path;
+  /// Non-empty: run the SLO burn-rate experiment and write the overloaded
+  /// point's sampled metrics JSON here (--metrics out.json).
+  std::string metrics_path;
 };
 
 /// A fully wired platform plus the serving state one load run needs. With a
@@ -107,6 +114,10 @@ struct Platform {
       lp.latency_multiplier = spec->far_multiplier;
       lp.name = "farlink";
       far_link = std::make_unique<tdo::topo::Link>(lp);
+      // The link's counters and energy sink join the registry so metrics
+      // samples carry them and the traced run's span-vs-accumulator energy
+      // reconciliation sees every charged joule.
+      far_link->register_stats(system.stats());
     }
     for (std::size_t i = 0; i < count; ++i) {
       const bool is_far = spec.has_value() && i >= spec->near;
@@ -164,6 +175,16 @@ struct LoadResult {
   std::vector<DeviceLoad> devices;
   std::uint64_t link_contended_ticks = 0;
   std::uint64_t link_responses = 0;
+  /// Per-deadline-class tails (BENCH_*.json wants class-resolved latency,
+  /// not just the merged histogram the table shows).
+  struct ClassLatency {
+    std::string cls;
+    std::uint64_t count = 0;
+    Duration p50, p95, p99;
+  };
+  std::vector<ClassLatency> classes;
+  double energy_uj = 0.0;  ///< modeled energy over the ROI, all sinks
+  double edp_uj_s = 0.0;   ///< energy-delay product: energy_uj * elapsed s
 };
 
 #define BENCH_CHECK(expr)                                        \
@@ -254,10 +275,15 @@ struct RoiBase {
   std::uint64_t residency_hits = 0, residency_misses = 0;
   std::uint64_t stream_enqueued = 0, stream_fallbacks = 0;
   std::uint64_t serve_launches = 0, serve_completed = 0;
+  double energy_pj = 0.0;  ///< every registered sink, for ROI energy deltas
 
   static RoiBase capture(Platform& platform,
                          tdo::serve::Scheduler& scheduler) {
     RoiBase base;
+    for (const auto& [name, pj] :
+         platform.system.stats().snapshot().energies_pj) {
+      base.energy_pj += pj;
+    }
     const auto residency = platform.runtime->residency().report();
     base.residency_hits = residency.hits;
     base.residency_misses = residency.misses;
@@ -281,11 +307,26 @@ struct RoiBase {
       static_cast<double>(completed) / std::max(elapsed.seconds(), 1e-12);
   tdo::support::LatencyHistogram all;
   for (std::size_t c = 0; c < tdo::serve::kDeadlineClasses; ++c) {
-    all.merge(scheduler.class_latency(static_cast<tdo::serve::DeadlineClass>(c)));
+    const auto hist =
+        scheduler.class_latency(static_cast<tdo::serve::DeadlineClass>(c));
+    all.merge(hist);
+    if (hist.count() > 0) {
+      result.classes.push_back(LoadResult::ClassLatency{
+          tdo::serve::to_string(static_cast<tdo::serve::DeadlineClass>(c)),
+          hist.count(), hist.quantile(0.50), hist.quantile(0.95),
+          hist.quantile(0.99)});
+    }
   }
   result.p50 = all.quantile(0.50);
   result.p95 = all.quantile(0.95);
   result.p99 = all.quantile(0.99);
+  double energy_pj = 0.0;
+  for (const auto& [name, pj] :
+       platform.system.stats().snapshot().energies_pj) {
+    energy_pj += pj;
+  }
+  result.energy_uj = (energy_pj - roi.energy_pj) * 1e-6;
+  result.edp_uj_s = result.energy_uj * elapsed.seconds();
   const auto residency = platform.runtime->residency().report();
   const std::uint64_t hits = residency.hits - roi.residency_hits;
   const std::uint64_t lookups =
@@ -775,9 +816,18 @@ struct OverloadPoint {
   Duration heavy_service;
 };
 
-[[nodiscard]] OverloadPoint run_overload_point(const Options& opts,
-                                               bool shed_enabled,
-                                               double load_factor) {
+/// What one metrics-sampled overload point recorded (--metrics): the SLO
+/// monitor's breach sequence plus the exported time-series JSON.
+struct MetricsCapture {
+  std::vector<tdo::obs::SloBreach> breaches;
+  std::uint64_t samples = 0;
+  std::uint64_t evicted = 0;
+  std::string json;  ///< the point's tdo.metrics.v1 export
+};
+
+[[nodiscard]] OverloadPoint run_overload_point(
+    const Options& opts, bool shed_enabled, double load_factor,
+    MetricsCapture* metrics = nullptr) {
   Platform platform{1};
   BENCH_CHECK(platform.runtime->init(0));
 
@@ -849,6 +899,34 @@ struct OverloadPoint {
   (void)scheduler.take_completions();
   scheduler.reset_latency_stats();
 
+  // Metrics sampling + SLO monitor over the measured window only (warm-up
+  // excluded, same ROI discipline the histograms use). Windows and the
+  // interactive latency target are calibrated from the measured heavy
+  // service time, so the same specs hold across machines and --seed.
+  std::optional<tdo::obs::SloMonitor> slo;
+  if (metrics != nullptr) {
+    tdo::obs::SloParams slo_params;
+    slo_params.fast_window_ticks = 6 * heavy_service;
+    slo_params.slow_window_ticks = 18 * heavy_service;
+    std::vector<tdo::obs::SloSpec> specs;
+    // At 0.5x load the windowed mean interactive latency sits well under
+    // one heavy service time (most requests wait behind nothing; the
+    // unlucky ones behind a fraction of one heavy job), while a no-shed
+    // flood queues interactive arrivals behind a standing heavy backlog,
+    // pushing the mean past several heavy service times. 2x splits the two
+    // regimes with margin on both sides.
+    specs.push_back(
+        tdo::obs::SloSpec{"interactive", 2 * heavy_service, 0.02});
+    slo.emplace(slo_params, std::move(specs));
+    slo->attach(platform.system.stats());
+    tdo::obs::MetricsParams metrics_params;
+    metrics_params.sample_every =
+        std::max<std::uint64_t>(heavy_service / 4, 1);
+    auto& registry = tdo::obs::MetricsRegistry::instance();
+    registry.start(&platform.system.stats(), metrics_params);
+    registry.attach_slo(&*slo);
+  }
+
   constexpr int kHeavy = 96;
   constexpr int kLight = 24;
   tdo::support::Rng rng{opts.seed ^ 0x0f0adull};
@@ -899,6 +977,20 @@ struct OverloadPoint {
   }
   BENCH_CHECK(scheduler.drain());
   (void)scheduler.take_completions();
+
+  if (metrics != nullptr) {
+    auto& registry = tdo::obs::MetricsRegistry::instance();
+    registry.force_sample(events.now());  // final state always recorded
+    std::ostringstream json;
+    registry.export_json(json);
+    metrics->json = json.str();
+    metrics->samples = registry.samples().size();
+    metrics->evicted = registry.evicted();
+    metrics->breaches = slo->breaches();
+    registry.attach_slo(nullptr);
+    registry.stop();
+    slo->detach(platform.system.stats());
+  }
 
   OverloadPoint point;
   point.load_factor = load_factor;
@@ -1289,6 +1381,39 @@ struct FloodOutcome {
     }
   }
 
+  // Machine-readable results (simulated-clock quantities only — the
+  // wall-clock scale/flood sections would make the baseline diff flaky).
+  {
+    using tdo::benchutil::Json;
+    const auto point_json = [](const OverloadPoint& p) {
+      Json j = Json::object();
+      j.set("load_factor", Json::number(p.load_factor));
+      j.set("interactive_p50_us",
+            Json::number(p.interactive_p50.microseconds()));
+      j.set("interactive_p99_us",
+            Json::number(p.interactive_p99.microseconds()));
+      j.set("interactive_done", Json::number(p.interactive_done));
+      j.set("shed", Json::number(p.shed));
+      return j;
+    };
+    Json results = Json::object();
+    results.set("shed_uncontended", point_json(uncontended));
+    results.set("shed_overloaded", point_json(shed));
+    results.set("no_shed_overloaded", point_json(no_shed));
+    Json drr_json = Json::array();
+    for (const auto& tenant : shares.tenants) {
+      Json t = Json::object();
+      t.set("weight", Json::number(static_cast<std::uint64_t>(tenant.weight)));
+      t.set("share", Json::number(tenant.share));
+      t.set("expected", Json::number(tenant.expected));
+      drr_json.push(std::move(t));
+    }
+    results.set("drr_shares", std::move(drr_json));
+    results.set("ok", Json::boolean(ok));
+    tdo::benchutil::write_bench_json("serve_loop_overload",
+                                     std::move(results));
+  }
+
   return ok ? 0 : 1;
 }
 
@@ -1434,6 +1559,81 @@ struct SplitOutcome {
   return outcome;
 }
 
+// --- SLO burn-rate experiment (--metrics) ---
+
+/// Self-gated burn-rate check: the monitor must stay silent on a healthy
+/// 0.5x point and must page (>= 1 interactive latency breach) on a 3x
+/// batch-class flood with shedding disabled. The overloaded point's sampled
+/// series is exported to the --metrics path.
+struct MetricsOutcome {
+  MetricsCapture low, high;
+  std::uint64_t high_interactive_latency = 0;
+  bool ok = true;
+};
+
+[[nodiscard]] MetricsOutcome run_metrics_experiment(const Options& opts) {
+  MetricsOutcome outcome;
+  const OverloadPoint low_point =
+      run_overload_point(opts, /*shed_enabled=*/true, 0.5, &outcome.low);
+  const OverloadPoint high_point =
+      run_overload_point(opts, /*shed_enabled=*/false, 3.0, &outcome.high);
+
+  tdo::support::TextTable table(
+      "SLO burn-rate monitor (interactive: latency 2x heavy svc, shed 2%)");
+  table.set_header({"Config", "Load", "Samples", "Breaches", "First breach"});
+  const auto add = [&](const std::string& name, const OverloadPoint& p,
+                       const MetricsCapture& m) {
+    char load[32];
+    std::snprintf(load, sizeof load, "%.1fx", p.load_factor);
+    std::string first = "-";
+    if (!m.breaches.empty()) {
+      const auto& b = m.breaches.front();
+      char at[64];
+      std::snprintf(at, sizeof at, "%s.%s @ %.0f us", b.cls.c_str(),
+                    b.kind.c_str(), static_cast<double>(b.tick) / 1e6);
+      first = at;
+    }
+    table.add_row({name, load, std::to_string(m.samples),
+                   std::to_string(m.breaches.size()), first});
+  };
+  add("shed 0.5x", low_point, outcome.low);
+  add("no-shed 3.0x", high_point, outcome.high);
+  table.print(std::cout);
+
+  for (const auto& breach : outcome.high.breaches) {
+    if (breach.cls == "interactive" && breach.kind == "latency") {
+      outcome.high_interactive_latency += 1;
+    }
+  }
+  if (!outcome.low.breaches.empty()) {
+    std::fprintf(stderr,
+                 "FAILED: SLO monitor fired %zu breach(es) at 0.5x offered "
+                 "load\n",
+                 outcome.low.breaches.size());
+    outcome.ok = false;
+  }
+  if (outcome.high_interactive_latency == 0) {
+    std::fprintf(stderr,
+                 "FAILED: no interactive latency breach at 3.0x offered "
+                 "load with shedding disabled\n");
+    outcome.ok = false;
+  }
+
+  std::ofstream out(opts.metrics_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --metrics path %s\n",
+                 opts.metrics_path.c_str());
+    outcome.ok = false;
+  } else {
+    out << outcome.high.json;
+    std::printf("metrics: %llu samples (%llu evicted) -> %s\n",
+                static_cast<unsigned long long>(outcome.high.samples),
+                static_cast<unsigned long long>(outcome.high.evicted),
+                opts.metrics_path.c_str());
+  }
+  return outcome;
+}
+
 // --- simulation-time tracing experiment (--trace) ---
 
 /// What the traced run proved, for the bench's self-gates.
@@ -1445,6 +1645,13 @@ struct TraceOutcome {
   std::uint64_t completed = 0;
   bool reconciled = true;  ///< every path: segment sum == e2e exactly
   bool joined_any = false;  ///< at least one request joined an engine job
+  /// Per-segment energy attribution over the trace's span population.
+  tdo::obs::EnergyBreakdown energy;
+  bool energy_reconciled = false;  ///< segment sum == span total, exactly
+  /// Span-derived total matches the live accumulators (tiny fJ-vs-double
+  /// rounding tolerance) — proves the spans saw every charged joule.
+  bool energy_matches_accumulators = false;
+  std::uint64_t metrics_samples = 0;  ///< samples riding the trace run
 };
 
 /// Dedicated traced serving run (the headline experiments above deliberately
@@ -1474,6 +1681,13 @@ struct TraceOutcome {
   Platform platform{spec->device_count(), config, spec};
   BENCH_CHECK(platform.runtime->init(0));
   ServingState state{platform, opts};
+
+  // Metrics ride the traced run so the counter trajectories land as
+  // Perfetto counter tracks under the same spans (50 us sample grid).
+  auto& metrics_registry = tdo::obs::MetricsRegistry::instance();
+  tdo::obs::MetricsParams metrics_params;
+  metrics_params.sample_every = 50'000'000;
+  metrics_registry.start(&platform.system.stats(), metrics_params);
 
   tdo::serve::SchedulerParams params;
   // Caller-centric by default: near fills to depth first and the overflow
@@ -1530,6 +1744,11 @@ struct TraceOutcome {
   outcome.completed += scheduler.take_completions().size();
 
   tracer.pump();
+  metrics_registry.force_sample(platform.system.events().now());
+  outcome.metrics_samples = metrics_registry.samples().size();
+  metrics_registry.append_counter_tracks();
+  metrics_registry.stop();
+  tracer.pump();
   const std::vector<tdo::obs::TraceEvent> events = tracer.sorted_events();
   outcome.events = events.size();
   outcome.dropped = tracer.dropped();
@@ -1550,6 +1769,50 @@ struct TraceOutcome {
   }
   outcome.span_track_kinds = static_cast<std::size_t>(engine) + dma + link +
                              sched + pool;
+
+  // Per-segment energy attribution over the same span population, checked
+  // two ways: the integer-femtojoule segment buckets must sum exactly to
+  // the span-derived total (no joule double-counted or lost in the
+  // segment mapping), and that total must match the live accumulators the
+  // cost model charged (no charged joule missing a span).
+  outcome.energy =
+      tdo::obs::attribute_energy(events, tdo::obs::default_energy_params());
+  outcome.energy_reconciled =
+      outcome.energy.segment_sum() == outcome.energy.total_fj &&
+      outcome.energy.total_fj > 0 && outcome.energy.host_pool_fj > 0;
+  double accumulated_pj = 0.0;
+  for (const auto& [name, pj] :
+       platform.system.stats().snapshot().energies_pj) {
+    // The attributable sinks: the six per-accelerator engine buckets
+    // ("<accel>.energy.<sink>"), the host worker pool, and the far link.
+    // "host.energy" (synchronous host-CPU fallback) has no spans and is
+    // deliberately outside the attribution.
+    if (name.find(".energy.") != std::string::npos ||
+        name == "host_pool.energy" || name == "farlink.energy") {
+      accumulated_pj += pj;
+    }
+  }
+  const double span_pj = static_cast<double>(outcome.energy.total_fj) * 1e-3;
+  outcome.energy_matches_accumulators =
+      std::abs(span_pj - accumulated_pj) <=
+      1e-6 * std::max(1.0, accumulated_pj);
+  if (!outcome.energy_matches_accumulators) {
+    std::fprintf(stderr,
+                 "energy mismatch: spans %.3f pJ vs accumulators %.3f pJ "
+                 "(write %llu stream %llu engine-dma %llu copy-dma %llu "
+                 "link %llu pool %llu fJ)\n",
+                 span_pj, accumulated_pj,
+                 static_cast<unsigned long long>(outcome.energy.engine_write_fj),
+                 static_cast<unsigned long long>(outcome.energy.engine_stream_fj),
+                 static_cast<unsigned long long>(outcome.energy.engine_dma_fj),
+                 static_cast<unsigned long long>(outcome.energy.copy_dma_fj),
+                 static_cast<unsigned long long>(outcome.energy.link_fj),
+                 static_cast<unsigned long long>(outcome.energy.host_pool_fj));
+    for (const auto& [name, pj] :
+         platform.system.stats().snapshot().energies_pj) {
+      std::fprintf(stderr, "  sink %-32s %.3f pJ\n", name.c_str(), pj);
+    }
+  }
 
   std::ofstream out(opts.trace_path, std::ios::binary);
   if (!out) {
@@ -1616,6 +1879,41 @@ void print_decomposition(const std::vector<tdo::obs::RequestPath>& paths) {
   table.print(std::cout);
 }
 
+/// Per-class joules-per-segment table (--dump companion to the ticks one):
+/// each class's share of every segment's attributed energy, split in
+/// proportion to the class's segment ticks.
+void print_energy_table(const std::vector<tdo::obs::RequestPath>& paths,
+                        const tdo::obs::EnergyBreakdown& breakdown) {
+  const tdo::obs::PerClassEnergy per_class =
+      tdo::obs::per_class_energy(paths, breakdown);
+  tdo::support::TextTable table(
+      "Per-class energy attribution (per segment, nJ)");
+  std::vector<std::string> header{"Class", "total"};
+  for (std::size_t s = 0; s < tdo::obs::kSegmentCount; ++s) {
+    header.emplace_back(tdo::obs::segment_name(s));
+  }
+  table.set_header(header);
+  const auto nj = [](double fj) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", fj * 1e-6);
+    return std::string(buf);
+  };
+  for (const auto& [cls, seg_fj] : per_class) {
+    double total = 0.0;
+    for (const double fj : seg_fj) total += fj;
+    std::vector<std::string> row{cls, nj(total)};
+    for (const double fj : seg_fj) row.push_back(nj(fj));
+    table.add_row(row);
+  }
+  std::vector<std::string> all{"(all)",
+                               nj(static_cast<double>(breakdown.total_fj))};
+  for (const std::uint64_t fj : breakdown.seg_fj) {
+    all.push_back(nj(static_cast<double>(fj)));
+  }
+  table.add_row(all);
+  table.print(std::cout);
+}
+
 void add_result_row(tdo::support::TextTable& table, const std::string& name,
                     const LoadResult& r) {
   char throughput[32], p50[32], p95[32], p99[32], hit[32], fb[32], batch[32];
@@ -1668,6 +1966,8 @@ int main(int argc, char** argv) {
       opts.threads = static_cast<std::size_t>(value());
     } else if (arg == "--trace" && i + 1 < argc) {
       opts.trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
     } else if (arg == "--placement" && i + 1 < argc) {
       const std::string policy = argv[++i];
       opts.placement_set = true;
@@ -1699,7 +1999,7 @@ int main(int argc, char** argv) {
           "       [--accels A] [--batch-max B] [--max-wait-us U]\n"
           "       [--rate-rps X] [--seed S] [--threads T]\n"
           "       [--topology near:N,far:M[xL]] [--trace out.json]\n"
-          "       [--placement blind|caller|buffer]\n");
+          "       [--metrics out.json] [--placement blind|caller|buffer]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -1793,7 +2093,30 @@ int main(int argc, char** argv) {
           return joined;
         }(),
         trace->paths.size(), trace->span_track_kinds);
-    if (opts.dump) print_decomposition(trace->paths);
+    const auto share = [&](std::size_t s) {
+      return trace->energy.total_fj == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(trace->energy.seg_fj[s]) /
+                       static_cast<double>(trace->energy.total_fj);
+    };
+    std::printf(
+        "Energy attribution: %.3f uJ over %llu spans (weights %.1f%%, "
+        "stream %.1f%%, dma %.1f%%, link %.1f%%); %llu metrics samples\n",
+        static_cast<double>(trace->energy.total_fj) * 1e-9,
+        static_cast<unsigned long long>(trace->energy.spans_counted),
+        share(tdo::obs::kSegWeights), share(tdo::obs::kSegStream),
+        share(tdo::obs::kSegDmaWait), share(tdo::obs::kSegLink),
+        static_cast<unsigned long long>(trace->metrics_samples));
+    if (opts.dump) {
+      print_decomposition(trace->paths);
+      print_energy_table(trace->paths, trace->energy);
+    }
+  }
+
+  std::optional<MetricsOutcome> metrics;
+  if (!opts.metrics_path.empty()) {
+    std::printf("\n");
+    metrics = run_metrics_experiment(opts);
   }
 
   std::printf("\nAdmission convergence (static sweep vs adaptive EWMA):\n");
@@ -1918,7 +2241,30 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(trace->dropped));
       ok = false;
     }
+    if (!trace->energy_reconciled) {
+      std::fprintf(
+          stderr,
+          "FAILED: per-segment energy does not reconcile exactly (segment "
+          "sum %llu fJ vs span total %llu fJ, host-pool %llu fJ)\n",
+          static_cast<unsigned long long>(trace->energy.segment_sum()),
+          static_cast<unsigned long long>(trace->energy.total_fj),
+          static_cast<unsigned long long>(trace->energy.host_pool_fj));
+      ok = false;
+    }
+    if (!trace->energy_matches_accumulators) {
+      std::fprintf(stderr,
+                   "FAILED: span-derived energy diverges from the live "
+                   "accumulators (some charged joule has no span)\n");
+      ok = false;
+    }
+    if (trace->metrics_samples == 0) {
+      std::fprintf(stderr,
+                   "FAILED: metrics sampler took no samples during the "
+                   "traced run\n");
+      ok = false;
+    }
   }
+  if (metrics.has_value() && !metrics->ok) ok = false;
   // Thread-parallel and split gates are simulated-deterministic, but smoke
   // shrinks the load below the margins they assume — report-only there.
   if (!opts.smoke) {
@@ -1966,5 +2312,79 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // Machine-readable results. Only simulated-clock quantities: wall-clock
+  // measurements (thread scaling, tenant-scale ns/request) would make the
+  // committed baseline diff flaky.
+  {
+    using tdo::benchutil::Json;
+    const auto load_json = [](const LoadResult& r) {
+      Json j = Json::object();
+      j.set("throughput_rps", Json::number(r.throughput_rps));
+      j.set("p50_us", Json::number(r.p50.microseconds()));
+      j.set("p95_us", Json::number(r.p95.microseconds()));
+      j.set("p99_us", Json::number(r.p99.microseconds()));
+      Json classes = Json::object();
+      for (const auto& c : r.classes) {
+        Json cj = Json::object();
+        cj.set("count", Json::number(c.count));
+        cj.set("p50_us", Json::number(c.p50.microseconds()));
+        cj.set("p95_us", Json::number(c.p95.microseconds()));
+        cj.set("p99_us", Json::number(c.p99.microseconds()));
+        classes.set(c.cls, std::move(cj));
+      }
+      j.set("classes", std::move(classes));
+      j.set("hit_rate", Json::number(r.hit_rate));
+      j.set("fallback_ratio", Json::number(r.fallback_ratio));
+      j.set("mean_batch", Json::number(r.mean_batch));
+      j.set("energy_uj", Json::number(r.energy_uj));
+      j.set("edp_uj_s", Json::number(r.edp_uj_s));
+      j.set("completed", Json::number(r.serve.completed));
+      j.set("rejected", Json::number(r.serve.rejected));
+      j.set("affinity_routed", Json::number(r.serve.affinity_routed));
+      return j;
+    };
+    Json results = Json::object();
+    results.set("closed_fifo", load_json(baseline));
+    results.set("closed_batch_affinity", load_json(full));
+    results.set("closed_adaptive", load_json(adaptive));
+    results.set("open_loop", load_json(open));
+    if (trace.has_value()) {
+      Json t = Json::object();
+      t.set("events",
+            Json::number(static_cast<std::uint64_t>(trace->events)));
+      t.set("request_spans",
+            Json::number(static_cast<std::uint64_t>(trace->paths.size())));
+      t.set("metrics_samples", Json::number(trace->metrics_samples));
+      Json energy = Json::object();
+      energy.set("total_fj", Json::number(trace->energy.total_fj));
+      energy.set("host_pool_fj", Json::number(trace->energy.host_pool_fj));
+      energy.set("link_fj", Json::number(trace->energy.link_fj));
+      Json segments = Json::object();
+      for (std::size_t s = 0; s < tdo::obs::kSegmentCount; ++s) {
+        segments.set(tdo::obs::segment_name(s),
+                     Json::number(trace->energy.seg_fj[s]));
+      }
+      energy.set("segments_fj", std::move(segments));
+      t.set("energy", std::move(energy));
+      results.set("trace", std::move(t));
+    }
+    if (metrics.has_value()) {
+      Json slo = Json::object();
+      slo.set("low_breaches",
+              Json::number(
+                  static_cast<std::uint64_t>(metrics->low.breaches.size())));
+      slo.set("high_breaches",
+              Json::number(
+                  static_cast<std::uint64_t>(metrics->high.breaches.size())));
+      slo.set("high_interactive_latency_breaches",
+              Json::number(metrics->high_interactive_latency));
+      slo.set("high_samples", Json::number(metrics->high.samples));
+      results.set("slo", std::move(slo));
+    }
+    results.set("ok", Json::boolean(ok));
+    tdo::benchutil::write_bench_json("serve_loop", std::move(results));
+  }
+
   return ok ? 0 : 1;
 }

@@ -308,6 +308,7 @@ int main(int argc, char** argv) {
   table.set_header(header);
 
   bool all_correct = true;
+  tdo::benchutil::Json points = tdo::benchutil::Json::array();
   for (const std::size_t accelerators : accel_counts) {
     for (const std::uint32_t capacity : capacities) {
       for (const bool cache : {false, true}) {
@@ -345,10 +346,36 @@ int main(int argc, char** argv) {
         }
         table.add_row(row);
         all_correct = all_correct && result->correct;
+        {
+          using tdo::benchutil::Json;
+          Json p = Json::object();
+          p.set("accelerators",
+                Json::number(static_cast<std::uint64_t>(accelerators)));
+          p.set("capacity_rows",
+                Json::number(static_cast<std::uint64_t>(capacity)));
+          p.set("cache", Json::boolean(cache));
+          p.set("hit_rate", Json::number(result->hit_rate));
+          p.set("weight_writes8", Json::number(result->weight_writes));
+          p.set("weight_writes_saved8",
+                Json::number(result->weight_writes_saved));
+          p.set("evictions", Json::number(result->evictions));
+          p.set("runtime_s", Json::number(result->runtime.seconds()));
+          p.set("edp", Json::number(result->edp));
+          p.set("lifetime_x", Json::number(result->lifetime_x));
+          p.set("correct", Json::boolean(result->correct));
+          points.push(std::move(p));
+        }
       }
     }
   }
   table.print(std::cout);
+
+  {
+    tdo::benchutil::Json results = tdo::benchutil::Json::object();
+    results.set("points", std::move(points));
+    results.set("ok", tdo::benchutil::Json::boolean(all_correct));
+    tdo::benchutil::write_bench_json("sweep_residency", std::move(results));
+  }
 
   std::cout << "\nHot weight sets stay programmed: the cache turns the "
                "Zipf head's reprogramming cost into hits, and affinity "

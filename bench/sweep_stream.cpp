@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
 
   std::vector<Sample> samples;
+  tdo::benchutil::Json points = tdo::benchutil::Json::array();
   for (const std::size_t accelerators : accel_counts) {
     for (const std::size_t depth : depths) {
       for (const bool async_copies : {false, true}) {
@@ -86,6 +87,24 @@ int main(int argc, char** argv) {
         }
         samples.push_back(Sample{accelerators, depth, async_copies,
                                  report->runtime.seconds()});
+        {
+          using tdo::benchutil::Json;
+          Json p = Json::object();
+          p.set("accelerators",
+                Json::number(static_cast<std::uint64_t>(accelerators)));
+          p.set("depth", Json::number(static_cast<std::uint64_t>(depth)));
+          p.set("async_copies", Json::boolean(async_copies));
+          p.set("runtime_s", Json::number(report->runtime.seconds()));
+          p.set("overlap_ticks", Json::number(report->overlap_ticks));
+          p.set("copy_bytes", Json::number(report->copy_bytes));
+          p.set("overlapped_copy_bytes",
+                Json::number(report->overlapped_copy_bytes));
+          p.set("copy_segments", Json::number(report->copy_segments));
+          p.set("copy_contended_ticks",
+                Json::number(report->copy_contended_ticks));
+          p.set("correct", Json::boolean(report->correct));
+          points.push(std::move(p));
+        }
         table.add_row({std::to_string(accelerators), std::to_string(depth),
                        async_copies ? "on" : "off",
                        report->runtime.to_string(),
@@ -136,5 +155,9 @@ int main(int argc, char** argv) {
       break;
     }
   }
+
+  tdo::benchutil::Json results = tdo::benchutil::Json::object();
+  results.set("points", std::move(points));
+  tdo::benchutil::write_bench_json("sweep_stream", std::move(results));
   return 0;
 }

@@ -429,6 +429,7 @@ int main(int argc, char** argv) {
                     "Withheld", "Correct"});
 
   bool gates_ok = true;
+  tdo::benchutil::Json points = tdo::benchutil::Json::array();
   for (const double mult : multipliers) {
     for (const std::size_t load : loads) {
       TopoResult results[2];
@@ -459,6 +460,23 @@ int main(int argc, char** argv) {
                        std::to_string(result->withheld_responses),
                        result->correct ? "yes" : "NO"});
         gates_ok = gates_ok && result->correct;
+        {
+          using tdo::benchutil::Json;
+          Json p = Json::object();
+          p.set("link_multiplier", Json::number(mult));
+          p.set("requests", Json::number(static_cast<std::uint64_t>(load)));
+          p.set("aware", Json::boolean(aware));
+          p.set("p99_us", Json::number(result->p99.microseconds()));
+          p.set("mean_us", Json::number(result->mean.microseconds()));
+          p.set("runtime_s", Json::number(result->runtime.seconds()));
+          p.set("edp", Json::number(result->edp));
+          p.set("near_jobs", Json::number(result->near_jobs));
+          p.set("far_jobs", Json::number(result->far_jobs));
+          p.set("link_contended_ticks",
+                Json::number(result->link_contended_ticks));
+          p.set("correct", Json::boolean(result->correct));
+          points.push(std::move(p));
+        }
       }
       if (mult >= 3.0) {
         // The placement gate: past 3x link latency, topology-aware placement
@@ -521,6 +539,18 @@ int main(int argc, char** argv) {
   std::cout << "\nPeer-to-peer migration moves the tile in one dev->dev hop; "
                "the host-bounce reference serializes two transfers through a "
                "host staging buffer and drains between them.\n";
+
+  {
+    using tdo::benchutil::Json;
+    Json results = Json::object();
+    results.set("points", std::move(points));
+    Json migration = Json::object();
+    migration.set("host_bounce_us", Json::number(elapsed[0].microseconds()));
+    migration.set("peer_to_peer_us", Json::number(elapsed[1].microseconds()));
+    results.set("migration", std::move(migration));
+    results.set("ok", Json::boolean(gates_ok));
+    tdo::benchutil::write_bench_json("sweep_topology", std::move(results));
+  }
 
   if (!gates_ok) {
     std::cerr << "FAILED: a topology gate did not hold\n";

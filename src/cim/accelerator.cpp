@@ -222,7 +222,8 @@ support::Status Accelerator::start_copy(const ContextRegs& image) {
         start, duration.ticks(),
         {{"bytes", bytes},
          {"segs", seg_count > 1 ? seg_count : 1},
-         {"wait", start - now}});
+         {"wait", start - now},
+         {"dmab", dma_->bursts() - bursts_before}});
   }
   system_.events().schedule_at(done, params_.name + ".copy_done", [this, id] {
     --copies_in_flight_;
@@ -355,7 +356,15 @@ void Accelerator::start_job(support::Duration prefetch_credit) {
           {{"dev", device_ordinal_ + 1},
            {"enq", enq},
            {"wp", timeline.weights_programmed},
-           {"completed", completed_.value()}});
+           {"completed", completed_.value()},
+           // Activity counts for trace-driven energy attribution — the
+           // exact deltas launch() charged the energy sinks with.
+           {"ww8", timeline.weight_writes8},
+           {"mac", timeline.mac8_ops},
+           {"gemv", timeline.gemv_ops},
+           {"alu", timeline.extra_alu_ops},
+           {"bufb", timeline.buffer_byte_accesses},
+           {"dmab", timeline.dma_bursts}});
     }
     if (completion_observer_) {
       if (response_link_ != nullptr) {

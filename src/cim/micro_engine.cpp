@@ -447,9 +447,17 @@ JobTimeline MicroEngine::launch(ContextRegs& regs,
   }
   timeline.overlap = overlap.ticks();
 
-  // Charge energy from the tile/DMA activity deltas of this job.
+  // Charge energy from the tile/DMA activity deltas of this job. The same
+  // deltas ride the timeline so the trace span carries the charged counts.
   const TileStats after = tile_.stats();
   const std::uint64_t bursts = dma_.bursts() - bursts_before;
+  timeline.weight_writes8 = after.weight_writes8 - before.weight_writes8;
+  timeline.mac8_ops = after.mac8_ops - before.mac8_ops;
+  timeline.gemv_ops = after.gemv_ops - before.gemv_ops;
+  timeline.extra_alu_ops = after.extra_alu_ops - before.extra_alu_ops;
+  timeline.buffer_byte_accesses =
+      after.buffer_byte_accesses - before.buffer_byte_accesses;
+  timeline.dma_bursts = bursts;
   if (sinks_.write != nullptr) {
     sinks_.write->add(model_.write_energy(after.weight_writes8 - before.weight_writes8));
   }

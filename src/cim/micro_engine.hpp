@@ -47,6 +47,15 @@ struct JobTimeline {
   /// Ticks of weight-load DMA hidden under the previous job's stream phase
   /// (non-zero only for jobs chained from the accelerator work queue).
   sim::Tick overlap = 0;
+  /// Activity counts of this job (tile/DMA stat deltas) — exactly what the
+  /// launch charged the energy sinks with, carried so the engine's trace
+  /// span can expose them for trace-driven energy attribution.
+  std::uint64_t weight_writes8 = 0;
+  std::uint64_t mac8_ops = 0;
+  std::uint64_t gemv_ops = 0;
+  std::uint64_t extra_alu_ops = 0;
+  std::uint64_t buffer_byte_accesses = 0;
+  std::uint64_t dma_bursts = 0;
 
   [[nodiscard]] support::Duration weight_phase() const {
     return sim::from_ticks(weights_programmed - trigger);

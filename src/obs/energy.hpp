@@ -1,0 +1,96 @@
+// Trace-driven energy attribution over the PR 8 critical-path segments.
+//
+// Every traced activity span now carries the activity *counts* the §5 cost
+// model charges (engine jobs: weights written, MACs, GEMVs, ALU ops, buffer
+// bytes, DMA bursts; stream copies: DMA bursts; link responses: bytes; host
+// pool stripes: MACs). This module replays those counts through an
+// integer-femtojoule copy of the Table I constants and lands every joule in
+// exactly one of the seven `obs::Segment` buckets:
+//
+//   engine weight writes            -> kSegWeights   (PCM programming)
+//   engine MAC/GEMV/ALU/buffers     -> kSegStream    (crossbar + periphery)
+//   engine + stream-copy DMA bursts -> kSegDmaWait   (DMA/micro-engine)
+//   link response bytes             -> kSegLink      (pool-link serialization)
+//   host-pool stripe MACs           -> kSegStream    (split-path host FLOPs)
+//
+// All arithmetic is uint64 femtojoules, so `segment_sum() == total_fj` is an
+// *exact* invariant (the live EnergyAccumulators store double picojoules and
+// round; tests cross-check against them with a tiny relative tolerance
+// instead). Host-synchronous fallback compute (`host.energy`) never emits
+// spans and is deliberately outside the attributable total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
+
+namespace tdo::obs {
+
+/// Integer-femtojoule mirror of pcm::CimEnergyParams (+ the host-pool and
+/// pool-link byte costs the engine model does not own). Integer so segment
+/// sums reconcile exactly; defaults are llround()s of the double constants.
+struct EnergyParams {
+  std::uint64_t write_fj_per_weight8 = 200'000;   // 200 pJ
+  std::uint64_t compute_fj_per_mac8 = 200;        // 200 fJ
+  std::uint64_t mixed_signal_fj_per_gemv = 3'900'000;  // 3.9 nJ
+  std::uint64_t digital_fj_per_gemv = 40'000;     // 40 pJ
+  std::uint64_t digital_fj_per_alu_op = 2'110;    // 2.11 pJ
+  std::uint64_t buffer_fj_per_byte = 5'400;       // 5.4 pJ
+  std::uint64_t dma_fj_per_burst = 780'000;       // 0.78 nJ
+  /// Host worker-pool stripe cost: energy_per_inst * instructions_per_mac
+  /// (sim::HostCpuParams 128 pJ x rt::HostPoolParams 6.0).
+  std::uint64_t host_fj_per_mac = 768'000;
+  /// Pool-link serialization cost per byte (topo::LinkParams::energy_per_byte).
+  std::uint64_t link_fj_per_byte = 10'000;        // 10 pJ
+};
+
+/// EnergyParams derived from the default-constructed model parameter structs
+/// (pcm::CimEnergyParams, sim::HostCpuParams, rt::HostPoolParams,
+/// topo::LinkParams) so the integer constants can never silently diverge
+/// from the doubles the live accumulators charge.
+[[nodiscard]] EnergyParams default_energy_params();
+
+/// Whole-run attribution: femtojoules per segment plus per-source totals.
+struct EnergyBreakdown {
+  std::array<std::uint64_t, kSegmentCount> seg_fj{};
+  /// Per-source totals (each span's joules land in exactly one of these and
+  /// exactly one segment).
+  std::uint64_t engine_write_fj = 0;
+  std::uint64_t engine_stream_fj = 0;  // MAC + mixed-signal + digital + buffers
+  std::uint64_t engine_dma_fj = 0;
+  std::uint64_t copy_dma_fj = 0;
+  std::uint64_t link_fj = 0;
+  std::uint64_t host_pool_fj = 0;
+  std::uint64_t total_fj = 0;
+  std::uint64_t spans_counted = 0;
+
+  [[nodiscard]] std::uint64_t segment_sum() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : seg_fj) total += s;
+    return total;
+  }
+};
+
+/// Replays every activity span in `events` (a Tracer::sorted_events()
+/// stream) through `params`. Deterministic: same trace, same breakdown.
+[[nodiscard]] EnergyBreakdown attribute_energy(
+    const std::vector<TraceEvent>& events, const EnergyParams& params);
+
+/// Display-only per-class split: each segment's joules divided across
+/// deadline classes in proportion to that class's share of the segment's
+/// *ticks* in the decomposed request paths (energy spans carry no request
+/// identity, so proportional-by-time is the honest apportionment; the
+/// row/column sums still match the exact breakdown). Keyed by class track
+/// suffix ("interactive", ...); values are femtojoules as double.
+using PerClassEnergy =
+    std::map<std::string, std::array<double, kSegmentCount>>;
+
+[[nodiscard]] PerClassEnergy per_class_energy(
+    const std::vector<RequestPath>& paths, const EnergyBreakdown& breakdown);
+
+}  // namespace tdo::obs

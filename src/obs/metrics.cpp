@@ -1,0 +1,152 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+
+namespace tdo::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest round-trip decimal for a double — %.17g is exact for every
+/// double, so the same sample always prints the same bytes.
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::start(const support::StatsRegistry* stats,
+                            MetricsParams params) {
+  clear();
+  stats_ = stats;
+  params_ = params;
+  if (params_.sample_every == 0) params_.sample_every = 1;
+  next_due_ = 0;
+  detail::g_metrics_enabled.store(true, std::memory_order_release);
+}
+
+void MetricsRegistry::stop() {
+  detail::g_metrics_enabled.store(false, std::memory_order_release);
+}
+
+void MetricsRegistry::clear() {
+  samples_.clear();
+  evicted_ = 0;
+  next_due_ = 0;
+}
+
+void MetricsRegistry::maybe_sample(std::uint64_t tick) {
+  if (stats_ == nullptr || tick < next_due_) return;
+  sample_at(tick);
+}
+
+void MetricsRegistry::force_sample(std::uint64_t tick) {
+  if (stats_ == nullptr) return;
+  if (!samples_.empty() && samples_.back().tick == tick) return;
+  sample_at(tick);
+}
+
+void MetricsRegistry::sample_at(std::uint64_t tick) {
+  // Advance to the start of the *next* grid cell, so at most one sample
+  // lands per sample_every-tick cell however often the loops pump.
+  next_due_ = (tick / params_.sample_every + 1) * params_.sample_every;
+  samples_.push_back(MetricsSample{tick, stats_->snapshot()});
+  while (samples_.size() > params_.capacity) {
+    samples_.pop_front();
+    ++evicted_;
+  }
+  if (slo_ != nullptr) slo_->on_sample(tick, samples_.back().snapshot);
+}
+
+void MetricsRegistry::export_json(std::ostream& os) const {
+  std::string out;
+  out.reserve(samples_.size() * 2048 + 256);
+  out += "{\"schema\":\"tdo.metrics.v1\",\"sample_every\":";
+  out += std::to_string(params_.sample_every);
+  out += ",\"evicted\":";
+  out += std::to_string(evicted_);
+  out += ",\"samples\":[";
+  bool first_sample = true;
+  for (const MetricsSample& sample : samples_) {
+    out += first_sample ? "\n" : ",\n";
+    first_sample = false;
+    out += "{\"tick\":";
+    out += std::to_string(sample.tick);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : sample.snapshot.counters) {
+      if (!first) out += ",";
+      first = false;
+      append_json_string(out, name);
+      out += ":";
+      out += std::to_string(value);
+    }
+    out += "},\"energies_pj\":{";
+    first = true;
+    for (const auto& [name, value] : sample.snapshot.energies_pj) {
+      if (!first) out += ",";
+      first = false;
+      append_json_string(out, name);
+      out += ":";
+      append_json_double(out, value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+void MetricsRegistry::append_counter_tracks() const {
+  if (!enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  // One Perfetto counter track per stat, emitting only value changes (plus
+  // the first sample) so flat counters cost one event each.
+  std::map<std::string, std::uint64_t> last;
+  for (const MetricsSample& sample : samples_) {
+    for (const auto& [name, value] : sample.snapshot.counters) {
+      const auto it = last.find(name);
+      if (it != last.end() && it->second == value) continue;
+      last[name] = value;
+      tracer.counter("metrics/" + name, name, sample.tick, value);
+    }
+  }
+}
+
+}  // namespace tdo::obs

@@ -1,0 +1,121 @@
+// Simulated-time metrics sampling: bounded time series over the stats layer.
+//
+// The MetricsRegistry is the layer above StatsRegistry (point-in-time
+// counters) and below the benches (whole-run tables): driven by simulated
+// ticks, it snapshots every registered counter / energy / histogram quantile
+// into a bounded ring of samples, giving each stat a *trajectory* instead of
+// a single end-of-run number.
+//
+// Design constraints (DESIGN.md §15):
+//  - Zero cost when off. Drive loops call `obs::metrics_pump(tick)`, whose
+//    entire disabled cost is one relaxed atomic load — the same contract as
+//    `obs::enabled()`, so a metrics-off run is bit-identical to a build
+//    without the subsystem.
+//  - Race-free under `--threads N`. Sampling happens only on the simulation
+//    driver thread, and `StatsRegistry::snapshot()` already merges sharded
+//    counters/histograms at read time, so a sample taken while submitter
+//    threads increment is exact (never torn, never double-counted).
+//  - Bounded when on. At most `capacity` samples are retained (oldest
+//    evicted, eviction counted), and samples are taken at most once per
+//    `sample_every`-tick grid cell — total cost is O(stats x capacity)
+//    regardless of run length.
+//  - Deterministic export. Samples are keyed by simulated tick and snapshot
+//    maps are ordered, so the same seed yields byte-identical JSON.
+//
+// Exports: standalone schema'd JSON (`tdo.metrics.v1`), plus replay onto the
+// tracer as Perfetto counter tracks (`metrics/<stat>`) so the trajectory
+// lines up under the PR 8 trace in the same UI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+
+#include "support/stats.hpp"
+
+namespace tdo::obs {
+
+class SloMonitor;
+
+struct MetricsParams {
+  /// Tick grid between samples; at most one sample lands per grid cell.
+  std::uint64_t sample_every = 1'000'000;
+  /// Max retained samples; older samples are evicted (and counted).
+  std::size_t capacity = 4096;
+};
+
+struct MetricsSample {
+  std::uint64_t tick = 0;
+  support::StatsSnapshot snapshot;
+};
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// The global on/off gate — the *only* cost a pump site pays when metrics
+/// sampling is off.
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide sampler. start()/stop()/sampling run on the simulation
+/// driver thread (the scheduler/stream drive loops); the snapshot itself is
+/// safe against concurrently-running submitter threads.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Clears any previous series and enables sampling over `stats` (not
+  /// owned; must outlive the enabled window).
+  void start(const support::StatsRegistry* stats, MetricsParams params = {});
+  /// Disables sampling (the series stays readable until the next start()).
+  void stop();
+  /// Drops all samples (does not change the enabled state).
+  void clear();
+
+  /// Attaches an SLO monitor evaluated after every sample (not owned; may
+  /// be nullptr to detach).
+  void attach_slo(SloMonitor* slo) { slo_ = slo; }
+
+  /// Samples iff `tick` entered a new sample_every grid cell. Driver thread.
+  void maybe_sample(std::uint64_t tick);
+  /// Unconditional sample (run-end flush so the final state is recorded).
+  void force_sample(std::uint64_t tick);
+
+  [[nodiscard]] const std::deque<MetricsSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] const MetricsParams& params() const { return params_; }
+
+  /// Standalone JSON: {"schema":"tdo.metrics.v1", "sample_every", "evicted",
+  /// "samples":[{"tick","counters","energies_pj"}...]}. Maps are ordered and
+  /// doubles print shortest-roundtrip, so same seed => byte-identical bytes.
+  void export_json(std::ostream& os) const;
+
+  /// Replays the sampled series onto the Tracer as counter events on
+  /// `metrics/<stat>` tracks (value-change-filtered so a flat counter costs
+  /// one event). Call after the run, before Tracer::export_json.
+  void append_counter_tracks() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  void sample_at(std::uint64_t tick);
+
+  const support::StatsRegistry* stats_ = nullptr;
+  SloMonitor* slo_ = nullptr;
+  MetricsParams params_{};
+  std::deque<MetricsSample> samples_;
+  std::uint64_t next_due_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+/// The drive-loop hook: one relaxed load when off, a grid check when on.
+inline void metrics_pump(std::uint64_t tick) {
+  if (metrics_enabled()) MetricsRegistry::instance().maybe_sample(tick);
+}
+
+}  // namespace tdo::obs

@@ -99,7 +99,9 @@ void Tracer::stop() {
 void Tracer::clear() {
   pump();
   collected_.clear();
-  dropped_.store(0, std::memory_order_relaxed);
+  for (auto& shard : drop_shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+  }
   last_tick_.store(0, std::memory_order_relaxed);
 }
 
@@ -112,7 +114,8 @@ void Tracer::note_tick(std::uint64_t tick) {
 
 void Tracer::record(TraceEvent event) {
   if (!ring_->push(std::move(event))) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    drop_shards_[support::thread_shard_id() % support::kStatShards]
+        .count.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -237,7 +240,17 @@ void Tracer::export_json(std::ostream& os) {
     }
     out += "}";
   }
-  out += "\n]}\n";
+  // Overflow visibility: total + per-shard drop counts ride along as
+  // top-level metadata (Perfetto ignores unknown keys; tools/tests read it).
+  out += "\n],\"metadata\":{\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"droppedByShard\":[";
+  const auto by_shard = dropped_by_shard();
+  for (std::size_t i = 0; i < by_shard.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(by_shard[i]);
+  }
+  out += "]}}\n";
   os << out;
 }
 

@@ -23,6 +23,7 @@
 //   batcher, admission, residency, log, sched ...  instant/counter rows
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -113,8 +114,23 @@ class Tracer {
   /// microseconds with .6f precision (exact for integer-picosecond ticks).
   void export_json(std::ostream& os);
 
+  /// Total events refused because a shard was full. Per-shard counts point
+  /// at which producer (thread shard) overflowed; both are exported in the
+  /// JSON metadata so overflow is visible, not just counted.
   [[nodiscard]] std::uint64_t dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& shard : drop_shards_) {
+      total += shard.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  [[nodiscard]] std::array<std::uint64_t, support::kStatShards>
+  dropped_by_shard() const {
+    std::array<std::uint64_t, support::kStatShards> out{};
+    for (std::size_t i = 0; i < support::kStatShards; ++i) {
+      out[i] = drop_shards_[i].count.load(std::memory_order_relaxed);
+    }
+    return out;
   }
   [[nodiscard]] std::size_t collected_count() const {
     return collected_.size();
@@ -131,7 +147,12 @@ class Tracer {
   /// start() rebuilds it to apply the configured shard capacity.
   std::unique_ptr<support::ShardedRing<TraceEvent>> ring_;
   std::vector<TraceEvent> collected_;
-  std::atomic<std::uint64_t> dropped_{0};
+  /// Cache-line-padded per-shard drop counts (same sharding as the ring, so
+  /// a full shard's producer only ever touches its own line).
+  struct alignas(64) DropShard {
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<DropShard, support::kStatShards> drop_shards_{};
   std::atomic<std::uint64_t> last_tick_{0};
 };
 

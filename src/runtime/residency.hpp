@@ -239,14 +239,16 @@ class ResidencyCache {
   std::optional<WeightKey> last_acquired_;
   std::vector<Successor> successors_;
 
-  support::Counter hits_;
-  support::Counter misses_;
-  support::Counter evictions_;
-  support::Counter invalidations_;
-  support::Counter weight_writes_saved8_;
-  support::Counter prefetches_;
-  support::Counter prefetch_hits_;
-  support::Counter migrations_;
+  /// Sharded: lookups and invalidations run from whichever thread drives the
+  /// runtime while metrics sampling snapshots concurrently.
+  support::ShardedCounter hits_;
+  support::ShardedCounter misses_;
+  support::ShardedCounter evictions_;
+  support::ShardedCounter invalidations_;
+  support::ShardedCounter weight_writes_saved8_;
+  support::ShardedCounter prefetches_;
+  support::ShardedCounter prefetch_hits_;
+  support::ShardedCounter migrations_;
 };
 
 }  // namespace tdo::rt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_pool.hpp"
 #include "runtime/residency.hpp"
@@ -65,6 +66,9 @@ support::Status CimStream::enqueue_from_thread(const Command& command) {
 }
 
 support::Status CimStream::pump_rings() {
+  // Second metrics pump site (for drives not fronted by a serving
+  // scheduler): same zero-cost-when-off contract as obs::enabled().
+  obs::metrics_pump(system_.events().now());
   support::Status result = support::Status::ok();
   for (Command& command : ring_.drain_all()) {
     auto status = enqueue(command);

@@ -269,17 +269,19 @@ class CimStream {
   std::vector<std::uint64_t> failed_seen_;  // per-device jobs_failed baseline
   std::uint64_t occupancy_seen_ = 0;
 
-  support::Counter enqueued_;
-  support::Counter offloaded_;
-  support::Counter cpu_fallbacks_;
-  support::Counter fallbacks_threshold_;
-  support::Counter fallbacks_queue_full_;
-  support::Counter syncs_;
-  support::Counter hazard_syncs_;
-  support::Counter device_drains_;
+  /// Sharded like ring_submitted_: enqueue-path counters are hot and may be
+  /// snapshotted by the metrics sampler while submitter threads run.
+  support::ShardedCounter enqueued_;
+  support::ShardedCounter offloaded_;
+  support::ShardedCounter cpu_fallbacks_;
+  support::ShardedCounter fallbacks_threshold_;
+  support::ShardedCounter fallbacks_queue_full_;
+  support::ShardedCounter syncs_;
+  support::ShardedCounter hazard_syncs_;
+  support::ShardedCounter device_drains_;
   support::Counter occupancy_peak_;
-  support::Counter copies_enqueued_;
-  support::Counter copy_bytes_;
+  support::ShardedCounter copies_enqueued_;
+  support::ShardedCounter copy_bytes_;
   support::ShardedCounter ring_submitted_;
   support::ShardedCounter ring_rejected_;
 };

@@ -24,6 +24,7 @@
 #include "cim/context_regs.hpp"
 #include "sim/system.hpp"
 #include "support/status.hpp"
+#include "support/threading.hpp"
 
 namespace tdo::rt {
 
@@ -228,8 +229,11 @@ class XferEngine {
   /// Live copy of params_.min_async_bytes (the one adaptively retuned).
   std::atomic<std::uint64_t> min_async_bytes_;
   sim::System& system_;
-  support::Counter host_copies_;
-  support::Counter host_copy_bytes_;
+  /// Sharded: the sync-copy fallback runs on whichever thread hit it, so a
+  /// concurrent stats snapshot must merge per-thread shards, not race one
+  /// shared line.
+  support::ShardedCounter host_copies_;
+  support::ShardedCounter host_copy_bytes_;
 };
 
 }  // namespace tdo::rt

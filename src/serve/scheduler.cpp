@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
 
@@ -38,6 +39,9 @@ Scheduler::Scheduler(SchedulerParams params, rt::CimRuntime& runtime)
   registry.register_counter(p + ".far_routed", &far_routed_);
   registry.register_counter(p + ".host_launches", &host_launches_);
   for (std::size_t c = 0; c < kDeadlineClasses; ++c) {
+    registry.register_counter(
+        p + ".shed." + to_string(static_cast<DeadlineClass>(c)),
+        &shed_by_class_[c]);
     registry.register_histogram(
         p + ".latency." + to_string(static_cast<DeadlineClass>(c)),
         &class_latency_[c]);
@@ -80,6 +84,9 @@ Scheduler::~Scheduler() {
         &coalesced_requests_, &affinity_routed_, &queue_routed_, &far_routed_,
         &host_launches_}) {
     registry.unregister_counter(counter);
+  }
+  for (const auto& counter : shed_by_class_) {
+    registry.unregister_counter(&counter);
   }
   for (const auto& histogram : class_latency_) {
     registry.unregister_histogram(&histogram);
@@ -423,6 +430,7 @@ std::size_t Scheduler::shed_excess(double excess_macs) {
       excess_macs -=
           static_cast<double>(std::max<std::uint64_t>(1, victim.macs()));
       shed_.add();
+      shed_by_class_[c].add();
       dropped += 1;
       drop_request(std::move(victim), Completion::Outcome::kShed);
       if (queue.empty()) {
@@ -446,6 +454,9 @@ std::size_t Scheduler::shed_excess(double excess_macs) {
 }
 
 support::Status Scheduler::pump() {
+  // Metrics sampling rides the serving drive loop: one relaxed load when
+  // off, a grid check plus (at most once per cell) a stats snapshot when on.
+  obs::metrics_pump(now().ticks());
   pump_submissions();
   maybe_shed();
   evict_idle();

@@ -496,6 +496,9 @@ class Scheduler {
   support::ShardedCounter submitted_;
   support::ShardedCounter rejected_;
   support::Counter shed_;
+  /// Per-class shed counts (`serve.shed.<cls>`): the shed-rate SLO monitor
+  /// differences these across metrics samples.
+  support::Counter shed_by_class_[kDeadlineClasses];
   support::Counter completed_;
   support::Counter launches_;
   support::Counter batched_launches_;

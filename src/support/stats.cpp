@@ -191,10 +191,14 @@ StatsSnapshot StatsRegistry::snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     const LatencyHistogram merged = histogram->merged();
     snap.counters[name + ".count"] = merged.count();
+    snap.counters[name + ".sum_ps"] =
+        static_cast<std::uint64_t>(merged.sum_ps());
     snap.counters[name + ".mean_ps"] =
         static_cast<std::uint64_t>(merged.mean().picoseconds());
     snap.counters[name + ".p50_ps"] =
         static_cast<std::uint64_t>(merged.quantile(0.50).picoseconds());
+    snap.counters[name + ".p95_ps"] =
+        static_cast<std::uint64_t>(merged.quantile(0.95).picoseconds());
     snap.counters[name + ".p99_ps"] =
         static_cast<std::uint64_t>(merged.quantile(0.99).picoseconds());
   }

@@ -36,6 +36,10 @@ class LatencyHistogram {
   void reset();
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Exact sum of recorded picoseconds (integer-valued while the total stays
+  /// under 2^53, i.e. any realistic run) — the windowed-mean primitive the
+  /// SLO monitor differences across metrics samples.
+  [[nodiscard]] double sum_ps() const { return sum_ps_; }
   [[nodiscard]] Duration min() const;
   [[nodiscard]] Duration max() const;
   [[nodiscard]] Duration mean() const;

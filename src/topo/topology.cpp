@@ -31,6 +31,7 @@ sim::Tick Link::delivery(sim::Tick done, std::uint64_t bytes) {
   const sim::Tick start = reserve(done, duration);
   responses_.add();
   response_bytes_.add(bytes);
+  energy_.add(params_.energy_per_byte * static_cast<double>(bytes));
   if (obs::enabled()) {
     obs::Tracer::instance().span("link/" + params_.name, "response", start,
                                  duration,
@@ -53,6 +54,7 @@ void Link::register_stats(support::StatsRegistry& registry) const {
   registry.register_counter(params_.name + ".responses", &responses_);
   registry.register_counter(params_.name + ".response_bytes",
                             &response_bytes_);
+  registry.register_energy(params_.name + ".energy", &energy_);
 }
 
 namespace {

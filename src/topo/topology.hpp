@@ -38,6 +38,9 @@ struct LinkParams {
   support::Duration base_latency = support::Duration::from_ns(120);
   /// Size of a completion response message (descriptor + status writeback).
   std::uint64_t response_bytes = 64;
+  /// Serialization energy per byte crossing the link (SerDes + retimer cost,
+  /// CXL-class ~10 pJ/bit-lane-byte); charged by delivery().
+  support::Energy energy_per_byte = support::Energy::from_pj(10);
   std::string name = "link";
 };
 
@@ -80,6 +83,7 @@ class Link {
   [[nodiscard]] std::uint64_t response_bytes() const {
     return response_bytes_.value();
   }
+  [[nodiscard]] support::Energy energy() const { return energy_.total(); }
 
   void register_stats(support::StatsRegistry& registry) const;
 
@@ -94,6 +98,7 @@ class Link {
   support::Counter contended_ticks_;
   support::Counter responses_;
   support::Counter response_bytes_;
+  support::EnergyAccumulator energy_;
 };
 
 /// Placement policy over the fabric (the DTO_IS_NUMA_AWARE analogue).

@@ -1,0 +1,197 @@
+// Shared seeded serving load for the observability tests: a two-tier fleet
+// (one near accelerator, two far ones behind a 2x link) driven by a closed
+// loop of skewed tenants, mirroring bench_serve_loop's traced fleet. The
+// trace, metrics, and energy tests all replay the same load so their
+// determinism and reconciliation claims are about one well-known timeline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "serve/scheduler.hpp"
+#include "testing/fixture.hpp"
+#include "topo/topology.hpp"
+
+namespace tdo::testing {
+
+inline std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("TDO_FUZZ_SEED")) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    if (seed != 0) return seed;
+  }
+  return 20260729ull;
+}
+
+/// The bench's traced-fleet runtime knobs at test scale: pseudo-async split
+/// on with a tiny MAC gate so host-pool stripe spans appear, and a low
+/// async-copy floor so activation uploads ride the DMA engine.
+inline rt::RuntimeConfig traced_serve_config() {
+  rt::RuntimeConfig config;
+  config.split.enabled = true;
+  config.split.cpu_fraction = 1.0 / 16.0;
+  config.split.min_macs = 1;
+  config.split.pool.workers = 2;
+  config.xfer.min_async_bytes = 256;
+  return config;
+}
+
+/// Two-tier serving platform parameterized by runtime config so tests can
+/// toggle individual subsystems (e.g. the pseudo-async split) and observe
+/// the effect in the trace.
+struct ServeFixture {
+  topo::Link link;
+  topo::Topology topology;
+  Platform platform;
+  std::uint64_t m = 8, n = 64, k = 64;
+  std::vector<sim::VirtAddr> weights;
+  sim::VirtAddr va_a = 0;
+
+  explicit ServeFixture(rt::RuntimeConfig config, std::uint64_t seed,
+                        std::size_t weight_sets = 2)
+      : link{[] {
+          topo::LinkParams lp;
+          lp.latency_multiplier = 2.0;
+          lp.name = "farlink";
+          return lp;
+        }()},
+        platform{std::move(config), {}, {}, 3} {
+    topology.add_device(topo::Topology::kNearTier);
+    for (std::size_t d = 1; d < 3; ++d) {
+      topology.add_device(topo::Topology::kFarTier, &link);
+      platform.accel(d).set_response_link(&link);
+    }
+    platform.runtime().set_topology(&topology);
+    EXPECT_TRUE(platform.runtime().init(0).is_ok());
+    for (std::size_t w = 0; w < weight_sets; ++w) {
+      weights.push_back(platform.upload(random_matrix(k * n, 1.0, seed + w)));
+    }
+    va_a = platform.upload(random_matrix(m * k, 1.0, seed + 99));
+  }
+};
+
+/// Everything one seeded closed-loop run produced, for cross-run diffing.
+struct ServeOutcome {
+  /// (id, done tick, device) per completion, sorted by id.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, int>> completions;
+  serve::ServeReport report;
+  sim::Tick end_tick = 0;
+};
+
+/// Seeded closed-loop serving run with skewed tenant affinity: tenant 0's
+/// five clients hammer weight set 0 (interactive), tenant 1's two clients
+/// serve weight set 1 (standard). Every request's activations arrive through
+/// the measured upload path. Pass `traced` when the Tracer is started so its
+/// ring buffers are drained as the load runs.
+inline ServeOutcome run_serve_load(ServeFixture& fx, topo::Placement placement,
+                                   bool traced = false) {
+  using serve::DeadlineClass;
+  using serve::Request;
+  using serve::Scheduler;
+  using serve::SchedulerParams;
+
+  SchedulerParams params;
+  params.placement = placement;
+  params.batcher.max_batch = 2;
+  params.batcher.max_wait = support::Duration::from_us(15.0);
+  params.admission.adaptive = false;
+  params.admission.probe_period = 0;
+  Scheduler scheduler{params, fx.platform.runtime()};
+
+  struct Client {
+    std::uint32_t tenant = 0;
+    std::size_t weight = 0;
+    DeadlineClass deadline = DeadlineClass::kStandard;
+    std::vector<sim::VirtAddr> outputs;
+    int submitted = 0;
+    bool busy = false;
+  };
+  std::vector<Client> clients;
+  const auto add_clients = [&](std::uint32_t tenant, std::size_t weight,
+                               DeadlineClass deadline, int count) {
+    for (int i = 0; i < count; ++i) {
+      Client client;
+      client.tenant = tenant;
+      client.weight = weight;
+      client.deadline = deadline;
+      for (int p = 0; p < 2; ++p) {
+        client.outputs.push_back(fx.platform.device_zeros(fx.m * fx.n));
+      }
+      clients.push_back(std::move(client));
+    }
+  };
+  add_clients(0, 0, DeadlineClass::kInteractive, 5);
+  add_clients(1, 1, DeadlineClass::kStandard, 2);
+
+  constexpr int kRequestsPerClient = 3;
+  const std::size_t target = clients.size() * kRequestsPerClient;
+  ServeOutcome out;
+  std::map<std::uint64_t, std::size_t> owner;
+  std::size_t completed = 0;
+  while (completed < target) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      auto& client = clients[i];
+      if (client.busy || client.submitted >= kRequestsPerClient) continue;
+      Request request;
+      request.tenant = client.tenant;
+      request.deadline = client.deadline;
+      request.m = fx.m;
+      request.n = fx.n;
+      request.k = fx.k;
+      request.a = fx.va_a;
+      request.b = fx.weights[client.weight];
+      request.c = client.outputs[client.submitted % client.outputs.size()];
+      request.lda = fx.k;
+      request.ldb = fx.n;
+      request.ldc = fx.n;
+      EXPECT_TRUE(scheduler
+                      .upload(request.a, request.a,
+                              fx.m * fx.k * sizeof(float))
+                      .is_ok());
+      auto id = scheduler.submit(request);
+      EXPECT_TRUE(id.is_ok()) << id.status().to_string();
+      if (!id.is_ok()) return out;
+      owner[*id] = i;
+      client.submitted += 1;
+      client.busy = true;
+      progressed = true;
+    }
+    EXPECT_TRUE(scheduler.pump().is_ok());
+    if (traced) obs::Tracer::instance().pump();
+    for (const auto& completion : scheduler.take_completions()) {
+      const auto it = owner.find(completion.id);
+      if (it != owner.end()) {
+        clients[it->second].busy = false;
+        owner.erase(it);
+      }
+      out.completions.emplace_back(completion.id, completion.done.ticks(),
+                                   completion.device);
+      completed += 1;
+      progressed = true;
+    }
+    if (progressed) continue;
+    if (!scheduler.advance_to_next_event()) {
+      ADD_FAILURE() << "scheduler stalled";
+      return out;
+    }
+  }
+  EXPECT_TRUE(scheduler.drain().is_ok());
+  for (const auto& completion : scheduler.take_completions()) {
+    out.completions.emplace_back(completion.id, completion.done.ticks(),
+                                 completion.device);
+  }
+  std::sort(out.completions.begin(), out.completions.end());
+  out.report = scheduler.report();
+  out.end_tick = fx.platform.system().events().now();
+  return out;
+}
+
+}  // namespace tdo::testing

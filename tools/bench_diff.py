@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two machine-readable bench results (BENCH_<name>.json).
+
+Walks both documents structurally: numeric leaves compare within a relative
+tolerance (|a - b| <= rtol * max(1, |a|, |b|)), strings and booleans compare
+exactly, and any structural mismatch (missing key, extra key, type change,
+array length change) is always a difference. Either argument may be a
+directory, in which case every BENCH_*.json inside is paired by filename.
+
+Exit status: 0 when everything matches (within tolerance), 1 under --check
+when any difference was found, 2 on usage/IO errors. Without --check the
+differences are printed but the exit status stays 0, so the tool doubles as
+a human-readable "what moved" report between two runs.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def leaf_diffs(path, a, b, rtol, out):
+    if isinstance(a, bool) or isinstance(b, bool):
+        # bool is an int subclass; compare exactly and before the number case.
+        if type(a) is not type(b) or a != b:
+            out.append((path, a, b, "value"))
+        return
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) and math.isnan(fb):
+            return
+        if abs(fa - fb) > rtol * max(1.0, abs(fa), abs(fb)):
+            out.append((path, a, b, "value"))
+        return
+    if type(a) is not type(b):
+        out.append((path, type(a).__name__, type(b).__name__, "type"))
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                out.append((sub, "<missing>", b[key], "structure"))
+            elif key not in b:
+                out.append((sub, a[key], "<missing>", "structure"))
+            else:
+                leaf_diffs(sub, a[key], b[key], rtol, out)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            out.append((path, f"len {len(a)}", f"len {len(b)}", "structure"))
+            return
+        for i, (ia, ib) in enumerate(zip(a, b)):
+            leaf_diffs(f"{path}[{i}]", ia, ib, rtol, out)
+        return
+    if a != b:
+        out.append((path, a, b, "value"))
+
+
+def diff_files(path_a, path_b, rtol):
+    with open(path_a) as f:
+        a = json.load(f)
+    with open(path_b) as f:
+        b = json.load(f)
+    out = []
+    leaf_diffs("", a, b, rtol, out)
+    return out
+
+
+def pair_paths(a, b):
+    """Yield (baseline, candidate, label) pairs from two files or dirs."""
+    if os.path.isdir(a) and os.path.isdir(b):
+        names = sorted(
+            n for n in os.listdir(a)
+            if n.startswith("BENCH_") and n.endswith(".json"))
+        if not names:
+            raise FileNotFoundError(f"no BENCH_*.json under {a}")
+        for name in names:
+            yield os.path.join(a, name), os.path.join(b, name), name
+    else:
+        yield a, b, os.path.basename(b)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json results (files or directories).")
+    parser.add_argument("baseline", help="baseline file or directory")
+    parser.add_argument("candidate", help="candidate file or directory")
+    parser.add_argument("--rtol", type=float, default=1e-6,
+                        help="relative tolerance for numeric leaves "
+                             "(default 1e-6)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any difference is found")
+    args = parser.parse_args()
+
+    total = 0
+    try:
+        for path_a, path_b, label in pair_paths(args.baseline,
+                                                args.candidate):
+            diffs = diff_files(path_a, path_b, args.rtol)
+            if diffs:
+                total += len(diffs)
+                print(f"{label}: {len(diffs)} difference(s)")
+                for path, va, vb, kind in diffs:
+                    print(f"  [{kind}] {path}: {va} -> {vb}")
+            else:
+                print(f"{label}: match (rtol {args.rtol:g})")
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+    if args.check and total > 0:
+        print(f"bench_diff: {total} difference(s) exceed tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
